@@ -1,0 +1,597 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. 7), plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark prints the headline metric it reproduces via
+// b.ReportMetric, so `go test -bench=. -benchmem` yields the full
+// experiment record (see EXPERIMENTS.md for paper-vs-measured).
+//
+// Sizes are scaled down from the paper's 77M–100M rows; the skipping
+// metrics are scale-free (see DESIGN.md, Substitutions).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/blockstore"
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/greedy"
+	"repro/internal/overlap"
+	"repro/internal/replicate"
+	"repro/internal/rl"
+	"repro/internal/router"
+	"repro/internal/workload"
+)
+
+const (
+	benchRows    = 40_000
+	benchQueries = 200
+	benchSeed    = 42
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+// --- cached specs: generating workloads once keeps bench time sane ---
+
+var (
+	tpchSpec  *workload.Spec
+	elIntSpec *workload.Spec
+	elExtSpec *workload.Spec
+)
+
+func getTPCH() *workload.Spec {
+	if tpchSpec == nil {
+		tpchSpec = workload.TPCH(workload.TPCHConfig{Rows: benchRows, Seed: benchSeed})
+	}
+	return tpchSpec
+}
+
+func getELInt() *workload.Spec {
+	if elIntSpec == nil {
+		elIntSpec = workload.ErrorLogInt(workload.ErrorLogConfig{Rows: benchRows, NumQueries: benchQueries, Seed: benchSeed})
+	}
+	return elIntSpec
+}
+
+func getELExt() *workload.Spec {
+	if elExtSpec == nil {
+		elExtSpec = workload.ErrorLogExt(workload.ErrorLogConfig{Rows: benchRows, NumQueries: benchQueries, Seed: benchSeed})
+	}
+	return elExtSpec
+}
+
+func buildGreedyLayout(b *testing.B, spec *workload.Spec, minSize int) *cost.Layout {
+	b.Helper()
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cost.FromTree("greedy", tree, spec.Table)
+}
+
+// ---------- Table 2: logical access percentage ----------
+
+func benchTable2(b *testing.B, spec *workload.Spec, minSize, rangeCol int) {
+	cuts := toCuts(spec.Cuts)
+	var fractions map[string]float64
+	for i := 0; i < b.N; i++ {
+		fractions = map[string]float64{}
+		gl := buildGreedyLayout(b, spec, minSize)
+		fractions["greedy"] = gl.AccessedFraction(spec.Queries)
+		var base *cost.Layout
+		var err error
+		if rangeCol < 0 {
+			base, err = baselines.Random(spec.Table, gl.NumBlocks(), spec.ACs, benchSeed)
+		} else {
+			base, err = baselines.Range(spec.Table, rangeCol, gl.NumBlocks(), spec.ACs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		fractions["baseline"] = base.AccessedFraction(spec.Queries)
+		bu, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+			MinSize: minSize, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fractions["bu+"] = bu.Layout.AccessedFraction(spec.Queries)
+		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+			MinSize: minSize, Cuts: cuts, Queries: spec.Queries,
+			Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fractions["rl"] = cost.FromTree("rl", res.Tree, spec.Table).AccessedFraction(spec.Queries)
+	}
+	for k, v := range fractions {
+		b.ReportMetric(v*100, k+"_%accessed")
+	}
+}
+
+func BenchmarkTable2TPCH(b *testing.B) { benchTable2(b, getTPCH(), benchRows/770, -1) }
+func BenchmarkTable2ErrorLogInt(b *testing.B) {
+	benchTable2(b, getELInt(), benchRows/2000, workload.IngestColumn(getELInt().Table.Schema))
+}
+func BenchmarkTable2ErrorLogExt(b *testing.B) {
+	benchTable2(b, getELExt(), benchRows/1620, workload.IngestColumn(getELExt().Table.Schema))
+}
+
+// ---------- Figure 3: disjunctive microbenchmark ----------
+
+func BenchmarkFig3GreedyVsRL(b *testing.B) {
+	spec := workload.Fig3(20_000, benchSeed)
+	cuts := toCuts(spec.Cuts)
+	var gFrac, rFrac float64
+	for i := 0; i < b.N; i++ {
+		tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: 100, Cuts: cuts, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gFrac = cost.FromTree("g", tree, spec.Table).AccessedFraction(spec.Queries)
+		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+			MinSize: 100, Cuts: cuts, Queries: spec.Queries,
+			Hidden: 32, MaxEpisodes: 32, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rFrac = cost.FromTree("r", res.Tree, spec.Table).AccessedFraction(spec.Queries)
+	}
+	b.ReportMetric(gFrac*100, "greedy_%")        // paper: 50.5
+	b.ReportMetric(rFrac*100, "rl_%")            // paper: 10.4
+	b.ReportMetric(gFrac/rFrac, "improvement_x") // paper: 4.8
+}
+
+// ---------- Figure 4: overlap microbenchmark ----------
+
+func BenchmarkFig4Overlap(b *testing.B) {
+	armN := 2000
+	spec := workload.Fig4(armN, benchSeed)
+	cuts := toCuts(spec.Cuts)
+	var plainAcc, ovAcc int64
+	for i := 0; i < b.N; i++ {
+		tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: armN, Cuts: cuts, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain := cost.FromTree("p", tree, spec.Table)
+		lay, err := overlap.Build(spec.Table, spec.ACs, overlap.Options{
+			MinSize: armN, Cuts: cuts, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainAcc, ovAcc = 0, 0
+		for _, q := range spec.Queries {
+			plainAcc += plain.AccessedTuples(q)
+			ovAcc += lay.AccessedTuples(q, spec.Table.Schema)
+		}
+	}
+	ideal := float64(4 * (armN + 1))
+	b.ReportMetric(float64(plainAcc)/ideal, "plain_vs_ideal") // paper: ~1.75 (3N extra)
+	b.ReportMetric(float64(ovAcc)/ideal, "overlap_vs_ideal")  // paper: 1.0
+}
+
+// ---------- Figure 5: TPC-H physical runtimes ----------
+
+func benchFig5(b *testing.B, prof exec.Profile) {
+	spec := getTPCH()
+	minSize := benchRows / 770
+	gl := buildGreedyLayout(b, spec, minSize)
+	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: 0.10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	qdStore, err := blockstore.Write(dir+"/qd", spec.Table, gl.BIDs, gl.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.Layout.BIDs, buRes.Layout.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var qdTotal, buTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		_, qdTotal, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, buTotal, err = exec.RunWorkload(buStore, buRes.Layout, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(buTotal.Seconds(), "bu_sim_s")
+	b.ReportMetric(qdTotal.Seconds(), "qd_sim_s")
+	b.ReportMetric(float64(buTotal)/float64(qdTotal+1), "speedup_x") // paper: 1.6x spark, 1.3x dbms
+}
+
+func BenchmarkFig5aSparkProfile(b *testing.B) { benchFig5(b, exec.EngineSpark) }
+func BenchmarkFig5bDBMSProfile(b *testing.B)  { benchFig5(b, exec.EngineDBMS) }
+
+// ---------- Figure 6: routing performance ----------
+
+func BenchmarkFig6aRouting(b *testing.B) {
+	spec := getTPCH()
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var rps float64
+			for i := 0; i < b.N; i++ {
+				res := router.MeasureThroughput(tree, spec.Table, threads, 4096)
+				rps = res.RecordsPS
+			}
+			b.ReportMetric(rps, "records/s")
+		})
+	}
+}
+
+func BenchmarkFig6bQueryRouting(b *testing.B) {
+	spec := getTPCH()
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bids := tree.RouteTable(spec.Table)
+	tree.Freeze(spec.Table, bids)
+	qr := &router.QueryRouter{Tree: tree}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr.Route(spec.Queries[i%len(spec.Queries)])
+	}
+	// Per-op time is the Fig. 6b latency; the paper reports < 16 ms max.
+}
+
+// ---------- Figure 7: ErrorLog physical runtimes ----------
+
+func benchFig7(b *testing.B, spec *workload.Spec, minSize int) {
+	gl := buildGreedyLayout(b, spec, minSize)
+	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: 0.10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	qdStore, err := blockstore.Write(dir+"/qd", spec.Table, gl.BIDs, gl.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.Layout.BIDs, buRes.Layout.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var qdT, buT, nrT time.Duration
+	for i := 0; i < b.N; i++ {
+		_, buT, err = exec.RunWorkload(buStore, buRes.Layout, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, qdT, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, nrT, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(buT.Seconds(), "bu+_sim_s")
+	b.ReportMetric(qdT.Seconds(), "qd_sim_s")
+	b.ReportMetric(nrT.Seconds(), "noroute_sim_s")
+	b.ReportMetric(float64(buT)/float64(qdT+1), "speedup_x") // paper: 14x int / 5x ext
+}
+
+func BenchmarkFig7aErrorLogInt(b *testing.B) { benchFig7(b, getELInt(), benchRows/2000) }
+func BenchmarkFig7bErrorLogExt(b *testing.B) { benchFig7(b, getELExt(), benchRows/1620) }
+
+// ---------- Figure 8: learning curve ----------
+
+func BenchmarkFig8LearningCurve(b *testing.B) {
+	spec := getELExt()
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+			MinSize: benchRows / 1620, Cuts: toCuts(spec.Cuts), Queries: spec.Queries,
+			Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last = res.Curve[0].Best, res.Curve[len(res.Curve)-1].Best
+	}
+	b.ReportMetric(first*100, "first_%")
+	b.ReportMetric(last*100, "final_%")
+}
+
+// ---------- Figure 9: cut interpretation (tree statistics cost) ----------
+
+func BenchmarkFig9CutCounts(b *testing.B) {
+	spec := getTPCH()
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var distinct int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := tree.CutCounts()
+		distinct = len(counts)
+	}
+	b.ReportMetric(float64(distinct), "columns_cut") // paper: 8 columns cut >= 20 times
+}
+
+// ---------- Robustness: train vs unseen queries ----------
+
+func BenchmarkRobustnessUnseenQueries(b *testing.B) {
+	spec := getTPCH()
+	gl := buildGreedyLayout(b, spec, benchRows/770)
+	test := workload.TPCHQueries(spec.Table.Schema, 20, benchSeed+999)
+	var train, unseen float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train = gl.AccessedFraction(spec.Queries)
+		unseen = gl.AccessedFraction(test)
+	}
+	b.ReportMetric(train*100, "train_%")
+	b.ReportMetric(unseen*100, "test_%")
+	b.ReportMetric(unseen/train, "ratio") // paper: ≈1.003
+}
+
+// ---------- Section 7.6: construction time ----------
+
+func BenchmarkBuildTimeGreedy(b *testing.B) {
+	spec := getELInt()
+	cuts := toCuts(spec.Cuts)
+	for i := 0; i < b.N; i++ {
+		if _, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTimeBottomUp(b *testing.B) {
+	spec := getELInt()
+	cuts := toCuts(spec.Cuts)
+	for i := 0; i < b.N; i++ {
+		if _, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTimeWoodblockPerEpisode(b *testing.B) {
+	spec := getELInt()
+	cuts := toCuts(spec.Cuts)
+	for i := 0; i < b.N; i++ {
+		if _, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries,
+			Hidden: 48, MaxEpisodes: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- Section 6.3: two-tree replication ----------
+
+func BenchmarkFig4TwoTree(b *testing.B) {
+	spec := getTPCH()
+	cuts := toCuts(spec.Cuts)
+	var one, two float64
+	for i := 0; i < b.N; i++ {
+		single, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		one = cost.FromTree("one", single, spec.Table).AccessedFraction(spec.Queries)
+		tt, err := replicate.Build(spec.Table, spec.ACs, replicate.Options{
+			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		two = tt.AccessedFraction(spec.Queries)
+	}
+	b.ReportMetric(one*100, "one_tree_%")
+	b.ReportMetric(two*100, "two_tree_%")
+}
+
+// ---------- Ablations (DESIGN.md) ----------
+
+// BenchmarkAblationCriterion compares the paper's ΔC greedy criterion to
+// a balance-based (decision-tree style) split rule.
+func BenchmarkAblationCriterion(b *testing.B) {
+	spec := getTPCH()
+	cuts := toCuts(spec.Cuts)
+	var dc, ig float64
+	for i := 0; i < b.N; i++ {
+		t1, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries, Criterion: greedy.DeltaSkip})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc = cost.FromTree("dc", t1, spec.Table).AccessedFraction(spec.Queries)
+		t2, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries, Criterion: greedy.InfoGain})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ig = cost.FromTree("ig", t2, spec.Table).AccessedFraction(spec.Queries)
+	}
+	b.ReportMetric(dc*100, "deltaskip_%")
+	b.ReportMetric(ig*100, "infogain_%")
+}
+
+// BenchmarkAblationWidth sweeps the Woodblock hidden width (paper: 512).
+func BenchmarkAblationWidth(b *testing.B) {
+	spec := workload.Fig3(10_000, benchSeed)
+	cuts := toCuts(spec.Cuts)
+	for _, hidden := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("hidden=%d", hidden), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+					MinSize: 50, Cuts: cuts, Queries: spec.Queries,
+					Hidden: hidden, MaxEpisodes: 16, Seed: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = res.BestRatio
+			}
+			b.ReportMetric(frac*100, "best_%")
+		})
+	}
+}
+
+// BenchmarkAblationSample sweeps the construction sample rate (Sec. 5.2.1
+// recommends 0.1%–1%; we sweep coarser rates at bench scale).
+func BenchmarkAblationSample(b *testing.B) {
+	spec := getTPCH()
+	for _, rate := range []float64{0.05, 0.2, 1.0} {
+		b.Run(fmt.Sprintf("rate=%v", rate), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				build := spec.Table
+				minSize := benchRows / 770
+				if rate < 1 {
+					build = spec.Table.Sample(rate, 1000, rand.New(rand.NewSource(benchSeed)))
+					minSize = int(float64(minSize) * float64(build.N) / float64(spec.Table.N))
+					if minSize < 1 {
+						minSize = 1
+					}
+				}
+				tree, err := greedy.Build(build, spec.ACs, greedy.Options{
+					MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = cost.FromTree("s", tree, spec.Table).AccessedFraction(spec.Queries)
+			}
+			b.ReportMetric(frac*100, "deployed_%")
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps b.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	spec := getTPCH()
+	for _, bsize := range []int{benchRows / 200, benchRows / 770, benchRows / 2000} {
+		b.Run(fmt.Sprintf("b=%d", bsize), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				frac = buildGreedyLayout(b, spec, bsize).AccessedFraction(spec.Queries)
+			}
+			b.ReportMetric(frac*100, "accessed_%")
+		})
+	}
+}
+
+// BenchmarkAblationAdvancedCuts removes the Sec. 6.1 advanced cuts from
+// the search space.
+func BenchmarkAblationAdvancedCuts(b *testing.B) {
+	spec := getTPCH()
+	all := toCuts(spec.Cuts)
+	var unaryOnly []core.Cut
+	for _, c := range all {
+		if !c.IsAdv {
+			unaryOnly = append(unaryOnly, c)
+		}
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		t1, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 770, Cuts: all, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = cost.FromTree("with", t1, spec.Table).AccessedFraction(spec.Queries)
+		t2, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+			MinSize: benchRows / 770, Cuts: unaryOnly, Queries: spec.Queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without = cost.FromTree("without", t2, spec.Table).AccessedFraction(spec.Queries)
+	}
+	b.ReportMetric(with*100, "with_AC_%")
+	b.ReportMetric(without*100, "without_AC_%")
+}
+
+// ---------- micro-benchmarks of the hot paths ----------
+
+func BenchmarkRouteTable(b *testing.B) {
+	spec := getTPCH()
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RouteTable(spec.Table)
+	}
+	b.SetBytes(int64(spec.Table.N * spec.Table.Schema.NumCols() * 8))
+}
+
+func BenchmarkCounterSplit(b *testing.B) {
+	spec := getTPCH()
+	cuts := toCuts(spec.Cuts)
+	cnt := core.NewCounter(spec.Table, spec.ACs, cuts, nil)
+	inLeft := make([]bool, spec.Table.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Split(cuts[i%len(cuts)], inLeft)
+	}
+}
+
+func BenchmarkBlockstoreScan(b *testing.B) {
+	spec := getTPCH()
+	gl := buildGreedyLayout(b, spec, benchRows/770)
+	dir := b.TempDir()
+	store, err := blockstore.Write(dir, spec.Table, gl.BIDs, gl.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := spec.Queries[0]
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(store, gl, q, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.BytesRead
+	}
+	b.SetBytes(total / int64(b.N))
+}
+
+// TestMain gives the benches a place to report scale context once.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+// toCuts converts workload candidate cuts into core cuts.
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+// layouts bundles the five approaches of Sec. 7.3 for one workload.
+type layoutSet struct {
+	spec     *workload.Spec
+	baseline *cost.Layout
+	bu       *cost.Layout // untuned Bottom-Up
+	buPlus   *cost.Layout
+	greedy   *cost.Layout
+	rlLayout *cost.Layout
+	rlResult *rl.Result
+	times    map[string]time.Duration
+}
+
+// buildAll constructs every layout for a spec. b is the min block size;
+// rangeCol < 0 selects the random baseline (TPC-H), otherwise range
+// partitioning on that column (ErrorLog).
+func buildAll(spec *workload.Spec, b int, rangeCol int, cfg config) (*layoutSet, error) {
+	cuts := toCuts(spec.Cuts)
+	ls := &layoutSet{spec: spec, times: make(map[string]time.Duration)}
+
+	gStart := time.Now()
+	gTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		return nil, fmt.Errorf("greedy: %w", err)
+	}
+	ls.times["greedy"] = time.Since(gStart)
+	ls.greedy = cost.FromTree("greedy", gTree, spec.Table)
+	numBlocks := ls.greedy.NumBlocks()
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+
+	// Baseline with a comparable number of blocks (Sec. 7.1).
+	if rangeCol < 0 {
+		ls.baseline, err = randomBaseline(spec, numBlocks, cfg.seed)
+	} else {
+		ls.baseline, err = rangeBaseline(spec, rangeCol, numBlocks)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+
+	buStart := time.Now()
+	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		return nil, fmt.Errorf("bottom-up: %w", err)
+	}
+	ls.times["bottom-up"] = time.Since(buStart)
+	ls.bu = buRes.Layout
+
+	buPlusRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
+	if err != nil {
+		return nil, fmt.Errorf("BU+: %w", err)
+	}
+	ls.buPlus = buPlusRes.Layout
+
+	rlStart := time.Now()
+	ls.rlResult, err = rl.Build(spec.Table, spec.ACs, rl.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries,
+		Hidden: cfg.hidden, MaxEpisodes: cfg.episodes, Seed: cfg.seed})
+	if err != nil {
+		return nil, fmt.Errorf("woodblock: %w", err)
+	}
+	ls.times["woodblock"] = time.Since(rlStart)
+	ls.rlLayout = cost.FromTree("woodblock", ls.rlResult.Tree, spec.Table)
+	return ls, nil
+}
+
+func randomBaseline(spec *workload.Spec, numBlocks int, seed int64) (*cost.Layout, error) {
+	return baselines.Random(spec.Table, numBlocks, spec.ACs, seed)
+}
+
+func rangeBaseline(spec *workload.Spec, col, numBlocks int) (*cost.Layout, error) {
+	return baselines.Range(spec.Table, col, numBlocks, spec.ACs)
+}
+
+// pct formats an access fraction the way Table 2 does.
+func pct(f float64) string {
+	switch {
+	case f >= 0.10:
+		return fmt.Sprintf("%.0f%%", f*100)
+	case f >= 0.01:
+		return fmt.Sprintf("%.1f%%", f*100)
+	default:
+		return fmt.Sprintf("%.2g%%", f*100)
+	}
+}
+
+// meanSim returns the mean of a duration slice.
+func meanSim(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// groupByTemplate splits TPC-H query results by template id (name "q<t>#<k>").
+func groupByTemplate(queries []expr.Query, vals []time.Duration) map[string][]time.Duration {
+	out := make(map[string][]time.Duration)
+	for i, q := range queries {
+		name := q.Name
+		if j := strings.IndexByte(name, '#'); j >= 0 {
+			name = name[:j]
+		}
+		out[name] = append(out[name], vals[i])
+	}
+	return out
+}
+
+// sortedTemplates returns template keys in numeric order (q1, q3, ...).
+func sortedTemplates(m map[string][]time.Duration) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(keys[i], "q%d", &a)
+		fmt.Sscanf(keys[j], "q%d", &b)
+		return a < b
+	})
+	return keys
+}
+
+// tempDir resolves the block-store directory.
+func tempDir(cfg config, name string) (string, func(), error) {
+	if cfg.outDir != "" {
+		dir := cfg.outDir + "/" + name
+		return dir, func() {}, os.MkdirAll(dir, 0o755)
+	}
+	dir, err := os.MkdirTemp("", "qdbench-"+name+"-")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// buildBottomUpOpt builds a Bottom-Up layout with the given selectivity
+// cap (0.10 = the paper's BU+ tuning).
+func buildBottomUpOpt(spec *workload.Spec, b int, cap float64) (*cost.Layout, error) {
+	res, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: cap})
+	if err != nil {
+		return nil, err
+	}
+	return res.Layout, nil
+}

@@ -1,0 +1,374 @@
+// Command qdtool builds, inspects, and applies qd-trees from CSV data and
+// SQL workloads — the operational CLI around the library.
+//
+//	qdtool build  -data d.csv -schema s.json -workload w.sql -b 1000 -out tree.json [-algo greedy|rl]
+//	qdtool show   -tree tree.json
+//	qdtool route  -tree tree.json -data d.csv -out assignments.csv
+//	qdtool prune  -tree tree.json -query "a < 10 AND b = 'x'"
+//	qdtool eval   -tree tree.json -data d.csv -workload w.sql
+//
+// The schema file is JSON: [{"name":"a","kind":"numeric"},
+// {"name":"b","kind":"categorical"}]. Dictionary codes and numeric bounds
+// are inferred from the data. Workload files hold one WHERE clause (or
+// full SELECT) per line; lines starting with -- are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/qd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "show":
+		err = cmdShow(args)
+	case "route":
+		err = cmdRoute(args)
+	case "prune":
+		err = cmdPrune(args)
+	case "eval":
+		err = cmdEval(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qdtool %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qdtool {build|show|route|prune|eval} [flags]")
+	os.Exit(2)
+}
+
+type schemaCol struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// loadData reads the schema description and CSV, dictionary-encoding
+// categorical columns and inferring numeric bounds.
+func loadData(schemaPath, dataPath string) (*qd.Table, error) {
+	sdata, err := os.ReadFile(schemaPath)
+	if err != nil {
+		return nil, err
+	}
+	var scols []schemaCol
+	if err := json.Unmarshal(sdata, &scols); err != nil {
+		return nil, fmt.Errorf("decode schema: %w", err)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("empty csv")
+	}
+	header := records[0]
+	if len(header) != len(scols) {
+		return nil, fmt.Errorf("csv has %d columns, schema has %d", len(header), len(scols))
+	}
+	// First pass: build dictionaries.
+	dicts := make([]map[string]int64, len(scols))
+	dictLists := make([][]string, len(scols))
+	cols := make([]qd.Column, len(scols))
+	for c, sc := range scols {
+		switch sc.Kind {
+		case "numeric":
+			cols[c] = qd.Column{Name: sc.Name, Kind: qd.Numeric}
+		case "categorical":
+			cols[c] = qd.Column{Name: sc.Name, Kind: qd.Categorical}
+			dicts[c] = make(map[string]int64)
+		default:
+			return nil, fmt.Errorf("column %q: unknown kind %q", sc.Name, sc.Kind)
+		}
+	}
+	for _, rec := range records[1:] {
+		for c := range scols {
+			if dicts[c] == nil {
+				continue
+			}
+			if _, ok := dicts[c][rec[c]]; !ok {
+				dicts[c][rec[c]] = int64(len(dictLists[c]))
+				dictLists[c] = append(dictLists[c], rec[c])
+			}
+		}
+	}
+	for c := range scols {
+		if dicts[c] != nil {
+			cols[c].Dom = int64(len(dictLists[c]))
+			if cols[c].Dom == 0 {
+				cols[c].Dom = 1
+				dictLists[c] = []string{""}
+			}
+			cols[c].Dict = dictLists[c]
+		}
+	}
+	schema, err := qd.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	tbl := qd.NewTable(schema, len(records)-1)
+	row := make([]int64, len(scols))
+	for i, rec := range records[1:] {
+		for c := range scols {
+			if dicts[c] != nil {
+				row[c] = dicts[c][rec[c]]
+				continue
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(rec[c]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %s: %w", i+1, scols[c].Name, err)
+			}
+			row[c] = v
+		}
+		tbl.AppendRow(row)
+	}
+	tbl.InferBounds()
+	return tbl, nil
+}
+
+func loadWorkload(path string, schema *qd.Schema) ([]qd.Query, []qd.AdvCut, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sqls []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		sqls = append(sqls, line)
+	}
+	return qd.ParseWorkload(schema, sqls)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dataPath := fs.String("data", "", "CSV data file (with header)")
+	schemaPath := fs.String("schema", "", "schema JSON file")
+	wlPath := fs.String("workload", "", "workload file (one WHERE clause per line)")
+	b := fs.Int("b", 1000, "minimum rows per block")
+	algo := fs.String("algo", "greedy", "constructor: greedy | rl")
+	episodes := fs.Int("episodes", 64, "RL episodes")
+	sample := fs.Float64("sample", 0, "construction sample rate (0 = full data)")
+	out := fs.String("out", "tree.json", "output tree file")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	tbl, err := loadData(*schemaPath, *dataPath)
+	if err != nil {
+		return err
+	}
+	queries, acs, err := loadWorkload(*wlPath, tbl.Schema)
+	if err != nil {
+		return err
+	}
+	opt := qd.BuildOptions{MinBlockSize: *b, SampleRate: *sample, Seed: *seed}
+	var tree *qd.Tree
+	switch *algo {
+	case "greedy":
+		tree, err = qd.BuildGreedy(tbl, queries, acs, opt)
+	case "rl":
+		var res *qd.RLResult
+		res, err = qd.BuildWoodblock(tbl, queries, acs, qd.WoodblockOptions{
+			BuildOptions: opt, MaxEpisodes: *episodes})
+		if res != nil {
+			tree = res.Tree
+		}
+	default:
+		return fmt.Errorf("unknown algo %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	layout := qd.LayoutFromTree(*algo, tree, tbl)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tree.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("built %s tree: %d leaves, depth %d\n", *algo, len(tree.Leaves()), tree.Depth())
+	fmt.Printf("workload access fraction: %.4f (selectivity lower bound %.4f)\n",
+		layout.AccessedFraction(queries), qd.Selectivity(tbl, queries, acs))
+	fmt.Printf("tree written to %s\n", *out)
+	return nil
+}
+
+// loadDataWithSchema reads a CSV against an existing schema (typically the
+// one embedded in a saved tree), so dictionary codes line up with the
+// tree's cuts. Unknown categorical values are rejected — a deployed
+// qd-tree cannot route values outside its dictionary.
+func loadDataWithSchema(schema *qd.Schema, dataPath string) (*qd.Table, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("empty csv")
+	}
+	if len(records[0]) != schema.NumCols() {
+		return nil, fmt.Errorf("csv has %d columns, tree schema has %d", len(records[0]), schema.NumCols())
+	}
+	tbl := qd.NewTable(schema, len(records)-1)
+	row := make([]int64, schema.NumCols())
+	for i, rec := range records[1:] {
+		for c := 0; c < schema.NumCols(); c++ {
+			if schema.Cols[c].Kind == qd.Categorical {
+				code := schema.Code(c, rec[c])
+				if code < 0 {
+					return nil, fmt.Errorf("row %d col %s: value %q not in tree dictionary", i+1, schema.Cols[c].Name, rec[c])
+				}
+				row[c] = code
+				continue
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(rec[c]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %s: %w", i+1, schema.Cols[c].Name, err)
+			}
+			row[c] = v
+		}
+		tbl.AppendRow(row)
+	}
+	return tbl, nil
+}
+
+func loadTree(path string) (*qd.Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return qd.LoadTree(data)
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	treePath := fs.String("tree", "tree.json", "tree file")
+	leaves := fs.Bool("leaves", false, "print per-leaf semantic predicates")
+	fs.Parse(args)
+	tree, err := loadTree(*treePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qd-tree: %d nodes, %d leaves, depth %d, %d advanced cuts\n",
+		tree.NumNodes(), len(tree.Leaves()), tree.Depth(), len(tree.ACs))
+	fmt.Print(tree.String())
+	if *leaves {
+		for _, leaf := range tree.Leaves() {
+			fmt.Printf("B%d: %s\n", leaf.BlockID, tree.LeafPredicate(leaf))
+		}
+	}
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	treePath := fs.String("tree", "tree.json", "tree file")
+	dataPath := fs.String("data", "", "CSV data file")
+	schemaPath := fs.String("schema", "", "schema JSON file")
+	out := fs.String("out", "", "output CSV of block IDs (default stdout)")
+	fs.Parse(args)
+	tree, err := loadTree(*treePath)
+	if err != nil {
+		return err
+	}
+	tbl, err := loadData(*schemaPath, *dataPath)
+	if err != nil {
+		return err
+	}
+	bids := tree.RouteTable(tbl)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "row,bid")
+	for r, b := range bids {
+		fmt.Fprintf(bw, "%d,%d\n", r, b)
+	}
+	return bw.Flush()
+}
+
+func cmdPrune(args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	treePath := fs.String("tree", "tree.json", "tree file")
+	queryStr := fs.String("query", "", "WHERE clause to route")
+	fs.Parse(args)
+	tree, err := loadTree(*treePath)
+	if err != nil {
+		return err
+	}
+	queries, _, err := qd.ParseWorkload(tree.Schema, []string{*queryStr})
+	if err != nil {
+		return err
+	}
+	bids := tree.QueryBlocks(queries[0])
+	total := len(tree.Leaves())
+	fmt.Printf("query intersects %d of %d blocks\n", len(bids), total)
+	fmt.Printf("BID IN %v\n", bids)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	treePath := fs.String("tree", "tree.json", "tree file")
+	dataPath := fs.String("data", "", "CSV data file")
+	schemaPath := fs.String("schema", "", "schema JSON file")
+	wlPath := fs.String("workload", "", "workload file")
+	fs.Parse(args)
+	tree, err := loadTree(*treePath)
+	if err != nil {
+		return err
+	}
+	tbl, err := loadData(*schemaPath, *dataPath)
+	if err != nil {
+		return err
+	}
+	queries, acs, err := loadWorkload(*wlPath, tbl.Schema)
+	if err != nil {
+		return err
+	}
+	layout := qd.LayoutFromTree("eval", tree, tbl)
+	fmt.Printf("blocks: %d   rows: %d   queries: %d\n", layout.NumBlocks(), tbl.N, len(queries))
+	fmt.Printf("accessed fraction: %.4f\n", layout.AccessedFraction(queries))
+	fmt.Printf("selectivity bound: %.4f\n", qd.Selectivity(tbl, queries, acs))
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture creates a CSV + schema + workload on disk.
+func writeFixture(t *testing.T, dir string, rows int) (data, schema, wl string) {
+	t.Helper()
+	data = filepath.Join(dir, "data.csv")
+	schema = filepath.Join(dir, "schema.json")
+	wl = filepath.Join(dir, "workload.sql")
+	var sb strings.Builder
+	sb.WriteString("temp,status\n")
+	rng := rand.New(rand.NewSource(1))
+	statuses := []string{"ok", "warn", "crit"}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,%s\n", rng.Intn(100), statuses[rng.Intn(3)])
+	}
+	if err := os.WriteFile(data, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(schema, []byte(
+		`[{"name":"temp","kind":"numeric"},{"name":"status","kind":"categorical"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wl, []byte(
+		"-- workload\ntemp < 20 AND status = 'crit'\ntemp >= 80\nstatus IN ('warn', 'crit')\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data, schema, wl
+}
+
+func TestLoadData(t *testing.T) {
+	dir := t.TempDir()
+	data, schema, _ := writeFixture(t, dir, 100)
+	tbl, err := loadData(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N != 100 || tbl.Schema.NumCols() != 2 {
+		t.Fatalf("loaded %d rows, %d cols", tbl.N, tbl.Schema.NumCols())
+	}
+	if tbl.Schema.Cols[1].Kind != 1 || tbl.Schema.Cols[1].Dom == 0 {
+		t.Error("categorical column not dictionary-encoded")
+	}
+	if tbl.Schema.Cols[0].Max == 0 {
+		t.Error("numeric bounds not inferred")
+	}
+}
+
+func TestBuildShowPruneEvalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	data, schema, wl := writeFixture(t, dir, 2000)
+	tree := filepath.Join(dir, "tree.json")
+	if err := cmdBuild([]string{"-data", data, "-schema", schema, "-workload", wl,
+		"-b", "100", "-out", tree}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := cmdShow([]string{"-tree", tree, "-leaves"}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if err := cmdPrune([]string{"-tree", tree, "-query", "temp < 10"}); err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+	if err := cmdEval([]string{"-tree", tree, "-data", data, "-schema", schema, "-workload", wl}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	out := filepath.Join(dir, "bids.csv")
+	if err := cmdRoute([]string{"-tree", tree, "-data", data, "-schema", schema, "-out", out}); err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	routed, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(routed), "\n")
+	if lines != 2001 { // header + 2000 rows
+		t.Errorf("route output has %d lines, want 2001", lines)
+	}
+}
+
+func TestBuildRLAlgo(t *testing.T) {
+	dir := t.TempDir()
+	data, schema, wl := writeFixture(t, dir, 800)
+	tree := filepath.Join(dir, "tree.json")
+	if err := cmdBuild([]string{"-data", data, "-schema", schema, "-workload", wl,
+		"-b", "100", "-algo", "rl", "-episodes", "4", "-out", tree}); err != nil {
+		t.Fatalf("build rl: %v", err)
+	}
+	if _, err := os.Stat(tree); err != nil {
+		t.Fatal("tree file missing")
+	}
+}
+
+func TestLoadDataErrors(t *testing.T) {
+	dir := t.TempDir()
+	data, schema, _ := writeFixture(t, dir, 10)
+	if _, err := loadData(filepath.Join(dir, "missing.json"), data); err == nil {
+		t.Error("missing schema must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`[{"name":"a","kind":"wat"}]`), 0o644)
+	if _, err := loadData(bad, data); err == nil {
+		t.Error("unknown kind must error")
+	}
+	short := filepath.Join(dir, "short.json")
+	os.WriteFile(short, []byte(`[{"name":"a","kind":"numeric"}]`), 0o644)
+	if _, err := loadData(short, data); err == nil {
+		t.Error("column-count mismatch must error")
+	}
+	_ = schema
+}
+
+func TestLoadDataWithSchemaRejectsUnknownValue(t *testing.T) {
+	dir := t.TempDir()
+	data, schemaPath, _ := writeFixture(t, dir, 50)
+	tbl, err := loadData(schemaPath, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New data containing a value outside the dictionary must be rejected.
+	alien := filepath.Join(dir, "alien.csv")
+	os.WriteFile(alien, []byte("temp,status\n5,unseen_status\n"), 0o644)
+	if _, err := loadDataWithSchema(tbl.Schema, alien); err == nil {
+		t.Error("unknown dictionary value must error")
+	}
+	// Known values round-trip.
+	ok := filepath.Join(dir, "ok.csv")
+	os.WriteFile(ok, []byte("temp,status\n5,ok\n7,crit\n"), 0o644)
+	tbl2, err := loadDataWithSchema(tbl.Schema, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.N != 2 {
+		t.Errorf("rows = %d", tbl2.N)
+	}
+}

@@ -1,0 +1,104 @@
+// Streaming example: the online half of the paper's architecture
+// (Fig. 1). A qd-tree is learned offline on a historical sample; new
+// records then stream through the deployed tree into per-leaf columnar
+// segments on disk, while the adaptive maintainer splits overflowing
+// leaves in place as the data distribution drifts (Problem 2 / Sec. 8).
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/qd"
+)
+
+func genDay(schema *qd.Schema, day int, n int, hotService int64, rng *rand.Rand) *qd.Table {
+	tbl := qd.NewTable(schema, n)
+	for i := 0; i < n; i++ {
+		service := int64(rng.Intn(6))
+		if rng.Intn(3) == 0 {
+			service = hotService // drifting hot spot
+		}
+		tbl.AppendRow([]int64{
+			int64(day),
+			int64(rng.Intn(24)),
+			service,
+			int64(rng.Intn(1000)),
+		})
+	}
+	return tbl
+}
+
+func main() {
+	schema := qd.MustSchema([]qd.Column{
+		{Name: "day", Kind: qd.Numeric, Min: 0, Max: 30},
+		{Name: "hour", Kind: qd.Numeric, Min: 0, Max: 23},
+		{Name: "service", Kind: qd.Categorical, Dom: 6,
+			Dict: []string{"auth", "billing", "frontend", "search", "storage", "batch"}},
+		{Name: "latency_ms", Kind: qd.Numeric, Min: 0, Max: 999},
+	})
+	queries, acs, err := qd.ParseWorkload(schema, []string{
+		"service = 'auth' AND latency_ms >= 800",
+		"service IN ('billing','frontend') AND hour >= 9 AND hour < 17",
+		"latency_ms >= 950",
+		"day >= 25 AND service = 'storage'",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline: learn the tree on the first week of data.
+	rng := rand.New(rand.NewSource(1))
+	history := qd.NewTable(schema, 0)
+	for day := 0; day < 7; day++ {
+		history.Concat(genDay(schema, day, 20_000, 0, rng))
+	}
+	tree, err := qd.BuildGreedy(history, queries, acs, qd.BuildOptions{MinBlockSize: 5_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned tree on %d historical rows: %d leaves\n", history.N, len(tree.Leaves()))
+
+	// Online path 1: stream new days into per-leaf segments on disk.
+	dir, err := os.MkdirTemp("", "qd-streaming-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ing, err := qd.NewIngester(tree, dir, 8_192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for day := 7; day < 10; day++ {
+		if err := ing.Ingest(genDay(schema, day, 20_000, 0, rng)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	segs := ing.Segments()
+	fmt.Printf("streamed 3 days into %d columnar segments under %s\n", len(segs), dir)
+
+	// Online path 2: adaptive refinement under drift. The hot spot moves
+	// to 'storage'; the maintainer splits overflowing leaves in place.
+	adaptive, err := qd.NewAdaptive(tree, history, acs, queries, 5_000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leavesBefore := len(tree.Leaves())
+	for day := 10; day < 20; day++ {
+		if err := adaptive.InsertBatch(genDay(schema, day, 20_000, 4, rng)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after 10 drifted days: %d -> %d leaves (%d in-place splits), %d rows total\n",
+		leavesBefore, len(tree.Leaves()), adaptive.Splits(), adaptive.Rows())
+	layout := adaptive.Layout("adaptive")
+	fmt.Printf("refined layout accesses %.2f%% of tuples for the workload\n",
+		layout.AccessedFraction(queries)*100)
+}

@@ -1,0 +1,113 @@
+// TPC-H example: the paper's primary benchmark scenario (Sec. 7.4).
+// Generates a denormalized TPC-H-style fact table with the 15 filter
+// templates, compares a random layout, Bottom-Up, greedy qd-tree, and
+// Woodblock, then materializes the best layout to disk and executes the
+// workload through the scan engine.
+//
+//	go run ./examples/tpch [-rows 100000] [-episodes 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/exec"
+	"repro/internal/workload"
+	"repro/qd"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "fact table rows")
+	episodes := flag.Int("episodes", 32, "Woodblock episodes")
+	flag.Parse()
+
+	spec := workload.TPCH(workload.TPCHConfig{Rows: *rows, Seed: 7})
+	tbl, queries, acs := spec.Table, spec.Queries, spec.ACs
+	b := *rows / 770 // the paper's b=100K over 77M rows, rescaled
+	if b < 32 {
+		b = 32
+	}
+	fmt.Printf("TPC-H style: %d rows x %d cols, %d queries, b=%d\n",
+		tbl.N, tbl.Schema.NumCols(), len(queries), b)
+
+	// Baseline: random shuffling into same-size blocks.
+	greedyTree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedyLayout := qd.LayoutFromTree("greedy", greedyTree, tbl)
+	random, err := qd.RandomLayout(tbl, greedyLayout.NumBlocks(), acs, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buPlus, _, err := qd.BuildBottomUp(tbl, queries, acs, qd.BuildOptions{MinBlockSize: b}, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rlRes, err := qd.BuildWoodblock(tbl, queries, acs, qd.WoodblockOptions{
+		BuildOptions: qd.BuildOptions{MinBlockSize: b, Seed: 7},
+		Hidden:       64,
+		MaxEpisodes:  *episodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rlLayout := qd.LayoutFromTree("woodblock", rlRes.Tree, tbl)
+
+	fmt.Println("\nLogical access percentage (Table 2 metric, lower is better):")
+	fmt.Printf("  random:    %6.2f%%\n", random.AccessedFraction(queries)*100)
+	fmt.Printf("  BU+:       %6.2f%%\n", buPlus.AccessedFraction(queries)*100)
+	fmt.Printf("  greedy:    %6.2f%%\n", greedyLayout.AccessedFraction(queries)*100)
+	fmt.Printf("  woodblock: %6.2f%%\n", rlLayout.AccessedFraction(queries)*100)
+	fmt.Printf("  lower bnd: %6.2f%% (true selectivity)\n", qd.Selectivity(tbl, queries, acs)*100)
+
+	// Pick the better qd-tree and run the physical engine over it.
+	best := greedyLayout
+	if rlLayout.AccessedFraction(queries) < greedyLayout.AccessedFraction(queries) {
+		best = rlLayout
+	}
+	dir, err := os.MkdirTemp("", "tpch-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := blockstore.Write(dir, tbl, best.BIDs, best.NumBlocks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, simTotal, err := exec.RunWorkload(store, best, queries, acs, exec.EngineSpark, exec.RouteQdTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, simNoRoute, err := exec.RunWorkload(store, best, queries, acs, exec.EngineSpark, exec.NoRoute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPhysical execution (%s layout, Spark profile, %d blocks):\n", best.Name, best.NumBlocks())
+	fmt.Printf("  with qd-tree routing: %v\n", simTotal.Round(time.Millisecond))
+	fmt.Printf("  no route (SMA only):  %v\n", simNoRoute.Round(time.Millisecond))
+
+	// Interpret the tree (Fig. 9 style).
+	fmt.Println("\nTop cut columns of the deployed tree:")
+	counts := bestTreeOf(best, greedyTree, rlRes).CutCounts()
+	for col, perDepth := range counts {
+		total := 0
+		for _, n := range perDepth {
+			total += n
+		}
+		if total >= 2 {
+			fmt.Printf("  %-16s %d cuts\n", col, total)
+		}
+	}
+}
+
+func bestTreeOf(best *qd.Layout, greedyTree *qd.Tree, rlRes *qd.RLResult) *qd.Tree {
+	if best.Name == "woodblock" {
+		return rlRes.Tree
+	}
+	return greedyTree
+}

@@ -1,0 +1,243 @@
+// Integration tests spanning the full pipeline: workload generation →
+// construction → routing → block storage → physical execution. These
+// assert the paper's invariants end-to-end rather than per module.
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baselines"
+	"repro/internal/blockstore"
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/greedy"
+	"repro/internal/rl"
+	"repro/internal/router"
+	"repro/internal/workload"
+)
+
+const itRows = 8000
+
+// TestPipelineTPCH runs the full TPC-H pipeline and asserts the Table 2
+// ordering plus physical-engine consistency.
+func TestPipelineTPCH(t *testing.T) {
+	spec := workload.TPCH(workload.TPCHConfig{Rows: itRows, SeedsPerTmpl: 3, Seed: 5})
+	cuts := toCuts(spec.Cuts)
+	b := itRows / 100
+
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := cost.FromTree("greedy", tree, spec.Table)
+	base, err := baselines.Random(spec.Table, gl.NumBlocks(), spec.ACs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sel := cost.Selectivity(spec.Table, spec.Queries, spec.ACs)
+	fBase := base.AccessedFraction(spec.Queries)
+	fBU := bu.Layout.AccessedFraction(spec.Queries)
+	fG := gl.AccessedFraction(spec.Queries)
+
+	// Table 2 ordering: baseline >= BU+ >= greedy >= selectivity.
+	if !(fBase >= fBU && fBU >= fG && fG >= sel) {
+		t.Errorf("ordering violated: baseline=%.3f bu=%.3f greedy=%.3f sel=%.3f",
+			fBase, fBU, fG, sel)
+	}
+	// Paper: greedy reaches within ~3.3x of the selectivity lower bound
+	// on TPC-H (26.3%% vs 21.3%% selectivity — within 2x excluding forced
+	// scans). Use a loose 5x band to absorb generator differences.
+	if fG > 5*sel {
+		t.Errorf("greedy %.3f more than 5x above lower bound %.3f", fG, sel)
+	}
+
+	// Physical engine: rows scanned must equal the layout model and the
+	// matched counts must equal exact evaluation, block store or not.
+	store, err := blockstore.Write(t.TempDir(), spec.Table, gl.BIDs, gl.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	for i, q := range spec.Queries[:20] {
+		res, err := exec.Run(store, gl, q, spec.ACs, exec.EngineDBMS, exec.RouteQdTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsMatched != exact[i] {
+			t.Fatalf("%s: engine matched %d, exact %d", q.Name, res.RowsMatched, exact[i])
+		}
+		if res.RowsScanned != gl.AccessedTuples(q) {
+			t.Fatalf("%s: engine scanned %d, model %d", q.Name, res.RowsScanned, gl.AccessedTuples(q))
+		}
+	}
+}
+
+// TestPipelineErrorLogOrdering asserts the paper's ErrorLog finding: the
+// deployed range baseline reads orders of magnitude more than a qd-tree.
+func TestPipelineErrorLogOrdering(t *testing.T) {
+	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: itRows, NumQueries: 120, Seed: 6})
+	cuts := toCuts(spec.Cuts)
+	b := itRows / 400
+
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := cost.FromTree("greedy", tree, spec.Table)
+	base, err := baselines.Range(spec.Table, workload.IngestColumn(spec.Table.Schema), gl.NumBlocks(), spec.ACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBase, fG := base.AccessedFraction(spec.Queries), gl.AccessedFraction(spec.Queries)
+	if fBase < 10*fG {
+		t.Errorf("qd-tree should beat the range baseline by >=10x: baseline %.4f vs greedy %.4f", fBase, fG)
+	}
+}
+
+// TestRLTreeDeployableEndToEnd: an RL-built tree must satisfy the same
+// deployment invariants as a greedy tree.
+func TestRLTreeDeployableEndToEnd(t *testing.T) {
+	spec := workload.Fig3(itRows, 7)
+	res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
+		MinSize: 80, Cuts: toCuts(spec.Cuts), Queries: spec.Queries,
+		Hidden: 16, MaxEpisodes: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := cost.FromTree("rl", res.Tree, spec.Table)
+	store, err := blockstore.Write(t.TempDir(), spec.Table, gl.BIDs, gl.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	for i, q := range spec.Queries {
+		r, err := exec.Run(store, gl, q, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RowsMatched != exact[i] {
+			t.Fatalf("%s: matched %d, exact %d", q.Name, r.RowsMatched, exact[i])
+		}
+	}
+	// Query rewriting end to end.
+	qr := &router.QueryRouter{Tree: res.Tree}
+	if out := qr.Rewrite("SELECT * FROM t WHERE disk < 100", spec.Queries[1]); out == "" {
+		t.Fatal("empty rewrite")
+	}
+}
+
+// TestPropertyRoutingPartition: for any random tree over random data,
+// routing partitions the table (leaf counts sum to N) and every scanned
+// set is a superset of the matching set.
+func TestPropertyRoutingPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := workload.Fig3(500+rng.Intn(1500), seed)
+		cuts := toCuts(spec.Cuts)
+		tree := core.NewTree(spec.Table.Schema, spec.ACs)
+		// Random sequence of splits.
+		leaves := []*core.Node{tree.Root}
+		for k := 0; k < 3; k++ {
+			n := leaves[rng.Intn(len(leaves))]
+			if !n.IsLeaf() {
+				continue
+			}
+			l, r := tree.Split(n, cuts[rng.Intn(len(cuts))])
+			leaves = append(leaves, l, r)
+		}
+		bids := tree.RouteTable(spec.Table)
+		tree.Freeze(spec.Table, bids)
+		total := 0
+		for _, leaf := range tree.Leaves() {
+			total += leaf.Count
+		}
+		if total != spec.Table.N {
+			return false
+		}
+		row := make([]int64, 2)
+		for _, q := range spec.Queries {
+			sel := map[int]bool{}
+			for _, b := range tree.QueryBlocks(q) {
+				sel[b] = true
+			}
+			for i := 0; i < spec.Table.N; i += 7 {
+				row = spec.Table.Row(i, row)
+				if q.Eval(row, spec.ACs) && !sel[bids[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLayoutConservative: any random block assignment yields a
+// layout whose accessed counts upper-bound true matches.
+func TestPropertyLayoutConservative(t *testing.T) {
+	f := func(seed int64, nblocks uint8) bool {
+		k := int(nblocks)%16 + 1
+		spec := workload.Fig3(800, seed)
+		rng := rand.New(rand.NewSource(seed))
+		bids := make([]int, spec.Table.N)
+		for i := range bids {
+			bids[i] = rng.Intn(k)
+		}
+		layout := cost.NewLayout("rand", spec.Table, bids, k, spec.ACs)
+		matches := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+		for i, q := range spec.Queries {
+			if layout.AccessedTuples(q) < matches[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSerializedTreePrunesIdentically across the full TPC-H workload.
+func TestSerializedTreePrunesIdentically(t *testing.T) {
+	spec := workload.TPCH(workload.TPCHConfig{Rows: 3000, SeedsPerTmpl: 2, Seed: 8})
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: 100, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := tree.RouteTable(spec.Table)
+	tree.Freeze(spec.Table, bids)
+	data, err := tree.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range spec.Queries {
+		a, b := tree.QueryBlocks(q), back.QueryBlocks(q)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d blocks after round trip", q.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: block lists differ", q.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package adapt maintains a deployed qd-tree under continuous ingestion —
+// the Problem 2 setting (Learned MaxSkip Partitioning) plus the
+// incremental re-organization the paper sketches in Sec. 8 ("cracking
+// would allow us to incrementally refine the qd-tree over time").
+//
+// New records route through the existing tree. When a leaf accumulates
+// more than SplitFactor·b rows, the greedy criterion (Algorithm 1's
+// argmax) is re-evaluated locally on that leaf's rows, and the leaf is
+// split in place when a cut still improves skipping. Only the overflowing
+// leaf's rows are re-organized, never the whole table.
+package adapt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/table"
+)
+
+// Options configure the adaptive maintainer.
+type Options struct {
+	// MinSize is b.
+	MinSize int
+	// SplitFactor triggers local refinement when a leaf reaches
+	// SplitFactor*MinSize rows (default 4).
+	SplitFactor int
+	Cuts        []core.Cut
+	Queries     []expr.Query
+}
+
+func (o *Options) defaults() {
+	if o.SplitFactor == 0 {
+		o.SplitFactor = 4
+	}
+}
+
+// Adaptive wraps a qd-tree plus the routed data and refines it in place.
+type Adaptive struct {
+	Tree *core.Tree
+	opt  Options
+	acs  []expr.AdvCut
+	// data accumulates every ingested row; leafRows maps leaf block ID ->
+	// row indexes into data.
+	data     *table.Table
+	leafRows map[*core.Node][]int
+	// lastTried records the leaf size at the last refinement attempt so
+	// a leaf whose best cut keeps failing is not re-scored on every
+	// insert (that would make ingestion quadratic).
+	lastTried map[*core.Node]int
+	builder   *greedy.Builder
+	splits    int
+}
+
+// New wraps an existing tree and its already-routed table.
+func New(t *core.Tree, tbl *table.Table, acs []expr.AdvCut, opt Options) (*Adaptive, error) {
+	opt.defaults()
+	if opt.MinSize < 1 {
+		return nil, fmt.Errorf("adapt: MinSize must be >= 1")
+	}
+	if len(opt.Cuts) == 0 {
+		return nil, fmt.Errorf("adapt: no candidate cuts")
+	}
+	builder, err := greedy.NewBuilder(tbl, acs, greedy.Options{
+		MinSize: opt.MinSize, Cuts: opt.Cuts, Queries: opt.Queries})
+	if err != nil {
+		return nil, err
+	}
+	a := &Adaptive{
+		Tree:      t,
+		opt:       opt,
+		acs:       acs,
+		data:      tbl,
+		leafRows:  make(map[*core.Node][]int),
+		lastTried: make(map[*core.Node]int),
+		builder:   builder,
+	}
+	bids := t.RouteTable(tbl)
+	leaves := t.Leaves()
+	for r, b := range bids {
+		a.leafRows[leaves[b]] = append(a.leafRows[leaves[b]], r)
+	}
+	return a, nil
+}
+
+// Insert routes one new record, appending it to the backing table, and
+// refines the target leaf if it overflowed.
+func (a *Adaptive) Insert(row []int64) error {
+	if len(row) != a.data.Schema.NumCols() {
+		return fmt.Errorf("adapt: row has %d values, schema has %d", len(row), a.data.Schema.NumCols())
+	}
+	r := a.data.N
+	a.data.AppendRow(row)
+	leaf := a.Tree.RouteRow(row)
+	a.leafRows[leaf] = append(a.leafRows[leaf], r)
+	if n := len(a.leafRows[leaf]); n >= a.opt.SplitFactor*a.opt.MinSize && n >= a.lastTried[leaf]+a.lastTried[leaf]/4 {
+		a.refine(leaf)
+	}
+	return nil
+}
+
+// InsertBatch routes a batch of new records.
+func (a *Adaptive) InsertBatch(tbl *table.Table) error {
+	row := make([]int64, tbl.Schema.NumCols())
+	for r := 0; r < tbl.N; r++ {
+		row = tbl.Row(r, row)
+		if err := a.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refine re-runs the greedy criterion on one overflowing leaf and splits
+// it (recursively) while cuts keep improving skipping.
+func (a *Adaptive) refine(leaf *core.Node) {
+	rows := a.leafRows[leaf]
+	if len(rows) < 2*a.opt.MinSize {
+		return
+	}
+	a.lastTried[leaf] = len(rows)
+	counter := core.NewCounter(a.data, a.acs, a.opt.Cuts, rows)
+	cut, ok := a.builder.BestCut(leaf.Desc, counter)
+	if !ok {
+		return
+	}
+	l, r := a.Tree.Split(leaf, cut)
+	lrows, rrows := a.Tree.PartitionRows(a.data, rows, cut)
+	delete(a.leafRows, leaf)
+	a.leafRows[l] = lrows
+	a.leafRows[r] = rrows
+	l.Count, r.Count = len(lrows), len(rrows)
+	a.splits++
+	a.refine(l)
+	a.refine(r)
+}
+
+// Splits returns the number of in-place leaf splits performed.
+func (a *Adaptive) Splits() int { return a.splits }
+
+// Rows returns the total ingested row count.
+func (a *Adaptive) Rows() int { return a.data.N }
+
+// Layout materializes the current assignment as an evaluable layout with
+// tightened per-block descriptions.
+func (a *Adaptive) Layout(name string) *cost.Layout {
+	leaves := a.Tree.Leaves()
+	bids := make([]int, a.data.N)
+	for leaf, rows := range a.leafRows {
+		for _, r := range rows {
+			bids[r] = leaf.BlockID
+		}
+	}
+	layout := cost.NewLayout(name, a.data, bids, len(leaves), a.acs)
+	return layout
+}
+
+// Validate checks internal consistency: every row is tracked exactly once
+// and sits in the leaf the tree routes it to.
+func (a *Adaptive) Validate() error {
+	seen := make([]bool, a.data.N)
+	row := make([]int64, a.data.Schema.NumCols())
+	for leaf, rows := range a.leafRows {
+		if !leaf.IsLeaf() {
+			return fmt.Errorf("adapt: rows tracked on internal node %d", leaf.ID)
+		}
+		for _, r := range rows {
+			if seen[r] {
+				return fmt.Errorf("adapt: row %d tracked twice", r)
+			}
+			seen[r] = true
+			row = a.data.Row(r, row)
+			if a.Tree.RouteRow(row) != leaf {
+				return fmt.Errorf("adapt: row %d tracked on wrong leaf", r)
+			}
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			return fmt.Errorf("adapt: row %d lost", r)
+		}
+	}
+	return nil
+}

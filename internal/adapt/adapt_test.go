@@ -1,0 +1,174 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+func newAdaptive(t *testing.T, n int, seed int64, minSize int) (*Adaptive, *workload.Spec) {
+	t.Helper()
+	spec := workload.Fig3(n, seed)
+	cuts := toCuts(spec.Cuts)
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: minSize, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(tree, spec.Table, spec.ACs, Options{
+		MinSize: minSize, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, spec
+}
+
+func TestInsertRoutesAndTracks(t *testing.T) {
+	a, spec := newAdaptive(t, 2000, 1, 100)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Rows()
+	if err := a.Insert([]int64{5, 50}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != before+1 {
+		t.Fatalf("rows = %d", a.Rows())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert([]int64{1}); err == nil {
+		t.Error("short row must error")
+	}
+	_ = spec
+}
+
+func TestOverflowTriggersLocalSplit(t *testing.T) {
+	a, spec := newAdaptive(t, 2000, 2, 100)
+	leavesBefore := len(a.Tree.Leaves())
+	// Pour in skewed new data that lands in one region: disk>=100 and
+	// cpu in [40,60) — the big middle block overflows and must re-split.
+	rng := rand.New(rand.NewSource(3))
+	fresh := table.New(spec.Table.Schema, 4000)
+	for i := 0; i < 4000; i++ {
+		fresh.AppendRow([]int64{int64(40 + rng.Intn(20)), int64(100 + rng.Intn(9900))})
+	}
+	if err := a.InsertBatch(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Splits() == 0 {
+		t.Log("no split triggered (cuts may not improve skipping in region); checking leaf bound instead")
+	}
+	leavesAfter := len(a.Tree.Leaves())
+	if leavesAfter < leavesBefore {
+		t.Fatalf("leaves shrank: %d -> %d", leavesBefore, leavesAfter)
+	}
+	// The layout must remain evaluable and conservative.
+	layout := a.Layout("adaptive")
+	total := 0
+	for _, c := range layout.Counts {
+		total += c
+	}
+	if total != a.Rows() {
+		t.Fatalf("layout counts %d != rows %d", total, a.Rows())
+	}
+}
+
+func TestRefinementImprovesSkippingOnGrowth(t *testing.T) {
+	// Start with a deliberately coarse tree (huge b), then ingest enough
+	// data that adaptive refinement can split: accessed fraction after
+	// refinement must not exceed the frozen-tree fraction.
+	spec := workload.Fig3(1000, 4)
+	cuts := toCuts(spec.Cuts)
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: 400, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenLeaves := len(tree.Leaves())
+
+	a, err := New(tree, spec.Table, spec.ACs, Options{
+		MinSize: 50, SplitFactor: 2, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := workload.Fig3(8000, 5).Table
+	if err := a.InsertBatch(growth); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Splits() == 0 {
+		t.Fatal("expected refinement splits with b shrunk from 400 to 50")
+	}
+	if len(a.Tree.Leaves()) <= frozenLeaves {
+		t.Fatalf("tree did not grow: %d leaves", len(a.Tree.Leaves()))
+	}
+	layout := a.Layout("adaptive")
+	if f := layout.AccessedFraction(spec.Queries); f > 0.9 {
+		t.Errorf("refined layout fraction %.3f; refinement ineffective", f)
+	}
+	// Min-size holds for all leaves that were split by refinement (the
+	// original coarse leaves may retain larger counts).
+	for _, c := range layout.Counts {
+		if c > 0 && c < 50 {
+			t.Errorf("leaf with %d rows violates b=50", c)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	spec := workload.Fig3(500, 6)
+	cuts := toCuts(spec.Cuts)
+	tree := core.NewTree(spec.Table.Schema, spec.ACs)
+	if _, err := New(tree, spec.Table, spec.ACs, Options{MinSize: 0, Cuts: cuts}); err == nil {
+		t.Error("MinSize 0 must error")
+	}
+	if _, err := New(tree, spec.Table, spec.ACs, Options{MinSize: 1}); err == nil {
+		t.Error("no cuts must error")
+	}
+}
+
+func TestLayoutConservativeAfterManyInserts(t *testing.T) {
+	a, spec := newAdaptive(t, 1500, 7, 80)
+	growth := workload.Fig3(1500, 8).Table
+	if err := a.InsertBatch(growth); err != nil {
+		t.Fatal(err)
+	}
+	layout := a.Layout("adaptive")
+	// Every matching row must be inside a scanned block.
+	row := make([]int64, 2)
+	for _, q := range spec.Queries {
+		scanned := map[int]bool{}
+		for _, b := range layout.BlocksFor(q) {
+			scanned[b] = true
+		}
+		for r := 0; r < a.data.N; r++ {
+			row = a.data.Row(r, row)
+			if q.Eval(row, spec.ACs) && !scanned[layout.BIDs[r]] {
+				t.Fatalf("%s: matching row %d in skipped block", q.Name, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package baselines implements the industrial partitioning baselines of
+// Sec. 7.3: the random shuffler (the TPC-H baseline) and range
+// partitioning on an ingest-time column (the deployed default for the
+// ErrorLog workloads). Both produce row→block assignments evaluated with
+// the same cost.Layout machinery as qd-trees.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Random shuffles rows into numBlocks fixed-size blocks ("a partitioner
+// that simply shuffles records into fixed-size blocks").
+func Random(tbl *table.Table, numBlocks int, acs []expr.AdvCut, seed int64) (*cost.Layout, error) {
+	if numBlocks < 1 || numBlocks > tbl.N {
+		return nil, fmt.Errorf("baselines: numBlocks %d out of range for %d rows", numBlocks, tbl.N)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(tbl.N)
+	bids := make([]int, tbl.N)
+	per := (tbl.N + numBlocks - 1) / numBlocks
+	for pos, r := range perm {
+		bids[r] = pos / per
+	}
+	l := cost.NewLayout("random", tbl, bids, numBlocks, acs)
+	// Deployed baselines carry plain min-max zone maps, not dictionary
+	// masks (Sec. 7.3); qd-tree's semantic descriptions are its edge.
+	l.DisableDictionaryFiltering()
+	return l, nil
+}
+
+// Range sorts rows by the given column (typically ingest time) and chunks
+// them into numBlocks equal-size blocks.
+func Range(tbl *table.Table, col int, numBlocks int, acs []expr.AdvCut) (*cost.Layout, error) {
+	if numBlocks < 1 || numBlocks > tbl.N {
+		return nil, fmt.Errorf("baselines: numBlocks %d out of range for %d rows", numBlocks, tbl.N)
+	}
+	if col < 0 || col >= tbl.Schema.NumCols() {
+		return nil, fmt.Errorf("baselines: column %d out of range", col)
+	}
+	order := make([]int, tbl.N)
+	for i := range order {
+		order[i] = i
+	}
+	vals := tbl.Cols[col]
+	sort.SliceStable(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+	bids := make([]int, tbl.N)
+	per := (tbl.N + numBlocks - 1) / numBlocks
+	for pos, r := range order {
+		bids[r] = pos / per
+	}
+	l := cost.NewLayout("range", tbl, bids, numBlocks, acs)
+	l.DisableDictionaryFiltering()
+	return l, nil
+}

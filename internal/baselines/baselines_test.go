@@ -1,0 +1,93 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRandomLayout(t *testing.T) {
+	spec := workload.Fig3(1000, 1)
+	l, err := Random(spec.Table, 10, spec.ACs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumBlocks() != 10 {
+		t.Fatalf("blocks = %d", l.NumBlocks())
+	}
+	total := 0
+	for _, n := range l.Counts {
+		total += n
+		if n != 100 {
+			t.Errorf("block size %d, want 100 (fixed-size shuffle)", n)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("total %d", total)
+	}
+	// Random blocks should have near-full min-max hulls, so a selective
+	// range query accesses ~everything: the Table 2 baseline behaviour.
+	frac := l.AccessedFraction(spec.Queries)
+	if frac < 0.9 {
+		t.Errorf("random layout fraction %.3f; expected near 1.0", frac)
+	}
+}
+
+func TestRangeLayoutSkipsOnPartitionColumn(t *testing.T) {
+	spec := workload.Fig3(1000, 2)
+	disk := spec.Table.Schema.MustCol("disk")
+	l, err := Range(spec.Table, disk, 10, spec.ACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q2 (disk < 100, ~1% of rows) must touch only the first range block.
+	q2 := spec.Queries[1]
+	if acc := l.AccessedTuples(q2); acc > 100 {
+		t.Errorf("range layout accessed %d tuples for the disk query, want <= one block", acc)
+	}
+	// Blocks are contiguous in disk order: each block's interval must not
+	// overlap the next block's (they partition the sorted order).
+	for b := 1; b < l.NumBlocks(); b++ {
+		if l.Descs[b].Lo[disk] < l.Descs[b-1].Lo[disk] {
+			t.Errorf("block %d starts before block %d", b, b-1)
+		}
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	spec := workload.Fig3(100, 3)
+	if _, err := Random(spec.Table, 0, nil, 1); err == nil {
+		t.Error("0 blocks must error")
+	}
+	if _, err := Random(spec.Table, 101, nil, 1); err == nil {
+		t.Error("more blocks than rows must error")
+	}
+	if _, err := Range(spec.Table, -1, 10, nil); err == nil {
+		t.Error("bad column must error")
+	}
+	if _, err := Range(spec.Table, 0, 0, nil); err == nil {
+		t.Error("0 blocks must error")
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	spec := workload.Fig3(500, 4)
+	a, _ := Random(spec.Table, 5, nil, 7)
+	b, _ := Random(spec.Table, 5, nil, 7)
+	for i := range a.BIDs {
+		if a.BIDs[i] != b.BIDs[i] {
+			t.Fatal("same seed produced different layouts")
+		}
+	}
+	c, _ := Random(spec.Table, 5, nil, 8)
+	same := true
+	for i := range a.BIDs {
+		if a.BIDs[i] != c.BIDs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical layouts")
+	}
+}

@@ -1,0 +1,306 @@
+// Package blockstore persists layout blocks in a binary columnar format
+// with per-block min-max (SMA) metadata — the storage substrate standing
+// in for the paper's Parquet files / commercial columnar format (Sec. 7.1).
+// Each leaf (or baseline block) becomes one file; a JSON catalog records
+// block metadata so a store can be reopened without scanning.
+package blockstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/table"
+)
+
+const magic = "QDB1"
+
+// BlockMeta is the catalog entry for one block.
+type BlockMeta struct {
+	ID    int     `json:"id"`
+	Rows  int     `json:"rows"`
+	File  string  `json:"file"`
+	Bytes int64   `json:"bytes"`
+	Min   []int64 `json:"min"`
+	Max   []int64 `json:"max"`
+}
+
+// Store is an opened block directory.
+type Store struct {
+	Dir    string
+	Schema *table.Schema
+	Blocks []BlockMeta
+}
+
+type catalogJSON struct {
+	Version int         `json:"version"`
+	Columns []catCol    `json:"columns"`
+	Blocks  []BlockMeta `json:"blocks"`
+}
+
+type catCol struct {
+	Name string `json:"name"`
+	Kind int    `json:"kind"`
+	Dom  int64  `json:"dom,omitempty"`
+	Min  int64  `json:"min,omitempty"`
+	Max  int64  `json:"max,omitempty"`
+}
+
+// Write materializes a partitioned table: rows are grouped by block ID and
+// each block is written as one columnar file. Empty blocks get no file.
+func Write(dir string, tbl *table.Table, bids []int, numBlocks int) (*Store, error) {
+	if len(bids) != tbl.N {
+		return nil, fmt.Errorf("blockstore: %d assignments for %d rows", len(bids), tbl.N)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	perBlock := make([][]int, numBlocks)
+	for r, b := range bids {
+		if b < 0 || b >= numBlocks {
+			return nil, fmt.Errorf("blockstore: row %d assigned to out-of-range block %d", r, b)
+		}
+		perBlock[b] = append(perBlock[b], r)
+	}
+	st := &Store{Dir: dir, Schema: tbl.Schema}
+	for b, rows := range perBlock {
+		meta := BlockMeta{ID: b, Rows: len(rows)}
+		if len(rows) > 0 {
+			meta.File = fmt.Sprintf("block_%06d.qdb", b)
+			var err error
+			meta.Bytes, meta.Min, meta.Max, err = writeBlock(filepath.Join(dir, meta.File), tbl, rows)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.Blocks = append(st.Blocks, meta)
+	}
+	if err := st.writeCatalog(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	ncols := tbl.Schema.NumCols()
+	if _, err := w.WriteString(magic); err != nil {
+		return 0, nil, nil, err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ncols))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(rows)))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, nil, nil, err
+	}
+	mins := make([]int64, ncols)
+	maxs := make([]int64, ncols)
+	buf := make([]byte, 8)
+	for c := 0; c < ncols; c++ {
+		lo, hi, _ := tbl.MinMax(c, rows)
+		mins[c], maxs[c] = lo, hi
+		binary.LittleEndian.PutUint64(buf, uint64(lo))
+		if _, err := w.Write(buf); err != nil {
+			return 0, nil, nil, err
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(hi))
+		if _, err := w.Write(buf); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	for c := 0; c < ncols; c++ {
+		col := tbl.Cols[c]
+		for _, r := range rows {
+			binary.LittleEndian.PutUint64(buf, uint64(col[r]))
+			if _, err := w.Write(buf); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return info.Size(), mins, maxs, nil
+}
+
+func (s *Store) writeCatalog() error {
+	cat := catalogJSON{Version: 1, Blocks: s.Blocks}
+	for _, c := range s.Schema.Cols {
+		cat.Columns = append(cat.Columns, catCol{Name: c.Name, Kind: int(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max})
+	}
+	data, err := json.Marshal(cat)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.Dir, "catalog.json"), data, 0o644)
+}
+
+// Open reopens a store from its catalog.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: open catalog: %w", err)
+	}
+	var cat catalogJSON
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, fmt.Errorf("blockstore: decode catalog: %w", err)
+	}
+	if cat.Version != 1 {
+		return nil, fmt.Errorf("blockstore: unsupported catalog version %d", cat.Version)
+	}
+	cols := make([]table.Column, len(cat.Columns))
+	for i, c := range cat.Columns {
+		cols[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max}
+	}
+	schema, err := table.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks}, nil
+}
+
+// NumBlocks returns the block count (including empty blocks).
+func (s *Store) NumBlocks() int { return len(s.Blocks) }
+
+// header reads and validates a block file header, returning (ncols, nrows).
+func (s *Store) openBlock(b int) (*os.File, int, int, error) {
+	if b < 0 || b >= len(s.Blocks) {
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d out of range", b)
+	}
+	m := s.Blocks[b]
+	if m.Rows == 0 {
+		return nil, 0, 0, nil
+	}
+	f, err := os.Open(filepath.Join(s.Dir, m.File))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hdr := make([]byte, 12)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d header: %w", b, err)
+	}
+	if string(hdr[:4]) != magic {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d bad magic %q", b, hdr[:4])
+	}
+	ncols := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	nrows := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if ncols != s.Schema.NumCols() || nrows != m.Rows {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d shape mismatch (%d cols, %d rows)", b, ncols, nrows)
+	}
+	return f, ncols, nrows, nil
+}
+
+// ReadColumns reads the given columns of block b (all columns when cols is
+// nil). Unrequested columns return nil slices — the columnar-pruning path
+// of the DBMS engine profile. bytesRead reports I/O volume for the cost
+// model.
+func (s *Store) ReadColumns(b int, cols []int) (data [][]int64, rows int, bytesRead int64, err error) {
+	f, ncols, nrows, err := s.openBlock(b)
+	if err != nil || f == nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	want := make([]bool, ncols)
+	if cols == nil {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, c := range cols {
+			if c < 0 || c >= ncols {
+				return nil, 0, 0, fmt.Errorf("blockstore: column %d out of range", c)
+			}
+			want[c] = true
+		}
+	}
+	data = make([][]int64, ncols)
+	base := int64(12 + 16*ncols) // header + per-column min/max
+	buf := make([]byte, 8*nrows)
+	for c := 0; c < ncols; c++ {
+		if !want[c] {
+			continue
+		}
+		off := base + int64(c)*int64(8*nrows)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+		}
+		col := make([]int64, nrows)
+		for r := 0; r < nrows; r++ {
+			col[r] = int64(binary.LittleEndian.Uint64(buf[8*r : 8*r+8]))
+		}
+		data[c] = col
+		bytesRead += int64(8 * nrows)
+	}
+	return data, nrows, bytesRead, nil
+}
+
+// ReadBlock reads a full block back into a table.
+func (s *Store) ReadBlock(b int) (*table.Table, error) {
+	data, nrows, _, err := s.ReadColumns(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return table.New(s.Schema, 0), nil
+	}
+	tbl, err := table.FromColumns(s.Schema, data)
+	if err != nil {
+		return nil, err
+	}
+	tbl.N = nrows
+	return tbl, nil
+}
+
+// WriteSegment writes one standalone segment file holding the given rows
+// of tbl (nil = all rows). Large leaves are "physically stored as multiple
+// segments on storage" (Sec. 3.1); the online ingester appends segments
+// per leaf as buffers fill.
+func WriteSegment(path string, tbl *table.Table, rows []int) (int64, error) {
+	if rows == nil {
+		rows = make([]int, tbl.N)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	bytes, _, _, err := writeBlock(path, tbl, rows)
+	return bytes, err
+}
+
+// ReadSegment reads a segment written by WriteSegment.
+func ReadSegment(path string, schema *table.Schema) (*table.Table, error) {
+	st := &Store{Dir: "", Schema: schema, Blocks: []BlockMeta{{ID: 0, Rows: -1, File: path}}}
+	// Rows is unknown; read the header directly.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 12)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("blockstore: segment header: %w", err)
+	}
+	f.Close()
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("blockstore: segment %q bad magic", path)
+	}
+	if int(binary.LittleEndian.Uint32(hdr[4:8])) != schema.NumCols() {
+		return nil, fmt.Errorf("blockstore: segment %q column count mismatch", path)
+	}
+	st.Blocks[0].Rows = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	return st.ReadBlock(0)
+}

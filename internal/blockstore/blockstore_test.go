@@ -1,0 +1,179 @@
+package blockstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(1000, 1)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 4
+	}
+	st, err := Write(dir, spec.Table, bids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d", st.NumBlocks())
+	}
+	// Read every block back and verify contents match the source rows.
+	perBlock := make(map[int][]int)
+	for r, b := range bids {
+		perBlock[b] = append(perBlock[b], r)
+	}
+	for b := 0; b < 4; b++ {
+		blk, err := st.ReadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.N != len(perBlock[b]) {
+			t.Fatalf("block %d rows %d want %d", b, blk.N, len(perBlock[b]))
+		}
+		for i, r := range perBlock[b] {
+			for c := range spec.Table.Cols {
+				if blk.Cols[c][i] != spec.Table.Cols[c][r] {
+					t.Fatalf("block %d row %d col %d mismatch", b, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCatalogMinMax(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(500, 2)
+	bids := make([]int, spec.Table.N)
+	st, err := Write(dir, spec.Table, bids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := spec.Table.MinMax(0, nil)
+	if st.Blocks[0].Min[0] != lo || st.Blocks[0].Max[0] != hi {
+		t.Errorf("SMA min/max %d..%d, want %d..%d", st.Blocks[0].Min[0], st.Blocks[0].Max[0], lo, hi)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(300, 3)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 3
+	}
+	if _, err := Write(dir, spec.Table, bids, 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumBlocks() != 3 || st.Schema.NumCols() != 2 {
+		t.Fatalf("reopened store: blocks=%d cols=%d", st.NumBlocks(), st.Schema.NumCols())
+	}
+	blk, err := st.ReadBlock(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.N != 100 {
+		t.Fatalf("block rows = %d", blk.N)
+	}
+}
+
+func TestReadColumnsPrunes(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(400, 4)
+	bids := make([]int, spec.Table.N)
+	st, err := Write(dir, spec.Table, bids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rows, bytes1, err := st.ReadColumns(0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 400 || data[0] != nil || data[1] == nil {
+		t.Fatal("column pruning read the wrong columns")
+	}
+	_, _, bytes2, err := st.ReadColumns(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes1*2 != bytes2 {
+		t.Errorf("pruned read %d bytes, full read %d; want half", bytes1, bytes2)
+	}
+}
+
+func TestEmptyBlocks(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(100, 5)
+	bids := make([]int, spec.Table.N) // all rows in block 0 of 3
+	st, err := Write(dir, spec.Table, bids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := st.ReadBlock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.N != 0 {
+		t.Fatalf("empty block has %d rows", blk.N)
+	}
+	data, rows, nb, err := st.ReadColumns(2, nil)
+	if err != nil || data != nil || rows != 0 || nb != 0 {
+		t.Fatal("empty block ReadColumns must return nothing")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(10, 6)
+	if _, err := Write(dir, spec.Table, make([]int, 5), 1); err == nil {
+		t.Error("assignment length mismatch must error")
+	}
+	bad := make([]int, spec.Table.N)
+	bad[0] = 7
+	if _, err := Write(dir, spec.Table, bad, 2); err == nil {
+		t.Error("out-of-range block id must error")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("missing catalog must error")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("nope"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt catalog must error")
+	}
+	os.WriteFile(filepath.Join(dir, "catalog.json"), []byte(`{"version":7}`), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("bad version must error")
+	}
+}
+
+func TestCorruptBlockDetected(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(50, 7)
+	st, err := Write(dir, spec.Table, make([]int, spec.Table.N), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clobber the magic bytes.
+	path := filepath.Join(dir, st.Blocks[0].File)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("XXXX"), 0)
+	f.Close()
+	if _, err := st.ReadBlock(0); err == nil {
+		t.Error("corrupt magic must be detected")
+	}
+}

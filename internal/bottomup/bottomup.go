@@ -1,0 +1,497 @@
+// Package bottomup implements the state-of-the-art row-grouping baseline
+// of Sun et al. (SIGMOD 2014) as described in Sec. 2.2.2 and configured in
+// Sec. 7.3: feature selection with subsumption-aware frequency
+// discounting, per-row feature bitmap vectors, and bottom-up greedy
+// merging of unique vectors until every block reaches the minimum size b.
+//
+// BU+ — the paper's tuned variant — additionally rejects features whose
+// selectivity exceeds a cap (10% in the paper), fixing the failure mode
+// where a frequent-but-unselective predicate crowds out useful features.
+package bottomup
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Options configure the Bottom-Up builder.
+type Options struct {
+	MinSize     int // b, minimum rows per block
+	MaxFeatures int // M, feature budget (paper: 15)
+	MinFreq     int // selection threshold (default 1)
+	// SelectivityCap, when > 0, enables the BU+ tuning: features whose
+	// match fraction exceeds the cap are discarded (paper uses 0.10).
+	SelectivityCap float64
+	// MaxVectors caps the number of unique feature vectors entering the
+	// quadratic merge phase; rarer vectors are pre-merged into their
+	// nearest (Hamming) frequent neighbor. The original algorithm is
+	// quadratic in unique vectors — the paper reports 71–565 minute
+	// build times — so a cap keeps the reproduction tractable.
+	MaxVectors int
+	Cuts       []core.Cut // candidate feature pool (same search space as qd-tree, Sec. 7.3)
+	Queries    []expr.Query
+}
+
+func (o *Options) defaults() {
+	if o.MaxFeatures == 0 {
+		o.MaxFeatures = 15
+	}
+	if o.MinFreq == 0 {
+		o.MinFreq = 1
+	}
+	if o.MaxVectors == 0 {
+		o.MaxVectors = 256
+	}
+}
+
+// Result reports the layout and the selected features.
+type Result struct {
+	Layout   *cost.Layout
+	Features []core.Cut
+	// QueriesPerFeature[i] lists workload indexes subsumed by feature i.
+	QueriesPerFeature [][]int
+}
+
+// predImplies reports whether p1 ⇒ p2 for two predicates on the same
+// column (every value satisfying p1 satisfies p2). Conservative: false
+// negatives only.
+func predImplies(p1, p2 expr.Pred) bool {
+	if p1.Col != p2.Col {
+		return false
+	}
+	// Enumerate p1's value set when finite.
+	var vals []int64
+	switch p1.Op {
+	case expr.Eq:
+		vals = []int64{p1.Literal}
+	case expr.In:
+		vals = p1.Set
+	}
+	if vals != nil {
+		for _, v := range vals {
+			if !p2.EvalValue(v) {
+				return false
+			}
+		}
+		return true
+	}
+	switch p2.Op {
+	case expr.Lt:
+		return (p1.Op == expr.Lt && p1.Literal <= p2.Literal) ||
+			(p1.Op == expr.Le && p1.Literal < p2.Literal)
+	case expr.Le:
+		return (p1.Op == expr.Lt && p1.Literal <= p2.Literal+1) ||
+			(p1.Op == expr.Le && p1.Literal <= p2.Literal)
+	case expr.Gt:
+		return (p1.Op == expr.Gt && p1.Literal >= p2.Literal) ||
+			(p1.Op == expr.Ge && p1.Literal > p2.Literal)
+	case expr.Ge:
+		return (p1.Op == expr.Gt && p1.Literal >= p2.Literal-1) ||
+			(p1.Op == expr.Ge && p1.Literal >= p2.Literal)
+	}
+	return false
+}
+
+// nodeImplies reports whether query AST node n ⇒ feature f.
+func nodeImplies(n *expr.Node, f core.Cut) bool {
+	switch n.Kind {
+	case expr.KindPred:
+		return !f.IsAdv && predImplies(n.Pred, f.Pred)
+	case expr.KindAdv:
+		return f.IsAdv && f.Adv == n.Adv
+	case expr.KindAnd:
+		for _, c := range n.Children {
+			if nodeImplies(c, f) {
+				return true
+			}
+		}
+		return false
+	case expr.KindOr:
+		for _, c := range n.Children {
+			if !nodeImplies(c, f) {
+				return false
+			}
+		}
+		return len(n.Children) > 0
+	}
+	return false
+}
+
+// Subsumes reports whether feature f subsumes query q: every row matching
+// q matches f, so a block with no f-rows skips q (Sec. 2.2.2).
+func Subsumes(f core.Cut, q expr.Query) bool {
+	if q.Root == nil {
+		return false
+	}
+	return nodeImplies(q.Root, f)
+}
+
+// featureSubsumes reports f1 ⊇ f2 as predicates (f2 implies f1), the
+// partial order used for the topological selection sort.
+func featureSubsumes(f1, f2 core.Cut) bool {
+	if f1.IsAdv || f2.IsAdv {
+		return f1.IsAdv && f2.IsAdv && f1.Adv == f2.Adv
+	}
+	return predImplies(f2.Pred, f1.Pred)
+}
+
+// selectivity returns the fraction of rows matching the cut.
+func selectivity(tbl *table.Table, acs []expr.AdvCut, c core.Cut) float64 {
+	if tbl.N == 0 {
+		return 0
+	}
+	n := 0
+	row := make([]int64, tbl.Schema.NumCols())
+	for r := 0; r < tbl.N; r++ {
+		row = tbl.Row(r, row)
+		if c.Eval(row, acs) {
+			n++
+		}
+	}
+	return float64(n) / float64(tbl.N)
+}
+
+// SelectFeatures runs the paper's feature-selection procedure
+// (Sec. 7.3): topological order by subsumption, frequency = #subsumed
+// queries, discounting shared queries, optional BU+ selectivity cap.
+func SelectFeatures(tbl *table.Table, acs []expr.AdvCut, opt Options) ([]core.Cut, [][]int) {
+	opt.defaults()
+	type cand struct {
+		cut  core.Cut
+		qs   []int
+		freq int
+		dead bool
+	}
+	var cands []*cand
+	for _, c := range opt.Cuts {
+		if opt.SelectivityCap > 0 && selectivity(tbl, acs, c) > opt.SelectivityCap {
+			continue // BU+ tuning
+		}
+		var qs []int
+		for qi, q := range opt.Queries {
+			if Subsumes(c, q) {
+				qs = append(qs, qi)
+			}
+		}
+		cands = append(cands, &cand{cut: c, qs: qs, freq: len(qs)})
+	}
+	var feats []core.Cut
+	var featQs [][]int
+	for len(feats) < opt.MaxFeatures {
+		// Pick the highest-frequency candidate not subsumed by another
+		// live candidate (topological order).
+		best := -1
+		for i, c := range cands {
+			if c.dead || c.freq < opt.MinFreq {
+				continue
+			}
+			subsumed := false
+			for j, o := range cands {
+				if j == i || o.dead {
+					continue
+				}
+				if featureSubsumes(o.cut, c.cut) && !featureSubsumes(c.cut, o.cut) {
+					subsumed = true
+					break
+				}
+			}
+			if subsumed {
+				continue
+			}
+			if best < 0 || c.freq > cands[best].freq {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Fall back to any live candidate (cycle of mutual
+			// subsumption or only subsumed candidates remain).
+			for i, c := range cands {
+				if !c.dead && c.freq >= opt.MinFreq && (best < 0 || c.freq > cands[best].freq) {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen := cands[best]
+		chosen.dead = true
+		feats = append(feats, chosen.cut)
+		featQs = append(featQs, chosen.qs)
+		// Discount candidates sharing subsumed queries with the choice.
+		inChosen := make(map[int]bool, len(chosen.qs))
+		for _, q := range chosen.qs {
+			inChosen[q] = true
+		}
+		for _, o := range cands {
+			if o.dead {
+				continue
+			}
+			shared := 0
+			for _, q := range o.qs {
+				if inChosen[q] {
+					shared++
+				}
+			}
+			o.freq -= shared
+		}
+	}
+	return feats, featQs
+}
+
+// vec is a feature bitmap (M ≤ 64 so one word suffices; the paper's M=15).
+type vec = uint64
+
+// Build runs the full Bottom-Up pipeline and returns the layout.
+func Build(tbl *table.Table, acs []expr.AdvCut, opt Options) (*Result, error) {
+	opt.defaults()
+	if opt.MinSize < 1 {
+		return nil, fmt.Errorf("bottomup: MinSize must be >= 1")
+	}
+	if opt.MaxFeatures > 64 {
+		return nil, fmt.Errorf("bottomup: MaxFeatures %d exceeds 64-bit vectors", opt.MaxFeatures)
+	}
+	if tbl.N == 0 {
+		return nil, fmt.Errorf("bottomup: empty table")
+	}
+	feats, featQs := SelectFeatures(tbl, acs, opt)
+	// With no usable features everything collapses into one block.
+	rowVecs := make([]vec, tbl.N)
+	for fi, f := range feats {
+		if f.IsAdv {
+			ac := acs[f.Adv]
+			for r := 0; r < tbl.N; r++ {
+				if acEval(ac, tbl, r) {
+					rowVecs[r] |= 1 << uint(fi)
+				}
+			}
+			continue
+		}
+		col := tbl.Cols[f.Pred.Col]
+		p := f.Pred
+		for r := 0; r < tbl.N; r++ {
+			if p.EvalValue(col[r]) {
+				rowVecs[r] |= 1 << uint(fi)
+			}
+		}
+	}
+
+	// Group rows by unique vector ("convert tuples into unique binary
+	// feature vectors and record the weight of each", Sec. 2.2.2).
+	groups := make(map[vec]int)
+	var uniq []vec
+	var weight []int
+	for _, v := range rowVecs {
+		gi, ok := groups[v]
+		if !ok {
+			gi = len(uniq)
+			groups[v] = gi
+			uniq = append(uniq, v)
+			weight = append(weight, 0)
+		}
+		weight[gi]++
+	}
+
+	// Pre-merge the rarest vectors into their nearest frequent neighbor
+	// when exceeding the tractability cap.
+	vecBlock := make([]int, len(uniq)) // unique-vector -> block id (pre-merge identity)
+	for i := range vecBlock {
+		vecBlock[i] = i
+	}
+	if len(uniq) > opt.MaxVectors {
+		order := make([]int, len(uniq))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+		keep := order[:opt.MaxVectors]
+		keepSet := make(map[int]bool, len(keep))
+		for _, k := range keep {
+			keepSet[k] = true
+		}
+		for _, gi := range order[opt.MaxVectors:] {
+			bestK, bestD := keep[0], 65
+			for _, k := range keep {
+				if d := bits.OnesCount64(uniq[gi] ^ uniq[k]); d < bestD {
+					bestK, bestD = k, d
+				}
+			}
+			vecBlock[gi] = bestK
+		}
+		_ = keepSet
+	}
+
+	// Blocks: id -> {bitmap, size}; start from surviving vectors.
+	type block struct {
+		bm    vec
+		size  int
+		skip  int
+		alive bool
+	}
+	blockOf := make(map[int]int) // unique-vector index -> block index
+	var blks []*block
+	for gi := range uniq {
+		root := vecBlock[gi]
+		bi, ok := blockOf[root]
+		if !ok {
+			bi = len(blks)
+			blockOf[root] = bi
+			blks = append(blks, &block{alive: true})
+		}
+		blks[bi].bm |= uniq[gi]
+		blks[bi].size += weight[gi]
+		blockOf[gi] = bi
+	}
+
+	// A query q is skipped by a block iff some subsuming feature's bit is
+	// zero, i.e. qMask[q] &^ bm != 0 where qMask is the OR of q's
+	// subsuming features. Queries with equal masks are interchangeable,
+	// so group them: skipExact(bm) = Σ_m count[m]·[m &^ bm ≠ 0].
+	maskCount := make(map[vec]int)
+	for qi := range opt.Queries {
+		var m vec
+		for fi, qs := range featQs {
+			for _, q := range qs {
+				if q == qi {
+					m |= 1 << uint(fi)
+					break
+				}
+			}
+		}
+		if m != 0 {
+			maskCount[m]++
+		}
+	}
+	masks := make([]vec, 0, len(maskCount))
+	mcnt := make([]int, 0, len(maskCount))
+	for m, c := range maskCount {
+		masks = append(masks, m)
+		mcnt = append(mcnt, c)
+	}
+	skipExact := func(bm vec) int {
+		n := 0
+		for i, m := range masks {
+			if m&^bm != 0 {
+				n += mcnt[i]
+			}
+		}
+		return n
+	}
+
+	// Greedy merging: repeatedly merge the pair with the lowest penalty
+	// where at least one block is below b. Each block caches its own skip
+	// count; only the union bitmap's count is computed per pair.
+	penalty := func(a, b *block) int64 {
+		su := int64(skipExact(a.bm | b.bm))
+		return int64(a.size)*(int64(a.skip)-su) + int64(b.size)*(int64(b.skip)-su)
+	}
+	liveCount := func() int {
+		n := 0
+		for _, b := range blks {
+			if b.alive {
+				n++
+			}
+		}
+		return n
+	}
+	for {
+		var need []*block
+		var needIdx []int
+		for i, b := range blks {
+			if b.alive && b.size < opt.MinSize {
+				need = append(need, b)
+				needIdx = append(needIdx, i)
+			}
+		}
+		if len(need) == 0 || liveCount() <= 1 {
+			break
+		}
+		// Find the global min-penalty pair involving a small block.
+		bestI, bestJ := -1, -1
+		var bestP int64
+		for ni, a := range need {
+			ai := needIdx[ni]
+			for j, b := range blks {
+				if !b.alive || j == ai {
+					continue
+				}
+				p := penalty(a, b)
+				if bestI < 0 || p < bestP || (p == bestP && j < bestJ) {
+					bestI, bestJ, bestP = ai, j, p
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		// Merge bestJ into bestI.
+		blks[bestI].bm |= blks[bestJ].bm
+		blks[bestI].size += blks[bestJ].size
+		blks[bestI].skip = skipExact(blks[bestI].bm)
+		blks[bestJ].alive = false
+		for gi, bi := range blockOf {
+			if bi == bestJ {
+				blockOf[gi] = bestI
+			}
+		}
+	}
+
+	// Compact block ids and emit per-row assignment.
+	remap := make(map[int]int)
+	for _, bi := range blockOf {
+		if _, ok := remap[bi]; !ok && blks[bi].alive {
+			remap[bi] = len(remap)
+		}
+	}
+	numBlocks := len(remap)
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	bids := make([]int, tbl.N)
+	finalBM := make([]vec, numBlocks)
+	for r, v := range rowVecs {
+		bi := blockOf[groups[v]]
+		nb := remap[bi]
+		bids[r] = nb
+		finalBM[nb] = blks[bi].bm
+	}
+
+	layout := cost.NewLayout("bottom-up", tbl, bids, numBlocks, acs)
+	layout.ExtraSkip = func(blockID int, q expr.Query) bool {
+		// Feature-bitmap skipping: q is skipped when a subsuming feature
+		// has bit zero in the block.
+		for fi, f := range feats {
+			if finalBM[blockID]&(1<<uint(fi)) != 0 {
+				continue
+			}
+			if Subsumes(f, q) {
+				return true
+			}
+		}
+		return false
+	}
+	return &Result{Layout: layout, Features: feats, QueriesPerFeature: featQs}, nil
+}
+
+func acEval(ac expr.AdvCut, tbl *table.Table, r int) bool {
+	l, rr := tbl.Cols[ac.Left][r], tbl.Cols[ac.Right][r]
+	switch ac.Op {
+	case expr.Lt:
+		return l < rr
+	case expr.Le:
+		return l <= rr
+	case expr.Gt:
+		return l > rr
+	case expr.Ge:
+		return l >= rr
+	case expr.Eq:
+		return l == rr
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+package bottomup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+func TestPredImplies(t *testing.T) {
+	cases := []struct {
+		p1, p2 expr.Pred
+		want   bool
+	}{
+		{expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}, expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, true},
+		{expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}, false},
+		{expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, expr.Pred{Col: 1, Op: expr.Lt, Literal: 10}, false},
+		{expr.Pred{Col: 0, Op: expr.Eq, Literal: 3}, expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, true},
+		{expr.Pred{Col: 0, Op: expr.Eq, Literal: 30}, expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, false},
+		{expr.NewIn(0, []int64{1, 2}), expr.NewIn(0, []int64{1, 2, 3}), true},
+		{expr.NewIn(0, []int64{1, 4}), expr.NewIn(0, []int64{1, 2, 3}), false},
+		{expr.Pred{Col: 0, Op: expr.Le, Literal: 9}, expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}, true},
+		{expr.Pred{Col: 0, Op: expr.Gt, Literal: 10}, expr.Pred{Col: 0, Op: expr.Ge, Literal: 10}, true},
+		{expr.Pred{Col: 0, Op: expr.Ge, Literal: 10}, expr.Pred{Col: 0, Op: expr.Gt, Literal: 10}, false},
+		{expr.Pred{Col: 0, Op: expr.Ge, Literal: 11}, expr.Pred{Col: 0, Op: expr.Gt, Literal: 10}, true},
+		{expr.Pred{Col: 0, Op: expr.Eq, Literal: 7}, expr.Pred{Col: 0, Op: expr.Eq, Literal: 7}, true},
+	}
+	for _, c := range cases {
+		if got := predImplies(c.p1, c.p2); got != c.want {
+			t.Errorf("%v => %v: got %v, want %v", c.p1, c.p2, got, c.want)
+		}
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	// A conjunctive query is subsumed by any of its conjuncts' relaxations.
+	f := core.UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: 10})
+	q := expr.AndQ("q",
+		expr.Pred{Col: 0, Op: expr.Lt, Literal: 5},
+		expr.Pred{Col: 1, Op: expr.Eq, Literal: 3})
+	if !Subsumes(f, q) {
+		t.Error("conjunct implies feature: must subsume")
+	}
+	// An OR query is subsumed only if every disjunct implies the feature.
+	qOr := expr.Query{Root: expr.Or(
+		expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}),
+		expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 50}))}
+	if Subsumes(f, qOr) {
+		t.Error("one disjunct escapes the feature: must not subsume")
+	}
+	qOr2 := expr.Query{Root: expr.Or(
+		expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}),
+		expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 8}))}
+	if !Subsumes(f, qOr2) {
+		t.Error("both disjuncts imply the feature: must subsume")
+	}
+	// Advanced-cut features subsume queries referencing them.
+	fa := core.AdvancedCut(1)
+	qa := expr.Query{Root: expr.And(expr.NewAdv(1), expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 3}))}
+	if !Subsumes(fa, qa) {
+		t.Error("AC feature must subsume AC query")
+	}
+	if Subsumes(fa, expr.Query{Root: expr.NewAdv(0)}) {
+		t.Error("different AC must not subsume")
+	}
+	if Subsumes(f, expr.Query{}) {
+		t.Error("nil-root query must not be subsumed")
+	}
+}
+
+// semanticImpliesCheck: property test that predImplies is sound — if it
+// claims implication, no value may violate it.
+func TestPredImpliesSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ops := []expr.Op{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Eq}
+	for trial := 0; trial < 2000; trial++ {
+		p1 := expr.Pred{Col: 0, Op: ops[rng.Intn(len(ops))], Literal: int64(rng.Intn(20))}
+		p2 := expr.Pred{Col: 0, Op: ops[rng.Intn(len(ops))], Literal: int64(rng.Intn(20))}
+		if !predImplies(p1, p2) {
+			continue
+		}
+		for v := int64(-5); v < 25; v++ {
+			if p1.EvalValue(v) && !p2.EvalValue(v) {
+				t.Fatalf("%v claimed to imply %v but %d violates", p1, p2, v)
+			}
+		}
+	}
+}
+
+func TestSelectFeaturesBUPlusFiltersUnselective(t *testing.T) {
+	// Reproduce the Sec. 7.5 failure mode: an unselective feature with
+	// huge frequency must be dropped by BU+ but chosen by untuned BU.
+	schema := table.MustSchema([]table.Column{
+		{Name: "wide", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "rare", Kind: table.Categorical, Dom: 100},
+	})
+	rng := rand.New(rand.NewSource(1))
+	tbl := table.New(schema, 5000)
+	for i := 0; i < 5000; i++ {
+		tbl.AppendRow([]int64{int64(rng.Intn(100)), int64(rng.Intn(100))})
+	}
+	// Every query includes the unselective wide<90 (90% of rows) plus a
+	// selective rare=k.
+	var queries []expr.Query
+	var cuts []core.Cut
+	cuts = append(cuts, core.UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: 90}))
+	for k := 0; k < 20; k++ {
+		queries = append(queries, expr.AndQ("q",
+			expr.Pred{Col: 0, Op: expr.Lt, Literal: 90},
+			expr.Pred{Col: 1, Op: expr.Eq, Literal: int64(k)}))
+		cuts = append(cuts, core.UnaryCut(expr.Pred{Col: 1, Op: expr.Eq, Literal: int64(k)}))
+	}
+	plain, _ := SelectFeatures(tbl, nil, Options{MinSize: 10, Cuts: cuts, Queries: queries, MaxFeatures: 5})
+	foundWide := false
+	for _, f := range plain {
+		if !f.IsAdv && f.Pred.Col == 0 {
+			foundWide = true
+		}
+	}
+	if !foundWide {
+		t.Error("untuned BU should pick the frequent unselective feature first")
+	}
+	tuned, _ := SelectFeatures(tbl, nil, Options{MinSize: 10, Cuts: cuts, Queries: queries, MaxFeatures: 5, SelectivityCap: 0.10})
+	for _, f := range tuned {
+		if !f.IsAdv && f.Pred.Col == 0 {
+			t.Error("BU+ must reject the 90-percent-selectivity feature")
+		}
+	}
+}
+
+func TestBuildBlocksMeetMinSize(t *testing.T) {
+	spec := workload.Fig3(8000, 2)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: 400,
+		Cuts:    toCuts(spec.Cuts),
+		Queries: spec.Queries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, n := range res.Layout.Counts {
+		if n > 0 && n < 400 && res.Layout.NumBlocks() > 1 {
+			t.Errorf("block %d has %d rows < 400", b, n)
+		}
+	}
+	total := 0
+	for _, n := range res.Layout.Counts {
+		total += n
+	}
+	if total != spec.Table.N {
+		t.Fatalf("counts sum %d != %d", total, spec.Table.N)
+	}
+}
+
+func TestBuildSkippingIsSound(t *testing.T) {
+	// Bitmap-based ExtraSkip must never skip a block containing a match.
+	spec := workload.Fig3(6000, 3)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: 100,
+		Cuts:    toCuts(spec.Cuts),
+		Queries: spec.Queries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]int64, spec.Table.Schema.NumCols())
+	for _, q := range spec.Queries {
+		scanned := make(map[int]bool)
+		for _, b := range res.Layout.BlocksFor(q) {
+			scanned[b] = true
+		}
+		for r := 0; r < spec.Table.N; r++ {
+			row = spec.Table.Row(r, row)
+			if q.Eval(row, spec.ACs) && !scanned[res.Layout.BIDs[r]] {
+				t.Fatalf("%s: matching row %d in skipped block", q.Name, r)
+			}
+		}
+	}
+}
+
+func TestBuildBeatsRandomOnSelectiveWorkload(t *testing.T) {
+	// Sanity: Bottom-Up must beat a random shuffle on a feature-friendly
+	// workload (the Sec. 7 orderings: Baseline > Bottom-Up > qd-tree).
+	rng := rand.New(rand.NewSource(4))
+	schema := table.MustSchema([]table.Column{
+		{Name: "k", Kind: table.Categorical, Dom: 16},
+		{Name: "v", Kind: table.Numeric, Min: 0, Max: 999},
+	})
+	tbl := table.New(schema, 10000)
+	for i := 0; i < 10000; i++ {
+		tbl.AppendRow([]int64{int64(rng.Intn(16)), int64(rng.Intn(1000))})
+	}
+	var queries []expr.Query
+	var cuts []core.Cut
+	for k := 0; k < 16; k++ {
+		queries = append(queries, expr.AndQ("q", expr.Pred{Col: 0, Op: expr.Eq, Literal: int64(k)}))
+		cuts = append(cuts, core.UnaryCut(expr.Pred{Col: 0, Op: expr.Eq, Literal: int64(k)}))
+	}
+	res, err := Build(tbl, nil, Options{MinSize: 500, Cuts: cuts, Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.Layout.AccessedFraction(queries)
+	if frac > 0.5 {
+		t.Errorf("bottom-up fraction %.3f; should be far below full scan on 16-way point workload", frac)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	spec := workload.Fig3(100, 5)
+	if _, err := Build(spec.Table, nil, Options{MinSize: 0, Cuts: toCuts(spec.Cuts)}); err == nil {
+		t.Error("MinSize 0 must error")
+	}
+	if _, err := Build(spec.Table, nil, Options{MinSize: 1, MaxFeatures: 70, Cuts: toCuts(spec.Cuts)}); err == nil {
+		t.Error("MaxFeatures > 64 must error")
+	}
+	empty := table.New(spec.Table.Schema, 0)
+	if _, err := Build(empty, nil, Options{MinSize: 1, Cuts: toCuts(spec.Cuts)}); err == nil {
+		t.Error("empty table must error")
+	}
+}
+
+func TestBuildNoFeaturesFallsBackToOneBlock(t *testing.T) {
+	// With a selectivity cap of ~0, all features are rejected and the
+	// result must be a single block (the untuned-BU 100% row of Table 2).
+	spec := workload.Fig3(2000, 6)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:        100,
+		Cuts:           toCuts(spec.Cuts),
+		Queries:        spec.Queries,
+		SelectivityCap: 1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layout.NumBlocks() != 1 {
+		t.Errorf("blocks = %d, want 1", res.Layout.NumBlocks())
+	}
+	if f := res.Layout.AccessedFraction(spec.Queries); f != 1.0 {
+		t.Errorf("fraction = %.3f, want 1.0", f)
+	}
+}
+
+func TestMaxVectorsPreMerge(t *testing.T) {
+	// Force the pre-merge path with a tiny vector cap; layout must stay
+	// sound and complete.
+	spec := workload.Fig3(4000, 7)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:    200,
+		Cuts:       toCuts(spec.Cuts),
+		Queries:    spec.Queries,
+		MaxVectors: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Layout.Counts {
+		total += n
+	}
+	if total != spec.Table.N {
+		t.Fatalf("pre-merge lost rows: %d != %d", total, spec.Table.N)
+	}
+}
+
+func TestLayoutComparableToGreedy(t *testing.T) {
+	// Table 2 ordering on the Fig3 micro: greedy qd-tree <= bottom-up
+	// accessed fraction (qd-tree should never lose on its home turf).
+	spec := workload.Fig3(8000, 8)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: 80,
+		Cuts:    toCuts(spec.Cuts),
+		Queries: spec.Queries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buFrac := res.Layout.AccessedFraction(spec.Queries)
+	if buFrac <= 0 || buFrac > 1 {
+		t.Fatalf("fraction out of range: %f", buFrac)
+	}
+	if buFrac < cost.Selectivity(spec.Table, spec.Queries, spec.ACs) {
+		t.Error("fraction below selectivity lower bound")
+	}
+}

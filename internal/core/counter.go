@@ -1,0 +1,314 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Counter answers "how many of this node's rows satisfy cut c?" in
+// sub-linear time for range cuts. Both constructors use it: the greedy
+// builder to enforce |n_p| ≥ b, |n_¬p| ≥ b (Algorithm 1), and the RL agent
+// to compute legal-action masks (Sec. 5.2.1).
+//
+// For numeric columns it keeps per-column row-index arrays sorted by value,
+// partitioned stably as the tree splits (so sorting happens once, at the
+// root). For categorical columns it keeps a value histogram per node.
+type Counter struct {
+	tbl  *table.Table
+	acs  []expr.AdvCut
+	Rows []int
+	// sortedIdx[c] holds Rows reordered so tbl.Cols[c] is ascending;
+	// present only for numeric columns that appear in cuts.
+	sortedIdx map[int][]int32
+	// hist[c] is the per-value count for categorical cut columns.
+	hist map[int][]int32
+	// advTrue[i] counts rows satisfying advanced cut i.
+	advTrue []int
+}
+
+// CounterColumns inspects the candidate cuts and returns the numeric and
+// categorical column sets a Counter must index.
+func CounterColumns(schema *table.Schema, cuts []Cut) (numeric, categorical []int) {
+	seenN := make(map[int]bool)
+	seenC := make(map[int]bool)
+	for _, c := range cuts {
+		if c.IsAdv {
+			continue
+		}
+		col := c.Pred.Col
+		if schema.Cols[col].Kind == table.Categorical {
+			if !seenC[col] {
+				seenC[col] = true
+				categorical = append(categorical, col)
+			}
+		} else if !seenN[col] {
+			seenN[col] = true
+			numeric = append(numeric, col)
+		}
+	}
+	sort.Ints(numeric)
+	sort.Ints(categorical)
+	return numeric, categorical
+}
+
+// NewCounter indexes the given rows (nil = all rows of tbl) for the columns
+// used by the cut set.
+func NewCounter(tbl *table.Table, acs []expr.AdvCut, cuts []Cut, rows []int) *Counter {
+	if rows == nil {
+		rows = make([]int, tbl.N)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	numeric, categorical := CounterColumns(tbl.Schema, cuts)
+	c := &Counter{
+		tbl:       tbl,
+		acs:       acs,
+		Rows:      rows,
+		sortedIdx: make(map[int][]int32, len(numeric)),
+		hist:      make(map[int][]int32, len(categorical)),
+	}
+	for _, col := range numeric {
+		idx := make([]int32, len(rows))
+		for i, r := range rows {
+			idx[i] = int32(r)
+		}
+		vals := tbl.Cols[col]
+		sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+		c.sortedIdx[col] = idx
+	}
+	for _, col := range categorical {
+		c.hist[col] = histogram(tbl, col, rows)
+	}
+	c.countAdv()
+	return c
+}
+
+func histogram(tbl *table.Table, col int, rows []int) []int32 {
+	dom := tbl.Schema.Cols[col].Dom
+	h := make([]int32, dom)
+	src := tbl.Cols[col]
+	for _, r := range rows {
+		v := src[r]
+		if v >= 0 && v < dom {
+			h[v]++
+		}
+	}
+	return h
+}
+
+func (c *Counter) countAdv() {
+	c.advTrue = make([]int, len(c.acs))
+	if len(c.acs) == 0 {
+		return
+	}
+	for i, ac := range c.acs {
+		lc, rc := c.tbl.Cols[ac.Left], c.tbl.Cols[ac.Right]
+		n := 0
+		switch ac.Op {
+		case expr.Lt:
+			for _, r := range c.Rows {
+				if lc[r] < rc[r] {
+					n++
+				}
+			}
+		case expr.Le:
+			for _, r := range c.Rows {
+				if lc[r] <= rc[r] {
+					n++
+				}
+			}
+		case expr.Gt:
+			for _, r := range c.Rows {
+				if lc[r] > rc[r] {
+					n++
+				}
+			}
+		case expr.Ge:
+			for _, r := range c.Rows {
+				if lc[r] >= rc[r] {
+					n++
+				}
+			}
+		case expr.Eq:
+			for _, r := range c.Rows {
+				if lc[r] == rc[r] {
+					n++
+				}
+			}
+		}
+		c.advTrue[i] = n
+	}
+}
+
+// Size returns the node's row count.
+func (c *Counter) Size() int { return len(c.Rows) }
+
+// lowerBound returns the first position in sortedIdx[col] with value >= v.
+func (c *Counter) lowerBound(col int, v int64) int {
+	idx := c.sortedIdx[col]
+	vals := c.tbl.Cols[col]
+	return sort.Search(len(idx), func(i int) bool { return vals[idx[i]] >= v })
+}
+
+// upperBound returns the first position with value > v.
+func (c *Counter) upperBound(col int, v int64) int {
+	idx := c.sortedIdx[col]
+	vals := c.tbl.Cols[col]
+	return sort.Search(len(idx), func(i int) bool { return vals[idx[i]] > v })
+}
+
+// CountLeft returns how many of the node's rows satisfy the cut.
+func (c *Counter) CountLeft(cut Cut) int {
+	if cut.IsAdv {
+		return c.advTrue[cut.Adv]
+	}
+	p := cut.Pred
+	if h, ok := c.hist[p.Col]; ok {
+		switch p.Op {
+		case expr.Eq:
+			if p.Literal >= 0 && p.Literal < int64(len(h)) {
+				return int(h[p.Literal])
+			}
+			return 0
+		case expr.In:
+			n := 0
+			for _, v := range p.Set {
+				if v >= 0 && v < int64(len(h)) {
+					n += int(h[v])
+				}
+			}
+			return n
+		case expr.Lt, expr.Le, expr.Gt, expr.Ge:
+			// Range over ordered dictionary codes: prefix-sum the histogram.
+			n := 0
+			switch p.Op {
+			case expr.Lt:
+				for v := int64(0); v < p.Literal && v < int64(len(h)); v++ {
+					n += int(h[v])
+				}
+			case expr.Le:
+				for v := int64(0); v <= p.Literal && v < int64(len(h)); v++ {
+					n += int(h[v])
+				}
+			case expr.Gt:
+				for v := p.Literal + 1; v < int64(len(h)); v++ {
+					if v >= 0 {
+						n += int(h[v])
+					}
+				}
+			case expr.Ge:
+				for v := p.Literal; v < int64(len(h)); v++ {
+					if v >= 0 {
+						n += int(h[v])
+					}
+				}
+			}
+			return n
+		}
+	}
+	if _, ok := c.sortedIdx[p.Col]; ok {
+		switch p.Op {
+		case expr.Lt:
+			return c.lowerBound(p.Col, p.Literal)
+		case expr.Le:
+			return c.upperBound(p.Col, p.Literal)
+		case expr.Gt:
+			return len(c.Rows) - c.upperBound(p.Col, p.Literal)
+		case expr.Ge:
+			return len(c.Rows) - c.lowerBound(p.Col, p.Literal)
+		case expr.Eq:
+			return c.upperBound(p.Col, p.Literal) - c.lowerBound(p.Col, p.Literal)
+		case expr.In:
+			n := 0
+			for _, v := range p.Set {
+				n += c.upperBound(p.Col, v) - c.lowerBound(p.Col, v)
+			}
+			return n
+		}
+	}
+	// Fallback: direct scan (column not indexed).
+	n := 0
+	col := c.tbl.Cols[p.Col]
+	for _, r := range c.Rows {
+		if p.EvalValue(col[r]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Split partitions the counter by the cut, producing child counters that
+// inherit sorted order (stable filter, O(rows) per indexed column) and
+// rebuilt histograms.
+func (c *Counter) Split(cut Cut, inLeft []bool) (left, right *Counter) {
+	// inLeft is scratch space indexed by global row id; caller provides a
+	// slice of len(tbl.N) to avoid re-allocating per split.
+	lrows := make([]int, 0, len(c.Rows)/2+1)
+	rrows := make([]int, 0, len(c.Rows)/2+1)
+	if cut.IsAdv {
+		ac := c.acs[cut.Adv]
+		lc, rc := c.tbl.Cols[ac.Left], c.tbl.Cols[ac.Right]
+		for _, r := range c.Rows {
+			take := false
+			switch ac.Op {
+			case expr.Lt:
+				take = lc[r] < rc[r]
+			case expr.Le:
+				take = lc[r] <= rc[r]
+			case expr.Gt:
+				take = lc[r] > rc[r]
+			case expr.Ge:
+				take = lc[r] >= rc[r]
+			case expr.Eq:
+				take = lc[r] == rc[r]
+			}
+			inLeft[r] = take
+			if take {
+				lrows = append(lrows, r)
+			} else {
+				rrows = append(rrows, r)
+			}
+		}
+	} else {
+		p := cut.Pred
+		col := c.tbl.Cols[p.Col]
+		for _, r := range c.Rows {
+			take := p.EvalValue(col[r])
+			inLeft[r] = take
+			if take {
+				lrows = append(lrows, r)
+			} else {
+				rrows = append(rrows, r)
+			}
+		}
+	}
+	left = &Counter{tbl: c.tbl, acs: c.acs, Rows: lrows,
+		sortedIdx: make(map[int][]int32, len(c.sortedIdx)),
+		hist:      make(map[int][]int32, len(c.hist))}
+	right = &Counter{tbl: c.tbl, acs: c.acs, Rows: rrows,
+		sortedIdx: make(map[int][]int32, len(c.sortedIdx)),
+		hist:      make(map[int][]int32, len(c.hist))}
+	for col, idx := range c.sortedIdx {
+		li := make([]int32, 0, len(lrows))
+		ri := make([]int32, 0, len(rrows))
+		for _, r := range idx {
+			if inLeft[r] {
+				li = append(li, r)
+			} else {
+				ri = append(ri, r)
+			}
+		}
+		left.sortedIdx[col] = li
+		right.sortedIdx[col] = ri
+	}
+	for col := range c.hist {
+		left.hist[col] = histogram(c.tbl, col, lrows)
+		right.hist[col] = histogram(c.tbl, col, rrows)
+	}
+	left.countAdv()
+	right.countAdv()
+	return left, right
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// bruteCount is the reference implementation of Counter.CountLeft.
+func bruteCount(tbl *table.Table, acs []expr.AdvCut, rows []int, c Cut) int {
+	n := 0
+	row := make([]int64, tbl.Schema.NumCols())
+	for _, r := range rows {
+		row = tbl.Row(r, row)
+		if c.Eval(row, acs) {
+			n++
+		}
+	}
+	return n
+}
+
+func counterFixture(seed int64) (*table.Table, []expr.AdvCut, []Cut) {
+	schema := table.MustSchema([]table.Column{
+		{Name: "n1", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "n2", Kind: table.Numeric, Min: 0, Max: 999},
+		{Name: "c1", Kind: table.Categorical, Dom: 6},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New(schema, 1500)
+	for i := 0; i < 1500; i++ {
+		tbl.AppendRow([]int64{int64(rng.Intn(100)), int64(rng.Intn(1000)), int64(rng.Intn(6))})
+	}
+	acs := []expr.AdvCut{{Left: 0, Op: expr.Lt, Right: 1}, {Left: 0, Op: expr.Eq, Right: 2}}
+	cuts := []Cut{
+		UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: 30}),
+		UnaryCut(expr.Pred{Col: 0, Op: expr.Le, Literal: 30}),
+		UnaryCut(expr.Pred{Col: 0, Op: expr.Gt, Literal: 70}),
+		UnaryCut(expr.Pred{Col: 0, Op: expr.Ge, Literal: 70}),
+		UnaryCut(expr.Pred{Col: 0, Op: expr.Eq, Literal: 50}),
+		UnaryCut(expr.Pred{Col: 1, Op: expr.Lt, Literal: 500}),
+		UnaryCut(expr.NewIn(0, []int64{5, 10, 15})),
+		UnaryCut(expr.Pred{Col: 2, Op: expr.Eq, Literal: 3}),
+		UnaryCut(expr.NewIn(2, []int64{0, 5})),
+		UnaryCut(expr.Pred{Col: 2, Op: expr.Lt, Literal: 3}),
+		UnaryCut(expr.Pred{Col: 2, Op: expr.Ge, Literal: 4}),
+		UnaryCut(expr.Pred{Col: 2, Op: expr.Le, Literal: 2}),
+		UnaryCut(expr.Pred{Col: 2, Op: expr.Gt, Literal: 1}),
+		AdvancedCut(0),
+		AdvancedCut(1),
+	}
+	return tbl, acs, cuts
+}
+
+func TestCounterMatchesBruteForce(t *testing.T) {
+	tbl, acs, cuts := counterFixture(1)
+	cnt := NewCounter(tbl, acs, cuts, nil)
+	all := make([]int, tbl.N)
+	for i := range all {
+		all[i] = i
+	}
+	for _, c := range cuts {
+		want := bruteCount(tbl, acs, all, c)
+		if got := cnt.CountLeft(c); got != want {
+			t.Errorf("cut %s: CountLeft=%d brute=%d", c.Key(), got, want)
+		}
+	}
+}
+
+func TestCounterSplitPreservesCounts(t *testing.T) {
+	tbl, acs, cuts := counterFixture(2)
+	cnt := NewCounter(tbl, acs, cuts, nil)
+	inLeft := make([]bool, tbl.N)
+	l, r := cnt.Split(cuts[0], inLeft)
+	if l.Size()+r.Size() != tbl.N {
+		t.Fatalf("sizes %d+%d != %d", l.Size(), r.Size(), tbl.N)
+	}
+	// Counts on children must still match brute force for every cut.
+	for _, c := range cuts {
+		if got, want := l.CountLeft(c), bruteCount(tbl, acs, l.Rows, c); got != want {
+			t.Errorf("left, cut %s: got %d want %d", c.Key(), got, want)
+		}
+		if got, want := r.CountLeft(c), bruteCount(tbl, acs, r.Rows, c); got != want {
+			t.Errorf("right, cut %s: got %d want %d", c.Key(), got, want)
+		}
+	}
+	// Deeper split: sorted order must survive two generations.
+	ll, lr := l.Split(cuts[5], inLeft)
+	for _, c := range cuts {
+		if got, want := ll.CountLeft(c), bruteCount(tbl, acs, ll.Rows, c); got != want {
+			t.Errorf("left-left, cut %s: got %d want %d", c.Key(), got, want)
+		}
+		if got, want := lr.CountLeft(c), bruteCount(tbl, acs, lr.Rows, c); got != want {
+			t.Errorf("left-right, cut %s: got %d want %d", c.Key(), got, want)
+		}
+	}
+}
+
+func TestCounterFallbackScan(t *testing.T) {
+	// A cut on a column absent from the indexed cut set must still count
+	// correctly via the fallback scan.
+	tbl, acs, cuts := counterFixture(3)
+	cnt := NewCounter(tbl, acs, cuts[:1], nil) // index only column 0
+	probe := UnaryCut(expr.Pred{Col: 1, Op: expr.Ge, Literal: 250})
+	all := make([]int, tbl.N)
+	for i := range all {
+		all[i] = i
+	}
+	if got, want := cnt.CountLeft(probe), bruteCount(tbl, acs, all, probe); got != want {
+		t.Errorf("fallback: got %d want %d", got, want)
+	}
+}
+
+// Property: CountLeft(cut) + CountLeft(complement) == Size for range cuts.
+func TestCounterComplementProperty(t *testing.T) {
+	tbl, acs, cuts := counterFixture(4)
+	cnt := NewCounter(tbl, acs, cuts, nil)
+	f := func(lit int64) bool {
+		lit = lit % 100
+		lt := cnt.CountLeft(UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: lit}))
+		ge := cnt.CountLeft(UnaryCut(expr.Pred{Col: 0, Op: expr.Ge, Literal: lit}))
+		return lt+ge == cnt.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCowChildrenMatchSplitDescs(t *testing.T) {
+	// CowChildren must produce descriptions equivalent to Tree.Split's.
+	tbl, acs, cuts := counterFixture(5)
+	for _, c := range cuts {
+		t1 := NewTree(tbl.Schema, acs)
+		l, r := t1.Split(t1.Root, c)
+		cl, cr := NewRootDesc(tbl.Schema, len(acs)).CowChildren(c)
+		if !descEqual(l.Desc, cl) || !descEqual(r.Desc, cr) {
+			t.Errorf("cut %s: COW children differ from Split children", c.Key())
+		}
+	}
+}
+
+func descEqual(a, b Desc) bool {
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return false
+		}
+	}
+	if len(a.Masks) != len(b.Masks) {
+		return false
+	}
+	for c, m := range a.Masks {
+		if !m.Equal(b.Masks[c]) {
+			return false
+		}
+	}
+	return a.AdvMay.Equal(b.AdvMay) && a.AdvMayNot.Equal(b.AdvMayNot)
+}

@@ -1,0 +1,73 @@
+package core
+
+import "repro/internal/expr"
+
+// CowChildren returns the left and right child descriptions produced by
+// applying cut c to d, sharing all unmodified bitset storage with the
+// parent (copy-on-write). Constructors evaluate hundreds of candidate cuts
+// per node (Sec. 4); this avoids deep-cloning every categorical mask per
+// candidate. The returned descriptions must be treated as immutable.
+func (d Desc) CowChildren(c Cut) (left, right Desc) {
+	left = Desc{
+		Lo:        append([]int64(nil), d.Lo...),
+		Hi:        append([]int64(nil), d.Hi...),
+		Masks:     d.Masks,
+		AdvMay:    d.AdvMay,
+		AdvMayNot: d.AdvMayNot,
+	}
+	right = Desc{
+		Lo:        append([]int64(nil), d.Lo...),
+		Hi:        append([]int64(nil), d.Hi...),
+		Masks:     d.Masks,
+		AdvMay:    d.AdvMay,
+		AdvMayNot: d.AdvMayNot,
+	}
+	if c.IsAdv {
+		ln := d.AdvMayNot.Clone()
+		ln.Clear(c.Adv)
+		left.AdvMayNot = ln
+		rm := d.AdvMay.Clone()
+		rm.Clear(c.Adv)
+		right.AdvMay = rm
+		return left, right
+	}
+	p := c.Pred
+	if m, isCat := d.Masks[p.Col]; isCat && (p.Op == expr.Eq || p.Op == expr.In) {
+		lm, rm := m.Clone(), m.Clone()
+		switch p.Op {
+		case expr.Eq:
+			keep := expr.NewBitset(m.Len())
+			if p.Literal >= 0 && p.Literal < int64(m.Len()) && m.Get(int(p.Literal)) {
+				keep.Set(int(p.Literal))
+			}
+			lm = keep
+			if p.Literal >= 0 && p.Literal < int64(m.Len()) {
+				rm.Clear(int(p.Literal))
+			}
+		case expr.In:
+			set := expr.NewBitset(m.Len())
+			for _, v := range p.Set {
+				if v >= 0 && v < int64(m.Len()) {
+					set.Set(int(v))
+				}
+			}
+			lm.IntersectWith(set)
+			rm.SubtractWith(set)
+		}
+		left.Masks = cowMaskMap(d.Masks, p.Col, lm)
+		right.Masks = cowMaskMap(d.Masks, p.Col, rm)
+		return left, right
+	}
+	left.restrict(p, true, nil)
+	right.restrict(p, false, nil)
+	return left, right
+}
+
+func cowMaskMap(masks map[int]*expr.Bitset, col int, replacement *expr.Bitset) map[int]*expr.Bitset {
+	out := make(map[int]*expr.Bitset, len(masks))
+	for c, m := range masks {
+		out[c] = m
+	}
+	out[col] = replacement
+	return out
+}

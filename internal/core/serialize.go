@@ -1,0 +1,200 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// The on-disk format is JSON: self-describing, diff-able, and sufficient
+// for trees of a few thousand nodes (Sec. 7 trees have O(100)–O(1000)
+// leaves). The schema travels with the tree so a deployed router needs no
+// side channel.
+
+type colJSON struct {
+	Name string   `json:"name"`
+	Kind int      `json:"kind"`
+	Dom  int64    `json:"dom,omitempty"`
+	Min  int64    `json:"min,omitempty"`
+	Max  int64    `json:"max,omitempty"`
+	Dict []string `json:"dict,omitempty"`
+}
+
+type acJSON struct {
+	Left  int `json:"left"`
+	Op    int `json:"op"`
+	Right int `json:"right"`
+}
+
+type predJSON struct {
+	Col     int     `json:"col"`
+	Op      int     `json:"op"`
+	Literal int64   `json:"lit,omitempty"`
+	Set     []int64 `json:"set,omitempty"`
+}
+
+type maskJSON struct {
+	Col   int      `json:"col"`
+	Bits  int      `json:"bits"`
+	Words []uint64 `json:"words"`
+}
+
+type nodeJSON struct {
+	ID      int        `json:"id"`
+	Left    int        `json:"left"`  // node index or -1
+	Right   int        `json:"right"` // node index or -1
+	IsAdv   bool       `json:"isAdv,omitempty"`
+	Adv     int        `json:"adv,omitempty"`
+	Pred    *predJSON  `json:"pred,omitempty"`
+	BlockID int        `json:"blockId"`
+	Count   int        `json:"count"`
+	Depth   int        `json:"depth"`
+	Lo      []int64    `json:"lo"`
+	Hi      []int64    `json:"hi"`
+	Masks   []maskJSON `json:"masks,omitempty"`
+	AdvMay  []uint64   `json:"advMay,omitempty"`
+	AdvNot  []uint64   `json:"advNot,omitempty"`
+}
+
+type treeJSON struct {
+	Version int        `json:"version"`
+	Columns []colJSON  `json:"columns"`
+	ACs     []acJSON   `json:"acs,omitempty"`
+	Nodes   []nodeJSON `json:"nodes"`
+}
+
+// Marshal serializes the tree (including its schema) to JSON.
+func (t *Tree) Marshal() ([]byte, error) {
+	tj := treeJSON{Version: 1}
+	for _, c := range t.Schema.Cols {
+		tj.Columns = append(tj.Columns, colJSON{
+			Name: c.Name, Kind: int(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max, Dict: c.Dict,
+		})
+	}
+	for _, ac := range t.ACs {
+		tj.ACs = append(tj.ACs, acJSON{Left: ac.Left, Op: int(ac.Op), Right: ac.Right})
+	}
+	t.Leaves()
+	index := make(map[*Node]int)
+	t.Walk(func(n *Node) {
+		index[n] = len(index)
+		tj.Nodes = append(tj.Nodes, nodeJSON{})
+	})
+	i := 0
+	t.Walk(func(n *Node) {
+		nj := nodeJSON{
+			ID: n.ID, Left: -1, Right: -1,
+			BlockID: n.BlockID, Count: n.Count, Depth: n.Depth,
+			Lo: n.Desc.Lo, Hi: n.Desc.Hi,
+		}
+		if n.Left != nil {
+			nj.Left = index[n.Left]
+			nj.Right = index[n.Right]
+			if n.Cut.IsAdv {
+				nj.IsAdv, nj.Adv = true, n.Cut.Adv
+			} else {
+				p := n.Cut.Pred
+				nj.Pred = &predJSON{Col: p.Col, Op: int(p.Op), Literal: p.Literal, Set: p.Set}
+			}
+		}
+		for c, m := range n.Desc.Masks {
+			nj.Masks = append(nj.Masks, maskJSON{Col: c, Bits: m.Len(), Words: m.Words()})
+		}
+		if n.Desc.AdvMay != nil && n.Desc.AdvMay.Len() > 0 {
+			nj.AdvMay = n.Desc.AdvMay.Words()
+			nj.AdvNot = n.Desc.AdvMayNot.Words()
+		}
+		tj.Nodes[i] = nj
+		i++
+	})
+	return json.Marshal(tj)
+}
+
+// Unmarshal reconstructs a tree from Marshal output.
+func Unmarshal(data []byte) (*Tree, error) {
+	var tj treeJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("core: decode tree: %w", err)
+	}
+	if tj.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported tree version %d", tj.Version)
+	}
+	cols := make([]table.Column, len(tj.Columns))
+	for i, c := range tj.Columns {
+		cols[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max, Dict: c.Dict}
+	}
+	schema, err := table.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	acs := make([]expr.AdvCut, len(tj.ACs))
+	for i, a := range tj.ACs {
+		acs[i] = expr.AdvCut{Left: a.Left, Op: expr.Op(a.Op), Right: a.Right}
+	}
+	if len(tj.Nodes) == 0 {
+		return nil, fmt.Errorf("core: tree has no nodes")
+	}
+	nodes := make([]*Node, len(tj.Nodes))
+	maxID := 0
+	for i, nj := range tj.Nodes {
+		d := Desc{
+			Lo:        append([]int64(nil), nj.Lo...),
+			Hi:        append([]int64(nil), nj.Hi...),
+			Masks:     make(map[int]*expr.Bitset),
+			AdvMay:    expr.NewFullBitset(len(acs)),
+			AdvMayNot: expr.NewFullBitset(len(acs)),
+		}
+		for _, m := range nj.Masks {
+			d.Masks[m.Col] = expr.FromWords(m.Bits, m.Words)
+		}
+		if nj.AdvMay != nil {
+			d.AdvMay = expr.FromWords(len(acs), nj.AdvMay)
+			d.AdvMayNot = expr.FromWords(len(acs), nj.AdvNot)
+		}
+		nodes[i] = &Node{ID: nj.ID, BlockID: nj.BlockID, Count: nj.Count, Depth: nj.Depth, Desc: d}
+		if nj.ID >= maxID {
+			maxID = nj.ID + 1
+		}
+	}
+	for i, nj := range tj.Nodes {
+		if nj.Left < 0 {
+			continue
+		}
+		if nj.Left >= len(nodes) || nj.Right >= len(nodes) {
+			return nil, fmt.Errorf("core: node %d has out-of-range child", i)
+		}
+		nodes[i].Left, nodes[i].Right = nodes[nj.Left], nodes[nj.Right]
+		var cut Cut
+		if nj.IsAdv {
+			cut = AdvancedCut(nj.Adv)
+		} else if nj.Pred != nil {
+			cut = UnaryCut(expr.Pred{Col: nj.Pred.Col, Op: expr.Op(nj.Pred.Op), Literal: nj.Pred.Literal, Set: nj.Pred.Set})
+		} else {
+			return nil, fmt.Errorf("core: internal node %d missing cut", i)
+		}
+		nodes[i].Cut = &cut
+	}
+	return &Tree{Schema: schema, ACs: acs, Root: nodes[0], nextID: maxID}, nil
+}
+
+// Save writes the tree to w as JSON.
+func (t *Tree) Save(w io.Writer) error {
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Load reads a tree previously written by Save.
+func Load(r io.Reader) (*Tree, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

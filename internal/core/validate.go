@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Validate checks the structural invariants of a qd-tree:
+//
+//   - every internal node has exactly two children and a cut referencing
+//     a valid column or advanced-cut index;
+//   - node IDs are unique;
+//   - child descriptions are contained in their parent's (cuts only ever
+//     restrict a subspace — this is what makes skipping monotone);
+//   - leaf block IDs are dense 0..k-1 in left-to-right order;
+//   - when counts are populated, each internal node's count equals the
+//     sum of its children's.
+//
+// Deserialized or hand-assembled trees should be validated before
+// deployment; constructors produce valid trees by construction.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("core: tree has no root")
+	}
+	seen := make(map[int]bool)
+	leafID := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if seen[n.ID] {
+			return fmt.Errorf("core: duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		if (n.Left == nil) != (n.Right == nil) {
+			return fmt.Errorf("core: node %d has exactly one child", n.ID)
+		}
+		if n.IsLeaf() {
+			if n.Left != nil {
+				return fmt.Errorf("core: leaf %d has children", n.ID)
+			}
+			if n.BlockID != leafID {
+				return fmt.Errorf("core: leaf %d has block ID %d, want %d (left-to-right dense)", n.ID, n.BlockID, leafID)
+			}
+			leafID++
+			return nil
+		}
+		if n.Left == nil {
+			return fmt.Errorf("core: internal node %d missing children", n.ID)
+		}
+		if n.Cut.IsAdv {
+			if n.Cut.Adv < 0 || n.Cut.Adv >= len(t.ACs) {
+				return fmt.Errorf("core: node %d cut references AC%d of %d", n.ID, n.Cut.Adv, len(t.ACs))
+			}
+		} else {
+			col := n.Cut.Pred.Col
+			if col < 0 || col >= t.Schema.NumCols() {
+				return fmt.Errorf("core: node %d cut on column %d of %d", n.ID, col, t.Schema.NumCols())
+			}
+		}
+		for _, child := range []*Node{n.Left, n.Right} {
+			if err := descContained(child.Desc, n.Desc); err != nil {
+				return fmt.Errorf("core: node %d child %d: %w", n.ID, child.ID, err)
+			}
+			if child.Depth != n.Depth+1 {
+				return fmt.Errorf("core: node %d child %d depth %d, want %d", n.ID, child.ID, child.Depth, n.Depth+1)
+			}
+		}
+		if n.Count != 0 && n.Left.Count+n.Right.Count != n.Count {
+			return fmt.Errorf("core: node %d count %d != children %d+%d",
+				n.ID, n.Count, n.Left.Count, n.Right.Count)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(t.Root)
+}
+
+// descContained verifies child ⊆ parent for every description component.
+func descContained(child, parent Desc) error {
+	for c := range child.Lo {
+		// Empty child intervals are fine (provably empty leaf).
+		if child.Lo[c] >= child.Hi[c] {
+			continue
+		}
+		if child.Lo[c] < parent.Lo[c] || child.Hi[c] > parent.Hi[c] {
+			return fmt.Errorf("interval [%d,%d) of column %d escapes parent [%d,%d)",
+				child.Lo[c], child.Hi[c], c, parent.Lo[c], parent.Hi[c])
+		}
+	}
+	for c, m := range child.Masks {
+		pm, ok := parent.Masks[c]
+		if !ok {
+			return fmt.Errorf("mask for column %d missing on parent", c)
+		}
+		probe := m.Clone()
+		probe.SubtractWith(pm)
+		if probe.Any() {
+			return fmt.Errorf("mask of column %d has bits outside parent", c)
+		}
+	}
+	probe := child.AdvMay.Clone()
+	probe.SubtractWith(parent.AdvMay)
+	if probe.Any() {
+		return fmt.Errorf("advMay escapes parent")
+	}
+	probe = child.AdvMayNot.Clone()
+	probe.SubtractWith(parent.AdvMayNot)
+	if probe.Any() {
+		return fmt.Errorf("advMayNot escapes parent")
+	}
+	return nil
+}
+
+// CheckSchema verifies that a table is compatible with the tree's schema
+// (same column count, kinds, and categorical domains) before routing.
+func (t *Tree) CheckSchema(tbl *table.Table) error {
+	if tbl.Schema.NumCols() != t.Schema.NumCols() {
+		return fmt.Errorf("core: table has %d columns, tree has %d", tbl.Schema.NumCols(), t.Schema.NumCols())
+	}
+	for c := range t.Schema.Cols {
+		tc, oc := t.Schema.Cols[c], tbl.Schema.Cols[c]
+		if tc.Kind != oc.Kind {
+			return fmt.Errorf("core: column %q kind mismatch (%v vs %v)", tc.Name, oc.Kind, tc.Kind)
+		}
+		if tc.Kind == table.Categorical && tc.Dom != oc.Dom {
+			return fmt.Errorf("core: column %q domain mismatch (%d vs %d)", tc.Name, oc.Dom, tc.Dom)
+		}
+	}
+	return nil
+}

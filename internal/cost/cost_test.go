@@ -1,0 +1,172 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+func fixture(seed int64) (*table.Table, []expr.Query) {
+	schema := table.MustSchema([]table.Column{
+		{Name: "v", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "k", Kind: table.Categorical, Dom: 4},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New(schema, 1000)
+	for i := 0; i < 1000; i++ {
+		tbl.AppendRow([]int64{int64(rng.Intn(100)), int64(rng.Intn(4))})
+	}
+	queries := []expr.Query{
+		expr.AndQ("low", expr.Pred{Col: 0, Op: expr.Lt, Literal: 25}),
+		expr.AndQ("k2", expr.Pred{Col: 1, Op: expr.Eq, Literal: 2}),
+		expr.AndQ("both",
+			expr.Pred{Col: 0, Op: expr.Ge, Literal: 50},
+			expr.Pred{Col: 1, Op: expr.Eq, Literal: 0}),
+	}
+	return tbl, queries
+}
+
+func TestBuildDescsSoundness(t *testing.T) {
+	// Every row must satisfy its own block's description (min-max + mask).
+	tbl, _ := fixture(1)
+	bids := make([]int, tbl.N)
+	for i := range bids {
+		bids[i] = i % 4
+	}
+	descs, counts := BuildDescs(tbl, bids, 4, nil)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tbl.N {
+		t.Fatalf("counts sum %d != %d", total, tbl.N)
+	}
+	row := make([]int64, 2)
+	for r := 0; r < tbl.N; r++ {
+		row = tbl.Row(r, row)
+		d := descs[bids[r]]
+		if row[0] < d.Lo[0] || row[0] >= d.Hi[0] {
+			t.Fatalf("row %d outside block interval", r)
+		}
+		if !d.Masks[1].Get(int(row[1])) {
+			t.Fatalf("row %d categorical value missing from mask", r)
+		}
+	}
+}
+
+func TestAccessedNeverBelowTrueMatches(t *testing.T) {
+	// Skipping is conservative: blocks scanned for q must contain every
+	// matching row, so AccessedTuples >= exact match count.
+	tbl, queries := fixture(2)
+	bids := make([]int, tbl.N)
+	for i := range bids {
+		bids[i] = (i / 250) % 4
+	}
+	layout := NewLayout("test", tbl, bids, 4, nil)
+	matches := PerQueryMatches(tbl, queries, nil)
+	for i, q := range queries {
+		if acc := layout.AccessedTuples(q); acc < matches[i] {
+			t.Errorf("%s: accessed %d < true matches %d", q.Name, acc, matches[i])
+		}
+	}
+}
+
+func TestAccessedFractionBounds(t *testing.T) {
+	tbl, queries := fixture(3)
+	// Single block: every query touches everything -> fraction 1.
+	bids := make([]int, tbl.N)
+	layout := NewLayout("one", tbl, bids, 1, nil)
+	if f := layout.AccessedFraction(queries); f != 1.0 {
+		t.Errorf("single block fraction = %.3f, want 1.0", f)
+	}
+	sel := Selectivity(tbl, queries, nil)
+	if sel <= 0 || sel >= 1 {
+		t.Fatalf("selectivity = %f out of range", sel)
+	}
+	// Selectivity is the lower bound of any layout's fraction.
+	if f := layout.AccessedFraction(queries); f < sel {
+		t.Error("fraction below selectivity lower bound")
+	}
+}
+
+func TestSkippedPlusAccessedIsTotal(t *testing.T) {
+	tbl, queries := fixture(4)
+	bids := make([]int, tbl.N)
+	for i := range bids {
+		bids[i] = i % 8
+	}
+	layout := NewLayout("eight", tbl, bids, 8, nil)
+	var acc int64
+	for _, q := range queries {
+		acc += layout.AccessedTuples(q)
+	}
+	want := int64(tbl.N)*int64(len(queries)) - acc
+	if got := layout.SkippedTuples(queries); got != want {
+		t.Errorf("SkippedTuples = %d, want %d", got, want)
+	}
+}
+
+func TestFromTreeLayoutAgreesWithTreeRouting(t *testing.T) {
+	tbl, queries := fixture(5)
+	tree := core.NewTree(tbl.Schema, nil)
+	l, _ := tree.Split(tree.Root, core.UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: 50}))
+	tree.Split(l, core.UnaryCut(expr.Pred{Col: 1, Op: expr.Eq, Literal: 2}))
+	layout := FromTree("tree", tree, tbl)
+	if layout.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d", layout.NumBlocks())
+	}
+	// The layout's BlocksFor must agree with the tree's QueryBlocks.
+	for _, q := range queries {
+		a := layout.BlocksFor(q)
+		b := tree.QueryBlocks(q)
+		if len(a) != len(b) {
+			t.Fatalf("%s: layout %v vs tree %v", q.Name, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: layout %v vs tree %v", q.Name, a, b)
+			}
+		}
+	}
+}
+
+func TestExtraSkipHonored(t *testing.T) {
+	tbl, queries := fixture(6)
+	bids := make([]int, tbl.N) // all rows in block 0
+	layout := NewLayout("x", tbl, bids, 1, nil)
+	layout.ExtraSkip = func(block int, q expr.Query) bool { return true }
+	if got := layout.AccessedTuples(queries[0]); got != 0 {
+		t.Errorf("ExtraSkip ignored: accessed %d", got)
+	}
+}
+
+func TestEvaluatorSkippedQueries(t *testing.T) {
+	tbl, queries := fixture(7)
+	ev := &Evaluator{Queries: queries}
+	d := core.NewRootDesc(tbl.Schema, 0)
+	if ev.SkippedQueries(d) != 0 {
+		t.Error("root desc must skip nothing")
+	}
+	// Restrict to v in [30,40): skips "low" (v<25) and "both" (v>=50).
+	d.Lo[0], d.Hi[0] = 30, 40
+	if got := ev.SkippedQueries(d); got != 2 {
+		t.Errorf("SkippedQueries = %d, want 2", got)
+	}
+	if got := ev.BlockSkip(d, 10); got != 20 {
+		t.Errorf("BlockSkip = %d, want 20", got)
+	}
+}
+
+func TestEmptyWorkloadAndTable(t *testing.T) {
+	tbl, _ := fixture(8)
+	layout := NewLayout("x", tbl, make([]int, tbl.N), 1, nil)
+	if layout.AccessedFraction(nil) != 0 {
+		t.Error("empty workload fraction must be 0")
+	}
+	if Selectivity(tbl, nil, nil) != 0 {
+		t.Error("empty workload selectivity must be 0")
+	}
+}

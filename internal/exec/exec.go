@@ -1,0 +1,306 @@
+// Package exec is the scan-oriented query execution engine used to turn
+// logical skipping into "physical" runtimes (Sec. 7.4.1, 7.5.1). It reads
+// candidate blocks from a blockstore, evaluates the query's filter over
+// them, and accounts rows/bytes/blocks plus a deterministic simulated time
+// under an engine profile.
+//
+// Two profiles model the paper's engines:
+//
+//   - EngineSpark: row-group scanning over Parquet-like files — every
+//     referenced block is read in full (all columns).
+//   - EngineDBMS: a columnar DBMS — only the columns the query touches are
+//     read (late materialization), with a lower per-row CPU cost.
+//
+// Simulated time is seek + bytes/bandwidth + rows×CPU, the same mechanism
+// that drives the paper's wall-clock results; absolute seconds are not
+// comparable to the paper's cluster, but layout orderings and ratios are.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/cost"
+	"repro/internal/expr"
+)
+
+// Profile models one execution engine.
+type Profile struct {
+	Name     string
+	Columnar bool          // read only referenced columns
+	SeekCost time.Duration // per block touched
+	ByteCost time.Duration // per byte read (I/O)
+	RowCost  time.Duration // per row filtered (CPU)
+}
+
+// EngineSpark approximates the distributed-Spark-over-Parquet setup of
+// Fig. 5a: full block reads, per-block open overhead (remote blob store),
+// moderate CPU cost. SeekCost is calibrated so that, at this repo's
+// benchmark block sizes (10²–10³ rows vs the paper's 10⁵–10⁶), the
+// seek:scan cost ratio matches the paper's testbed (~1–2% of a block
+// read); with the paper's 8ms-per-54MB-block overheads applied to tiny
+// blocks, seek time would swamp scan time and invert every comparison.
+var EngineSpark = Profile{
+	Name:     "spark",
+	Columnar: false,
+	SeekCost: 50 * time.Microsecond,
+	ByteCost: 10 * time.Nanosecond, // ~100 MB/s effective scan bandwidth
+	RowCost:  25 * time.Nanosecond,
+}
+
+// EngineDBMS approximates the single-node commercial columnar DBMS of
+// Fig. 5b: column-pruned reads from local SSD, low per-block overhead
+// (same block-size calibration note as EngineSpark).
+var EngineDBMS = Profile{
+	Name:     "dbms",
+	Columnar: true,
+	SeekCost: 5 * time.Microsecond,
+	ByteCost: 2 * time.Nanosecond, // ~500 MB/s
+	RowCost:  10 * time.Nanosecond,
+}
+
+// Result reports one query execution.
+type Result struct {
+	Query         string
+	BlocksScanned int
+	RowsScanned   int64
+	RowsMatched   int64
+	BytesRead     int64
+	SimTime       time.Duration // deterministic cost-model time
+	WallTime      time.Duration // measured wall clock of the scan
+}
+
+// Mode selects how candidate blocks are pruned.
+type Mode int
+
+const (
+	// RouteQdTree uses the layout's full semantic descriptions plus any
+	// ExtraSkip — the "qd-tree routing" path that adds BID IN (...)
+	// (Sec. 3.3).
+	RouteQdTree Mode = iota
+	// NoRoute uses only per-block min-max intervals (SMA / zone maps) —
+	// the paper's "no route" configuration where the engine's default
+	// partition pruning is the only skipping.
+	NoRoute
+)
+
+// Run executes query q over the store under the given layout and profile.
+func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode) (Result, error) {
+	res := Result{Query: q.Name}
+	var candidates []int
+	switch mode {
+	case RouteQdTree:
+		candidates = layout.BlocksFor(q)
+	case NoRoute:
+		for b := range layout.Descs {
+			if layout.Counts[b] == 0 {
+				continue
+			}
+			if minMaxMayMatch(layout.Descs[b].Lo, layout.Descs[b].Hi, q) {
+				candidates = append(candidates, b)
+			}
+		}
+	default:
+		return res, fmt.Errorf("exec: unknown mode %d", mode)
+	}
+	var needCols []int
+	if prof.Columnar {
+		needCols = queryColumns(q, acs)
+	}
+	start := time.Now()
+	for _, b := range candidates {
+		data, nrows, nbytes, err := store.ReadColumns(b, needCols)
+		if err != nil {
+			return res, err
+		}
+		if data == nil {
+			continue
+		}
+		res.BlocksScanned++
+		res.RowsScanned += int64(nrows)
+		res.BytesRead += nbytes
+		res.RowsMatched += int64(countMatches(q, acs, data, nrows))
+	}
+	res.WallTime = time.Since(start)
+	res.SimTime = time.Duration(res.BlocksScanned)*prof.SeekCost +
+		time.Duration(res.BytesRead)*prof.ByteCost +
+		time.Duration(res.RowsScanned)*prof.RowCost
+	return res, nil
+}
+
+// RunWorkload executes every query and returns per-query results plus the
+// aggregate simulated time.
+func RunWorkload(store *blockstore.Store, layout *cost.Layout, w []expr.Query, acs []expr.AdvCut, prof Profile, mode Mode) ([]Result, time.Duration, error) {
+	out := make([]Result, 0, len(w))
+	var total time.Duration
+	for _, q := range w {
+		r, err := Run(store, layout, q, acs, prof, mode)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, r)
+		total += r.SimTime
+	}
+	return out, total, nil
+}
+
+// minMaxMayMatch is SMA-only pruning: each predicate is checked against
+// the block's per-column interval; categorical masks and advanced-cut bits
+// are unavailable (the "no route" path lacks dictionaries, Sec. 7.5.1).
+func minMaxMayMatch(lo, hi []int64, q expr.Query) bool {
+	if q.Root == nil {
+		return true
+	}
+	var rec func(n *expr.Node) bool
+	rec = func(n *expr.Node) bool {
+		switch n.Kind {
+		case expr.KindPred:
+			p := n.Pred
+			l, h := lo[p.Col], hi[p.Col] // [l, h)
+			if l >= h {
+				return false
+			}
+			switch p.Op {
+			case expr.Lt:
+				return l < p.Literal
+			case expr.Le:
+				return l <= p.Literal
+			case expr.Gt:
+				return h-1 > p.Literal
+			case expr.Ge:
+				return h-1 >= p.Literal
+			case expr.Eq:
+				return p.Literal >= l && p.Literal < h
+			case expr.In:
+				for _, v := range p.Set {
+					if v >= l && v < h {
+						return true
+					}
+				}
+				return false
+			}
+			return true
+		case expr.KindAdv:
+			return true // no advanced-cut metadata without routing
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if !rec(c) {
+					return false
+				}
+			}
+			return true
+		case expr.KindOr:
+			for _, c := range n.Children {
+				if rec(c) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return rec(q.Root)
+}
+
+// queryColumns returns the sorted distinct columns the query reads.
+func queryColumns(q expr.Query, acs []expr.AdvCut) []int {
+	seen := make(map[int]bool)
+	for _, p := range q.Preds() {
+		seen[p.Col] = true
+	}
+	for _, a := range q.AdvRefs() {
+		if a < len(acs) {
+			seen[acs[a].Left] = true
+			seen[acs[a].Right] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	// Insertion sort: the sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// countMatches evaluates the filter vectorized over block columns.
+func countMatches(q expr.Query, acs []expr.AdvCut, data [][]int64, nrows int) int {
+	sel := evalNode(q.Root, acs, data, nrows)
+	if sel == nil {
+		return nrows
+	}
+	n := 0
+	for _, ok := range sel {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// evalNode returns the selection vector of an AST node (nil = all rows).
+func evalNode(n *expr.Node, acs []expr.AdvCut, data [][]int64, nrows int) []bool {
+	if n == nil {
+		return nil
+	}
+	switch n.Kind {
+	case expr.KindPred:
+		sel := make([]bool, nrows)
+		for i := range sel {
+			sel[i] = true
+		}
+		n.Pred.EvalColumn(data[n.Pred.Col], sel)
+		return sel
+	case expr.KindAdv:
+		ac := acs[n.Adv]
+		sel := make([]bool, nrows)
+		lc, rc := data[ac.Left], data[ac.Right]
+		for i := 0; i < nrows; i++ {
+			switch ac.Op {
+			case expr.Lt:
+				sel[i] = lc[i] < rc[i]
+			case expr.Le:
+				sel[i] = lc[i] <= rc[i]
+			case expr.Gt:
+				sel[i] = lc[i] > rc[i]
+			case expr.Ge:
+				sel[i] = lc[i] >= rc[i]
+			case expr.Eq:
+				sel[i] = lc[i] == rc[i]
+			}
+		}
+		return sel
+	case expr.KindAnd:
+		var sel []bool
+		for _, c := range n.Children {
+			cs := evalNode(c, acs, data, nrows)
+			if sel == nil {
+				sel = cs
+				continue
+			}
+			for i := range sel {
+				sel[i] = sel[i] && cs[i]
+			}
+		}
+		return sel
+	case expr.KindOr:
+		var sel []bool
+		for _, c := range n.Children {
+			cs := evalNode(c, acs, data, nrows)
+			if sel == nil {
+				sel = cs
+				continue
+			}
+			for i := range sel {
+				sel[i] = sel[i] || cs[i]
+			}
+		}
+		return sel
+	}
+	return nil
+}

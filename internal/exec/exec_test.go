@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/cost"
+	"repro/internal/greedy"
+	"repro/internal/workload"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+// fixture builds a greedy qd-tree layout over Fig3 and materializes it.
+func fixture(t *testing.T) (*blockstore.Store, *cost.Layout, *workload.Spec) {
+	t.Helper()
+	spec := workload.Fig3(5000, 1)
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: 50, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := cost.FromTree("greedy", tree, spec.Table)
+	st, err := blockstore.Write(t.TempDir(), spec.Table, layout.BIDs, layout.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, layout, spec
+}
+
+func TestRunMatchesExactCounts(t *testing.T) {
+	st, layout, spec := fixture(t)
+	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	for i, q := range spec.Queries {
+		res, err := Run(st, layout, q, spec.ACs, EngineSpark, RouteQdTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsMatched != exact[i] {
+			t.Errorf("%s: matched %d, exact %d", q.Name, res.RowsMatched, exact[i])
+		}
+		if res.RowsScanned < res.RowsMatched {
+			t.Errorf("%s: scanned %d < matched %d", q.Name, res.RowsScanned, res.RowsMatched)
+		}
+		if res.RowsScanned != layout.AccessedTuples(q) {
+			t.Errorf("%s: engine scanned %d, layout model says %d", q.Name, res.RowsScanned, layout.AccessedTuples(q))
+		}
+	}
+}
+
+func TestNoRouteNeverMissesMatches(t *testing.T) {
+	st, layout, spec := fixture(t)
+	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	for i, q := range spec.Queries {
+		res, err := Run(st, layout, q, spec.ACs, EngineSpark, NoRoute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsMatched != exact[i] {
+			t.Errorf("%s: no-route matched %d, exact %d", q.Name, res.RowsMatched, exact[i])
+		}
+	}
+}
+
+func TestRoutingNeverScansMoreThanNoRoute(t *testing.T) {
+	st, layout, spec := fixture(t)
+	for _, q := range spec.Queries {
+		routed, err := Run(st, layout, q, spec.ACs, EngineSpark, RouteQdTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Run(st, layout, q, spec.ACs, EngineSpark, NoRoute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if routed.BlocksScanned > plain.BlocksScanned {
+			t.Errorf("%s: routing scanned %d blocks, no-route %d", q.Name, routed.BlocksScanned, plain.BlocksScanned)
+		}
+	}
+}
+
+func TestColumnarProfileReadsFewerBytes(t *testing.T) {
+	st, layout, spec := fixture(t)
+	q := spec.Queries[1] // single-column query
+	full, err := Run(st, layout, q, spec.ACs, EngineSpark, RouteQdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Run(st, layout, q, spec.ACs, EngineDBMS, RouteQdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.BytesRead >= full.BytesRead {
+		t.Errorf("columnar read %d bytes, full read %d", pruned.BytesRead, full.BytesRead)
+	}
+	if pruned.RowsMatched != full.RowsMatched {
+		t.Error("profiles disagree on matches")
+	}
+}
+
+func TestSimTimeMonotoneInWork(t *testing.T) {
+	st, layout, spec := fixture(t)
+	// The full-scan query Q1 must cost at least as much as selective Q2.
+	r1, err := Run(st, layout, spec.Queries[0], spec.ACs, EngineSpark, RouteQdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(st, layout, spec.Queries[1], spec.ACs, EngineSpark, RouteQdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RowsScanned < r2.RowsScanned {
+		t.Skip("layout made Q1 cheaper; skip ordering check")
+	}
+	if r1.SimTime < r2.SimTime {
+		t.Errorf("sim time not monotone: %v for %d rows vs %v for %d rows",
+			r1.SimTime, r1.RowsScanned, r2.SimTime, r2.RowsScanned)
+	}
+}
+
+func TestRunWorkloadAggregates(t *testing.T) {
+	st, layout, spec := fixture(t)
+	results, total, err := RunWorkload(st, layout, spec.Queries, spec.ACs, EngineDBMS, RouteQdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(spec.Queries) {
+		t.Fatalf("results = %d", len(results))
+	}
+	var sum int64
+	for _, r := range results {
+		sum += int64(r.SimTime)
+	}
+	if int64(total) != sum {
+		t.Error("aggregate sim time mismatch")
+	}
+}
+
+func TestQueryColumnsIncludesACs(t *testing.T) {
+	spec := workload.TPCH(workload.TPCHConfig{Rows: 100, SeedsPerTmpl: 1, Seed: 1})
+	for _, q := range spec.Queries {
+		cols := queryColumns(q, spec.ACs)
+		for _, a := range q.AdvRefs() {
+			foundL, foundR := false, false
+			for _, c := range cols {
+				if c == spec.ACs[a].Left {
+					foundL = true
+				}
+				if c == spec.ACs[a].Right {
+					foundR = true
+				}
+			}
+			if !foundL || !foundR {
+				t.Fatalf("%s: AC%d columns missing from read set", q.Name, a)
+			}
+		}
+		// Sorted and unique.
+		for i := 1; i < len(cols); i++ {
+			if cols[i] <= cols[i-1] {
+				t.Fatalf("%s: column set not sorted/unique: %v", q.Name, cols)
+			}
+		}
+	}
+}
+
+func TestMinMaxMayMatchCases(t *testing.T) {
+	lo := []int64{10, 0}
+	hi := []int64{20, 5} // col0 in [10,20), col1 in [0,5)
+	cases := []struct {
+		q    expr.Query
+		want bool
+	}{
+		{expr.AndQ("lt-in", expr.Pred{Col: 0, Op: expr.Lt, Literal: 15}), true},
+		{expr.AndQ("lt-out", expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}), false},
+		{expr.AndQ("le-edge", expr.Pred{Col: 0, Op: expr.Le, Literal: 10}), true},
+		{expr.AndQ("gt-in", expr.Pred{Col: 0, Op: expr.Gt, Literal: 18}), true},
+		{expr.AndQ("gt-out", expr.Pred{Col: 0, Op: expr.Gt, Literal: 19}), false},
+		{expr.AndQ("ge-edge", expr.Pred{Col: 0, Op: expr.Ge, Literal: 19}), true},
+		{expr.AndQ("eq-in", expr.Pred{Col: 0, Op: expr.Eq, Literal: 12}), true},
+		{expr.AndQ("eq-out", expr.Pred{Col: 0, Op: expr.Eq, Literal: 25}), false},
+		{expr.AndQ("in-hit", expr.NewIn(0, []int64{1, 2, 15})), true},
+		{expr.AndQ("in-miss", expr.NewIn(0, []int64{1, 2, 35})), false},
+		{expr.Query{Name: "or", Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}),
+			expr.NewPred(expr.Pred{Col: 1, Op: expr.Lt, Literal: 3}))}, true},
+		{expr.Query{Name: "adv", Root: expr.NewAdv(0)}, true}, // no AC metadata: conservative
+		{expr.Query{Name: "nil"}, true},
+	}
+	for _, c := range cases {
+		if got := minMaxMayMatch(lo, hi, c.q); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.q.Name, got, c.want)
+		}
+	}
+	// Empty interval prunes everything.
+	if minMaxMayMatch([]int64{5, 0}, []int64{5, 5}, cases[0].q) {
+		t.Error("empty interval must prune")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	st, layout, spec := fixture(t)
+	if _, err := Run(st, layout, spec.Queries[0], spec.ACs, EngineSpark, Mode(99)); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+func TestNoRouteOnFullScanQueryReadsEverything(t *testing.T) {
+	st, layout, spec := fixture(t)
+	full := expr.Query{Name: "full"} // nil root matches all rows
+	res, err := Run(st, layout, full, spec.ACs, EngineSpark, NoRoute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned != int64(spec.Table.N) {
+		t.Errorf("full scan read %d of %d rows", res.RowsScanned, spec.Table.N)
+	}
+	if res.RowsMatched != int64(spec.Table.N) {
+		t.Errorf("full scan matched %d of %d rows", res.RowsMatched, spec.Table.N)
+	}
+}

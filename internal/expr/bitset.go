@@ -1,0 +1,120 @@
+package expr
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector used for categorical-column masks
+// and advanced-cut vectors in qd-tree node descriptions (paper Table 1).
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset returns a bitset of n bits, all zero.
+func NewBitset(n int) *Bitset {
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// NewFullBitset returns a bitset of n bits, all one.
+func NewFullBitset(n int) *Bitset {
+	b := NewBitset(n)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (uint64(1) << uint(r)) - 1
+	}
+	return b
+}
+
+// Len returns the bit capacity.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i to one.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear sets bit i to zero.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	return &Bitset{n: b.n, words: append([]uint64(nil), b.words...)}
+}
+
+// IntersectWith zeroes every bit of b not set in other.
+func (b *Bitset) IntersectWith(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// SubtractWith zeroes every bit of b that is set in other.
+func (b *Bitset) SubtractWith(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// UnionWith sets every bit of b that is set in other.
+func (b *Bitset) UnionWith(other *Bitset) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Intersects reports whether b and other share any set bit.
+func (b *Bitset) Intersects(other *Bitset) bool {
+	for i := range b.words {
+		if b.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (b *Bitset) None() bool { return !b.Any() }
+
+// Equal reports whether two bitsets have identical contents.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Words exposes the underlying word storage for serialization.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// FromWords reconstructs a bitset from serialized state.
+func FromWords(n int, words []uint64) *Bitset {
+	return &Bitset{n: n, words: append([]uint64(nil), words...)}
+}

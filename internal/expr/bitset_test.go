@@ -1,0 +1,123 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Any() {
+		t.Fatal("fresh bitset must be empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Fatalf("count = %d, want 3", b.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Error("unexpected bit set")
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Error("clear failed")
+	}
+}
+
+func TestFullBitsetTailBits(t *testing.T) {
+	// The final partial word must not contain phantom set bits.
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := NewFullBitset(n)
+		if b.Count() != n {
+			t.Errorf("NewFullBitset(%d).Count() = %d", n, b.Count())
+		}
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	if !a.Intersects(b) {
+		t.Error("must intersect at bit 50")
+	}
+	c := a.Clone()
+	c.IntersectWith(b)
+	if c.Count() != 1 || !c.Get(50) {
+		t.Error("intersect wrong")
+	}
+	d := a.Clone()
+	d.SubtractWith(b)
+	if d.Count() != 1 || !d.Get(1) {
+		t.Error("subtract wrong")
+	}
+	e := a.Clone()
+	e.UnionWith(b)
+	if e.Count() != 3 {
+		t.Error("union wrong")
+	}
+}
+
+func TestBitsetCloneIsDeep(t *testing.T) {
+	a := NewBitset(10)
+	a.Set(3)
+	b := a.Clone()
+	b.Clear(3)
+	if !a.Get(3) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestBitsetWordsRoundTrip(t *testing.T) {
+	a := NewBitset(77)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		a.Set(rng.Intn(77))
+	}
+	b := FromWords(77, a.Words())
+	if !a.Equal(b) {
+		t.Fatal("words round trip lost bits")
+	}
+}
+
+// Property: set-then-get holds, count matches a reference implementation.
+func TestBitsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := NewBitset(n)
+		ref := make(map[int]bool)
+		for i := 0; i < 100; i++ {
+			k := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				b.Set(k)
+				ref[k] = true
+			} else {
+				b.Clear(k)
+				delete(ref, k)
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !b.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

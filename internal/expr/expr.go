@@ -1,0 +1,424 @@
+// Package expr defines the predicate and query AST used throughout the
+// qd-tree library.
+//
+// All column values are dictionary-encoded int64s (the paper, Sec. 3:
+// "the literals, e.g. 10%, are dictionary-encoded as integers"). A unary
+// predicate is (column, op, literal) where op is one of <, <=, >, >=, =, IN.
+// An advanced cut (Sec. 6.1) is a binary predicate (column, cmp, column).
+// Queries are arbitrary AND/OR trees over unary predicates and advanced-cut
+// references (Sec. 3.3).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a comparison operator in a unary predicate.
+type Op int
+
+// Supported operators. Range comparisons {<, <=, >, >=} restrict a node's
+// hypercube; equality comparisons {=, IN} operate on categorical bitmaps.
+const (
+	Lt Op = iota // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+	Eq           // =
+	In           // IN (literal set)
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case In:
+		return "IN"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Negate returns the operator of the logical complement for range operators.
+// Eq and In have no single-operator complement and panic; callers handle
+// them via bitmap complement instead.
+func (o Op) Negate() Op {
+	switch o {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	}
+	panic("expr: Negate on non-range operator " + o.String())
+}
+
+// Pred is a unary predicate (column, op, literal) over dictionary-encoded
+// values. For In, Set holds the sorted literal set and Literal is unused.
+type Pred struct {
+	Col     int     // column ordinal in the schema
+	Op      Op      // comparison operator
+	Literal int64   // literal for non-IN operators
+	Set     []int64 // sorted literals for IN
+}
+
+// NewIn builds an IN predicate, sorting and de-duplicating the literal set.
+func NewIn(col int, vals []int64) Pred {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var prev int64
+	for i, v := range s {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return Pred{Col: col, Op: In, Set: out}
+}
+
+// InSet reports whether v is a member of the predicate's IN set.
+func (p Pred) InSet(v int64) bool {
+	i := sort.Search(len(p.Set), func(i int) bool { return p.Set[i] >= v })
+	return i < len(p.Set) && p.Set[i] == v
+}
+
+// Eval evaluates the predicate against a single row of column values.
+func (p Pred) Eval(row []int64) bool {
+	return p.EvalValue(row[p.Col])
+}
+
+// EvalValue evaluates the predicate against one value of its column.
+func (p Pred) EvalValue(v int64) bool {
+	switch p.Op {
+	case Lt:
+		return v < p.Literal
+	case Le:
+		return v <= p.Literal
+	case Gt:
+		return v > p.Literal
+	case Ge:
+		return v >= p.Literal
+	case Eq:
+		return v == p.Literal
+	case In:
+		return p.InSet(v)
+	}
+	return false
+}
+
+// EvalColumn evaluates the predicate over a full column slice, AND-ing the
+// result into sel (sel[i] stays true only if row i satisfies p). This is the
+// vectorized path used by the data router.
+func (p Pred) EvalColumn(col []int64, sel []bool) {
+	switch p.Op {
+	case Lt:
+		for i, v := range col {
+			sel[i] = sel[i] && v < p.Literal
+		}
+	case Le:
+		for i, v := range col {
+			sel[i] = sel[i] && v <= p.Literal
+		}
+	case Gt:
+		for i, v := range col {
+			sel[i] = sel[i] && v > p.Literal
+		}
+	case Ge:
+		for i, v := range col {
+			sel[i] = sel[i] && v >= p.Literal
+		}
+	case Eq:
+		for i, v := range col {
+			sel[i] = sel[i] && v == p.Literal
+		}
+	case In:
+		if len(p.Set) <= 4 {
+			for i, v := range col {
+				if !sel[i] {
+					continue
+				}
+				ok := false
+				for _, s := range p.Set {
+					if v == s {
+						ok = true
+						break
+					}
+				}
+				sel[i] = ok
+			}
+			return
+		}
+		for i, v := range col {
+			sel[i] = sel[i] && p.InSet(v)
+		}
+	}
+}
+
+// String renders the predicate using col%d names; see StringWith for named
+// rendering.
+func (p Pred) String() string { return p.StringWith(nil) }
+
+// StringWith renders the predicate using the provided column names.
+func (p Pred) StringWith(names []string) string {
+	name := fmt.Sprintf("col%d", p.Col)
+	if names != nil && p.Col < len(names) {
+		name = names[p.Col]
+	}
+	if p.Op == In {
+		parts := make([]string, len(p.Set))
+		for i, v := range p.Set {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("%s IN (%s)", name, strings.Join(parts, ","))
+	}
+	return fmt.Sprintf("%s %s %d", name, p.Op, p.Literal)
+}
+
+// Equal reports structural equality of two predicates.
+func (p Pred) Equal(q Pred) bool {
+	if p.Col != q.Col || p.Op != q.Op {
+		return false
+	}
+	if p.Op == In {
+		if len(p.Set) != len(q.Set) {
+			return false
+		}
+		for i := range p.Set {
+			if p.Set[i] != q.Set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return p.Literal == q.Literal
+}
+
+// Key returns a canonical string key for de-duplicating predicates.
+func (p Pred) Key() string { return p.String() }
+
+// AdvCut is an advanced binary cut of the form (attr1, op, attr2), e.g.
+// l_shipdate < l_commitdate (Sec. 6.1). Only range comparisons and equality
+// between two columns are supported, matching the paper's examples.
+type AdvCut struct {
+	Left  int // left column ordinal
+	Op    Op  // one of Lt, Le, Gt, Ge, Eq
+	Right int // right column ordinal
+}
+
+// Eval evaluates the advanced cut on a row.
+func (a AdvCut) Eval(row []int64) bool {
+	l, r := row[a.Left], row[a.Right]
+	switch a.Op {
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	case Eq:
+		return l == r
+	}
+	return false
+}
+
+// String renders the advanced cut with positional column names.
+func (a AdvCut) String() string { return a.StringWith(nil) }
+
+// StringWith renders the advanced cut using the provided column names.
+func (a AdvCut) StringWith(names []string) string {
+	ln, rn := fmt.Sprintf("col%d", a.Left), fmt.Sprintf("col%d", a.Right)
+	if names != nil {
+		if a.Left < len(names) {
+			ln = names[a.Left]
+		}
+		if a.Right < len(names) {
+			rn = names[a.Right]
+		}
+	}
+	return fmt.Sprintf("%s %s %s", ln, a.Op, rn)
+}
+
+// NodeKind discriminates query AST nodes.
+type NodeKind int
+
+// Query AST node kinds.
+const (
+	KindPred NodeKind = iota // leaf: unary predicate
+	KindAdv                  // leaf: advanced-cut reference (index into tree's AC table)
+	KindAnd                  // conjunction
+	KindOr                   // disjunction
+)
+
+// Node is one node of a query's boolean expression tree.
+type Node struct {
+	Kind     NodeKind
+	Pred     Pred    // when Kind == KindPred
+	Adv      int     // advanced-cut index when Kind == KindAdv
+	Children []*Node // when Kind is KindAnd or KindOr
+}
+
+// Query is a filter: an arbitrary conjunction/disjunction of unary
+// predicates and advanced-cut references. A nil Root matches every row
+// (full scan).
+type Query struct {
+	Root *Node
+	// Name labels the query (e.g. "q19#3") for reporting.
+	Name string
+}
+
+// NewPred wraps a predicate into an AST leaf.
+func NewPred(p Pred) *Node { return &Node{Kind: KindPred, Pred: p} }
+
+// NewAdv wraps an advanced-cut reference into an AST leaf.
+func NewAdv(idx int) *Node { return &Node{Kind: KindAdv, Adv: idx} }
+
+// And builds a conjunction node; single-child conjunctions collapse.
+func And(children ...*Node) *Node {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Node{Kind: KindAnd, Children: children}
+}
+
+// Or builds a disjunction node; single-child disjunctions collapse.
+func Or(children ...*Node) *Node {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Node{Kind: KindOr, Children: children}
+}
+
+// AndQ is a convenience constructor for a conjunctive query over predicates.
+func AndQ(name string, preds ...Pred) Query {
+	nodes := make([]*Node, len(preds))
+	for i, p := range preds {
+		nodes[i] = NewPred(p)
+	}
+	return Query{Root: And(nodes...), Name: name}
+}
+
+// Eval evaluates the query against a row; acs is the advanced-cut table the
+// query's KindAdv leaves index into.
+func (q Query) Eval(row []int64, acs []AdvCut) bool {
+	if q.Root == nil {
+		return true
+	}
+	return evalNode(q.Root, row, acs)
+}
+
+func evalNode(n *Node, row []int64, acs []AdvCut) bool {
+	switch n.Kind {
+	case KindPred:
+		return n.Pred.Eval(row)
+	case KindAdv:
+		return acs[n.Adv].Eval(row)
+	case KindAnd:
+		for _, c := range n.Children {
+			if !evalNode(c, row, acs) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, c := range n.Children {
+			if evalNode(c, row, acs) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Preds returns all unary predicates appearing anywhere in the query. These
+// are the "pushed-down unary predicates" the paper extracts as candidate
+// cuts (Sec. 3.4).
+func (q Query) Preds() []Pred {
+	var out []Pred
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case KindPred:
+			out = append(out, n.Pred)
+		case KindAnd, KindOr:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(q.Root)
+	return out
+}
+
+// AdvRefs returns the advanced-cut indexes referenced by the query.
+func (q Query) AdvRefs() []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case KindAdv:
+			out = append(out, n.Adv)
+		case KindAnd, KindOr:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(q.Root)
+	return out
+}
+
+// String renders the query's boolean tree.
+func (q Query) String() string { return q.StringWith(nil, nil) }
+
+// StringWith renders the query with column names and the advanced-cut table.
+func (q Query) StringWith(names []string, acs []AdvCut) string {
+	if q.Root == nil {
+		return "TRUE"
+	}
+	var render func(n *Node) string
+	render = func(n *Node) string {
+		switch n.Kind {
+		case KindPred:
+			return n.Pred.StringWith(names)
+		case KindAdv:
+			if acs != nil && n.Adv < len(acs) {
+				return acs[n.Adv].StringWith(names)
+			}
+			return fmt.Sprintf("AC%d", n.Adv)
+		case KindAnd, KindOr:
+			sep := " AND "
+			if n.Kind == KindOr {
+				sep = " OR "
+			}
+			parts := make([]string, len(n.Children))
+			for i, c := range n.Children {
+				parts[i] = "(" + render(c) + ")"
+			}
+			return strings.Join(parts, sep)
+		}
+		return "?"
+	}
+	return render(q.Root)
+}

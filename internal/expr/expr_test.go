@@ -1,0 +1,230 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredEvalValue(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    int64
+		want bool
+	}{
+		{Pred{Col: 0, Op: Lt, Literal: 10}, 9, true},
+		{Pred{Col: 0, Op: Lt, Literal: 10}, 10, false},
+		{Pred{Col: 0, Op: Le, Literal: 10}, 10, true},
+		{Pred{Col: 0, Op: Le, Literal: 10}, 11, false},
+		{Pred{Col: 0, Op: Gt, Literal: 10}, 11, true},
+		{Pred{Col: 0, Op: Gt, Literal: 10}, 10, false},
+		{Pred{Col: 0, Op: Ge, Literal: 10}, 10, true},
+		{Pred{Col: 0, Op: Ge, Literal: 10}, 9, false},
+		{Pred{Col: 0, Op: Eq, Literal: 10}, 10, true},
+		{Pred{Col: 0, Op: Eq, Literal: 10}, -10, false},
+		{NewIn(0, []int64{3, 1, 2}), 2, true},
+		{NewIn(0, []int64{3, 1, 2}), 4, false},
+	}
+	for _, c := range cases {
+		if got := c.p.EvalValue(c.v); got != c.want {
+			t.Errorf("%v on %d: got %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNegateComplement(t *testing.T) {
+	// p and ¬p must partition every value: exactly one holds.
+	for _, op := range []Op{Lt, Le, Gt, Ge} {
+		p := Pred{Col: 0, Op: op, Literal: 5}
+		n := Pred{Col: 0, Op: op.Negate(), Literal: 5}
+		for v := int64(-2); v <= 12; v++ {
+			if p.EvalValue(v) == n.EvalValue(v) {
+				t.Errorf("op %v: value %d satisfies both or neither of p/¬p", op, v)
+			}
+		}
+	}
+}
+
+func TestNegatePanicsOnEq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Negate(Eq) did not panic")
+		}
+	}()
+	Eq.Negate()
+}
+
+func TestNewInDedupesAndSorts(t *testing.T) {
+	p := NewIn(2, []int64{5, 1, 5, 3, 1})
+	want := []int64{1, 3, 5}
+	if len(p.Set) != len(want) {
+		t.Fatalf("set %v, want %v", p.Set, want)
+	}
+	for i := range want {
+		if p.Set[i] != want[i] {
+			t.Fatalf("set %v, want %v", p.Set, want)
+		}
+	}
+}
+
+func TestEvalColumnMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	col := make([]int64, 500)
+	for i := range col {
+		col[i] = int64(rng.Intn(100))
+	}
+	preds := []Pred{
+		{Col: 0, Op: Lt, Literal: 50},
+		{Col: 0, Op: Le, Literal: 50},
+		{Col: 0, Op: Gt, Literal: 50},
+		{Col: 0, Op: Ge, Literal: 50},
+		{Col: 0, Op: Eq, Literal: 7},
+		NewIn(0, []int64{1, 2, 3}),
+		NewIn(0, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}),
+	}
+	for _, p := range preds {
+		sel := make([]bool, len(col))
+		for i := range sel {
+			sel[i] = true
+		}
+		p.EvalColumn(col, sel)
+		for i, v := range col {
+			if sel[i] != p.EvalValue(v) {
+				t.Fatalf("%v: row %d (val %d) vectorized=%v scalar=%v", p, i, v, sel[i], p.EvalValue(v))
+			}
+		}
+	}
+}
+
+func TestEvalColumnRespectsExistingSelection(t *testing.T) {
+	col := []int64{1, 2, 3, 4}
+	sel := []bool{false, true, false, true}
+	p := Pred{Col: 0, Op: Ge, Literal: 0} // matches everything
+	p.EvalColumn(col, sel)
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel=%v, want %v", sel, want)
+		}
+	}
+}
+
+func TestQueryEval(t *testing.T) {
+	// (a < 10 OR b > 90) AND c IN (0, 4)   — the Sec. 3.4 example.
+	q := Query{Root: And(
+		Or(
+			NewPred(Pred{Col: 0, Op: Lt, Literal: 10}),
+			NewPred(Pred{Col: 1, Op: Gt, Literal: 90}),
+		),
+		NewPred(NewIn(2, []int64{0, 4})),
+	)}
+	cases := []struct {
+		row  []int64
+		want bool
+	}{
+		{[]int64{5, 0, 0}, true},
+		{[]int64{5, 0, 1}, false},
+		{[]int64{50, 95, 4}, true},
+		{[]int64{50, 80, 4}, false},
+		{[]int64{50, 95, 5}, false},
+	}
+	for _, c := range cases {
+		if got := q.Eval(c.row, nil); got != c.want {
+			t.Errorf("row %v: got %v, want %v", c.row, got, c.want)
+		}
+	}
+}
+
+func TestQueryNilRootMatchesAll(t *testing.T) {
+	q := Query{}
+	if !q.Eval([]int64{1, 2, 3}, nil) {
+		t.Fatal("nil-root query must match every row")
+	}
+}
+
+func TestQueryPredsExtraction(t *testing.T) {
+	q := Query{Root: And(
+		Or(
+			NewPred(Pred{Col: 0, Op: Lt, Literal: 10}),
+			NewPred(Pred{Col: 1, Op: Gt, Literal: 90}),
+		),
+		NewPred(NewIn(2, []int64{0, 4})),
+	)}
+	preds := q.Preds()
+	if len(preds) != 3 {
+		t.Fatalf("got %d preds, want 3 (the paper extracts 3 cuts from this query)", len(preds))
+	}
+}
+
+func TestAdvCutEval(t *testing.T) {
+	// AC1 of the paper: l_shipdate < l_commitdate.
+	ac := AdvCut{Left: 0, Op: Lt, Right: 1}
+	if !ac.Eval([]int64{5, 10}) {
+		t.Error("5 < 10 must hold")
+	}
+	if ac.Eval([]int64{10, 10}) {
+		t.Error("10 < 10 must not hold")
+	}
+	q := Query{Root: NewAdv(0)}
+	if !q.Eval([]int64{1, 2}, []AdvCut{ac}) {
+		t.Error("query via AC table failed")
+	}
+	if got := q.AdvRefs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("AdvRefs = %v, want [0]", got)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Root: And(
+		NewPred(Pred{Col: 0, Op: Lt, Literal: 10}),
+		NewPred(Pred{Col: 1, Op: Eq, Literal: 3}),
+	)}
+	s := q.StringWith([]string{"a", "b"}, nil)
+	if s != "(a < 10) AND (b = 3)" {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestPredEqualAndKey(t *testing.T) {
+	a := NewIn(1, []int64{2, 1})
+	b := NewIn(1, []int64{1, 2})
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("IN predicates with same set must be equal with equal keys")
+	}
+	c := Pred{Col: 1, Op: Lt, Literal: 5}
+	d := Pred{Col: 1, Op: Lt, Literal: 6}
+	if c.Equal(d) || c.Key() == d.Key() {
+		t.Error("different literals must not be equal")
+	}
+}
+
+// Property: for range predicates, EvalValue agrees with direct comparison.
+func TestPredProperty(t *testing.T) {
+	f := func(v int64, lit int64) bool {
+		lt := Pred{Op: Lt, Literal: lit}.EvalValue(v) == (v < lit)
+		le := Pred{Op: Le, Literal: lit}.EvalValue(v) == (v <= lit)
+		gt := Pred{Op: Gt, Literal: lit}.EvalValue(v) == (v > lit)
+		ge := Pred{Op: Ge, Literal: lit}.EvalValue(v) == (v >= lit)
+		return lt && le && gt && ge
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And is the intersection of its children, Or the union.
+func TestAndOrProperty(t *testing.T) {
+	f := func(v int64, l1, l2 int64) bool {
+		p1 := Pred{Col: 0, Op: Lt, Literal: l1}
+		p2 := Pred{Col: 0, Op: Ge, Literal: l2}
+		row := []int64{v}
+		andQ := Query{Root: And(NewPred(p1), NewPred(p2))}
+		orQ := Query{Root: Or(NewPred(p1), NewPred(p2))}
+		okAnd := andQ.Eval(row, nil) == (p1.Eval(row) && p2.Eval(row))
+		okOr := orQ.Eval(row, nil) == (p1.Eval(row) || p2.Eval(row))
+		return okAnd && okOr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package greedy implements Algorithm 1 of the paper: top-down greedy
+// qd-tree construction. Starting from a single root node holding all
+// tuples, each splittable leaf (size ≥ 2b) is cut with the candidate
+// predicate that maximizes the skipping capacity C(T ⊕ (p, n)), subject to
+// both children having at least b tuples. Splitting stops when no cut
+// strictly improves C(T).
+//
+// Because skipping is monotone in description containment, a child can only
+// newly skip queries that reference the cut column, so each candidate is
+// scored by re-checking just the parent's still-unskipped queries that
+// mention that column. This preserves Algorithm 1's choices while cutting
+// the constant factor dramatically.
+package greedy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Options configure the greedy builder.
+type Options struct {
+	// MinSize is b, the minimum rows per block, in units of the rows of
+	// the table passed to Build (scale it when building on a sample).
+	MinSize int
+	// Cuts is the candidate cut set P (Sec. 3.4).
+	Cuts []core.Cut
+	// Queries is the workload W the tree is optimized for.
+	Queries []expr.Query
+	// MaxLeaves caps the number of leaves; 0 means no cap.
+	MaxLeaves int
+	// AllowSmallChild relaxes the size constraint per Sec. 6.2: a split
+	// may produce one child smaller than b (the other must reach b). Used
+	// by the data-overlap extension.
+	AllowSmallChild bool
+	// Criterion selects the split-scoring rule; the default is the
+	// paper's ΔC. InfoGain is the decision-tree-style ablation.
+	Criterion Criterion
+}
+
+// Criterion selects how candidate cuts are scored.
+type Criterion int
+
+const (
+	// DeltaSkip is the paper's greedy criterion: maximize C(T ⊕ (p,n)).
+	DeltaSkip Criterion = iota
+	// InfoGain is an ablation criterion: maximize split balance
+	// (|L|·|R|), mimicking median-style decision-tree construction.
+	InfoGain
+)
+
+// queryCols returns the set of column ordinals and advanced-cut indexes a
+// query references.
+func queryCols(q expr.Query) (cols map[int]bool, advs map[int]bool) {
+	cols = make(map[int]bool)
+	advs = make(map[int]bool)
+	for _, p := range q.Preds() {
+		cols[p.Col] = true
+	}
+	for _, a := range q.AdvRefs() {
+		advs[a] = true
+	}
+	return cols, advs
+}
+
+type nodeState struct {
+	node      *core.Node
+	counter   *core.Counter
+	unskipped []int // workload indexes not yet skipped by node.Desc
+}
+
+// Builder holds the immutable inputs of one greedy construction.
+type Builder struct {
+	tbl     *table.Table
+	acs     []expr.AdvCut
+	opt     Options
+	eval    *cost.Evaluator
+	refCols []map[int]bool // per-query referenced columns
+	refAdvs []map[int]bool // per-query referenced advanced cuts
+	inLeft  []bool         // scratch for Counter.Split
+	// PerQueryWeight optionally re-weights each query's contribution to
+	// the greedy criterion (used by the two-tree extension, Sec. 6.3).
+	PerQueryWeight func(q int, newlySkipped int64) int64
+}
+
+// NewBuilder validates options and prepares per-query metadata.
+func NewBuilder(tbl *table.Table, acs []expr.AdvCut, opt Options) (*Builder, error) {
+	if opt.MinSize < 1 {
+		return nil, fmt.Errorf("greedy: MinSize must be >= 1, got %d", opt.MinSize)
+	}
+	if len(opt.Cuts) == 0 {
+		return nil, fmt.Errorf("greedy: no candidate cuts")
+	}
+	for _, c := range opt.Cuts {
+		if c.IsAdv && c.Adv >= len(acs) {
+			return nil, fmt.Errorf("greedy: cut references AC%d but only %d advanced cuts defined", c.Adv, len(acs))
+		}
+		if !c.IsAdv && (c.Pred.Col < 0 || c.Pred.Col >= tbl.Schema.NumCols()) {
+			return nil, fmt.Errorf("greedy: cut on out-of-range column %d", c.Pred.Col)
+		}
+	}
+	b := &Builder{
+		tbl:  tbl,
+		acs:  acs,
+		opt:  opt,
+		eval: &cost.Evaluator{Queries: opt.Queries},
+	}
+	for _, q := range opt.Queries {
+		cols, advs := queryCols(q)
+		b.refCols = append(b.refCols, cols)
+		b.refAdvs = append(b.refAdvs, advs)
+	}
+	b.inLeft = make([]bool, tbl.N)
+	return b, nil
+}
+
+// Build runs Algorithm 1 and returns the constructed qd-tree.
+func Build(tbl *table.Table, acs []expr.AdvCut, opt Options) (*core.Tree, error) {
+	b, err := NewBuilder(tbl, acs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// Build runs the construction loop.
+func (b *Builder) Build() *core.Tree {
+	tree := core.NewTree(b.tbl.Schema, b.acs)
+	root := &nodeState{
+		node:    tree.Root,
+		counter: core.NewCounter(b.tbl, b.acs, b.opt.Cuts, nil),
+	}
+	root.unskipped = b.unskippedUnder(tree.Root.Desc, nil)
+	tree.Root.Count = b.tbl.N
+
+	queue := []*nodeState{root}
+	leaves := 1
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		if b.opt.MaxLeaves > 0 && leaves >= b.opt.MaxLeaves {
+			continue
+		}
+		cut, ok := b.bestCut(st)
+		if !ok {
+			continue
+		}
+		left, right := tree.Split(st.node, cut)
+		lc, rc := st.counter.Split(cut, b.inLeft)
+		left.Count, right.Count = lc.Size(), rc.Size()
+		ls := &nodeState{node: left, counter: lc, unskipped: b.unskippedUnder(left.Desc, st.unskipped)}
+		rs := &nodeState{node: right, counter: rc, unskipped: b.unskippedUnder(right.Desc, st.unskipped)}
+		queue = append(queue, ls, rs)
+		leaves++
+	}
+	tree.Leaves()
+	return tree
+}
+
+// unskippedUnder returns the workload indexes whose queries still intersect
+// d, drawn from the parent's unskipped set (nil = all queries).
+func (b *Builder) unskippedUnder(d core.Desc, parent []int) []int {
+	var out []int
+	if parent == nil {
+		for i, q := range b.opt.Queries {
+			if d.QueryMayMatch(q) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range parent {
+		if d.QueryMayMatch(b.opt.Queries[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// splittable reports whether a node of the given size may be split at all.
+func (b *Builder) splittable(size int) bool {
+	if b.opt.AllowSmallChild {
+		return size > b.opt.MinSize
+	}
+	return size >= 2*b.opt.MinSize
+}
+
+// legalSizes reports whether child sizes satisfy the block-size constraint.
+func (b *Builder) legalSizes(l, r int) bool {
+	if l == 0 || r == 0 {
+		return false
+	}
+	if b.opt.AllowSmallChild {
+		return l >= b.opt.MinSize || r >= b.opt.MinSize
+	}
+	return l >= b.opt.MinSize && r >= b.opt.MinSize
+}
+
+// bestCut scores every legal candidate on node st and returns the argmax.
+// ok is false when no legal cut strictly improves the criterion.
+func (b *Builder) bestCut(st *nodeState) (core.Cut, bool) {
+	size := st.counter.Size()
+	if !b.splittable(size) {
+		return core.Cut{}, false
+	}
+	var best core.Cut
+	bestScore := int64(0)
+	found := false
+	for _, cut := range b.opt.Cuts {
+		l := st.counter.CountLeft(cut)
+		r := size - l
+		if !b.legalSizes(l, r) {
+			continue
+		}
+		var score int64
+		switch b.opt.Criterion {
+		case InfoGain:
+			score = int64(l) * int64(r)
+		default:
+			score = b.deltaSkip(st, cut, l, r)
+		}
+		if score > bestScore {
+			bestScore, best, found = score, cut, true
+		}
+	}
+	return best, found
+}
+
+// deltaSkip computes C(T ⊕ (p,n)) − C(T) for the candidate: each query
+// newly skipped by a child contributes that child's size. Only the
+// parent's unskipped queries referencing the cut column (or advanced cut)
+// can change status — skipping is monotone under description containment.
+func (b *Builder) deltaSkip(st *nodeState, cut core.Cut, l, r int) int64 {
+	ld, rd := st.node.Desc.CowChildren(cut)
+	var delta int64
+	for _, qi := range st.unskipped {
+		if !b.references(qi, cut) {
+			continue
+		}
+		q := b.opt.Queries[qi]
+		var gain int64
+		if !ld.QueryMayMatch(q) {
+			gain += int64(l)
+		}
+		if !rd.QueryMayMatch(q) {
+			gain += int64(r)
+		}
+		if gain == 0 {
+			continue
+		}
+		if b.PerQueryWeight != nil {
+			gain = b.PerQueryWeight(qi, gain)
+		}
+		delta += gain
+	}
+	return delta
+}
+
+func (b *Builder) references(qi int, cut core.Cut) bool {
+	if cut.IsAdv {
+		return b.refAdvs[qi][cut.Adv]
+	}
+	return b.refCols[qi][cut.Pred.Col]
+}
+
+// BestCut evaluates the greedy criterion (Algorithm 1's argmax) for a
+// standalone node given its description and an indexed Counter over its
+// rows, without running a full Build. The adaptive-refinement extension
+// uses this to split overflowing leaves in place as data arrives
+// (Problem 2 / the incremental re-organization sketched in Sec. 8).
+func (b *Builder) BestCut(desc core.Desc, counter *core.Counter) (core.Cut, bool) {
+	st := &nodeState{
+		node:      &core.Node{Desc: desc},
+		counter:   counter,
+		unskipped: b.unskippedUnder(desc, nil),
+	}
+	return b.bestCut(st)
+}
+
+// TreeSubmodular reports whether a workload satisfies the paper's Lemma 1
+// sufficient condition for tree-submodularity: every query is a pure
+// conjunction of unary predicates (and advanced-cut references). Under
+// this condition the conjunction of two cuts cannot skip any query beyond
+// Q(p1) ∪ Q(p2), so greedy construction enjoys the Theorem 2
+// approximation guarantees (offline (1 − b/|V|·(b log2 e)/(2|V|))·OPT and
+// the online bound). Disjunctive queries break the condition — exactly
+// the Fig. 3 scenario where greedy underperforms the RL constructor.
+func TreeSubmodular(queries []expr.Query) bool {
+	var conjunctive func(n *expr.Node) bool
+	conjunctive = func(n *expr.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n.Kind {
+		case expr.KindPred, expr.KindAdv:
+			return true
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if !conjunctive(c) {
+					return false
+				}
+			}
+			return true
+		case expr.KindOr:
+			return false
+		}
+		return false
+	}
+	for _, q := range queries {
+		if !conjunctive(q.Root) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,322 @@
+// Package nn is a small from-scratch neural-network substrate for the
+// Woodblock RL agent (Sec. 5.2.3): dense layers with manual
+// backpropagation, the Adam optimizer, and masked softmax utilities. It
+// replaces the Ray RLlib dependency of the paper's prototype; the paper
+// notes the network is two shared fully-connected ReLU layers with a
+// linear policy head (|A| outputs) and a scalar value head.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully-connected layer y = Wx + b with gradient accumulation
+// and per-parameter Adam state.
+type Dense struct {
+	In, Out int
+	W       []float64 // row-major [Out][In]
+	B       []float64
+	dW, dB  []float64
+	mW, vW  []float64
+	mB, vB  []float64
+}
+
+// NewDense initializes a layer with He-scaled Gaussian weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		dW: make([]float64, in*out), dB: make([]float64, out),
+		mW: make([]float64, in*out), vW: make([]float64, in*out),
+		mB: make([]float64, out), vB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward computes y = Wx + b into dst (allocated when nil).
+func (d *Dense) Forward(x, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, d.Out)
+	}
+	for o := 0; o < d.Out; o++ {
+		w := d.W[o*d.In : (o+1)*d.In]
+		s := d.B[o]
+		for i, xv := range x {
+			s += w[i] * xv
+		}
+		dst[o] = s
+	}
+	return dst
+}
+
+// Backward accumulates parameter gradients for one sample and returns
+// dL/dx in dx. When dx is nil the input gradient is not computed (use for
+// the first layer, whose input needs no gradient). x must be the input
+// passed to Forward; dx, when non-nil, must have length In.
+func (d *Dense) Backward(x, dy, dx []float64) []float64 {
+	if dx != nil {
+		for i := range dx {
+			dx[i] = 0
+		}
+	}
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		d.dB[o] += g
+		w := d.W[o*d.In : (o+1)*d.In]
+		dw := d.dW[o*d.In : (o+1)*d.In]
+		if dx == nil {
+			for i, xv := range x {
+				dw[i] += g * xv
+			}
+			continue
+		}
+		for i, xv := range x {
+			dw[i] += g * xv
+			dx[i] += g * w[i]
+		}
+	}
+	return dx
+}
+
+// adam applies one Adam update to a parameter vector.
+func adam(p, g, m, v []float64, lr, beta1, beta2, eps float64, t int) {
+	bc1 := 1 - math.Pow(beta1, float64(t))
+	bc2 := 1 - math.Pow(beta2, float64(t))
+	for i := range p {
+		m[i] = beta1*m[i] + (1-beta1)*g[i]
+		v[i] = beta2*v[i] + (1-beta2)*g[i]*g[i]
+		mh := m[i] / bc1
+		vh := v[i] / bc2
+		p[i] -= lr * mh / (math.Sqrt(vh) + eps)
+		g[i] = 0
+	}
+}
+
+// Step applies Adam with the given learning rate and zeroes gradients.
+// t is the 1-based global step count.
+func (d *Dense) Step(lr float64, t int) {
+	adam(d.W, d.dW, d.mW, d.vW, lr, 0.9, 0.999, 1e-8, t)
+	adam(d.B, d.dB, d.mB, d.vB, lr, 0.9, 0.999, 1e-8, t)
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	for i := range d.dW {
+		d.dW[i] = 0
+	}
+	for i := range d.dB {
+		d.dB[i] = 0
+	}
+}
+
+// NumParams returns the parameter count.
+func (d *Dense) NumParams() int { return len(d.W) + len(d.B) }
+
+// PolicyValueNet is the Woodblock network: a shared ReLU trunk with a
+// |A|-way policy head and a scalar value head (Sec. 5.2.3).
+type PolicyValueNet struct {
+	In, Hidden, Actions int
+	L1, L2              *Dense
+	Pi, V               *Dense
+	steps               int
+}
+
+// NewPolicyValueNet builds the network. hidden corresponds to the paper's
+// 512-unit layers (configurable for CPU budgets).
+func NewPolicyValueNet(in, hidden, actions int, rng *rand.Rand) *PolicyValueNet {
+	if in <= 0 || hidden <= 0 || actions <= 0 {
+		panic(fmt.Sprintf("nn: invalid net shape in=%d hidden=%d actions=%d", in, hidden, actions))
+	}
+	return &PolicyValueNet{
+		In: in, Hidden: hidden, Actions: actions,
+		L1: NewDense(in, hidden, rng),
+		L2: NewDense(hidden, hidden, rng),
+		Pi: NewDense(hidden, actions, rng),
+		V:  NewDense(hidden, 1, rng),
+	}
+}
+
+// Cache holds the activations of one forward pass, needed for Backward.
+type Cache struct {
+	X          []float64
+	H1, H2     []float64 // post-ReLU activations
+	Z1, Z2     []float64 // pre-activation values
+	Logits     []float64
+	Value      float64
+	h1g, h2g   []float64 // scratch gradients
+	dz1, dz2   []float64
+	piG, valG  []float64
+	havescrtch bool
+}
+
+// Forward runs the network on x, returning (and retaining) the cache.
+func (n *PolicyValueNet) Forward(x []float64, c *Cache) *Cache {
+	if c == nil {
+		c = &Cache{}
+	}
+	c.X = x
+	c.Z1 = n.L1.Forward(x, c.Z1)
+	c.H1 = relu(c.Z1, c.H1)
+	c.Z2 = n.L2.Forward(c.H1, c.Z2)
+	c.H2 = relu(c.Z2, c.H2)
+	c.Logits = n.Pi.Forward(c.H2, c.Logits)
+	c.valG = n.V.Forward(c.H2, c.valG)
+	c.Value = c.valG[0]
+	return c
+}
+
+func relu(z, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(z))
+	}
+	for i, v := range z {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// Backward accumulates gradients for one sample given the loss gradients
+// on the policy logits and the value output.
+func (n *PolicyValueNet) Backward(c *Cache, dLogits []float64, dValue float64) {
+	if !c.havescrtch {
+		c.h2g = make([]float64, n.Hidden)
+		c.h1g = make([]float64, n.Hidden)
+		c.dz1 = make([]float64, n.Hidden)
+		c.dz2 = make([]float64, n.Hidden)
+		c.piG = make([]float64, 1)
+		c.havescrtch = true
+	}
+	// Heads.
+	h2grad := n.Pi.Backward(c.H2, dLogits, c.h2g)
+	c.piG[0] = dValue
+	vgrad := n.V.Backward(c.H2, c.piG, c.dz2)
+	for i := range h2grad {
+		h2grad[i] += vgrad[i]
+	}
+	// Trunk layer 2.
+	for i := range h2grad {
+		if c.Z2[i] <= 0 {
+			h2grad[i] = 0
+		}
+	}
+	h1grad := n.L2.Backward(c.H1, h2grad, c.h1g)
+	for i := range h1grad {
+		if c.Z1[i] <= 0 {
+			h1grad[i] = 0
+		}
+	}
+	n.L1.Backward(c.X, h1grad, nil)
+}
+
+// Step applies Adam to all layers.
+func (n *PolicyValueNet) Step(lr float64) {
+	n.steps++
+	n.L1.Step(lr, n.steps)
+	n.L2.Step(lr, n.steps)
+	n.Pi.Step(lr, n.steps)
+	n.V.Step(lr, n.steps)
+}
+
+// ZeroGrad clears all gradients.
+func (n *PolicyValueNet) ZeroGrad() {
+	n.L1.ZeroGrad()
+	n.L2.ZeroGrad()
+	n.Pi.ZeroGrad()
+	n.V.ZeroGrad()
+}
+
+// NumParams returns the total parameter count.
+func (n *PolicyValueNet) NumParams() int {
+	return n.L1.NumParams() + n.L2.NumParams() + n.Pi.NumParams() + n.V.NumParams()
+}
+
+// MaskedSoftmax writes the softmax of logits restricted to legal actions
+// into dst; illegal entries get probability zero. It panics if no action
+// is legal.
+func MaskedSoftmax(logits []float64, legal []bool, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	maxv := math.Inf(-1)
+	any := false
+	for i, l := range logits {
+		if legal[i] {
+			any = true
+			if l > maxv {
+				maxv = l
+			}
+		}
+	}
+	if !any {
+		panic("nn: MaskedSoftmax with no legal action")
+	}
+	sum := 0.0
+	for i, l := range logits {
+		if legal[i] {
+			dst[i] = math.Exp(l - maxv)
+			sum += dst[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// Sample draws an index from a probability distribution.
+func Sample(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := -1
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	if last < 0 {
+		panic("nn: Sample of zero distribution")
+	}
+	return last
+}
+
+// Argmax returns the index of the largest probability.
+func Argmax(probs []float64) int {
+	best, bv := 0, math.Inf(-1)
+	for i, p := range probs {
+		if p > bv {
+			best, bv = i, p
+		}
+	}
+	return best
+}
+
+// Entropy returns −Σ p log p of a distribution.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseForward(t *testing.T) {
+	d := &Dense{In: 2, Out: 2, W: []float64{1, 2, 3, 4}, B: []float64{10, 20},
+		dW: make([]float64, 4), dB: make([]float64, 2),
+		mW: make([]float64, 4), vW: make([]float64, 4),
+		mB: make([]float64, 2), vB: make([]float64, 2)}
+	y := d.Forward([]float64{1, 1}, nil)
+	if y[0] != 13 || y[1] != 27 {
+		t.Fatalf("forward = %v, want [13 27]", y)
+	}
+}
+
+// TestDenseGradCheck verifies analytic gradients against finite
+// differences for a scalar loss L = Σ y_i².
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, rng)
+	x := []float64{0.5, -1.2, 2.0}
+	loss := func() float64 {
+		y := d.Forward(x, nil)
+		return y[0]*y[0] + y[1]*y[1]
+	}
+	y := d.Forward(x, nil)
+	dy := []float64{2 * y[0], 2 * y[1]}
+	d.ZeroGrad()
+	dx := d.Backward(x, dy, make([]float64, 3))
+
+	const eps = 1e-6
+	for i := range d.W {
+		orig := d.W[i]
+		d.W[i] = orig + eps
+		lp := loss()
+		d.W[i] = orig - eps
+		lm := loss()
+		d.W[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-d.dW[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("dW[%d]: analytic %g vs numeric %g", i, d.dW[i], num)
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp := loss()
+		x[i] = orig - eps
+		lm := loss()
+		x[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("dx[%d]: analytic %g vs numeric %g", i, dx[i], num)
+		}
+	}
+}
+
+// TestNetGradCheck end-to-end: loss = logits[k]² + value² through the
+// shared trunk.
+func TestNetGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewPolicyValueNet(4, 8, 3, rng)
+	x := []float64{1, 0, -0.5, 0.25}
+	loss := func() float64 {
+		c := net.Forward(x, nil)
+		return c.Logits[1]*c.Logits[1] + c.Value*c.Value
+	}
+	c := net.Forward(x, nil)
+	dLogits := []float64{0, 2 * c.Logits[1], 0}
+	dValue := 2 * c.Value
+	net.ZeroGrad()
+	net.Backward(c, dLogits, dValue)
+
+	const eps = 1e-6
+	check := func(name string, p, g []float64) {
+		for _, i := range []int{0, len(p) / 2, len(p) - 1} {
+			orig := p[i]
+			p[i] = orig + eps
+			lp := loss()
+			p[i] = orig - eps
+			lm := loss()
+			p[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-g[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %g vs numeric %g", name, i, g[i], num)
+			}
+		}
+	}
+	check("L1.W", net.L1.W, net.L1.dW)
+	check("L2.W", net.L2.W, net.L2.dW)
+	check("Pi.W", net.Pi.W, net.Pi.dW)
+	check("V.W", net.V.W, net.V.dW)
+	check("L1.B", net.L1.B, net.L1.dB)
+}
+
+// TestAdamLearnsRegression: the net must fit a small value-regression
+// problem, proving optimizer + backprop wiring.
+func TestAdamLearnsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewPolicyValueNet(2, 16, 2, rng)
+	samples := make([][]float64, 64)
+	targets := make([]float64, 64)
+	for i := range samples {
+		a, b := rng.Float64(), rng.Float64()
+		samples[i] = []float64{a, b}
+		targets[i] = a - b
+	}
+	mse := func() float64 {
+		s := 0.0
+		for i, x := range samples {
+			c := net.Forward(x, nil)
+			d := c.Value - targets[i]
+			s += d * d
+		}
+		return s / float64(len(samples))
+	}
+	before := mse()
+	for iter := 0; iter < 300; iter++ {
+		net.ZeroGrad()
+		for i, x := range samples {
+			c := net.Forward(x, nil)
+			net.Backward(c, make([]float64, 2), (c.Value-targets[i])/float64(len(samples)))
+		}
+		net.Step(1e-2)
+	}
+	after := mse()
+	if after > before/10 {
+		t.Errorf("MSE barely improved: before %g after %g", before, after)
+	}
+}
+
+func TestMaskedSoftmax(t *testing.T) {
+	logits := []float64{1, 100, 2, 3}
+	legal := []bool{true, false, true, true}
+	p := MaskedSoftmax(logits, legal, nil)
+	if p[1] != 0 {
+		t.Fatal("illegal action got probability")
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if !(p[3] > p[2] && p[2] > p[0]) {
+		t.Error("ordering not preserved")
+	}
+}
+
+func TestMaskedSoftmaxPanicsWhenAllIllegal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on fully masked distribution")
+		}
+	}()
+	MaskedSoftmax([]float64{1, 2}, []bool{false, false}, nil)
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	probs := []float64{0.1, 0.7, 0.2}
+	counts := make([]int, 3)
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[Sample(probs, rng)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("action %d frequency %.3f, want %.3f", i, got, p)
+		}
+	}
+}
+
+func TestArgmaxAndEntropy(t *testing.T) {
+	if Argmax([]float64{0.2, 0.5, 0.3}) != 1 {
+		t.Error("argmax wrong")
+	}
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Errorf("deterministic entropy = %g", h)
+	}
+	uni := Entropy([]float64{0.25, 0.25, 0.25, 0.25})
+	if math.Abs(uni-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %g, want ln 4", uni)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	net := NewPolicyValueNet(10, 8, 5, rand.New(rand.NewSource(5)))
+	want := (10*8 + 8) + (8*8 + 8) + (8*5 + 5) + (8*1 + 1)
+	if got := net.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}

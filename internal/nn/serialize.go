@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Network serialization lets a trained Woodblock policy be checkpointed
+// and resumed — the paper's agent "can incrementally produce better
+// trees", which in a deployment means carrying the learned policy across
+// re-partitioning runs as data distribution drifts.
+
+type denseJSON struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+	MW  []float64 `json:"mw,omitempty"`
+	VW  []float64 `json:"vw,omitempty"`
+	MB  []float64 `json:"mb,omitempty"`
+	VB  []float64 `json:"vb,omitempty"`
+}
+
+type netJSON struct {
+	Version int       `json:"version"`
+	In      int       `json:"in"`
+	Hidden  int       `json:"hidden"`
+	Actions int       `json:"actions"`
+	Steps   int       `json:"steps"`
+	L1      denseJSON `json:"l1"`
+	L2      denseJSON `json:"l2"`
+	Pi      denseJSON `json:"pi"`
+	V       denseJSON `json:"v"`
+}
+
+func (d *Dense) toJSON() denseJSON {
+	return denseJSON{
+		In: d.In, Out: d.Out,
+		W: d.W, B: d.B,
+		MW: d.mW, VW: d.vW, MB: d.mB, VB: d.vB,
+	}
+}
+
+func denseFromJSON(j denseJSON) (*Dense, error) {
+	if len(j.W) != j.In*j.Out || len(j.B) != j.Out {
+		return nil, fmt.Errorf("nn: dense %dx%d has %d weights, %d biases", j.In, j.Out, len(j.W), len(j.B))
+	}
+	d := &Dense{
+		In: j.In, Out: j.Out,
+		W:  j.W,
+		B:  j.B,
+		dW: make([]float64, j.In*j.Out), dB: make([]float64, j.Out),
+		mW: j.MW, vW: j.VW, mB: j.MB, vB: j.VB,
+	}
+	if d.mW == nil {
+		d.mW = make([]float64, j.In*j.Out)
+	}
+	if d.vW == nil {
+		d.vW = make([]float64, j.In*j.Out)
+	}
+	if d.mB == nil {
+		d.mB = make([]float64, j.Out)
+	}
+	if d.vB == nil {
+		d.vB = make([]float64, j.Out)
+	}
+	if len(d.mW) != j.In*j.Out || len(d.vW) != j.In*j.Out || len(d.mB) != j.Out || len(d.vB) != j.Out {
+		return nil, fmt.Errorf("nn: dense %dx%d optimizer state has wrong shape", j.In, j.Out)
+	}
+	return d, nil
+}
+
+// Marshal serializes the network weights and Adam state.
+func (n *PolicyValueNet) Marshal() ([]byte, error) {
+	return json.Marshal(netJSON{
+		Version: 1,
+		In:      n.In, Hidden: n.Hidden, Actions: n.Actions, Steps: n.steps,
+		L1: n.L1.toJSON(), L2: n.L2.toJSON(), Pi: n.Pi.toJSON(), V: n.V.toJSON(),
+	})
+}
+
+// UnmarshalNet reconstructs a network checkpointed with Marshal. Training
+// can resume: Adam moments and the step counter are preserved.
+func UnmarshalNet(data []byte) (*PolicyValueNet, error) {
+	var j netJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if j.Version != 1 {
+		return nil, fmt.Errorf("nn: unsupported network version %d", j.Version)
+	}
+	n := &PolicyValueNet{In: j.In, Hidden: j.Hidden, Actions: j.Actions, steps: j.Steps}
+	var err error
+	if n.L1, err = denseFromJSON(j.L1); err != nil {
+		return nil, err
+	}
+	if n.L2, err = denseFromJSON(j.L2); err != nil {
+		return nil, err
+	}
+	if n.Pi, err = denseFromJSON(j.Pi); err != nil {
+		return nil, err
+	}
+	if n.V, err = denseFromJSON(j.V); err != nil {
+		return nil, err
+	}
+	if n.L1.In != j.In || n.L1.Out != j.Hidden || n.L2.Out != j.Hidden ||
+		n.Pi.Out != j.Actions || n.V.Out != 1 {
+		return nil, fmt.Errorf("nn: layer shapes inconsistent with header")
+	}
+	return n, nil
+}
+
+// Clone deep-copies the network (weights and optimizer state).
+func (n *PolicyValueNet) Clone() *PolicyValueNet {
+	data, err := n.Marshal()
+	if err != nil {
+		panic(err) // marshal of in-memory state cannot fail
+	}
+	out, err := UnmarshalNet(data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Perturb adds Gaussian noise to all weights (exploration restarts).
+func (n *PolicyValueNet) Perturb(scale float64, rng *rand.Rand) {
+	for _, d := range []*Dense{n.L1, n.L2, n.Pi, n.V} {
+		for i := range d.W {
+			d.W[i] += rng.NormFloat64() * scale
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNetMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewPolicyValueNet(6, 8, 4, rng)
+	// Touch the optimizer so non-trivial state is serialized.
+	x := []float64{1, 0, 1, 0, 0.5, -0.5}
+	c := net.Forward(x, nil)
+	net.Backward(c, []float64{1, 0, 0, 0}, 0.3)
+	net.Step(1e-3)
+
+	data, err := net.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalNet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.Forward(x, nil)
+	b := back.Forward(x, nil)
+	for i := range a.Logits {
+		if math.Abs(a.Logits[i]-b.Logits[i]) > 1e-12 {
+			t.Fatalf("logit %d differs after round trip: %g vs %g", i, a.Logits[i], b.Logits[i])
+		}
+	}
+	if math.Abs(a.Value-b.Value) > 1e-12 {
+		t.Fatal("value head differs after round trip")
+	}
+	// Training continues identically: one more identical step on both
+	// must keep weights equal (Adam step counter preserved).
+	for _, n := range []*PolicyValueNet{net, back} {
+		c := n.Forward(x, nil)
+		n.Backward(c, []float64{0, 1, 0, 0}, -0.1)
+		n.Step(1e-3)
+	}
+	for i := range net.L1.W {
+		if math.Abs(net.L1.W[i]-back.L1.W[i]) > 1e-12 {
+			t.Fatal("training diverged after checkpoint resume")
+		}
+	}
+}
+
+func TestUnmarshalNetRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalNet([]byte("junk")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := UnmarshalNet([]byte(`{"version":9}`)); err == nil {
+		t.Error("bad version must fail")
+	}
+	if _, err := UnmarshalNet([]byte(
+		`{"version":1,"in":2,"hidden":2,"actions":1,` +
+			`"l1":{"in":2,"out":2,"w":[1],"b":[0,0]},` +
+			`"l2":{"in":2,"out":2,"w":[1,2,3,4],"b":[0,0]},` +
+			`"pi":{"in":2,"out":1,"w":[1,2],"b":[0]},` +
+			`"v":{"in":2,"out":1,"w":[1,2],"b":[0]}}`)); err == nil {
+		t.Error("wrong weight count must fail")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewPolicyValueNet(3, 4, 2, rng)
+	clone := net.Clone()
+	clone.L1.W[0] += 100
+	if net.L1.W[0] == clone.L1.W[0] {
+		t.Fatal("clone shares weights")
+	}
+}
+
+func TestPerturbChangesOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewPolicyValueNet(3, 4, 2, rng)
+	x := []float64{1, 1, 1}
+	before := net.Forward(x, nil).Logits[0]
+	net.Perturb(0.5, rng)
+	after := net.Forward(x, nil).Logits[0]
+	if before == after {
+		t.Fatal("perturbation had no effect")
+	}
+}

@@ -1,0 +1,338 @@
+// Package overlap implements the Sec. 6.2 data-overlap extension: qd-tree
+// construction with a relaxed cutting condition (one child may fall below
+// the minimum block size b), followed by replication of each small leaf
+// into its neighboring large blocks. Replication trades a little storage
+// for large skipping gains on workloads whose queries share a small hot
+// region (Fig. 4); the completeness property is what makes the redundant
+// copies prunable at query time.
+package overlap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/table"
+)
+
+// Block is one physical block of an overlap layout. Rows may appear in
+// several blocks; Desc covers everything stored here (base region plus any
+// absorbed small-leaf regions), preserving completeness.
+type Block struct {
+	Desc  core.Desc
+	Rows  []int
+	Small bool // originated below the size bound and was replicated away
+}
+
+// Layout is a multi-assignment partitioning: a row can live in more than
+// one block (Sec. 6.2).
+type Layout struct {
+	Tree    *core.Tree
+	Blocks  []Block
+	NumRows int
+	// Replicas counts duplicated row slots (extra storage consumed).
+	Replicas int
+}
+
+// Options configure the overlap builder.
+type Options struct {
+	MinSize int
+	Cuts    []core.Cut
+	Queries []expr.Query
+	// MaxLeaves caps construction (0 = unlimited).
+	MaxLeaves int
+}
+
+// Build constructs the relaxed tree and replicates small leaves into all
+// neighboring large blocks.
+func Build(tbl *table.Table, acs []expr.AdvCut, opt Options) (*Layout, error) {
+	tree, err := greedy.Build(tbl, acs, greedy.Options{
+		MinSize:         opt.MinSize,
+		Cuts:            opt.Cuts,
+		Queries:         opt.Queries,
+		MaxLeaves:       opt.MaxLeaves,
+		AllowSmallChild: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bids := tree.RouteTable(tbl)
+	tree.Freeze(tbl, bids)
+	leaves := tree.Leaves()
+	perLeaf := make([][]int, len(leaves))
+	for r, b := range bids {
+		perLeaf[b] = append(perLeaf[b], r)
+	}
+
+	lay := &Layout{Tree: tree, NumRows: tbl.N}
+	// Partition leaves into the large set (>= b) and the small set.
+	var smallIdx []int
+	for i, leaf := range leaves {
+		blk := Block{Desc: leaf.Desc.Clone(), Rows: perLeaf[i]}
+		if len(perLeaf[i]) < opt.MinSize {
+			blk.Small = true
+			smallIdx = append(smallIdx, i)
+		}
+		lay.Blocks = append(lay.Blocks, blk)
+	}
+	// Replicate each small block into every large block it shares work
+	// with: blocks that are hypercube neighbors (the paper's definition)
+	// or that co-occur with the small block under some workload query —
+	// exactly the blocks whose queries would otherwise fetch the small
+	// block separately (Fig. 4: the center record lands in all four arm
+	// blocks). Receivers widen their descriptions so completeness holds.
+	for _, si := range smallIdx {
+		small := &lay.Blocks[si]
+		replicated := false
+		for li := range lay.Blocks {
+			if li == si || lay.Blocks[li].Small {
+				continue
+			}
+			if !neighbors(small.Desc, lay.Blocks[li].Desc) &&
+				!sharesQuery(small.Desc, lay.Blocks[li].Desc, opt.Queries) {
+				continue
+			}
+			dst := &lay.Blocks[li]
+			dst.Rows = append(dst.Rows, small.Rows...)
+			widen(&dst.Desc, small.Desc)
+			lay.Replicas += len(small.Rows)
+			replicated = true
+		}
+		if !replicated && len(lay.Blocks) > 1 {
+			// No adjacent large block: merge into the largest block to
+			// avoid stranding an undersized block.
+			best := -1
+			for li := range lay.Blocks {
+				if li == si || lay.Blocks[li].Small {
+					continue
+				}
+				if best < 0 || len(lay.Blocks[li].Rows) > len(lay.Blocks[best].Rows) {
+					best = li
+				}
+			}
+			if best >= 0 {
+				dst := &lay.Blocks[best]
+				dst.Rows = append(dst.Rows, small.Rows...)
+				widen(&dst.Desc, small.Desc)
+				lay.Replicas += len(small.Rows)
+				replicated = true
+			}
+		}
+		if replicated {
+			small.Rows = nil // storage reclaimed; copies live elsewhere
+		}
+	}
+	return lay, nil
+}
+
+// neighbors reports whether two hypercubes share boundaries on all but one
+// dimension and are adjacent (or touching) on the remaining one (Sec. 6.2's
+// neighbor definition).
+func neighbors(a, b core.Desc) bool {
+	diff := -1
+	for c := range a.Lo {
+		if a.Lo[c] == b.Lo[c] && a.Hi[c] == b.Hi[c] {
+			continue
+		}
+		if diff >= 0 {
+			return false
+		}
+		diff = c
+	}
+	if diff < 0 {
+		return true // identical boxes
+	}
+	// Adjacent intervals: one ends where the other begins (allow a gap of
+	// zero between frozen hulls by comparing against each other's edges).
+	return a.Hi[diff] <= b.Lo[diff] || b.Hi[diff] <= a.Lo[diff]
+}
+
+// sharesQuery reports whether some workload query intersects both
+// descriptions — the signal that replication would merge their scans.
+func sharesQuery(a, b core.Desc, w []expr.Query) bool {
+	for _, q := range w {
+		if a.QueryMayMatch(q) && b.QueryMayMatch(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// widen grows dst's description to cover src's region.
+func widen(dst *core.Desc, src core.Desc) {
+	for c := range dst.Lo {
+		if src.Lo[c] < dst.Lo[c] {
+			dst.Lo[c] = src.Lo[c]
+		}
+		if src.Hi[c] > dst.Hi[c] {
+			dst.Hi[c] = src.Hi[c]
+		}
+	}
+	for c, m := range src.Masks {
+		dst.Masks[c].UnionWith(m)
+	}
+	dst.AdvMay.UnionWith(src.AdvMay)
+	dst.AdvMayNot.UnionWith(src.AdvMayNot)
+}
+
+// queryBox extracts the per-column interval [lo, hi) of a purely
+// conjunctive range/equality query; ok is false for other shapes.
+func queryBox(q expr.Query, ncols int, schema *table.Schema) (lo, hi []int64, ok bool) {
+	lo = make([]int64, ncols)
+	hi = make([]int64, ncols)
+	for c := 0; c < ncols; c++ {
+		lo[c] = schema.Cols[c].Min
+		hi[c] = schema.Cols[c].Max + 1
+		if schema.Cols[c].Kind == table.Categorical {
+			lo[c], hi[c] = 0, schema.Cols[c].Dom
+		}
+	}
+	if q.Root == nil {
+		return lo, hi, true
+	}
+	var collect func(n *expr.Node) bool
+	collect = func(n *expr.Node) bool {
+		switch n.Kind {
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if !collect(c) {
+					return false
+				}
+			}
+			return true
+		case expr.KindPred:
+			p := n.Pred
+			switch p.Op {
+			case expr.Lt:
+				if p.Literal < hi[p.Col] {
+					hi[p.Col] = p.Literal
+				}
+			case expr.Le:
+				if p.Literal+1 < hi[p.Col] {
+					hi[p.Col] = p.Literal + 1
+				}
+			case expr.Gt:
+				if p.Literal+1 > lo[p.Col] {
+					lo[p.Col] = p.Literal + 1
+				}
+			case expr.Ge:
+				if p.Literal > lo[p.Col] {
+					lo[p.Col] = p.Literal
+				}
+			case expr.Eq:
+				if p.Literal > lo[p.Col] {
+					lo[p.Col] = p.Literal
+				}
+				if p.Literal+1 < hi[p.Col] {
+					hi[p.Col] = p.Literal + 1
+				}
+			default:
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	if !collect(q.Root) {
+		return nil, nil, false
+	}
+	return lo, hi, true
+}
+
+// BlocksFor returns the blocks to scan for q. Candidates are all blocks
+// intersecting the query; when one candidate's description fully covers
+// the query box, completeness lets us scan that block alone (Sec. 6.2.1's
+// redundant-block pruning).
+func (l *Layout) BlocksFor(q expr.Query, schema *table.Schema) []int {
+	var cands []int
+	for i := range l.Blocks {
+		if len(l.Blocks[i].Rows) == 0 {
+			continue
+		}
+		if l.Blocks[i].Desc.QueryMayMatch(q) {
+			cands = append(cands, i)
+		}
+	}
+	ncols := len(schema.Cols)
+	qlo, qhi, ok := queryBox(q, ncols, schema)
+	if !ok || len(cands) <= 1 {
+		return cands
+	}
+	best := -1
+	for _, i := range cands {
+		d := l.Blocks[i].Desc
+		covers := true
+		for c := 0; c < ncols; c++ {
+			if d.Lo[c] > qlo[c] || d.Hi[c] < qhi[c] {
+				covers = false
+				break
+			}
+		}
+		if covers && (best < 0 || len(l.Blocks[i].Rows) < len(l.Blocks[best].Rows)) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return []int{best}
+	}
+	return cands
+}
+
+// AccessedTuples returns the scanned row slots for q (replicated rows in
+// a scanned block each count once, matching physical I/O).
+func (l *Layout) AccessedTuples(q expr.Query, schema *table.Schema) int64 {
+	var n int64
+	for _, b := range l.BlocksFor(q, schema) {
+		n += int64(len(l.Blocks[b].Rows))
+	}
+	return n
+}
+
+// AccessedFraction mirrors cost.Layout.AccessedFraction for overlap
+// layouts (denominator is the logical row count, not the inflated one).
+func (l *Layout) AccessedFraction(w []expr.Query, schema *table.Schema) float64 {
+	if len(w) == 0 || l.NumRows == 0 {
+		return 0
+	}
+	var acc int64
+	for _, q := range w {
+		acc += l.AccessedTuples(q, schema)
+	}
+	return float64(acc) / (float64(len(w)) * float64(l.NumRows))
+}
+
+// StorageOverhead returns the fraction of extra storage consumed by
+// replication (0 = none).
+func (l *Layout) StorageOverhead() float64 {
+	if l.NumRows == 0 {
+		return 0
+	}
+	return float64(l.Replicas) / float64(l.NumRows)
+}
+
+// Validate checks the multi-assignment invariants: every row is stored at
+// least once and every stored row satisfies its block's description.
+func (l *Layout) Validate(tbl *table.Table) error {
+	seen := make([]bool, tbl.N)
+	row := make([]int64, tbl.Schema.NumCols())
+	for bi := range l.Blocks {
+		for _, r := range l.Blocks[bi].Rows {
+			seen[r] = true
+			row = tbl.Row(r, row)
+			d := l.Blocks[bi].Desc
+			for c := range row {
+				if row[c] < d.Lo[c] || row[c] >= d.Hi[c] {
+					return fmt.Errorf("overlap: row %d outside block %d on column %d", r, bi, c)
+				}
+			}
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			return fmt.Errorf("overlap: row %d stored nowhere", r)
+		}
+	}
+	return nil
+}

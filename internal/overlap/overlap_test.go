@@ -1,0 +1,152 @@
+package overlap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/greedy"
+	"repro/internal/workload"
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+// TestFig4OverlapEliminatesWaste reproduces the Sec. 6.2 scenario: without
+// overlap, three of four queries read ~N extra tuples; with the center
+// record replicated, every query reads ≈ N+1 tuples.
+func TestFig4OverlapEliminatesWaste(t *testing.T) {
+	armN := 400
+	spec := workload.Fig4(armN, 1)
+
+	// Plain qd-tree (binary cuts, b=armN): total accessed across the 4
+	// queries is ≈ 4(N+1) + 3N (three queries fetch the center's block).
+	plainTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: armN, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := cost.FromTree("plain", plainTree, spec.Table)
+	var plainAcc int64
+	for _, q := range spec.Queries {
+		plainAcc += plain.AccessedTuples(q)
+	}
+
+	lay, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: armN, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Validate(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	var overlapAcc int64
+	for _, q := range spec.Queries {
+		acc := lay.AccessedTuples(q, spec.Table.Schema)
+		if acc < int64(armN+1) {
+			t.Fatalf("%s: accessed %d < selected %d — skipping lost matches", q.Name, acc, armN+1)
+		}
+		overlapAcc += acc
+	}
+	if overlapAcc >= plainAcc {
+		t.Errorf("overlap accessed %d, plain %d; replication should help", overlapAcc, plainAcc)
+	}
+	// The paper's ideal: no query touches unnecessary records. Allow a
+	// small slack for partition imbalance.
+	ideal := int64(4 * (armN + 1))
+	if float64(overlapAcc) > 1.4*float64(ideal) {
+		t.Errorf("overlap accessed %d, ideal %d; too much waste remains", overlapAcc, ideal)
+	}
+	if lay.StorageOverhead() > 0.05 {
+		t.Errorf("storage overhead %.3f; should be tiny (single replicated record)", lay.StorageOverhead())
+	}
+}
+
+func TestOverlapCompletenessAfterReplication(t *testing.T) {
+	spec := workload.Fig4(200, 2)
+	lay, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: 200, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every query's matching rows must appear in at least one scanned
+	// block (with multiplicity allowed).
+	row := make([]int64, 2)
+	for _, q := range spec.Queries {
+		scanned := map[int]bool{}
+		for _, b := range lay.BlocksFor(q, spec.Table.Schema) {
+			scanned[b] = true
+		}
+		inScanned := map[int]bool{}
+		for b := range scanned {
+			for _, r := range lay.Blocks[b].Rows {
+				inScanned[r] = true
+			}
+		}
+		for r := 0; r < spec.Table.N; r++ {
+			row = spec.Table.Row(r, row)
+			if q.Eval(row, nil) && !inScanned[r] {
+				t.Fatalf("%s: matching row %d missing from scanned blocks", q.Name, r)
+			}
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	mk := func(lo0, hi0, lo1, hi1 int64) core.Desc {
+		return core.Desc{Lo: []int64{lo0, lo1}, Hi: []int64{hi0, hi1}}
+	}
+	if !neighbors(mk(0, 5, 0, 10), mk(5, 9, 0, 10)) {
+		t.Error("adjacent boxes sharing dim 1 must be neighbors")
+	}
+	if neighbors(mk(0, 5, 0, 10), mk(5, 9, 0, 9)) {
+		t.Error("boxes differing in two dims must not be neighbors")
+	}
+	if !neighbors(mk(0, 5, 0, 10), mk(0, 5, 0, 10)) {
+		t.Error("identical boxes count as neighbors")
+	}
+	if !neighbors(mk(0, 5, 0, 10), mk(7, 9, 0, 10)) {
+		t.Error("disjoint-but-aligned boxes along one dim are neighbors (frozen hulls leave gaps)")
+	}
+}
+
+func TestQueryBoxExtraction(t *testing.T) {
+	spec := workload.Fig4(10, 3)
+	lo, hi, ok := queryBox(spec.Queries[0], 2, spec.Table.Schema)
+	if !ok {
+		t.Fatal("conjunctive query must yield a box")
+	}
+	// Q1: x <= 50, 45 <= y < 55.
+	if hi[0] != 51 || lo[1] != 45 || hi[1] != 55 {
+		t.Errorf("box = [%v, %v)", lo, hi)
+	}
+	// Disjunctive queries must be rejected.
+	f3 := workload.Fig3(100, 1)
+	if _, _, ok := queryBox(f3.Queries[0], 2, f3.Table.Schema); ok {
+		t.Error("disjunctive query must not produce a box")
+	}
+}
+
+func TestStorageOverheadZeroWithoutSmallLeaves(t *testing.T) {
+	spec := workload.Fig3(2000, 4)
+	lay, err := Build(spec.Table, spec.ACs, Options{
+		MinSize: 20, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Validate(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	if lay.StorageOverhead() > 0.5 {
+		t.Errorf("excessive overhead %.3f", lay.StorageOverhead())
+	}
+}

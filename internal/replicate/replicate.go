@@ -1,0 +1,163 @@
+// Package replicate implements the Sec. 6.3 two-tree replication
+// extension: a second qd-tree over a full logical copy of the dataset,
+// trained specifically on the queries that skip worst under the first
+// tree. At query time each query is dispatched to whichever tree skips
+// more for it; the construction can iterate (rebuild T1 against T2) until
+// the combined objective stops improving.
+package replicate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/table"
+)
+
+// Options configure two-tree construction.
+type Options struct {
+	MinSize int
+	Cuts    []core.Cut
+	Queries []expr.Query
+	// WorstFraction selects which queries T2 is optimized for: the
+	// fraction of the workload with the highest per-query access under
+	// T1 (default 0.5).
+	WorstFraction float64
+	// Iterations re-optimizes T1 against T2 and vice versa; the revised
+	// objective is monotone non-decreasing so this converges (default 1 =
+	// build T1, then T2, stop).
+	Iterations int
+	MaxLeaves  int
+}
+
+func (o *Options) defaults() {
+	if o.WorstFraction == 0 {
+		o.WorstFraction = 0.5
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 1
+	}
+}
+
+// TwoTree is the deployed pair of layouts.
+type TwoTree struct {
+	T1, T2 *core.Tree
+	L1, L2 *cost.Layout
+	// PerQueryChoice[i] is 1 when T1 serves query i, 2 when T2 does.
+	PerQueryChoice []int
+}
+
+// Build constructs the two trees over tbl.
+func Build(tbl *table.Table, acs []expr.AdvCut, opt Options) (*TwoTree, error) {
+	opt.defaults()
+	if opt.MinSize < 1 {
+		return nil, fmt.Errorf("replicate: MinSize must be >= 1")
+	}
+	base := greedy.Options{MinSize: opt.MinSize, Cuts: opt.Cuts, Queries: opt.Queries, MaxLeaves: opt.MaxLeaves}
+	t1, err := greedy.Build(tbl, acs, base)
+	if err != nil {
+		return nil, err
+	}
+	l1 := cost.FromTree("twotree-T1", t1, tbl)
+
+	var t2 *core.Tree
+	var l2 *cost.Layout
+	for iter := 0; iter < opt.Iterations; iter++ {
+		// T2 targets the worst-skipped queries under the current T1.
+		worst := worstQueries(l1, opt.Queries, opt.WorstFraction)
+		t2, err = greedy.Build(tbl, acs, greedy.Options{
+			MinSize: opt.MinSize, Cuts: opt.Cuts, Queries: worst, MaxLeaves: opt.MaxLeaves})
+		if err != nil {
+			return nil, err
+		}
+		l2 = cost.FromTree("twotree-T2", t2, tbl)
+		if iter+1 < opt.Iterations {
+			// Re-optimize T1 for the queries T2 serves poorly.
+			worst1 := worstQueries(l2, opt.Queries, opt.WorstFraction)
+			t1, err = greedy.Build(tbl, acs, greedy.Options{
+				MinSize: opt.MinSize, Cuts: opt.Cuts, Queries: worst1, MaxLeaves: opt.MaxLeaves})
+			if err != nil {
+				return nil, err
+			}
+			l1 = cost.FromTree("twotree-T1", t1, tbl)
+		}
+	}
+
+	tt := &TwoTree{T1: t1, T2: t2, L1: l1, L2: l2, PerQueryChoice: make([]int, len(opt.Queries))}
+	for i, q := range opt.Queries {
+		if l2 != nil && l2.AccessedTuples(q) < l1.AccessedTuples(q) {
+			tt.PerQueryChoice[i] = 2
+		} else {
+			tt.PerQueryChoice[i] = 1
+		}
+	}
+	return tt, nil
+}
+
+// worstQueries returns the ceil(frac·|W|) queries with the highest access
+// counts under the layout, preserving workload order.
+func worstQueries(l *cost.Layout, w []expr.Query, frac float64) []expr.Query {
+	type qa struct {
+		i   int
+		acc int64
+	}
+	items := make([]qa, len(w))
+	for i, q := range w {
+		items[i] = qa{i, l.AccessedTuples(q)}
+	}
+	// Partial selection by simple sort (workloads are small).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].acc > items[j-1].acc; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	k := int(frac*float64(len(w)) + 0.999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	chosen := items[:k]
+	// Restore workload order for determinism.
+	idx := make([]int, 0, k)
+	for _, c := range chosen {
+		idx = append(idx, c.i)
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := make([]expr.Query, 0, k)
+	for _, i := range idx {
+		out = append(out, w[i])
+	}
+	return out
+}
+
+// AccessedTuples dispatches q to the better tree (Sec. 6.3: "choose one of
+// the two trees which maximizes the skippability for q").
+func (tt *TwoTree) AccessedTuples(q expr.Query) int64 {
+	a := tt.L1.AccessedTuples(q)
+	if tt.L2 != nil {
+		if b := tt.L2.AccessedTuples(q); b < a {
+			return b
+		}
+	}
+	return a
+}
+
+// AccessedFraction is the Table 2 metric under best-tree dispatch.
+func (tt *TwoTree) AccessedFraction(w []expr.Query) float64 {
+	if len(w) == 0 || tt.L1.NumRows == 0 {
+		return 0
+	}
+	var acc int64
+	for _, q := range w {
+		acc += tt.AccessedTuples(q)
+	}
+	return float64(acc) / (float64(len(w)) * float64(tt.L1.NumRows))
+}

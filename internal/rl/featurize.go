@@ -1,0 +1,93 @@
+// Package rl implements Woodblock (Sec. 5), the deep-RL qd-tree
+// constructor: a tree-structured MDP whose states are qd-tree nodes and
+// whose actions are candidate cuts, trained with PPO on per-node
+// normalized skipping rewards.
+package rl
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Featurizer converts a node's semantic description into the network input
+// vector. Following Sec. 5.2.3, the state is the concatenation of n.range
+// and n.categorical_mask, binary-encoded: each numeric interval endpoint
+// becomes ceil(log2 |Dom|) bits, each categorical mask contributes |Dom|
+// bits directly, and each advanced cut contributes its (may, mayNot) pair.
+type Featurizer struct {
+	schema  *table.Schema
+	numAC   int
+	colBits []int // bits per numeric column endpoint (0 for categorical)
+	dim     int
+}
+
+// NewFeaturizer computes the feature layout for a schema.
+func NewFeaturizer(s *table.Schema, numAC int) *Featurizer {
+	f := &Featurizer{schema: s, numAC: numAC, colBits: make([]int, s.NumCols())}
+	dim := 0
+	for c, col := range s.Cols {
+		if col.Kind == table.Categorical {
+			dim += int(col.Dom)
+			continue
+		}
+		span := uint64(col.Max - col.Min + 2)
+		nb := bits.Len64(span)
+		f.colBits[c] = nb
+		dim += 2 * nb // Lo and Hi endpoints
+	}
+	dim += 2 * numAC
+	f.dim = dim
+	return f
+}
+
+// Dim returns the feature vector length.
+func (f *Featurizer) Dim() int { return f.dim }
+
+// Encode writes the feature vector for a description into dst (allocated
+// when nil) and returns it.
+func (f *Featurizer) Encode(d core.Desc, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, f.dim)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	pos := 0
+	for c, col := range f.schema.Cols {
+		if col.Kind == table.Categorical {
+			m := d.Masks[c]
+			for i := 0; i < int(col.Dom); i++ {
+				if m.Get(i) {
+					dst[pos+i] = 1
+				}
+			}
+			pos += int(col.Dom)
+			continue
+		}
+		nb := f.colBits[c]
+		lo := uint64(d.Lo[c] - col.Min)
+		hi := uint64(d.Hi[c] - col.Min)
+		for b := 0; b < nb; b++ {
+			if lo&(1<<uint(b)) != 0 {
+				dst[pos+b] = 1
+			}
+			if hi&(1<<uint(b)) != 0 {
+				dst[pos+nb+b] = 1
+			}
+		}
+		pos += 2 * nb
+	}
+	for i := 0; i < f.numAC; i++ {
+		if d.AdvMay.Get(i) {
+			dst[pos] = 1
+		}
+		if d.AdvMayNot.Get(i) {
+			dst[pos+1] = 1
+		}
+		pos += 2
+	}
+	return dst
+}

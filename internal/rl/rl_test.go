@@ -1,0 +1,291 @@
+package rl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func toCuts(ps []workload.Pred2Cut) []core.Cut {
+	out := make([]core.Cut, len(ps))
+	for i, p := range ps {
+		if p.IsAdv {
+			out[i] = core.AdvancedCut(p.Adv)
+		} else {
+			out[i] = core.UnaryCut(p.Pred)
+		}
+	}
+	return out
+}
+
+func TestFeaturizerDim(t *testing.T) {
+	s := table.MustSchema([]table.Column{
+		{Name: "n", Kind: table.Numeric, Min: 0, Max: 99},    // span 101 -> 7 bits
+		{Name: "c", Kind: table.Categorical, Dom: 5},         // 5 bits
+		{Name: "m", Kind: table.Numeric, Min: 10, Max: 1033}, // span 1025 -> 11 bits
+	})
+	f := NewFeaturizer(s, 2)
+	want := 2*7 + 5 + 2*11 + 2*2
+	if f.Dim() != want {
+		t.Fatalf("Dim = %d, want %d", f.Dim(), want)
+	}
+}
+
+func TestFeaturizerEncodeDistinguishesStates(t *testing.T) {
+	s := table.MustSchema([]table.Column{
+		{Name: "n", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "c", Kind: table.Categorical, Dom: 3},
+	})
+	f := NewFeaturizer(s, 1)
+	root := core.NewRootDesc(s, 1)
+	child := root.Clone()
+	child.Hi[0] = 50
+	child.Masks[1].Clear(1)
+	child.AdvMay.Clear(0)
+	a := f.Encode(root, nil)
+	b := f.Encode(child, nil)
+	if len(a) != f.Dim() || len(b) != f.Dim() {
+		t.Fatal("wrong encoded length")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different descriptions encoded identically")
+	}
+	// Values are strictly binary.
+	for _, v := range append(append([]float64{}, a...), b...) {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary feature %v", v)
+		}
+	}
+}
+
+func TestFeaturizerEncodeReusesBuffer(t *testing.T) {
+	s := table.MustSchema([]table.Column{{Name: "n", Kind: table.Numeric, Min: 0, Max: 7}})
+	f := NewFeaturizer(s, 0)
+	d := core.NewRootDesc(s, 0)
+	buf := make([]float64, f.Dim())
+	for i := range buf {
+		buf[i] = 9
+	}
+	out := f.Encode(d, buf)
+	for _, v := range out {
+		if v != 0 && v != 1 {
+			t.Fatal("stale buffer contents leaked into encoding")
+		}
+	}
+}
+
+func TestWoodblockValidation(t *testing.T) {
+	spec := workload.Fig3(200, 1)
+	if _, err := Build(spec.Table, nil, Options{MinSize: 0, Cuts: toCuts(spec.Cuts)}); err == nil {
+		t.Error("MinSize 0 must error")
+	}
+	if _, err := Build(spec.Table, nil, Options{MinSize: 1}); err == nil {
+		t.Error("empty action space must error")
+	}
+	empty := table.New(spec.Table.Schema, 0)
+	if _, err := Build(empty, nil, Options{MinSize: 1, Cuts: toCuts(spec.Cuts)}); err == nil {
+		t.Error("empty table must error")
+	}
+}
+
+// TestWoodblockBeatsGreedyOnFig3 reproduces the paper's Sec. 5.1
+// microbenchmark: the RL agent escapes the greedy trap on disjunctive
+// queries and reaches a scan ratio far below greedy's ~50.5%.
+func TestWoodblockBeatsGreedyOnFig3(t *testing.T) {
+	spec := workload.Fig3(8000, 2)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     40,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      32,
+		MaxEpisodes: 40,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := cost.FromTree("rl", res.Tree, spec.Table)
+	frac := layout.AccessedFraction(spec.Queries)
+	if frac > 0.30 {
+		t.Errorf("RL scan ratio %.3f; paper reaches ≈0.104, greedy is stuck at ≈0.505", frac)
+	}
+	if res.Episodes == 0 || len(res.Curve) != res.Episodes {
+		t.Errorf("curve bookkeeping wrong: episodes=%d curve=%d", res.Episodes, len(res.Curve))
+	}
+	if res.BestRatio > frac+0.05 {
+		t.Errorf("BestRatio %.3f inconsistent with deployed layout %.3f", res.BestRatio, frac)
+	}
+}
+
+func TestWoodblockRespectsMinSize(t *testing.T) {
+	spec := workload.Fig3(4000, 3)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     150,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 8,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := res.Tree.RouteTable(spec.Table)
+	counts := map[int]int{}
+	for _, b := range bids {
+		counts[b]++
+	}
+	for b, n := range counts {
+		if n < 150 {
+			t.Errorf("block %d has %d rows < b=150", b, n)
+		}
+	}
+}
+
+func TestWoodblockLearningCurveMonotoneBest(t *testing.T) {
+	spec := workload.Fig3(4000, 4)
+	var curve []CurvePoint
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     40,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 12,
+		Seed:        2,
+		OnEpisode: func(ep int, elapsed time.Duration, ratio, best float64) {
+			curve = append(curve, CurvePoint{Episode: ep, Elapsed: elapsed, Ratio: ratio, Best: best})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != res.Episodes {
+		t.Fatalf("callback count %d != episodes %d", len(curve), res.Episodes)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Best > curve[i-1].Best+1e-12 {
+			t.Fatal("best ratio must be non-increasing")
+		}
+		if curve[i].Best > curve[i].Ratio+1e-12 && curve[i].Best > curve[i-1].Best {
+			t.Fatal("best must track the minimum episode ratio")
+		}
+	}
+}
+
+func TestWoodblockPerQueryWeight(t *testing.T) {
+	// With all query weights zeroed, every tree has reward 0; the agent
+	// must still terminate and return a tree.
+	spec := workload.Fig3(2000, 5)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     100,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 4,
+		Seed:        3,
+		PerQueryWeight: func(q int, skipped int64) int64 {
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree == nil {
+		t.Fatal("no tree returned")
+	}
+}
+
+func TestWoodblockTimeBudget(t *testing.T) {
+	spec := workload.Fig3(2000, 6)
+	start := time.Now()
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     40,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 100000,
+		TimeBudget:  50 * time.Millisecond,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("time budget ignored")
+	}
+	if res.Episodes == 0 {
+		t.Error("no episodes ran")
+	}
+}
+
+// Property-ish check: the sum of leaf counts of the returned tree always
+// equals the table size — routing loses nothing whatever tree RL built.
+func TestWoodblockTreeRoutesEverything(t *testing.T) {
+	spec := workload.Fig4(100, 7)
+	res, err := Build(spec.Table, spec.ACs, Options{
+		MinSize:     30,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 6,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Tree.RouteTable(spec.Table)
+	total := 0
+	for _, leaf := range res.Tree.Leaves() {
+		total += leaf.Count
+	}
+	if total != spec.Table.N {
+		t.Fatalf("leaf counts sum %d, want %d", total, spec.Table.N)
+	}
+}
+
+func TestWoodblockWarmStart(t *testing.T) {
+	spec := workload.Fig3(3000, 9)
+	opts := Options{
+		MinSize:     60,
+		Cuts:        toCuts(spec.Cuts),
+		Queries:     spec.Queries,
+		Hidden:      16,
+		MaxEpisodes: 8,
+		Seed:        11,
+	}
+	first, err := Build(spec.Table, spec.ACs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Model) == 0 {
+		t.Fatal("no model checkpoint returned")
+	}
+	// Resume training from the checkpoint.
+	opts.InitialModel = first.Model
+	second, err := Build(spec.Table, spec.ACs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Tree == nil {
+		t.Fatal("warm-started run produced no tree")
+	}
+	// A shape mismatch must be rejected.
+	other := workload.Fig4(200, 9)
+	_, err = Build(other.Table, other.ACs, Options{
+		MinSize: 30, Cuts: toCuts(other.Cuts), Queries: other.Queries,
+		Hidden: 16, MaxEpisodes: 2, InitialModel: first.Model})
+	if err == nil {
+		t.Fatal("mismatched warm-start model must error")
+	}
+}

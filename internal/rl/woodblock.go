@@ -1,0 +1,462 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Options configure the Woodblock agent. Zero values select the defaults
+// noted per field.
+type Options struct {
+	// MinSize is b in rows of the table passed to Build (the agent is
+	// usually run on a 0.1%–1% sample, Sec. 5.2.1; scale b accordingly).
+	MinSize int
+	// Cuts is the action space A: the candidate cut set (Sec. 3.4).
+	Cuts []core.Cut
+	// Queries is the target workload W.
+	Queries []expr.Query
+
+	Hidden            int           // trunk width (paper: 512; default 128)
+	LR                float64       // Adam learning rate (default 3e-4)
+	Clip              float64       // PPO clip ε (default 0.2)
+	Entropy           float64       // entropy bonus coefficient (default 1e-2)
+	ValueCoef         float64       // value loss coefficient (default 0.5)
+	Epochs            int           // PPO epochs per update (default 3)
+	EpisodesPerUpdate int           // episodes per PPO batch (default 4)
+	MaxEpisodes       int           // episode budget (default 64)
+	TimeBudget        time.Duration // optional wall-clock budget
+	MaxLeaves         int           // per-episode leaf cap (default 4096)
+	Seed              int64
+	// Greedy warm start is not used: the paper stresses that random
+	// initial trees already beat workload-oblivious baselines (Sec. 7.6).
+
+	// OnEpisode, when non-nil, observes the learning curve: called after
+	// each episode with the episode index, elapsed time, that episode's
+	// scan ratio, and the best ratio so far (Fig. 8).
+	OnEpisode func(ep int, elapsed time.Duration, ratio, best float64)
+	// InitialModel, when non-nil, warm-starts the policy/value network
+	// from a checkpoint produced by a previous run's Result.Model. The
+	// feature and action dimensions must match.
+	InitialModel []byte
+	// PerQueryWeight optionally re-weights each query's skipped-tuple
+	// contribution in the reward (two-tree extension, Sec. 6.3).
+	PerQueryWeight func(q int, skipped int64) int64
+}
+
+func (o *Options) defaults() {
+	if o.Hidden == 0 {
+		o.Hidden = 128
+	}
+	if o.LR == 0 {
+		o.LR = 3e-4
+	}
+	if o.Clip == 0 {
+		o.Clip = 0.2
+	}
+	if o.Entropy == 0 {
+		o.Entropy = 1e-2
+	}
+	if o.ValueCoef == 0 {
+		o.ValueCoef = 0.5
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 3
+	}
+	if o.EpisodesPerUpdate == 0 {
+		o.EpisodesPerUpdate = 4
+	}
+	if o.MaxEpisodes == 0 {
+		o.MaxEpisodes = 64
+	}
+	if o.MaxLeaves == 0 {
+		o.MaxLeaves = 4096
+	}
+}
+
+// CurvePoint is one learning-curve sample (Fig. 8).
+type CurvePoint struct {
+	Episode int
+	Elapsed time.Duration
+	Ratio   float64 // this episode's scan ratio on the build table
+	Best    float64 // best ratio achieved so far
+}
+
+// Result reports the best tree found and the learning curve.
+type Result struct {
+	Tree      *core.Tree
+	BestRatio float64
+	Curve     []CurvePoint
+	Episodes  int
+	// Model is the trained network checkpoint; feed it back through
+	// Options.InitialModel to continue training on drifted data.
+	Model []byte
+}
+
+// step is one (state, action, reward) tuple of an episode; the node's
+// reward is attributed after the tree completes (Sec. 5.2.2).
+type step struct {
+	feat   []float64
+	legal  []bool
+	action int
+	logp   float64
+	ret    float64 // normalized reward R((n,p))
+	node   *epNode
+}
+
+// epNode tracks per-episode node state for reward backpropagation.
+type epNode struct {
+	rows        int
+	skipped     int64 // S(n): skipped tuples under this node
+	left, right *epNode
+	leafDesc    core.Desc
+}
+
+// agent holds everything shared across episodes.
+type agent struct {
+	tbl   *table.Table
+	acs   []expr.AdvCut
+	opt   Options
+	feat  *Featurizer
+	net   *nn.PolicyValueNet
+	rng   *rand.Rand
+	eval  *cost.Evaluator
+	inBuf []bool
+	// rootCnt is built once and shared across episodes: Counter.Split
+	// never mutates its receiver, and re-sorting every episode would
+	// dominate construction time.
+	rootCnt *core.Counter
+}
+
+// Build trains Woodblock on the given table (normally a sample) and
+// returns the best qd-tree constructed within the budget.
+func Build(tbl *table.Table, acs []expr.AdvCut, opt Options) (*Result, error) {
+	opt.defaults()
+	if opt.MinSize < 1 {
+		return nil, fmt.Errorf("rl: MinSize must be >= 1, got %d", opt.MinSize)
+	}
+	if len(opt.Cuts) == 0 {
+		return nil, fmt.Errorf("rl: empty action space")
+	}
+	if tbl.N == 0 {
+		return nil, fmt.Errorf("rl: empty table")
+	}
+	for _, c := range opt.Cuts {
+		if c.IsAdv && c.Adv >= len(acs) {
+			return nil, fmt.Errorf("rl: cut references AC%d beyond table of %d", c.Adv, len(acs))
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := NewFeaturizer(tbl.Schema, len(acs))
+	a := &agent{
+		tbl:   tbl,
+		acs:   acs,
+		opt:   opt,
+		feat:  f,
+		net:   nn.NewPolicyValueNet(f.Dim(), opt.Hidden, len(opt.Cuts), rng),
+		rng:   rng,
+		eval:  &cost.Evaluator{Queries: opt.Queries},
+		inBuf: make([]bool, tbl.N),
+	}
+	a.rootCnt = core.NewCounter(tbl, acs, opt.Cuts, nil)
+	if opt.InitialModel != nil {
+		net, err := nn.UnmarshalNet(opt.InitialModel)
+		if err != nil {
+			return nil, fmt.Errorf("rl: warm start: %w", err)
+		}
+		if net.In != f.Dim() || net.Actions != len(opt.Cuts) {
+			return nil, fmt.Errorf("rl: warm-start model shape (%d in, %d actions) does not match featurizer (%d) / cuts (%d)",
+				net.In, net.Actions, f.Dim(), len(opt.Cuts))
+		}
+		a.net = net
+	}
+
+	res := &Result{BestRatio: math.Inf(1)}
+	start := time.Now()
+	var batch []step
+	for ep := 0; ep < opt.MaxEpisodes; ep++ {
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget && res.Tree != nil {
+			break
+		}
+		tree, steps := a.episode()
+		ratio := a.assignRewards(steps)
+		if ratio < res.BestRatio {
+			res.BestRatio = ratio
+			res.Tree = tree
+		}
+		res.Episodes++
+		pt := CurvePoint{Episode: ep, Elapsed: time.Since(start), Ratio: ratio, Best: res.BestRatio}
+		res.Curve = append(res.Curve, pt)
+		if opt.OnEpisode != nil {
+			opt.OnEpisode(ep, pt.Elapsed, ratio, res.BestRatio)
+		}
+		batch = append(batch, steps...)
+		if (ep+1)%opt.EpisodesPerUpdate == 0 && len(batch) > 0 {
+			a.update(batch)
+			batch = batch[:0]
+		}
+	}
+	if res.Tree == nil {
+		return nil, fmt.Errorf("rl: no tree produced (budget too small?)")
+	}
+	model, err := a.net.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("rl: checkpoint: %w", err)
+	}
+	res.Model = model
+	return res, nil
+}
+
+// episode constructs one qd-tree by sampling the current policy
+// (Sec. 5.2: take node off queue, evaluate policy, sample cut, append
+// children).
+func (a *agent) episode() (*core.Tree, []step) {
+	tree := core.NewTree(a.tbl.Schema, a.acs)
+	type qitem struct {
+		node *core.Node
+		cnt  *core.Counter
+		en   *epNode
+	}
+	rootEp := &epNode{rows: a.rootCnt.Size()}
+	queue := []qitem{{tree.Root, a.rootCnt, rootEp}}
+	var steps []step
+	legal := make([]bool, len(a.opt.Cuts))
+	leaves := 0
+	var probs []float64
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		nLegal := 0
+		if leaves+len(queue) < a.opt.MaxLeaves {
+			for i, cut := range a.opt.Cuts {
+				l := it.cnt.CountLeft(cut)
+				r := it.cnt.Size() - l
+				ok := l >= a.opt.MinSize && r >= a.opt.MinSize
+				legal[i] = ok
+				if ok {
+					nLegal++
+				}
+			}
+		} else {
+			for i := range legal {
+				legal[i] = false
+			}
+		}
+		if nLegal == 0 {
+			// No legal cut: n becomes a leaf (Sec. 5.2.1).
+			it.en.leafDesc = a.tightened(it.node.Desc, it.cnt.Rows)
+			leaves++
+			continue
+		}
+		feat := a.feat.Encode(it.node.Desc, nil)
+		cache := a.net.Forward(feat, nil)
+		probs = nn.MaskedSoftmax(cache.Logits, legal, probs)
+		action := nn.Sample(probs, a.rng)
+		cut := a.opt.Cuts[action]
+
+		lNode, rNode := tree.Split(it.node, cut)
+		lCnt, rCnt := it.cnt.Split(cut, a.inBuf)
+		lNode.Count, rNode.Count = lCnt.Size(), rCnt.Size()
+		lEp := &epNode{rows: lCnt.Size()}
+		rEp := &epNode{rows: rCnt.Size()}
+		it.en.left, it.en.right = lEp, rEp
+
+		steps = append(steps, step{
+			feat:   feat,
+			legal:  append([]bool(nil), legal...),
+			action: action,
+			logp:   math.Log(probs[action] + 1e-12),
+			node:   it.en,
+		})
+		queue = append(queue, qitem{lNode, lCnt, lEp}, qitem{rNode, rCnt, rEp})
+	}
+	tree.Root.Count = a.tbl.N
+	tree.Leaves()
+	return tree, steps
+}
+
+// tightened computes the min-max/mask hull of the rows under the node's
+// logical description — the block metadata the deployed layout will have
+// (Sec. 3.2 freezing), which makes rewards reflect deployed skipping.
+func (a *agent) tightened(d core.Desc, rows []int) core.Desc {
+	out := d.Clone()
+	if len(rows) == 0 {
+		for c := range out.Lo {
+			out.Hi[c] = out.Lo[c]
+		}
+		return out
+	}
+	for c, col := range a.tbl.Schema.Cols {
+		lo, hi, _ := a.tbl.MinMax(c, rows)
+		out.Lo[c], out.Hi[c] = lo, hi+1
+		if col.Kind == table.Categorical {
+			m := expr.NewBitset(int(col.Dom))
+			src := a.tbl.Cols[c]
+			for _, r := range rows {
+				if v := src[r]; v >= 0 && v < col.Dom {
+					m.Set(int(v))
+				}
+			}
+			out.Masks[c] = m
+		}
+	}
+	if len(a.acs) > 0 {
+		may, mayNot := expr.NewBitset(len(a.acs)), expr.NewBitset(len(a.acs))
+		row := make([]int64, a.tbl.Schema.NumCols())
+		for _, r := range rows {
+			row = a.tbl.Row(r, row)
+			for i, ac := range a.acs {
+				if ac.Eval(row) {
+					may.Set(i)
+				} else {
+					mayNot.Set(i)
+				}
+			}
+		}
+		out.AdvMay, out.AdvMayNot = may, mayNot
+	}
+	return out
+}
+
+// leafSkip computes C(leaf): tuples × queries skipped, optionally
+// re-weighted per query (two-tree extension).
+func (a *agent) leafSkip(d core.Desc, size int) int64 {
+	if a.opt.PerQueryWeight == nil {
+		return a.eval.BlockSkip(d, size)
+	}
+	var total int64
+	for qi, q := range a.opt.Queries {
+		if !d.QueryMayMatch(q) {
+			total += a.opt.PerQueryWeight(qi, int64(size))
+		}
+	}
+	return total
+}
+
+// assignRewards computes S(n) bottom-up and the per-step normalized reward
+// R((n,p)) = S(n)/(|W|·|n.records|) (Sec. 5.2.2). It returns the episode's
+// scan ratio on the build table.
+func (a *agent) assignRewards(steps []step) float64 {
+	var fill func(n *epNode) int64
+	fill = func(n *epNode) int64 {
+		if n.left == nil {
+			n.skipped = a.leafSkip(n.leafDesc, n.rows)
+			return n.skipped
+		}
+		n.skipped = fill(n.left) + fill(n.right)
+		return n.skipped
+	}
+	var rootSkip int64
+	if len(steps) > 0 {
+		rootSkip = fill(steps[0].node)
+	} else {
+		// Single-leaf episode: nothing to learn from, ratio is 1.
+		return 1.0
+	}
+	w := float64(len(a.opt.Queries))
+	for i := range steps {
+		n := steps[i].node
+		den := w * float64(n.rows)
+		if den == 0 {
+			steps[i].ret = 0
+			continue
+		}
+		steps[i].ret = float64(n.skipped) / den
+	}
+	total := w * float64(a.tbl.N)
+	if total == 0 {
+		return 1.0
+	}
+	return 1.0 - float64(rootSkip)/total
+}
+
+// update runs PPO (clipped surrogate, Sec. 5.2) over the collected steps.
+func (a *agent) update(batch []step) {
+	// Advantages: R − V(s), normalized across the batch.
+	adv := make([]float64, len(batch))
+	caches := make([]*nn.Cache, len(batch))
+	var mean, m2 float64
+	for i := range batch {
+		c := a.net.Forward(batch[i].feat, nil)
+		caches[i] = c
+		adv[i] = batch[i].ret - c.Value
+		mean += adv[i]
+	}
+	mean /= float64(len(batch))
+	for _, v := range adv {
+		m2 += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(m2/float64(len(batch))) + 1e-8
+	for i := range adv {
+		adv[i] = (adv[i] - mean) / std
+	}
+
+	order := make([]int, len(batch))
+	for i := range order {
+		order[i] = i
+	}
+	dLogits := make([]float64, len(a.opt.Cuts))
+	var probs []float64
+	for epoch := 0; epoch < a.opt.Epochs; epoch++ {
+		a.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		a.net.ZeroGrad()
+		for _, idx := range order {
+			st := &batch[idx]
+			c := a.net.Forward(st.feat, caches[idx])
+			probs = nn.MaskedSoftmax(c.Logits, st.legal, probs)
+			p := probs[st.action]
+			logp := math.Log(p + 1e-12)
+			ratio := math.Exp(logp - st.logp)
+			A := adv[idx]
+
+			// Clipped surrogate: loss = max(−A·r, −A·clip(r)).
+			l1 := -A * ratio
+			var rc float64
+			if ratio < 1-a.opt.Clip {
+				rc = 1 - a.opt.Clip
+			} else if ratio > 1+a.opt.Clip {
+				rc = 1 + a.opt.Clip
+			} else {
+				rc = ratio
+			}
+			l2 := -A * rc
+			var dlogp float64
+			if l1 >= l2 {
+				dlogp = -A * ratio // d(−A·r)/dlogp = −A·r
+			}
+			// Entropy bonus: loss −= β·H; dH/dz_k = −p_k(log p_k + H).
+			H := nn.Entropy(probs)
+			scale := 1.0 / float64(len(batch))
+			for k := range dLogits {
+				dLogits[k] = 0
+				if !st.legal[k] {
+					continue
+				}
+				pk := probs[k]
+				// ∂logp(a)/∂z_k = 1[k=a] − p_k.
+				var g float64
+				if k == st.action {
+					g = dlogp * (1 - pk)
+				} else {
+					g = dlogp * (-pk)
+				}
+				// Entropy gradient (descending −β·H).
+				if pk > 0 {
+					g += a.opt.Entropy * pk * (math.Log(pk) + H)
+				}
+				dLogits[k] = g * scale
+			}
+			dV := a.opt.ValueCoef * (c.Value - st.ret) * scale
+			a.net.Backward(c, dLogits, dV)
+		}
+		a.net.Step(a.opt.LR)
+	}
+}

@@ -1,0 +1,175 @@
+package router
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Ingester is the online ingestion path of Fig. 1: records stream through
+// a deployed qd-tree into per-leaf buffers, and full buffers are flushed
+// to disk as columnar segments ("large blocks may be physically stored as
+// multiple segments on storage", Sec. 3.1). Safe for concurrent Ingest
+// calls; each leaf has its own lock.
+type Ingester struct {
+	Tree *core.Tree
+	// SegmentRows is the flush threshold per leaf buffer.
+	SegmentRows int
+	Dir         string
+
+	mu      []sync.Mutex
+	buffers []*table.Table
+	segMu   sync.Mutex
+	segs    []Segment
+	nextSeg int
+}
+
+// Segment records one flushed segment file.
+type Segment struct {
+	Leaf int // block ID the segment belongs to
+	Path string
+	Rows int
+}
+
+// NewIngester prepares an ingester writing segments under dir.
+func NewIngester(t *core.Tree, dir string, segmentRows int) (*Ingester, error) {
+	if segmentRows < 1 {
+		return nil, fmt.Errorf("router: SegmentRows must be >= 1")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	n := len(t.Leaves())
+	in := &Ingester{
+		Tree:        t,
+		SegmentRows: segmentRows,
+		Dir:         dir,
+		mu:          make([]sync.Mutex, n),
+		buffers:     make([]*table.Table, n),
+	}
+	for i := range in.buffers {
+		in.buffers[i] = table.New(t.Schema, segmentRows)
+	}
+	return in, nil
+}
+
+// Ingest routes every row of tbl into leaf buffers, flushing any buffer
+// that reaches the segment threshold.
+func (in *Ingester) Ingest(tbl *table.Table) error {
+	rows := make([]int, tbl.N)
+	for i := range rows {
+		rows[i] = i
+	}
+	return in.ingestRec(in.Tree.Root, tbl, rows)
+}
+
+func (in *Ingester) ingestRec(n *core.Node, tbl *table.Table, rows []int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if n.IsLeaf() {
+		return in.appendLeaf(n.BlockID, tbl, rows)
+	}
+	left, right := in.Tree.PartitionRows(tbl, rows, *n.Cut)
+	if err := in.ingestRec(n.Left, tbl, left); err != nil {
+		return err
+	}
+	return in.ingestRec(n.Right, tbl, right)
+}
+
+func (in *Ingester) appendLeaf(leaf int, tbl *table.Table, rows []int) error {
+	in.mu[leaf].Lock()
+	defer in.mu[leaf].Unlock()
+	buf := in.buffers[leaf]
+	row := make([]int64, tbl.Schema.NumCols())
+	for _, r := range rows {
+		row = tbl.Row(r, row)
+		buf.AppendRow(row)
+		if buf.N >= in.SegmentRows {
+			if err := in.flushLocked(leaf); err != nil {
+				return err
+			}
+			buf = in.buffers[leaf]
+		}
+	}
+	return nil
+}
+
+// flushLocked writes the leaf's buffer as a new segment; caller holds the
+// leaf lock.
+func (in *Ingester) flushLocked(leaf int) error {
+	buf := in.buffers[leaf]
+	if buf.N == 0 {
+		return nil
+	}
+	in.segMu.Lock()
+	id := in.nextSeg
+	in.nextSeg++
+	in.segMu.Unlock()
+	path := filepath.Join(in.Dir, fmt.Sprintf("leaf_%06d_seg_%06d.qdb", leaf, id))
+	if _, err := blockstore.WriteSegment(path, buf, nil); err != nil {
+		return err
+	}
+	in.segMu.Lock()
+	in.segs = append(in.segs, Segment{Leaf: leaf, Path: path, Rows: buf.N})
+	in.segMu.Unlock()
+	in.buffers[leaf] = table.New(in.Tree.Schema, in.SegmentRows)
+	return nil
+}
+
+// Flush forces all non-empty buffers to disk (call at end of a batch or
+// on shutdown).
+func (in *Ingester) Flush() error {
+	for leaf := range in.buffers {
+		in.mu[leaf].Lock()
+		err := in.flushLocked(leaf)
+		in.mu[leaf].Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Segments returns the flushed segment catalog (copy).
+func (in *Ingester) Segments() []Segment {
+	in.segMu.Lock()
+	defer in.segMu.Unlock()
+	return append([]Segment(nil), in.segs...)
+}
+
+// Buffered returns the number of rows currently held in memory.
+func (in *Ingester) Buffered() int {
+	n := 0
+	for leaf := range in.buffers {
+		in.mu[leaf].Lock()
+		n += in.buffers[leaf].N
+		in.mu[leaf].Unlock()
+	}
+	return n
+}
+
+// ReadLeaf reads back every segment of a leaf as one table — what a scan
+// of that block would see.
+func (in *Ingester) ReadLeaf(leaf int) (*table.Table, error) {
+	out := table.New(in.Tree.Schema, 0)
+	for _, seg := range in.Segments() {
+		if seg.Leaf != leaf {
+			continue
+		}
+		part, err := blockstore.ReadSegment(seg.Path, in.Tree.Schema)
+		if err != nil {
+			return nil, err
+		}
+		out.Concat(part)
+	}
+	in.mu[leaf].Lock()
+	out.Concat(in.buffers[leaf])
+	in.mu[leaf].Unlock()
+	return out, nil
+}

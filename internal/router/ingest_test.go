@@ -1,0 +1,144 @@
+package router
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIngesterFlushesSegments(t *testing.T) {
+	tree, spec := buildTree(t, 3000)
+	in, err := NewIngester(tree, t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Ingest(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Buffered() != 0 {
+		t.Fatalf("buffered = %d after Flush", in.Buffered())
+	}
+	total := 0
+	for _, s := range in.Segments() {
+		if s.Rows == 0 || s.Rows > 100 {
+			t.Fatalf("segment with %d rows (threshold 100)", s.Rows)
+		}
+		total += s.Rows
+	}
+	if total != spec.Table.N {
+		t.Fatalf("segments hold %d rows, want %d", total, spec.Table.N)
+	}
+}
+
+func TestIngesterLeafContentsMatchRouting(t *testing.T) {
+	tree, spec := buildTree(t, 2000)
+	want := tree.RouteTable(spec.Table)
+	in, err := NewIngester(tree, t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Ingest(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	// Per-leaf expected counts.
+	counts := map[int]int{}
+	for _, b := range want {
+		counts[b]++
+	}
+	for leaf, wantN := range counts {
+		got, err := in.ReadLeaf(leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != wantN {
+			t.Fatalf("leaf %d holds %d rows, want %d", leaf, got.N, wantN)
+		}
+		// Every read-back row must route back to this leaf.
+		row := make([]int64, got.Schema.NumCols())
+		for i := 0; i < got.N; i++ {
+			row = got.Row(i, row)
+			if tree.RouteRow(row).BlockID != leaf {
+				t.Fatalf("leaf %d contains a foreign row", leaf)
+			}
+		}
+	}
+}
+
+func TestIngesterConcurrent(t *testing.T) {
+	tree, spec := buildTree(t, 4000)
+	in, err := NewIngester(tree, t.TempDir(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	chunk := spec.Table.N / 4
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			hi := lo + chunk
+			if hi > spec.Table.N {
+				hi = spec.Table.N
+			}
+			sub := spec.Table.Select(rangeInts(lo, hi))
+			if err := in.Ingest(sub); err != nil {
+				t.Error(err)
+			}
+		}(w * chunk)
+	}
+	wg.Wait()
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range in.Segments() {
+		total += s.Rows
+	}
+	if total != spec.Table.N {
+		t.Fatalf("concurrent ingest lost rows: %d of %d", total, spec.Table.N)
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestIngesterValidation(t *testing.T) {
+	tree, _ := buildTree(t, 100)
+	if _, err := NewIngester(tree, t.TempDir(), 0); err == nil {
+		t.Error("SegmentRows 0 must error")
+	}
+}
+
+func TestIngesterSegmentsSurviveReopen(t *testing.T) {
+	tree, spec := buildTree(t, 500)
+	dir := t.TempDir()
+	in, err := NewIngester(tree, dir, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Ingest(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Segments are plain blockstore files readable by path.
+	segs := in.Segments()
+	if len(segs) == 0 {
+		t.Fatal("no segments written")
+	}
+	got, err := in.ReadLeaf(segs[0].Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N == 0 {
+		t.Fatal("segment read back empty")
+	}
+}

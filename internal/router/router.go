@@ -1,0 +1,175 @@
+// Package router implements the online half of Fig. 1: the data router
+// that assigns incoming records to blocks through a learned qd-tree
+// (Sec. 3.1 — batched, multi-threaded, with locked per-leaf appends), and
+// the query router that rewrites queries with an explicit BID IN (...)
+// list (Sec. 3.3). Figure 6 measures both.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// DataRouter ingests record batches through a qd-tree.
+type DataRouter struct {
+	Tree *core.Tree
+	mu   []sync.Mutex // one per leaf
+	// Buffers[leaf] collects routed row indexes ("each leaf represents a
+	// set of physical blocks to be persisted").
+	Buffers [][]int
+}
+
+// NewDataRouter prepares per-leaf buffers and locks.
+func NewDataRouter(t *core.Tree) *DataRouter {
+	n := len(t.Leaves())
+	return &DataRouter{Tree: t, mu: make([]sync.Mutex, n), Buffers: make([][]int, n)}
+}
+
+// RouteBatch routes rows [lo, hi) of tbl: it partitions the batch down the
+// tree column-at-a-time and appends each leaf's share under that leaf's
+// lock. Safe for concurrent use.
+func (d *DataRouter) RouteBatch(tbl *table.Table, lo, hi int) {
+	rows := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		rows = append(rows, r)
+	}
+	d.routeRec(d.Tree.Root, tbl, rows)
+}
+
+func (d *DataRouter) routeRec(n *core.Node, tbl *table.Table, rows []int) {
+	if len(rows) == 0 {
+		return
+	}
+	if n.IsLeaf() {
+		d.mu[n.BlockID].Lock()
+		d.Buffers[n.BlockID] = append(d.Buffers[n.BlockID], rows...)
+		d.mu[n.BlockID].Unlock()
+		return
+	}
+	left, right := d.Tree.PartitionRows(tbl, rows, *n.Cut)
+	d.routeRec(n.Left, tbl, left)
+	d.routeRec(n.Right, tbl, right)
+}
+
+// Routed returns the total routed record count.
+func (d *DataRouter) Routed() int {
+	n := 0
+	for i := range d.Buffers {
+		d.mu[i].Lock()
+		n += len(d.Buffers[i])
+		d.mu[i].Unlock()
+	}
+	return n
+}
+
+// ThroughputResult reports one Fig. 6a measurement.
+type ThroughputResult struct {
+	Threads   int
+	Records   int
+	Elapsed   time.Duration
+	RecordsPS float64
+}
+
+// MeasureThroughput routes the whole table with the given thread count and
+// batch size, returning records/second (the Fig. 6a series).
+func MeasureThroughput(t *core.Tree, tbl *table.Table, threads, batch int) ThroughputResult {
+	if threads < 1 {
+		threads = 1
+	}
+	if batch < 1 {
+		batch = 4096
+	}
+	d := NewDataRouter(t)
+	var next int
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += batch
+				mu.Unlock()
+				if lo >= tbl.N {
+					return
+				}
+				hi := lo + batch
+				if hi > tbl.N {
+					hi = tbl.N
+				}
+				d.RouteBatch(tbl, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(start)
+	return ThroughputResult{
+		Threads:   threads,
+		Records:   tbl.N,
+		Elapsed:   el,
+		RecordsPS: float64(tbl.N) / el.Seconds(),
+	}
+}
+
+// QueryRouter intercepts queries and produces pruned BID lists (Sec. 3.3).
+type QueryRouter struct {
+	Tree *core.Tree
+}
+
+// Route returns the sorted list of intersecting block IDs for q.
+func (qr *QueryRouter) Route(q expr.Query) []int {
+	bids := qr.Tree.QueryBlocks(q)
+	sort.Ints(bids)
+	return bids
+}
+
+// Rewrite augments a SQL string with the explicit BID IN (...) clause that
+// modern databases use for partition pruning without engine changes.
+func (qr *QueryRouter) Rewrite(sql string, q expr.Query) string {
+	bids := qr.Route(q)
+	parts := make([]string, len(bids))
+	for i, b := range bids {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	clause := fmt.Sprintf("BID IN (%s)", strings.Join(parts, ","))
+	upper := strings.ToUpper(sql)
+	if strings.Contains(upper, "WHERE") {
+		return sql + " AND " + clause
+	}
+	return sql + " WHERE " + clause
+}
+
+// Latencies measures per-query routing time (the Fig. 6b CDF): the time
+// to check each query against every leaf's semantic description.
+func Latencies(t *core.Tree, w []expr.Query) []time.Duration {
+	out := make([]time.Duration, len(w))
+	qr := &QueryRouter{Tree: t}
+	for i, q := range w {
+		start := time.Now()
+		qr.Route(q)
+		out[i] = time.Since(start)
+	}
+	return out
+}
+
+// CDF returns the values sorted ascending together with cumulative
+// fractions, for rendering latency / speedup CDFs (Figs. 6b, 7c).
+func CDF(values []float64) (sorted []float64, fractions []float64) {
+	sorted = append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	fractions = make([]float64, len(sorted))
+	for i := range sorted {
+		fractions[i] = float64(i+1) / float64(len(sorted))
+	}
+	return sorted, fractions
+}

@@ -1,0 +1,139 @@
+package router
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/workload"
+)
+
+func buildTree(t *testing.T, n int) (*core.Tree, *workload.Spec) {
+	t.Helper()
+	spec := workload.Fig3(n, 1)
+	cuts := make([]core.Cut, len(spec.Cuts))
+	for i, p := range spec.Cuts {
+		cuts[i] = core.UnaryCut(p.Pred)
+	}
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: 50, Cuts: cuts, Queries: spec.Queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, spec
+}
+
+func TestRouteBatchMatchesRouteTable(t *testing.T) {
+	tree, spec := buildTree(t, 3000)
+	want := tree.RouteTable(spec.Table)
+	d := NewDataRouter(tree)
+	d.RouteBatch(spec.Table, 0, spec.Table.N)
+	if d.Routed() != spec.Table.N {
+		t.Fatalf("routed %d of %d", d.Routed(), spec.Table.N)
+	}
+	for b, rows := range d.Buffers {
+		for _, r := range rows {
+			if want[r] != b {
+				t.Fatalf("row %d routed to %d, want %d", r, b, want[r])
+			}
+		}
+	}
+}
+
+func TestParallelRoutingIsCorrect(t *testing.T) {
+	tree, spec := buildTree(t, 5000)
+	want := tree.RouteTable(spec.Table)
+	for _, threads := range []int{1, 2, 4, 8} {
+		res := MeasureThroughput(tree, spec.Table, threads, 256)
+		if res.Records != spec.Table.N || res.RecordsPS <= 0 {
+			t.Fatalf("threads=%d: bad result %+v", threads, res)
+		}
+		// Re-route with a fresh router to validate buffers directly.
+		d := NewDataRouter(tree)
+		done := make(chan struct{}, threads)
+		per := (spec.Table.N + threads - 1) / threads
+		for w := 0; w < threads; w++ {
+			go func(lo int) {
+				hi := lo + per
+				if hi > spec.Table.N {
+					hi = spec.Table.N
+				}
+				if lo < hi {
+					d.RouteBatch(spec.Table, lo, hi)
+				}
+				done <- struct{}{}
+			}(w * per)
+		}
+		for w := 0; w < threads; w++ {
+			<-done
+		}
+		if d.Routed() != spec.Table.N {
+			t.Fatalf("threads=%d: routed %d", threads, d.Routed())
+		}
+		for b, rows := range d.Buffers {
+			for _, r := range rows {
+				if want[r] != b {
+					t.Fatalf("threads=%d: row %d misrouted", threads, r)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryRouterMatchesTree(t *testing.T) {
+	tree, spec := buildTree(t, 2000)
+	bids := tree.RouteTable(spec.Table)
+	tree.Freeze(spec.Table, bids)
+	qr := &QueryRouter{Tree: tree}
+	for _, q := range spec.Queries {
+		got := qr.Route(q)
+		want := tree.QueryBlocks(q)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %v vs %v", q.Name, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: %v vs %v", q.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestRewriteAddsBIDClause(t *testing.T) {
+	tree, spec := buildTree(t, 1000)
+	qr := &QueryRouter{Tree: tree}
+	out := qr.Rewrite("SELECT * FROM t WHERE disk < 100", spec.Queries[1])
+	if !strings.Contains(out, "AND BID IN (") {
+		t.Errorf("rewrite = %q", out)
+	}
+	out2 := qr.Rewrite("SELECT * FROM t", spec.Queries[1])
+	if !strings.Contains(out2, "WHERE BID IN (") {
+		t.Errorf("rewrite without WHERE = %q", out2)
+	}
+}
+
+func TestLatenciesShape(t *testing.T) {
+	tree, spec := buildTree(t, 1000)
+	ls := Latencies(tree, spec.Queries)
+	if len(ls) != len(spec.Queries) {
+		t.Fatalf("latencies = %d", len(ls))
+	}
+	for _, l := range ls {
+		if l < 0 {
+			t.Fatal("negative latency")
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals, fracs := CDF([]float64{3, 1, 2})
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("sorted = %v", vals)
+	}
+	if fracs[0] != 1.0/3 || fracs[2] != 1.0 {
+		t.Fatalf("fractions = %v", fracs)
+	}
+}

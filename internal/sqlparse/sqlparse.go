@@ -1,0 +1,507 @@
+// Package sqlparse is a small SQL WHERE-clause parser used to feed real
+// query text into the qd-tree pipeline (Sec. 3.4: "we simply parse
+// [queries] through a standard SQL planner and take all pushed-down unary
+// predicates as allowed cuts"). It supports the predicate language of the
+// paper: comparisons {<, <=, >, >=, =}, IN lists, BETWEEN, LIKE with a
+// literal prefix (resolved against the column dictionary), arbitrary
+// AND/OR nesting, and column-vs-column comparisons, which become advanced
+// cuts (Sec. 6.1).
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Parser converts SQL text to expr.Query values against a schema. Advanced
+// cuts discovered during parsing are appended to ACs and de-duplicated, so
+// a workload parsed with one Parser shares one advanced-cut table.
+type Parser struct {
+	Schema *table.Schema
+	ACs    []expr.AdvCut
+	// DateEpoch converts 'YYYY-MM-DD' literals to day numbers. The
+	// default counts days since 1992-01-01 (the TPC-H origin).
+	DateEpoch func(y, m, d int) int64
+}
+
+// NewParser builds a parser over the schema.
+func NewParser(s *table.Schema) *Parser {
+	return &Parser{Schema: s, DateEpoch: defaultEpoch}
+}
+
+func defaultEpoch(y, m, d int) int64 {
+	days := int64(0)
+	for yy := 1992; yy < y; yy++ {
+		days += 365
+		if yy%4 == 0 {
+			days++
+		}
+	}
+	mdays := []int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	for mm := 1; mm < m; mm++ {
+		days += int64(mdays[mm-1])
+	}
+	if y%4 == 0 && m > 2 {
+		days++
+	}
+	return days + int64(d-1)
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // < <= > >= = <>
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, "<=", 2)
+			} else if l.peek(1) == '>' {
+				l.emitN(tokOp, "<>", 2)
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, ">=", 2)
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emitN(tokOp, "<>", 2)
+			} else {
+				return nil, fmt.Errorf("sqlparse: stray '!' at %d", l.pos)
+			}
+		case c == '\'':
+			end := strings.IndexByte(l.src[l.pos+1:], '\'')
+			if end < 0 {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", l.pos)
+			}
+			l.toks = append(l.toks, token{tokString, l.src[l.pos+1 : l.pos+1+end], l.pos})
+			l.pos += end + 2
+		case c == '-' || c >= '0' && c <= '9':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, s string) { l.emitN(k, s, len(s)) }
+func (l *lexer) emitN(k tokKind, s string, n int) {
+	l.toks = append(l.toks, token{k, s, l.pos})
+	l.pos += n
+}
+
+type parseState struct {
+	p    *Parser
+	toks []token
+	i    int
+}
+
+func (ps *parseState) cur() token  { return ps.toks[ps.i] }
+func (ps *parseState) next() token { t := ps.toks[ps.i]; ps.i++; return t }
+
+func (ps *parseState) expect(k tokKind, what string) (token, error) {
+	t := ps.next()
+	if t.kind != k {
+		return t, fmt.Errorf("sqlparse: expected %s at %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// Parse parses either a full "SELECT ... FROM ... WHERE <expr>" statement
+// or a bare boolean expression, returning the query.
+func (p *Parser) Parse(sql string) (expr.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return expr.Query{}, err
+	}
+	ps := &parseState{p: p, toks: toks}
+	// Skip an optional SELECT ... WHERE prefix.
+	if isKeyword(ps.cur(), "SELECT") {
+		for !isKeyword(ps.cur(), "WHERE") {
+			if ps.cur().kind == tokEOF {
+				return expr.Query{}, fmt.Errorf("sqlparse: SELECT without WHERE has no filter")
+			}
+			ps.next()
+		}
+	}
+	if isKeyword(ps.cur(), "WHERE") {
+		ps.next()
+	}
+	root, err := ps.parseOr()
+	if err != nil {
+		return expr.Query{}, err
+	}
+	if ps.cur().kind != tokEOF {
+		return expr.Query{}, fmt.Errorf("sqlparse: trailing input at %d: %q", ps.cur().pos, ps.cur().text)
+	}
+	return expr.Query{Root: root}, nil
+}
+
+// ParseMany parses a workload of statements, sharing the advanced-cut
+// table; query i is named q<i>.
+func (p *Parser) ParseMany(sqls []string) ([]expr.Query, error) {
+	out := make([]expr.Query, 0, len(sqls))
+	for i, sql := range sqls {
+		q, err := p.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		q.Name = fmt.Sprintf("q%d", i)
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func (ps *parseState) parseOr() (*expr.Node, error) {
+	left, err := ps.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*expr.Node{left}
+	for isKeyword(ps.cur(), "OR") {
+		ps.next()
+		right, err := ps.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return expr.Or(children...), nil
+}
+
+func (ps *parseState) parseAnd() (*expr.Node, error) {
+	left, err := ps.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*expr.Node{left}
+	for isKeyword(ps.cur(), "AND") {
+		ps.next()
+		right, err := ps.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return expr.And(children...), nil
+}
+
+func (ps *parseState) parsePrimary() (*expr.Node, error) {
+	if ps.cur().kind == tokLParen {
+		ps.next()
+		inner, err := ps.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ps.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return ps.parsePredicate()
+}
+
+func (ps *parseState) parsePredicate() (*expr.Node, error) {
+	colTok, err := ps.expect(tokIdent, "column name")
+	if err != nil {
+		return nil, err
+	}
+	col := ps.p.resolveCol(colTok.text)
+	if col < 0 {
+		return nil, fmt.Errorf("sqlparse: unknown column %q at %d", colTok.text, colTok.pos)
+	}
+	t := ps.next()
+	switch {
+	case t.kind == tokOp:
+		// col op literal | col op column (advanced cut).
+		rhs := ps.next()
+		if rhs.kind == tokIdent && !looksLikeValueKeyword(rhs.text) {
+			rcol := ps.p.resolveCol(rhs.text)
+			if rcol < 0 {
+				return nil, fmt.Errorf("sqlparse: unknown column %q at %d", rhs.text, rhs.pos)
+			}
+			op, err := opFromText(t.text)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewAdv(ps.p.internAC(expr.AdvCut{Left: col, Op: op, Right: rcol})), nil
+		}
+		lit, err := ps.p.literal(col, rhs)
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "<>" {
+			// a <> v over a categorical becomes OR of the complement? Too
+			// wide; reject with a clear error — the paper's cut language
+			// has no negation.
+			return nil, fmt.Errorf("sqlparse: <> is not supported (no negated cuts) at %d", t.pos)
+		}
+		op, err := opFromText(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewPred(expr.Pred{Col: col, Op: op, Literal: lit}), nil
+	case isKeyword(t, "IN"):
+		if _, err := ps.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		var vals []int64
+		for {
+			v := ps.next()
+			lit, err := ps.p.literal(col, v)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, lit)
+			sep := ps.next()
+			if sep.kind == tokRParen {
+				break
+			}
+			if sep.kind != tokComma {
+				return nil, fmt.Errorf("sqlparse: expected ',' or ')' at %d", sep.pos)
+			}
+		}
+		return expr.NewPred(expr.NewIn(col, vals)), nil
+	case isKeyword(t, "BETWEEN"):
+		loTok := ps.next()
+		lo, err := ps.p.literal(col, loTok)
+		if err != nil {
+			return nil, err
+		}
+		andTok := ps.next()
+		if !isKeyword(andTok, "AND") {
+			return nil, fmt.Errorf("sqlparse: BETWEEN requires AND at %d", andTok.pos)
+		}
+		hiTok := ps.next()
+		hi, err := ps.p.literal(col, hiTok)
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(
+			expr.NewPred(expr.Pred{Col: col, Op: expr.Ge, Literal: lo}),
+			expr.NewPred(expr.Pred{Col: col, Op: expr.Le, Literal: hi}),
+		), nil
+	case isKeyword(t, "LIKE"):
+		pat, err := ps.expect(tokString, "pattern string")
+		if err != nil {
+			return nil, err
+		}
+		return ps.p.likePred(col, pat.text, pat.pos)
+	}
+	return nil, fmt.Errorf("sqlparse: expected operator after column at %d, got %q", t.pos, t.text)
+}
+
+func looksLikeValueKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "TRUE", "FALSE", "NULL":
+		return true
+	}
+	return false
+}
+
+func opFromText(s string) (expr.Op, error) {
+	switch s {
+	case "<":
+		return expr.Lt, nil
+	case "<=":
+		return expr.Le, nil
+	case ">":
+		return expr.Gt, nil
+	case ">=":
+		return expr.Ge, nil
+	case "=":
+		return expr.Eq, nil
+	}
+	return 0, fmt.Errorf("sqlparse: unsupported operator %q", s)
+}
+
+func (p *Parser) resolveCol(name string) int {
+	// Strip a table qualifier ("R.a" -> "a").
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		if c := p.Schema.Col(name[i+1:]); c >= 0 {
+			return c
+		}
+	}
+	return p.Schema.Col(name)
+}
+
+// internAC de-duplicates advanced cuts across a workload.
+func (p *Parser) internAC(ac expr.AdvCut) int {
+	for i, e := range p.ACs {
+		if e == ac {
+			return i
+		}
+	}
+	p.ACs = append(p.ACs, ac)
+	return len(p.ACs) - 1
+}
+
+// literal resolves a literal token against the column type: numbers parse
+// directly; 'YYYY-MM-DD' strings become day numbers; other strings resolve
+// through the column dictionary.
+func (p *Parser) literal(col int, t token) (int64, error) {
+	switch t.kind {
+	case tokNumber:
+		// Fixed-point decimals (e.g. 0.05) scale by the fractional width.
+		if dot := strings.IndexByte(t.text, '.'); dot >= 0 {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return 0, fmt.Errorf("sqlparse: bad number %q at %d", t.text, t.pos)
+			}
+			scale := len(t.text) - dot - 1
+			for i := 0; i < scale; i++ {
+				f *= 10
+			}
+			return int64(f + 0.5), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sqlparse: bad number %q at %d", t.text, t.pos)
+		}
+		return v, nil
+	case tokString:
+		if y, m, d, ok := parseDate(t.text); ok {
+			return p.DateEpoch(y, m, d), nil
+		}
+		code := p.Schema.Code(col, t.text)
+		if code < 0 {
+			return 0, fmt.Errorf("sqlparse: value %q not in dictionary of column %q", t.text, p.Schema.Cols[col].Name)
+		}
+		return code, nil
+	}
+	return 0, fmt.Errorf("sqlparse: expected literal at %d, got %q", t.pos, t.text)
+}
+
+func parseDate(s string) (y, m, d int, ok bool) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, 0, 0, false
+	}
+	var err error
+	if y, err = strconv.Atoi(s[:4]); err != nil {
+		return 0, 0, 0, false
+	}
+	if m, err = strconv.Atoi(s[5:7]); err != nil {
+		return 0, 0, 0, false
+	}
+	if d, err = strconv.Atoi(s[8:10]); err != nil {
+		return 0, 0, 0, false
+	}
+	return y, m, d, m >= 1 && m <= 12 && d >= 1 && d <= 31
+}
+
+// likePred lowers LIKE 'prefix%' (or a pattern with no wildcard) to an IN
+// predicate over the dictionary codes whose strings match — the same
+// dictionary-filtering treatment the paper applies to string predicates.
+func (p *Parser) likePred(col int, pattern string, pos int) (*expr.Node, error) {
+	dict := p.Schema.Cols[col].Dict
+	if dict == nil {
+		return nil, fmt.Errorf("sqlparse: LIKE on column %q without dictionary at %d", p.Schema.Cols[col].Name, pos)
+	}
+	var vals []int64
+	match := func(s string) bool {
+		return likeMatch(pattern, s)
+	}
+	for code, s := range dict {
+		if match(s) {
+			vals = append(vals, int64(code))
+		}
+	}
+	if len(vals) == 0 {
+		// No dictionary entry matches: predicate selects nothing; encode
+		// as an empty IN which never matches.
+		return expr.NewPred(expr.Pred{Col: col, Op: expr.In, Set: nil}), nil
+	}
+	return expr.NewPred(expr.NewIn(col, vals)), nil
+}
+
+// likeMatch evaluates a SQL LIKE pattern (% and _ wildcards).
+func likeMatch(pattern, s string) bool {
+	// Dynamic programming over pattern/string positions.
+	pn, sn := len(pattern), len(s)
+	prev := make([]bool, sn+1)
+	curr := make([]bool, sn+1)
+	prev[0] = true
+	for pi := 1; pi <= pn; pi++ {
+		pc := pattern[pi-1]
+		curr[0] = prev[0] && pc == '%'
+		for si := 1; si <= sn; si++ {
+			switch pc {
+			case '%':
+				curr[si] = curr[si-1] || prev[si]
+			case '_':
+				curr[si] = prev[si-1]
+			default:
+				curr[si] = prev[si-1] && s[si-1] == pc
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[sn]
+}

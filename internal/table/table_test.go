@@ -1,0 +1,162 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema([]Column{
+		{Name: "a", Kind: Numeric, Min: 0, Max: 99},
+		{Name: "b", Kind: Categorical, Dom: 4, Dict: []string{"w", "x", "y", "z"}},
+	})
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema([]Column{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+	if _, err := NewSchema([]Column{{Name: ""}}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := NewSchema([]Column{{Name: "c", Kind: Categorical, Dom: 0}}); err == nil {
+		t.Error("categorical with Dom=0 must be rejected")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	if s.Col("b") != 1 || s.Col("a") != 0 {
+		t.Error("Col lookup wrong")
+	}
+	if s.Col("nope") != -1 {
+		t.Error("missing column must return -1")
+	}
+	if got := s.Code(1, "y"); got != 2 {
+		t.Errorf("Code = %d, want 2", got)
+	}
+	if got := s.Code(1, "missing"); got != -1 {
+		t.Errorf("Code(missing) = %d, want -1", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustColPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on missing column did not panic")
+		}
+	}()
+	testSchema(t).MustCol("nope")
+}
+
+func TestAppendAndRow(t *testing.T) {
+	tbl := New(testSchema(t), 4)
+	tbl.AppendRow([]int64{7, 1})
+	tbl.AppendRow([]int64{9, 3})
+	if tbl.N != 2 {
+		t.Fatalf("N = %d", tbl.N)
+	}
+	row := tbl.Row(1, nil)
+	if row[0] != 9 || row[1] != 3 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestFromColumnsValidates(t *testing.T) {
+	s := testSchema(t)
+	if _, err := FromColumns(s, [][]int64{{1, 2}}); err == nil {
+		t.Error("wrong column count must error")
+	}
+	if _, err := FromColumns(s, [][]int64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged columns must error")
+	}
+	tbl, err := FromColumns(s, [][]int64{{1, 2}, {0, 3}})
+	if err != nil || tbl.N != 2 {
+		t.Fatalf("FromColumns: %v, N=%d", err, tbl.N)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tbl := New(testSchema(t), 4)
+	for i := int64(0); i < 10; i++ {
+		tbl.AppendRow([]int64{i, i % 4})
+	}
+	sub := tbl.Select([]int{9, 0, 5})
+	if sub.N != 3 || sub.Cols[0][0] != 9 || sub.Cols[0][1] != 0 || sub.Cols[0][2] != 5 {
+		t.Errorf("select wrong: %v", sub.Cols[0])
+	}
+}
+
+func TestSampleSizeAndMembership(t *testing.T) {
+	tbl := New(testSchema(t), 0)
+	for i := int64(0); i < 1000; i++ {
+		tbl.AppendRow([]int64{i % 100, i % 4})
+	}
+	rng := rand.New(rand.NewSource(42))
+	s := tbl.Sample(0.1, 10, rng)
+	if s.N != 100 {
+		t.Fatalf("sample N = %d, want 100", s.N)
+	}
+	for i := 0; i < s.N; i++ {
+		if s.Cols[0][i] < 0 || s.Cols[0][i] > 99 {
+			t.Fatal("sampled value outside source domain")
+		}
+	}
+	// minRows floor applies.
+	s2 := tbl.Sample(0.001, 50, rng)
+	if s2.N != 50 {
+		t.Fatalf("minRows not honored: %d", s2.N)
+	}
+	// rate >= 1 returns the table itself.
+	s3 := tbl.Sample(2.0, 1, rng)
+	if s3.N != tbl.N {
+		t.Fatal("oversample must return full table")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tbl := New(testSchema(t), 0)
+	for _, v := range []int64{5, 3, 9, 1, 7} {
+		tbl.AppendRow([]int64{v, 0})
+	}
+	lo, hi, ok := tbl.MinMax(0, nil)
+	if !ok || lo != 1 || hi != 9 {
+		t.Errorf("MinMax all = %d..%d ok=%v", lo, hi, ok)
+	}
+	lo, hi, ok = tbl.MinMax(0, []int{0, 2})
+	if !ok || lo != 5 || hi != 9 {
+		t.Errorf("MinMax subset = %d..%d ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := tbl.MinMax(0, []int{}); ok {
+		t.Error("empty subset must report !ok")
+	}
+}
+
+func TestInferBounds(t *testing.T) {
+	s := MustSchema([]Column{{Name: "v", Kind: Numeric}})
+	tbl := New(s, 0)
+	for _, v := range []int64{-3, 10, 4} {
+		tbl.AppendRow([]int64{v})
+	}
+	tbl.InferBounds()
+	if tbl.Schema.Cols[0].Min != -3 || tbl.Schema.Cols[0].Max != 10 {
+		t.Errorf("bounds = %d..%d", tbl.Schema.Cols[0].Min, tbl.Schema.Cols[0].Max)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New(testSchema(t), 0)
+	a.AppendRow([]int64{1, 0})
+	b := New(testSchema(t), 0)
+	b.AppendRow([]int64{2, 1})
+	b.AppendRow([]int64{3, 2})
+	a.Concat(b)
+	if a.N != 3 || a.Cols[0][2] != 3 {
+		t.Errorf("concat wrong: N=%d", a.N)
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload generates the datasets and query workloads of the
+// paper's evaluation (Sec. 7): a TPC-H-style denormalized fact table with
+// the 15 filter templates, synthetic equivalents of the two proprietary
+// ErrorLog workloads, and the Figure 3 / Figure 4 microbenchmarks.
+//
+// All generators are deterministic given a seed.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Spec bundles a generated dataset with its workload and search space: the
+// inputs every constructor needs (Fig. 1: data sample + queries +
+// candidate cuts).
+type Spec struct {
+	Name    string
+	Table   *table.Table
+	Queries []expr.Query
+	ACs     []expr.AdvCut
+	Cuts    []Pred2Cut
+}
+
+// Pred2Cut is a candidate cut in workload form; the qd package converts it
+// to a core.Cut. IsAdv selects the advanced-cut table.
+type Pred2Cut struct {
+	IsAdv bool
+	Pred  expr.Pred
+	Adv   int
+}
+
+// UnaryCuts wraps predicates as candidate cuts.
+func UnaryCuts(ps ...expr.Pred) []Pred2Cut {
+	out := make([]Pred2Cut, len(ps))
+	for i, p := range ps {
+		out[i] = Pred2Cut{Pred: p}
+	}
+	return out
+}
+
+// Fig3 generates the Sec. 5.1 microbenchmark: two uniform columns
+// (cpu ∈ [0,100), disk ∈ [0,1) scaled to integer [0,10000)), a disjunctive
+// query Q1 (cpu<10 OR cpu>90) and a unary query Q2 (disk<0.01), with
+// candidate cuts {cpu<10, cpu>90, disk<0.01}. Greedy is forced onto the
+// disk cut (scan ratio ≈ 50.5%); Woodblock finds the 4-block layout
+// (scan ratio ≈ 10.4%).
+func Fig3(n int, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.MustSchema([]table.Column{
+		{Name: "cpu", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "disk", Kind: table.Numeric, Min: 0, Max: 9999},
+	})
+	tbl := table.New(schema, n)
+	row := make([]int64, 2)
+	for i := 0; i < n; i++ {
+		row[0] = int64(rng.Intn(100))
+		row[1] = int64(rng.Intn(10000))
+		tbl.AppendRow(row)
+	}
+	cpu, disk := 0, 1
+	q1 := expr.Query{
+		Name: "Q1",
+		Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: cpu, Op: expr.Lt, Literal: 10}),
+			expr.NewPred(expr.Pred{Col: cpu, Op: expr.Gt, Literal: 90}),
+		),
+	}
+	q2 := expr.AndQ("Q2", expr.Pred{Col: disk, Op: expr.Lt, Literal: 100})
+	cuts := UnaryCuts(
+		expr.Pred{Col: cpu, Op: expr.Lt, Literal: 10},
+		expr.Pred{Col: cpu, Op: expr.Gt, Literal: 90},
+		expr.Pred{Col: disk, Op: expr.Lt, Literal: 100},
+	)
+	return &Spec{Name: "fig3", Table: tbl, Queries: []expr.Query{q1, q2}, Cuts: cuts}
+}
+
+// Fig4 generates the Sec. 6.2 overlap microbenchmark: a cross-shaped
+// dataset on (x, y) ∈ [0,100)² with four N-record arms and one record at
+// the center; four queries each select one arm plus the center record
+// (N+1 records each). Without overlap any binary cutting leaves three
+// queries reading N extra tuples; replicating the center record removes
+// all waste.
+func Fig4(armN int, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.MustSchema([]table.Column{
+		{Name: "x", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "y", Kind: table.Numeric, Min: 0, Max: 99},
+	})
+	tbl := table.New(schema, 4*armN+1)
+	emit := func(x, y int64) { tbl.AppendRow([]int64{x, y}) }
+	// Center singleton.
+	emit(50, 50)
+	for i := 0; i < armN; i++ {
+		// Left arm: x ∈ [0,45), y ∈ [45,55).
+		emit(int64(rng.Intn(45)), int64(45+rng.Intn(10)))
+		// Right arm: x ∈ [56,100), y ∈ [45,55).
+		emit(int64(56+rng.Intn(44)), int64(45+rng.Intn(10)))
+		// Bottom arm: y ∈ [0,45), x ∈ [45,55).
+		emit(int64(45+rng.Intn(10)), int64(rng.Intn(45)))
+		// Top arm: y ∈ [56,100), x ∈ [45,55).
+		emit(int64(45+rng.Intn(10)), int64(56+rng.Intn(44)))
+	}
+	x, y := 0, 1
+	queries := []expr.Query{
+		expr.AndQ("Q1",
+			expr.Pred{Col: x, Op: expr.Le, Literal: 50},
+			expr.Pred{Col: y, Op: expr.Ge, Literal: 45},
+			expr.Pred{Col: y, Op: expr.Lt, Literal: 55}),
+		expr.AndQ("Q2",
+			expr.Pred{Col: x, Op: expr.Ge, Literal: 50},
+			expr.Pred{Col: y, Op: expr.Ge, Literal: 45},
+			expr.Pred{Col: y, Op: expr.Lt, Literal: 55}),
+		expr.AndQ("Q3",
+			expr.Pred{Col: y, Op: expr.Le, Literal: 50},
+			expr.Pred{Col: x, Op: expr.Ge, Literal: 45},
+			expr.Pred{Col: x, Op: expr.Lt, Literal: 55}),
+		expr.AndQ("Q4",
+			expr.Pred{Col: y, Op: expr.Ge, Literal: 50},
+			expr.Pred{Col: x, Op: expr.Ge, Literal: 45},
+			expr.Pred{Col: x, Op: expr.Lt, Literal: 55}),
+	}
+	var preds []expr.Pred
+	for _, q := range queries {
+		preds = append(preds, q.Preds()...)
+	}
+	return &Spec{Name: "fig4", Table: tbl, Queries: queries, Cuts: UnaryCuts(dedupe(preds)...)}
+}
+
+// dedupe removes structurally duplicate predicates, preserving order.
+func dedupe(ps []expr.Pred) []expr.Pred {
+	seen := make(map[string]bool)
+	var out []expr.Pred
+	for _, p := range ps {
+		k := p.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExtractCuts implements Sec. 3.4: the candidate cut set is exactly the
+// de-duplicated pushed-down unary predicates of the workload, plus one
+// advanced cut per distinct AC reference.
+func ExtractCuts(queries []expr.Query) []Pred2Cut {
+	var preds []expr.Pred
+	advSeen := make(map[int]bool)
+	var advs []int
+	for _, q := range queries {
+		preds = append(preds, q.Preds()...)
+		for _, a := range q.AdvRefs() {
+			if !advSeen[a] {
+				advSeen[a] = true
+				advs = append(advs, a)
+			}
+		}
+	}
+	out := UnaryCuts(dedupe(preds)...)
+	for _, a := range advs {
+		out = append(out, Pred2Cut{IsAdv: true, Adv: a})
+	}
+	return out
+}

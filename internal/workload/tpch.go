@@ -1,0 +1,394 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// The paper evaluates on TPC-H SF1000, denormalized so that "many filters
+// touch" a single table (Sec. 7.2), restricted to one month (77M rows, 68
+// columns). This generator reproduces the schema shape — every column the
+// 15 filter templates touch, plus fillers up to 68 columns — with the
+// spec's uniform distributions and date correlations, at a configurable
+// row count. Skipping ratios depend on distributions, not absolute scale.
+
+// Day numbering: days since 1992-01-01. TPC-H order dates span
+// [1992-01-01, 1998-08-02]; we use 2400 days.
+const (
+	tpchDateMin = 0
+	tpchDateMax = 2400
+)
+
+// TPCHDay converts (year, month) to the generator's day number
+// (approximate 30.44-day months are irrelevant — we use exact spans).
+func TPCHDay(year, month, day int) int64 {
+	days := int64(0)
+	for y := 1992; y < year; y++ {
+		days += 365
+		if y%4 == 0 {
+			days++
+		}
+	}
+	mdays := []int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	for m := 1; m < month; m++ {
+		days += int64(mdays[m-1])
+	}
+	if year%4 == 0 && month > 2 {
+		days++
+	}
+	return days + int64(day-1)
+}
+
+// TPCHConfig parameterizes the generator.
+type TPCHConfig struct {
+	Rows         int   // fact-table rows (paper: 77M; default 100_000)
+	SeedsPerTmpl int   // query instances per template (paper: 10)
+	Seed         int64 // master seed
+}
+
+func (c *TPCHConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 100_000
+	}
+	if c.SeedsPerTmpl == 0 {
+		c.SeedsPerTmpl = 10
+	}
+}
+
+// Column names used by templates.
+var tpchShipmodes = []string{"AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"}
+var tpchShipinstruct = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+var tpchSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+func tpchNations() []string {
+	out := make([]string, 25)
+	for i := range out {
+		out[i] = fmt.Sprintf("NATION_%02d", i)
+	}
+	return out
+}
+
+func tpchBrands() []string {
+	out := make([]string, 25)
+	for i := range out {
+		out[i] = fmt.Sprintf("Brand#%d%d", i/5+1, i%5+1)
+	}
+	return out
+}
+
+func tpchContainers() []string {
+	sizes := []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	kinds := []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	var out []string
+	for _, s := range sizes {
+		for _, k := range kinds {
+			out = append(out, s+" "+k)
+		}
+	}
+	return out
+}
+
+func tpchTypes() []string {
+	a := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	b := []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	c := []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			for _, z := range c {
+				out = append(out, x+" "+y+" "+z)
+			}
+		}
+	}
+	return out
+}
+
+// TPCHSchema builds the 68-column denormalized schema.
+func TPCHSchema() *table.Schema {
+	nations := tpchNations()
+	cols := []table.Column{
+		{Name: "l_orderkey", Kind: table.Numeric, Min: 0, Max: 6_000_000},
+		{Name: "l_partkey", Kind: table.Numeric, Min: 0, Max: 200_000},
+		{Name: "l_suppkey", Kind: table.Numeric, Min: 0, Max: 10_000},
+		{Name: "l_linenumber", Kind: table.Numeric, Min: 1, Max: 7},
+		{Name: "l_quantity", Kind: table.Numeric, Min: 1, Max: 50},
+		{Name: "l_extendedprice", Kind: table.Numeric, Min: 900, Max: 105_000},
+		{Name: "l_discount", Kind: table.Numeric, Min: 0, Max: 10},
+		{Name: "l_tax", Kind: table.Numeric, Min: 0, Max: 8},
+		{Name: "l_returnflag", Kind: table.Categorical, Dom: 3, Dict: []string{"A", "N", "R"}},
+		{Name: "l_linestatus", Kind: table.Categorical, Dom: 2, Dict: []string{"F", "O"}},
+		{Name: "l_shipdate", Kind: table.Numeric, Min: tpchDateMin, Max: tpchDateMax + 122},
+		{Name: "l_commitdate", Kind: table.Numeric, Min: tpchDateMin, Max: tpchDateMax + 122},
+		{Name: "l_receiptdate", Kind: table.Numeric, Min: tpchDateMin, Max: tpchDateMax + 152},
+		{Name: "l_shipinstruct", Kind: table.Categorical, Dom: 4, Dict: tpchShipinstruct},
+		{Name: "l_shipmode", Kind: table.Categorical, Dom: 7, Dict: tpchShipmodes},
+		{Name: "o_orderdate", Kind: table.Numeric, Min: tpchDateMin, Max: tpchDateMax},
+		{Name: "o_orderpriority", Kind: table.Categorical, Dom: 5, Dict: tpchPriorities},
+		{Name: "o_totalprice", Kind: table.Numeric, Min: 800, Max: 600_000},
+		{Name: "o_orderstatus", Kind: table.Categorical, Dom: 3, Dict: []string{"F", "O", "P"}},
+		{Name: "c_mktsegment", Kind: table.Categorical, Dom: 5, Dict: tpchSegments},
+		{Name: "c_nationkey", Kind: table.Categorical, Dom: 25, Dict: nations},
+		{Name: "cn_name", Kind: table.Categorical, Dom: 25, Dict: nations},
+		{Name: "cr_name", Kind: table.Categorical, Dom: 5, Dict: tpchRegions},
+		{Name: "s_nationkey", Kind: table.Categorical, Dom: 25, Dict: nations},
+		{Name: "sn_name", Kind: table.Categorical, Dom: 25, Dict: nations},
+		{Name: "sr_name", Kind: table.Categorical, Dom: 5, Dict: tpchRegions},
+		{Name: "p_brand", Kind: table.Categorical, Dom: 25, Dict: tpchBrands()},
+		{Name: "p_container", Kind: table.Categorical, Dom: 40, Dict: tpchContainers()},
+		{Name: "p_size", Kind: table.Numeric, Min: 1, Max: 50},
+		{Name: "p_type", Kind: table.Categorical, Dom: 150, Dict: tpchTypes()},
+		{Name: "p_retailprice", Kind: table.Numeric, Min: 900, Max: 2100},
+	}
+	// Fillers up to the paper's 68 columns: alternating numeric and small
+	// categorical columns the workload never references.
+	for i := len(cols); i < 68; i++ {
+		if i%2 == 0 {
+			cols = append(cols, table.Column{
+				Name: fmt.Sprintf("f_num%02d", i), Kind: table.Numeric, Min: 0, Max: 9999})
+		} else {
+			cols = append(cols, table.Column{
+				Name: fmt.Sprintf("f_cat%02d", i), Kind: table.Categorical, Dom: 16})
+		}
+	}
+	return table.MustSchema(cols)
+}
+
+// TPCHACs returns the advanced-cut table of Sec. 6.1:
+// AC0: c_nationkey = s_nationkey, AC1: l_shipdate < l_commitdate,
+// AC2: l_commitdate < l_receiptdate.
+func TPCHACs(s *table.Schema) []expr.AdvCut {
+	return []expr.AdvCut{
+		{Left: s.MustCol("c_nationkey"), Op: expr.Eq, Right: s.MustCol("s_nationkey")},
+		{Left: s.MustCol("l_shipdate"), Op: expr.Lt, Right: s.MustCol("l_commitdate")},
+		{Left: s.MustCol("l_commitdate"), Op: expr.Lt, Right: s.MustCol("l_receiptdate")},
+	}
+}
+
+// TPCH generates the denormalized table plus the 15-template workload.
+func TPCH(cfg TPCHConfig) *Spec {
+	cfg.defaults()
+	schema := TPCHSchema()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := table.New(schema, cfg.Rows)
+	row := make([]int64, schema.NumCols())
+	col := schema.MustCol
+	for i := 0; i < cfg.Rows; i++ {
+		orderdate := int64(rng.Intn(tpchDateMax + 1))
+		shipdate := orderdate + 1 + int64(rng.Intn(121))
+		commitdate := orderdate + 30 + int64(rng.Intn(61))
+		receiptdate := shipdate + 1 + int64(rng.Intn(30))
+		cnat := int64(rng.Intn(25))
+		snat := int64(rng.Intn(25))
+		// linestatus follows shipdate per spec (F if shipped long ago).
+		linestatus := int64(0)
+		if shipdate > tpchDateMax-180 {
+			linestatus = 1
+		}
+		returnflag := int64(rng.Intn(3))
+		if linestatus == 1 {
+			returnflag = 1 // N for open lines
+		}
+		orderstatus := int64(rng.Intn(3))
+		row[col("l_orderkey")] = int64(rng.Intn(6_000_000))
+		row[col("l_partkey")] = int64(rng.Intn(200_000))
+		row[col("l_suppkey")] = int64(rng.Intn(10_000))
+		row[col("l_linenumber")] = int64(1 + rng.Intn(7))
+		row[col("l_quantity")] = int64(1 + rng.Intn(50))
+		row[col("l_extendedprice")] = int64(900 + rng.Intn(104_100))
+		row[col("l_discount")] = int64(rng.Intn(11))
+		row[col("l_tax")] = int64(rng.Intn(9))
+		row[col("l_returnflag")] = returnflag
+		row[col("l_linestatus")] = linestatus
+		row[col("l_shipdate")] = shipdate
+		row[col("l_commitdate")] = commitdate
+		row[col("l_receiptdate")] = receiptdate
+		row[col("l_shipinstruct")] = int64(rng.Intn(4))
+		row[col("l_shipmode")] = int64(rng.Intn(7))
+		row[col("o_orderdate")] = orderdate
+		row[col("o_orderpriority")] = int64(rng.Intn(5))
+		row[col("o_totalprice")] = int64(800 + rng.Intn(599_200))
+		row[col("o_orderstatus")] = orderstatus
+		row[col("c_mktsegment")] = int64(rng.Intn(5))
+		row[col("c_nationkey")] = cnat
+		row[col("cn_name")] = cnat
+		row[col("cr_name")] = cnat / 5
+		row[col("s_nationkey")] = snat
+		row[col("sn_name")] = snat
+		row[col("sr_name")] = snat / 5
+		row[col("p_brand")] = int64(rng.Intn(25))
+		row[col("p_container")] = int64(rng.Intn(40))
+		row[col("p_size")] = int64(1 + rng.Intn(50))
+		row[col("p_type")] = int64(rng.Intn(150))
+		row[col("p_retailprice")] = int64(900 + rng.Intn(1200))
+		for c := 31; c < 68; c++ {
+			if schema.Cols[c].Kind == table.Numeric {
+				row[c] = int64(rng.Intn(10_000))
+			} else {
+				row[c] = int64(rng.Intn(16))
+			}
+		}
+		tbl.AppendRow(row)
+	}
+	queries := TPCHQueries(schema, cfg.SeedsPerTmpl, cfg.Seed+1)
+	return &Spec{
+		Name:    "tpch",
+		Table:   tbl,
+		Queries: queries,
+		ACs:     TPCHACs(schema),
+		Cuts:    ExtractCuts(queries),
+	}
+}
+
+// TPCHTemplates lists the template ids used (the paper's 15: the 8 from
+// Sun et al. plus 7 more, all touching lineitem).
+var TPCHTemplates = []int{1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 17, 18, 19, 21}
+
+// TPCHQueries generates seedsPerTmpl instances per template (150 queries
+// for the paper's 10 seeds).
+func TPCHQueries(s *table.Schema, seedsPerTmpl int, seed int64) []expr.Query {
+	rng := rand.New(rand.NewSource(seed))
+	var out []expr.Query
+	for _, tmpl := range TPCHTemplates {
+		for k := 0; k < seedsPerTmpl; k++ {
+			out = append(out, tpchQuery(s, tmpl, k, rng))
+		}
+	}
+	return out
+}
+
+// pred builds a unary predicate on a named column.
+func pred(s *table.Schema, name string, op expr.Op, lit int64) expr.Pred {
+	return expr.Pred{Col: s.MustCol(name), Op: op, Literal: lit}
+}
+
+func inPred(s *table.Schema, name string, vals ...int64) expr.Pred {
+	return expr.NewIn(s.MustCol(name), vals)
+}
+
+// tpchQuery instantiates one filter template. Only the pushed-down filter
+// of each TPC-H query is modeled — the layout problem sees predicates,
+// not joins/aggregations (Sec. 7.2 denormalizes for exactly this reason).
+func tpchQuery(s *table.Schema, tmpl, inst int, rng *rand.Rand) expr.Query {
+	name := fmt.Sprintf("q%d#%d", tmpl, inst)
+	day := func(lo, hi int) int64 { return int64(lo + rng.Intn(hi-lo+1)) }
+	switch tmpl {
+	case 1:
+		// l_shipdate <= enddate − [60,120] days: scans nearly everything.
+		return expr.AndQ(name, pred(s, "l_shipdate", expr.Le, tpchDateMax+122-day(60, 120)))
+	case 3:
+		d := day(800, 1600)
+		return expr.AndQ(name,
+			pred(s, "c_mktsegment", expr.Eq, int64(rng.Intn(5))),
+			pred(s, "o_orderdate", expr.Lt, d),
+			pred(s, "l_shipdate", expr.Gt, d))
+	case 4:
+		d := day(0, tpchDateMax-90)
+		return expr.Query{Name: name, Root: expr.And(
+			expr.NewPred(pred(s, "o_orderdate", expr.Ge, d)),
+			expr.NewPred(pred(s, "o_orderdate", expr.Lt, d+90)),
+			expr.NewAdv(2), // l_commitdate < l_receiptdate
+		)}
+	case 5:
+		y := day(0, 5) * 365
+		return expr.Query{Name: name, Root: expr.And(
+			expr.NewPred(pred(s, "sr_name", expr.Eq, int64(rng.Intn(5)))),
+			expr.NewPred(pred(s, "o_orderdate", expr.Ge, y)),
+			expr.NewPred(pred(s, "o_orderdate", expr.Lt, y+365)),
+			expr.NewAdv(0), // c_nationkey = s_nationkey
+		)}
+	case 6:
+		y := day(0, 5) * 365
+		d := int64(2 + rng.Intn(8))
+		return expr.AndQ(name,
+			pred(s, "l_shipdate", expr.Ge, y),
+			pred(s, "l_shipdate", expr.Lt, y+365),
+			pred(s, "l_discount", expr.Ge, d-1),
+			pred(s, "l_discount", expr.Le, d+1),
+			pred(s, "l_quantity", expr.Lt, int64(24+rng.Intn(2))))
+	case 7:
+		n1, n2 := int64(rng.Intn(25)), int64(rng.Intn(25))
+		return expr.Query{Name: name, Root: expr.And(
+			expr.Or(
+				expr.And(
+					expr.NewPred(pred(s, "sn_name", expr.Eq, n1)),
+					expr.NewPred(pred(s, "cn_name", expr.Eq, n2))),
+				expr.And(
+					expr.NewPred(pred(s, "sn_name", expr.Eq, n2)),
+					expr.NewPred(pred(s, "cn_name", expr.Eq, n1)))),
+			expr.NewPred(pred(s, "l_shipdate", expr.Ge, TPCHDay(1995, 1, 1))),
+			expr.NewPred(pred(s, "l_shipdate", expr.Le, TPCHDay(1996, 12, 31))),
+		)}
+	case 8:
+		return expr.AndQ(name,
+			pred(s, "cr_name", expr.Eq, int64(rng.Intn(5))),
+			pred(s, "o_orderdate", expr.Ge, TPCHDay(1995, 1, 1)),
+			pred(s, "o_orderdate", expr.Le, TPCHDay(1996, 12, 31)),
+			pred(s, "p_type", expr.Eq, int64(rng.Intn(150))))
+	case 9:
+		// p_name LIKE '%<color>%' approximated by a p_type IN family.
+		base := rng.Intn(30)
+		vals := make([]int64, 0, 5)
+		for i := 0; i < 5; i++ {
+			vals = append(vals, int64(base*5+i))
+		}
+		return expr.AndQ(name, inPred(s, "p_type", vals...))
+	case 10:
+		d := day(0, tpchDateMax-90)
+		return expr.AndQ(name,
+			pred(s, "o_orderdate", expr.Ge, d),
+			pred(s, "o_orderdate", expr.Lt, d+90),
+			pred(s, "l_returnflag", expr.Eq, 2)) // 'R'
+	case 12:
+		m1, m2 := int64(rng.Intn(7)), int64(rng.Intn(7))
+		y := day(0, 5) * 365
+		return expr.Query{Name: name, Root: expr.And(
+			expr.NewPred(inPred(s, "l_shipmode", m1, m2)),
+			expr.NewAdv(1), // l_shipdate < l_commitdate
+			expr.NewAdv(2), // l_commitdate < l_receiptdate
+			expr.NewPred(pred(s, "l_receiptdate", expr.Ge, y)),
+			expr.NewPred(pred(s, "l_receiptdate", expr.Lt, y+365)),
+		)}
+	case 14:
+		d := day(0, tpchDateMax-30)
+		return expr.AndQ(name,
+			pred(s, "l_shipdate", expr.Ge, d),
+			pred(s, "l_shipdate", expr.Lt, d+30))
+	case 17:
+		return expr.AndQ(name,
+			pred(s, "p_brand", expr.Eq, int64(rng.Intn(25))),
+			pred(s, "p_container", expr.Eq, int64(rng.Intn(40))),
+			pred(s, "l_quantity", expr.Lt, int64(2+rng.Intn(10))))
+	case 18:
+		return expr.AndQ(name, pred(s, "l_quantity", expr.Gt, int64(44+rng.Intn(5))))
+	case 19:
+		block := func(brand int64, conts []int64, qlo, sizeHi int64) *expr.Node {
+			return expr.And(
+				expr.NewPred(pred(s, "p_brand", expr.Eq, brand)),
+				expr.NewPred(inPred(s, "p_container", conts...)),
+				expr.NewPred(pred(s, "l_quantity", expr.Ge, qlo)),
+				expr.NewPred(pred(s, "l_quantity", expr.Le, qlo+10)),
+				expr.NewPred(pred(s, "p_size", expr.Ge, 1)),
+				expr.NewPred(pred(s, "p_size", expr.Le, sizeHi)),
+				expr.NewPred(inPred(s, "l_shipmode", 0, 1)),         // AIR, AIR REG
+				expr.NewPred(pred(s, "l_shipinstruct", expr.Eq, 1)), // DELIVER IN PERSON
+			)
+		}
+		return expr.Query{Name: name, Root: expr.Or(
+			block(int64(rng.Intn(25)), []int64{0, 1, 2, 3}, int64(1+rng.Intn(10)), 5),
+			block(int64(rng.Intn(25)), []int64{8, 9, 10, 11}, int64(10+rng.Intn(10)), 10),
+			block(int64(rng.Intn(25)), []int64{16, 17, 18, 19}, int64(20+rng.Intn(10)), 15),
+		)}
+	case 21:
+		return expr.Query{Name: name, Root: expr.And(
+			expr.NewPred(pred(s, "sn_name", expr.Eq, int64(rng.Intn(25)))),
+			expr.NewPred(pred(s, "o_orderstatus", expr.Eq, 0)), // 'F'
+			expr.NewAdv(2), // l_receiptdate > l_commitdate
+		)}
+	}
+	panic(fmt.Sprintf("workload: unknown TPC-H template %d", tmpl))
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+func TestFig3Shape(t *testing.T) {
+	spec := Fig3(5000, 1)
+	if spec.Table.N != 5000 {
+		t.Fatalf("N = %d", spec.Table.N)
+	}
+	if len(spec.Queries) != 2 || len(spec.Cuts) != 3 {
+		t.Fatalf("queries=%d cuts=%d", len(spec.Queries), len(spec.Cuts))
+	}
+	// Q2 selects ~1% of rows, Q1 ~19%.
+	m := cost.PerQueryMatches(spec.Table, spec.Queries, nil)
+	if f := float64(m[0]) / 5000; f < 0.15 || f > 0.25 {
+		t.Errorf("Q1 selectivity %.3f, want ≈0.19", f)
+	}
+	if f := float64(m[1]) / 5000; f < 0.005 || f > 0.02 {
+		t.Errorf("Q2 selectivity %.3f, want ≈0.01", f)
+	}
+}
+
+func TestFig4EachQuerySelectsArmPlusCenter(t *testing.T) {
+	armN := 250
+	spec := Fig4(armN, 2)
+	if spec.Table.N != 4*armN+1 {
+		t.Fatalf("N = %d", spec.Table.N)
+	}
+	m := cost.PerQueryMatches(spec.Table, spec.Queries, nil)
+	for i, got := range m {
+		if got != int64(armN+1) {
+			t.Errorf("query %d selects %d rows, want %d (arm + center)", i, got, armN+1)
+		}
+	}
+}
+
+func TestExtractCutsDedupes(t *testing.T) {
+	p := expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}
+	q1 := expr.AndQ("a", p)
+	q2 := expr.AndQ("b", p, expr.Pred{Col: 1, Op: expr.Gt, Literal: 3})
+	q3 := expr.Query{Name: "c", Root: expr.And(expr.NewAdv(0), expr.NewAdv(1), expr.NewAdv(0))}
+	cuts := ExtractCuts([]expr.Query{q1, q2, q3})
+	// Expect: p, col1>3, AC0, AC1 — four distinct cuts.
+	if len(cuts) != 4 {
+		t.Fatalf("cuts = %d, want 4: %+v", len(cuts), cuts)
+	}
+	advs := 0
+	for _, c := range cuts {
+		if c.IsAdv {
+			advs++
+		}
+	}
+	if advs != 2 {
+		t.Errorf("adv cuts = %d, want 2", advs)
+	}
+}
+
+func TestTPCHSchemaAndGeneration(t *testing.T) {
+	spec := TPCH(TPCHConfig{Rows: 3000, SeedsPerTmpl: 2, Seed: 1})
+	s := spec.Table.Schema
+	if s.NumCols() != 68 {
+		t.Fatalf("columns = %d, want 68 (paper)", s.NumCols())
+	}
+	if len(spec.Queries) != 2*len(TPCHTemplates) {
+		t.Fatalf("queries = %d", len(spec.Queries))
+	}
+	if len(spec.ACs) != 3 {
+		t.Fatalf("advanced cuts = %d, want 3 (AC0..AC2)", len(spec.ACs))
+	}
+	// Date correlations from the spec must hold row by row.
+	col := s.MustCol
+	for r := 0; r < spec.Table.N; r += 97 {
+		od := spec.Table.Cols[col("o_orderdate")][r]
+		sd := spec.Table.Cols[col("l_shipdate")][r]
+		rd := spec.Table.Cols[col("l_receiptdate")][r]
+		if sd <= od || sd > od+121 {
+			t.Fatalf("row %d: shipdate %d outside orderdate+1..121 (%d)", r, sd, od)
+		}
+		if rd <= sd || rd > sd+30 {
+			t.Fatalf("row %d: receiptdate %d outside shipdate+1..30", r, rd)
+		}
+		// Region derived from nation.
+		if spec.Table.Cols[col("cr_name")][r] != spec.Table.Cols[col("c_nationkey")][r]/5 {
+			t.Fatalf("row %d: cr_name not derived from c_nationkey", r)
+		}
+	}
+	// Values stay in declared domains.
+	for c, colDef := range s.Cols {
+		if colDef.Kind != table.Categorical {
+			continue
+		}
+		for r := 0; r < spec.Table.N; r += 53 {
+			v := spec.Table.Cols[c][r]
+			if v < 0 || v >= colDef.Dom {
+				t.Fatalf("col %s value %d outside dom %d", colDef.Name, v, colDef.Dom)
+			}
+		}
+	}
+}
+
+func TestTPCHWorkloadSelectivityBallpark(t *testing.T) {
+	spec := TPCH(TPCHConfig{Rows: 20000, SeedsPerTmpl: 3, Seed: 2})
+	sel := cost.Selectivity(spec.Table, spec.Queries, spec.ACs)
+	// Paper: overall scan selectivity 21.3%. Accept a generous band — the
+	// denormalized generator is synthetic.
+	if sel < 0.05 || sel > 0.45 {
+		t.Errorf("workload selectivity %.3f, want ≈0.21", sel)
+	}
+}
+
+func TestTPCHQueriesDeterministic(t *testing.T) {
+	a := TPCH(TPCHConfig{Rows: 500, SeedsPerTmpl: 1, Seed: 9})
+	b := TPCH(TPCHConfig{Rows: 500, SeedsPerTmpl: 1, Seed: 9})
+	for i := range a.Queries {
+		if a.Queries[i].String() != b.Queries[i].String() {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+	for c := range a.Table.Cols {
+		for r := 0; r < a.Table.N; r += 101 {
+			if a.Table.Cols[c][r] != b.Table.Cols[c][r] {
+				t.Fatal("table differs across identical seeds")
+			}
+		}
+	}
+}
+
+func TestTPCHDay(t *testing.T) {
+	if d := TPCHDay(1992, 1, 1); d != 0 {
+		t.Errorf("epoch = %d", d)
+	}
+	if d := TPCHDay(1993, 1, 1); d != 366 {
+		t.Errorf("1993-01-01 = %d, want 366 (1992 is a leap year)", d)
+	}
+	if d := TPCHDay(1992, 3, 1); d != 60 {
+		t.Errorf("1992-03-01 = %d, want 60", d)
+	}
+}
+
+func TestErrorLogIntShape(t *testing.T) {
+	spec := ErrorLogInt(ErrorLogConfig{Rows: 5000, NumQueries: 100, Seed: 3})
+	if spec.Table.Schema.NumCols() != 50 {
+		t.Fatalf("columns = %d, want 50", spec.Table.Schema.NumCols())
+	}
+	if len(spec.Queries) != 100 {
+		t.Fatalf("queries = %d", len(spec.Queries))
+	}
+	sel := cost.Selectivity(spec.Table, spec.Queries, nil)
+	if sel > 0.01 {
+		t.Errorf("ErrorLog-Int selectivity %.5f too high; paper ≈0.000005", sel)
+	}
+	if sel == 0 {
+		t.Error("queries must match at least their seed rows")
+	}
+}
+
+func TestErrorLogExtShape(t *testing.T) {
+	spec := ErrorLogExt(ErrorLogConfig{Rows: 5000, NumQueries: 100, Seed: 4})
+	if spec.Table.Schema.NumCols() != 58 {
+		t.Fatalf("columns = %d, want 58", spec.Table.Schema.NumCols())
+	}
+	app := spec.Table.Schema.MustCol("app_id")
+	if spec.Table.Schema.Cols[app].Dom != 3600 {
+		t.Fatalf("app_id dom = %d, want 3600", spec.Table.Schema.Cols[app].Dom)
+	}
+	selInt := cost.Selectivity(ErrorLogInt(ErrorLogConfig{Rows: 5000, NumQueries: 100, Seed: 4}).Table,
+		ErrorLogInt(ErrorLogConfig{Rows: 5000, NumQueries: 100, Seed: 4}).Queries, nil)
+	selExt := cost.Selectivity(spec.Table, spec.Queries, nil)
+	if selExt <= selInt {
+		t.Errorf("Ext selectivity (%.6f) should exceed Int (%.6f), as in the paper", selExt, selInt)
+	}
+}
+
+func TestErrorLogQueriesTouchIngestRarely(t *testing.T) {
+	// The paper's range baseline accesses ~100% of tuples, which requires
+	// queries to be mostly unconstrained on the ingest column.
+	spec := ErrorLogInt(ErrorLogConfig{Rows: 2000, NumQueries: 200, Seed: 5})
+	ingest := IngestColumn(spec.Table.Schema)
+	withIngest := 0
+	for _, q := range spec.Queries {
+		for _, p := range q.Preds() {
+			if p.Col == ingest {
+				withIngest++
+				break
+			}
+		}
+	}
+	if withIngest > len(spec.Queries)/2 {
+		t.Errorf("%d/%d queries constrain ingest_date; range baseline would skip too much", withIngest, len(spec.Queries))
+	}
+}

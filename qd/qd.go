@@ -1,0 +1,344 @@
+// Package qd is the public API of the qd-tree library — a Go
+// implementation of "Qd-tree: Learning Data Layouts for Big Data
+// Analytics" (Yang et al., SIGMOD 2020).
+//
+// A qd-tree routes both data and queries: records descend the tree's
+// predicate cuts into blocks with complete semantic descriptions, and
+// queries are answered by scanning only the blocks whose descriptions they
+// intersect. Two constructors are provided: the greedy Algorithm 1 of
+// Sec. 4 and the Woodblock deep-RL agent of Sec. 5.
+//
+// Typical use:
+//
+//	schema := qd.MustSchema([]qd.Column{
+//	    {Name: "ship", Kind: qd.Numeric, Min: 0, Max: 2500},
+//	    {Name: "mode", Kind: qd.Categorical, Dom: 7},
+//	})
+//	tbl := qd.NewTable(schema, n)            // append rows...
+//	queries, acs, _ := qd.ParseWorkload(schema, sqls)
+//	tree, _ := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 100_000})
+//	layout := qd.LayoutFromTree("greedy", tree, tbl)
+//	bids := layout.BIDs                      // per-row block assignment
+//	blocks := tree.QueryBlocks(queries[0])   // BID IN (...) pruning
+package qd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/baselines"
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/overlap"
+	"repro/internal/replicate"
+	"repro/internal/rl"
+	"repro/internal/router"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while giving users one import path.
+type (
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// Column is one attribute: numeric (range cuts) or categorical
+	// (equality/IN cuts over dictionary codes).
+	Column = table.Column
+	// Table is a column-major table of dictionary-encoded int64 values.
+	Table = table.Table
+	// Query is an AND/OR tree of predicates (and advanced-cut refs).
+	Query = expr.Query
+	// Pred is a unary predicate (column, op, literal).
+	Pred = expr.Pred
+	// AdvCut is a column-vs-column predicate (Sec. 6.1).
+	AdvCut = expr.AdvCut
+	// Tree is a constructed qd-tree.
+	Tree = core.Tree
+	// Node is one tree node.
+	Node = core.Node
+	// Cut is a tree edge predicate: unary or advanced.
+	Cut = core.Cut
+	// Desc is a node's semantic description.
+	Desc = core.Desc
+	// Layout is a materialized row→block partitioning with per-block
+	// skipping metadata.
+	Layout = cost.Layout
+	// OverlapLayout is a multi-assignment layout (Sec. 6.2).
+	OverlapLayout = overlap.Layout
+	// TwoTree is the two-tree replication deployment (Sec. 6.3).
+	TwoTree = replicate.TwoTree
+	// RLResult reports a Woodblock run: best tree + learning curve.
+	RLResult = rl.Result
+	// CurvePoint is one learning-curve sample (Fig. 8).
+	CurvePoint = rl.CurvePoint
+)
+
+// Column kinds.
+const (
+	Numeric     = table.Numeric
+	Categorical = table.Categorical
+)
+
+// Predicate operators.
+const (
+	Lt = expr.Lt
+	Le = expr.Le
+	Gt = expr.Gt
+	Ge = expr.Ge
+	Eq = expr.Eq
+	In = expr.In
+)
+
+// NewSchema builds a schema, validating column definitions.
+func NewSchema(cols []Column) (*Schema, error) { return table.NewSchema(cols) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols []Column) *Schema { return table.MustSchema(cols) }
+
+// NewTable returns an empty table with a row-capacity hint.
+func NewTable(s *Schema, capacity int) *Table { return table.New(s, capacity) }
+
+// NewIn builds an IN predicate over the given literals.
+func NewIn(col int, vals []int64) Pred { return expr.NewIn(col, vals) }
+
+// And / Or / P compose query ASTs.
+var (
+	And = expr.And
+	Or  = expr.Or
+)
+
+// P wraps a predicate into a query AST leaf.
+func P(p Pred) *expr.Node { return expr.NewPred(p) }
+
+// AdvRef wraps an advanced-cut table index into a query AST leaf.
+func AdvRef(i int) *expr.Node { return expr.NewAdv(i) }
+
+// NewQuery assembles a named query from an AST root.
+func NewQuery(name string, root *expr.Node) Query { return Query{Name: name, Root: root} }
+
+// UnaryCut and AdvancedCut build candidate cuts explicitly.
+func UnaryCut(p Pred) Cut                   { return core.UnaryCut(p) }
+func AdvancedCut(idx int) Cut               { return core.AdvancedCut(idx) }
+func NewTree(s *Schema, acs []AdvCut) *Tree { return core.NewTree(s, acs) }
+
+// ExtractCuts derives the candidate cut set from a workload (Sec. 3.4):
+// all pushed-down unary predicates, de-duplicated, plus one advanced cut
+// per distinct reference.
+func ExtractCuts(queries []Query) []Cut {
+	seen := make(map[string]bool)
+	var out []Cut
+	for _, q := range queries {
+		for _, p := range q.Preds() {
+			c := core.UnaryCut(p)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				out = append(out, c)
+			}
+		}
+		for _, a := range q.AdvRefs() {
+			c := core.AdvancedCut(a)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// ParseWorkload parses SQL WHERE clauses (or full SELECT statements) into
+// queries plus the advanced-cut table discovered during parsing.
+func ParseWorkload(s *Schema, sqls []string) ([]Query, []AdvCut, error) {
+	p := sqlparse.NewParser(s)
+	qs, err := p.ParseMany(sqls)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qs, p.ACs, nil
+}
+
+// BuildOptions configure tree construction.
+type BuildOptions struct {
+	// MinBlockSize is b: the minimum rows per block, in full-table rows
+	// (paper: 100K for TPC-H, 50K for ErrorLog).
+	MinBlockSize int
+	// SampleRate < 1 builds on a uniform sample (Sec. 5.2.1 recommends
+	// 0.1%–1%); b is scaled accordingly. 0 or >= 1 uses the full table.
+	SampleRate float64
+	// Cuts overrides the candidate cut set; nil extracts from Queries.
+	Cuts []Cut
+	// MaxLeaves caps the leaf count (0 = unlimited).
+	MaxLeaves int
+	Seed      int64
+}
+
+// prepare resolves sampling and cut extraction shared by constructors.
+func (o BuildOptions) prepare(tbl *Table, queries []Query) (*Table, int, []Cut, error) {
+	if o.MinBlockSize < 1 {
+		return nil, 0, nil, fmt.Errorf("qd: MinBlockSize must be >= 1")
+	}
+	cuts := o.Cuts
+	if cuts == nil {
+		cuts = ExtractCuts(queries)
+	}
+	if len(cuts) == 0 {
+		return nil, 0, nil, fmt.Errorf("qd: no candidate cuts (empty workload?)")
+	}
+	build := tbl
+	b := o.MinBlockSize
+	if o.SampleRate > 0 && o.SampleRate < 1 {
+		rng := rand.New(rand.NewSource(o.Seed))
+		build = tbl.Sample(o.SampleRate, 1000, rng)
+		scaled := int(float64(o.MinBlockSize) * float64(build.N) / float64(tbl.N))
+		if scaled < 1 {
+			scaled = 1
+		}
+		b = scaled
+	}
+	return build, b, cuts, nil
+}
+
+// BuildGreedy constructs a qd-tree with Algorithm 1 (Sec. 4).
+func BuildGreedy(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*Tree, error) {
+	build, b, cuts, err := opt.prepare(tbl, queries)
+	if err != nil {
+		return nil, err
+	}
+	return greedy.Build(build, acs, greedy.Options{
+		MinSize:   b,
+		Cuts:      cuts,
+		Queries:   queries,
+		MaxLeaves: opt.MaxLeaves,
+	})
+}
+
+// WoodblockOptions configure the deep-RL constructor (Sec. 5).
+type WoodblockOptions struct {
+	BuildOptions
+	Hidden      int           // network width (paper: 512; default 128)
+	MaxEpisodes int           // trees to attempt (default 64)
+	TimeBudget  time.Duration // optional wall-clock budget
+	// OnEpisode observes the learning curve (Fig. 8).
+	OnEpisode func(episode int, elapsed time.Duration, ratio, best float64)
+}
+
+// BuildWoodblock trains the Woodblock agent and returns the best tree
+// found plus the learning curve.
+func BuildWoodblock(tbl *Table, queries []Query, acs []AdvCut, opt WoodblockOptions) (*RLResult, error) {
+	build, b, cuts, err := opt.prepare(tbl, queries)
+	if err != nil {
+		return nil, err
+	}
+	return rl.Build(build, acs, rl.Options{
+		MinSize:     b,
+		Cuts:        cuts,
+		Queries:     queries,
+		Hidden:      opt.Hidden,
+		MaxEpisodes: opt.MaxEpisodes,
+		TimeBudget:  opt.TimeBudget,
+		MaxLeaves:   opt.MaxLeaves,
+		Seed:        opt.Seed,
+		OnEpisode:   opt.OnEpisode,
+	})
+}
+
+// BuildBottomUp runs the Sun et al. baseline (Sec. 2.2.2). selectivityCap
+// of ~0.10 gives the paper's tuned BU+; 0 disables the tuning.
+func BuildBottomUp(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions, selectivityCap float64) (*Layout, []Cut, error) {
+	_, _, cuts, err := opt.prepare(tbl, queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := bottomup.Build(tbl, acs, bottomup.Options{
+		MinSize:        opt.MinBlockSize,
+		Cuts:           cuts,
+		Queries:        queries,
+		SelectivityCap: selectivityCap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Layout, res.Features, nil
+}
+
+// RandomLayout shuffles rows into fixed-size blocks (the TPC-H baseline).
+func RandomLayout(tbl *Table, numBlocks int, acs []AdvCut, seed int64) (*Layout, error) {
+	return baselines.Random(tbl, numBlocks, acs, seed)
+}
+
+// RangeLayout range-partitions on a column (the ErrorLog baseline).
+func RangeLayout(tbl *Table, col, numBlocks int, acs []AdvCut) (*Layout, error) {
+	return baselines.Range(tbl, col, numBlocks, acs)
+}
+
+// LayoutFromTree routes the full table through the tree, freezes leaf
+// descriptions (Sec. 3.2), and returns the deployable layout.
+func LayoutFromTree(name string, t *Tree, tbl *Table) *Layout {
+	return cost.FromTree(name, t, tbl)
+}
+
+// BuildOverlap constructs a data-overlap layout (Sec. 6.2): relaxed cuts
+// plus small-leaf replication.
+func BuildOverlap(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*OverlapLayout, error) {
+	build, b, cuts, err := opt.prepare(tbl, queries)
+	if err != nil {
+		return nil, err
+	}
+	if build != tbl {
+		return nil, fmt.Errorf("qd: overlap construction requires the full table (no sampling)")
+	}
+	return overlap.Build(tbl, acs, overlap.Options{
+		MinSize: b, Cuts: cuts, Queries: queries, MaxLeaves: opt.MaxLeaves})
+}
+
+// BuildTwoTree constructs the two-tree replication deployment (Sec. 6.3).
+func BuildTwoTree(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*TwoTree, error) {
+	_, _, cuts, err := opt.prepare(tbl, queries)
+	if err != nil {
+		return nil, err
+	}
+	return replicate.Build(tbl, acs, replicate.Options{
+		MinSize: opt.MinBlockSize, Cuts: cuts, Queries: queries, MaxLeaves: opt.MaxLeaves})
+}
+
+// Selectivity returns the workload's exact match fraction — the lower
+// bound on any layout's accessed fraction.
+func Selectivity(tbl *Table, queries []Query, acs []AdvCut) float64 {
+	return cost.Selectivity(tbl, queries, acs)
+}
+
+// LoadTree deserializes a tree written with Tree.Save / Tree.Marshal.
+func LoadTree(data []byte) (*Tree, error) { return core.Unmarshal(data) }
+
+// Adaptive is the incremental-refinement wrapper (Problem 2 / Sec. 8):
+// route new data through a deployed tree and split overflowing leaves in
+// place using the greedy criterion.
+type Adaptive = adapt.Adaptive
+
+// Ingester streams records through a tree into per-leaf segment files
+// (the Fig. 1 online path).
+type Ingester = router.Ingester
+
+// NewAdaptive wraps an existing tree and its routed table for continuous
+// ingestion with local refinement. splitFactor*b is the overflow
+// threshold (0 selects the default of 4).
+func NewAdaptive(t *Tree, tbl *Table, acs []AdvCut, queries []Query, minBlockSize, splitFactor int) (*Adaptive, error) {
+	return adapt.New(t, tbl, acs, adapt.Options{
+		MinSize:     minBlockSize,
+		SplitFactor: splitFactor,
+		Cuts:        ExtractCuts(queries),
+		Queries:     queries,
+	})
+}
+
+// NewIngester prepares a streaming ingester writing columnar segments
+// under dir, flushing each leaf buffer at segmentRows.
+func NewIngester(t *Tree, dir string, segmentRows int) (*Ingester, error) {
+	return router.NewIngester(t, dir, segmentRows)
+}
