@@ -209,6 +209,8 @@ func benchFig5(b *testing.B, prof exec.Profile) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer qdStore.Close()
+	defer buStore.Close()
 	b.ResetTimer()
 	var qdTotal, buTotal time.Duration
 	for i := 0; i < b.N; i++ {
@@ -285,6 +287,8 @@ func benchFig7(b *testing.B, spec *workload.Spec, minSize int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer qdStore.Close()
+	defer buStore.Close()
 	b.ResetTimer()
 	var qdT, buT, nrT time.Duration
 	for i := 0; i < b.N; i++ {
@@ -543,6 +547,86 @@ func BenchmarkAblationAdvancedCuts(b *testing.B) {
 	b.ReportMetric(without*100, "without_AC_%")
 }
 
+// ---------- parallel scan engine ----------
+
+// parallelFixture materializes a coarse random layout (few, large blocks)
+// so each scan task is chunky enough to expose pool scaling.
+func parallelFixture(b *testing.B) (*blockstore.Store, *cost.Layout, *workload.Spec) {
+	b.Helper()
+	spec := getTPCH()
+	lay, err := baselines.Random(spec.Table, 32, spec.ACs, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := blockstore.Write(b.TempDir(), spec.Table, lay.BIDs, lay.NumBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store, lay, spec
+}
+
+// BenchmarkParallelScanSpeedup measures the same multi-query workload at
+// Parallelism=1 vs Parallelism=4 (both batched, shared reads) and reports
+// the wall-clock speedup. On a single-core host the measured ratio
+// degenerates to ~1x while the deterministic model still reports the
+// 4x capacity; both are printed so the speedup is measured, not asserted.
+func BenchmarkParallelScanSpeedup(b *testing.B) {
+	store, lay, spec := parallelFixture(b)
+	defer store.Close()
+	var wall1, wall4, sim1, sim4 time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
+			exec.Options{Parallelism: 1, ShareReads: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
+			exec.Options{Parallelism: 4, ShareReads: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for qi := range r1.Results {
+			if r1.Results[qi].ScanStats != r4.Results[qi].ScanStats {
+				b.Fatalf("parallel counts diverged for %s", r1.Results[qi].Query)
+			}
+		}
+		wall1 += r1.WallTime
+		wall4 += r4.WallTime
+		sim1, sim4 = r1.SimTime, r4.SimTime
+	}
+	b.ReportMetric(wall1.Seconds()/float64(b.N), "p1_wall_s")
+	b.ReportMetric(wall4.Seconds()/float64(b.N), "p4_wall_s")
+	b.ReportMetric(float64(wall1)/float64(wall4+1), "wall_speedup_x")
+	b.ReportMetric(float64(sim1)/float64(sim4+1), "model_speedup_x") // 4.0 by construction
+}
+
+// BenchmarkSharedReadSpeedup measures the batched read-once/filter-many
+// engine against the per-query sequential engine on the same workload —
+// the multi-user scan-sharing win, independent of core count.
+func BenchmarkSharedReadSpeedup(b *testing.B) {
+	store, lay, spec := parallelFixture(b)
+	defer store.Close()
+	var seqWall, batchWall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, _, err := exec.RunWorkload(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute); err != nil {
+			b.Fatal(err)
+		}
+		seqWall += time.Since(start)
+		wr, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
+			exec.Options{Parallelism: -1, ShareReads: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchWall += wr.WallTime
+	}
+	b.ReportMetric(seqWall.Seconds()/float64(b.N), "per_query_wall_s")
+	b.ReportMetric(batchWall.Seconds()/float64(b.N), "batched_wall_s")
+	b.ReportMetric(float64(seqWall)/float64(batchWall+1), "speedup_x")
+}
+
 // ---------- micro-benchmarks of the hot paths ----------
 
 func BenchmarkRouteTable(b *testing.B) {
@@ -578,6 +662,7 @@ func BenchmarkBlockstoreScan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer store.Close()
 	q := spec.Queries[0]
 	b.ResetTimer()
 	var total int64

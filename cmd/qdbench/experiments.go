@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/blockstore"
@@ -151,10 +152,12 @@ func expFig5(cfg config, engine string) error {
 	if err != nil {
 		return err
 	}
+	defer qdStore.Close()
 	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.BIDs, buRes.NumBlocks())
 	if err != nil {
 		return err
 	}
+	defer buStore.Close()
 
 	qdRes, qdTotal, err := exec.RunWorkload(qdStore, qd, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
 	if err != nil {
@@ -274,32 +277,34 @@ func expFig7(cfg config) error {
 		if err != nil {
 			return err
 		}
-		dir, cleanup, err := tempDir(cfg, "fig7")
-		if err != nil {
-			return err
-		}
-		qdStore, err := blockstore.Write(dir+"/qd", w.spec.Table, qdLay.BIDs, qdLay.NumBlocks())
-		if err != nil {
-			cleanup()
-			return err
-		}
-		buStore, err := blockstore.Write(dir+"/bu", w.spec.Table, buLay.BIDs, buLay.NumBlocks())
-		if err != nil {
-			cleanup()
-			return err
-		}
-		_, buTotal, err := exec.RunWorkload(buStore, buLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree)
-		if err != nil {
-			cleanup()
-			return err
-		}
-		_, qdTotal, err := exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree)
-		if err != nil {
-			cleanup()
-			return err
-		}
-		_, nrTotal, err := exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.NoRoute)
-		cleanup()
+		// Inner function so stores and the temp dir release per workload.
+		buTotal, qdTotal, nrTotal, err := func() (bu, qd, nr time.Duration, err error) {
+			dir, cleanup, err := tempDir(cfg, "fig7")
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			defer cleanup()
+			qdStore, err := blockstore.Write(dir+"/qd", w.spec.Table, qdLay.BIDs, qdLay.NumBlocks())
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			defer qdStore.Close()
+			buStore, err := blockstore.Write(dir+"/bu", w.spec.Table, buLay.BIDs, buLay.NumBlocks())
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			defer buStore.Close()
+			if _, bu, err = exec.RunWorkload(buStore, buLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree); err != nil {
+				return 0, 0, 0, err
+			}
+			if _, qd, err = exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree); err != nil {
+				return 0, 0, 0, err
+			}
+			if _, nr, err = exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.NoRoute); err != nil {
+				return 0, 0, 0, err
+			}
+			return bu, qd, nr, nil
+		}()
 		if err != nil {
 			return err
 		}
@@ -477,6 +482,81 @@ func expBuildTime(cfg config) error {
 	fmt.Printf("greedy:    %12s (paper: 12 min)\n", ls.times["greedy"].Round(time.Millisecond))
 	fmt.Printf("woodblock: %12s to best of %d episodes (paper: top trees within 30 s)\n",
 		ls.times["woodblock"].Round(time.Millisecond), ls.rlResult.Episodes)
+	return nil
+}
+
+// expParScan measures the parallel block-scan engine: the same multi-query
+// workload executed sequentially and with a worker pool, both as wall
+// clock (measured) and under the deterministic critical-path time model.
+// Counts must be bit-identical at every parallelism level.
+func expParScan(cfg config) error {
+	spec := workload.TPCH(workload.TPCHConfig{Rows: cfg.rows, Seed: cfg.seed})
+	b := cfg.rows / 770
+	if b < 16 {
+		b = 16
+	}
+	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
+		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	if err != nil {
+		return err
+	}
+	lay := cost.FromTree("qd-tree", tree, spec.Table)
+	dir, cleanup, err := tempDir(cfg, "parscan")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	store, err := blockstore.Write(dir, spec.Table, lay.BIDs, lay.NumBlocks())
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	maxP := cfg.parallel
+	if maxP <= 0 {
+		maxP = runtime.GOMAXPROCS(0)
+	}
+	var levels []int
+	for p := 1; p <= maxP; p *= 2 {
+		levels = append(levels, p)
+	}
+	if levels[len(levels)-1] != maxP {
+		levels = append(levels, maxP)
+	}
+
+	base, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree,
+		exec.Options{Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Parallel scan engine: %d queries, %d blocks, read-once/filter-many\n",
+		len(spec.Queries), lay.NumBlocks())
+	fmt.Printf("%-8s %12s %12s %10s %12s %10s %8s\n",
+		"workers", "wall", "wall-speedup", "sim", "sim-speedup", "physreads", "counts")
+	for _, p := range levels {
+		wr, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree,
+			exec.Options{Parallelism: p, ShareReads: true})
+		if err != nil {
+			return err
+		}
+		identical := true
+		for i := range wr.Results {
+			if wr.Results[i].ScanStats != base.Results[i].ScanStats {
+				identical = false
+				break
+			}
+		}
+		status := "same"
+		if !identical {
+			status = "DIFFER"
+		}
+		fmt.Printf("%-8d %12s %11.2fx %10s %11.2fx %10d %8s\n",
+			p, wr.WallTime.Round(time.Microsecond),
+			float64(base.WallTime)/float64(wr.WallTime+1),
+			wr.SimTime.Round(time.Microsecond),
+			float64(base.SimTime)/float64(wr.SimTime+1),
+			wr.PhysicalReads, status)
+	}
 	return nil
 }
 

@@ -15,6 +15,7 @@
 //	qdbench -exp robust     Sec. 7.4.1 train/test robustness
 //	qdbench -exp buildtime  Sec. 7.6 layout construction time
 //	qdbench -exp twotree    Sec. 6.3 two-tree replication benefit
+//	qdbench -exp parscan    parallel scan engine: wall-clock speedup sweep
 //	qdbench -exp all        everything above
 //
 // Sizes are scaled down from the paper's 77–100M rows (see -rows); all
@@ -34,6 +35,7 @@ type config struct {
 	seed     int64
 	hidden   int
 	outDir   string
+	parallel int
 }
 
 func main() {
@@ -45,9 +47,10 @@ func main() {
 		hidden   = flag.Int("hidden", 64, "Woodblock hidden width (paper: 512)")
 		seed     = flag.Int64("seed", 42, "master seed")
 		outDir   = flag.String("out", "", "optional directory for block stores (default: temp)")
+		parallel = flag.Int("parallelism", 0, "max scan workers for parscan (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir}
+	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir, parallel: *parallel}
 
 	runs := map[string]func(config) error{
 		"table2":    expTable2,
@@ -64,9 +67,10 @@ func main() {
 		"robust":    expRobust,
 		"buildtime": expBuildTime,
 		"twotree":   expTwoTree,
+		"parscan":   expParScan,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan"}
 
 	if *exp == "all" {
 		for _, name := range order {

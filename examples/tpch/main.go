@@ -79,6 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer store.Close()
 	_, simTotal, err := exec.RunWorkload(store, best, queries, acs, exec.EngineSpark, exec.RouteQdTree)
 	if err != nil {
 		log.Fatal(err)

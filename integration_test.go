@@ -68,6 +68,7 @@ func TestPipelineTPCH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer store.Close()
 	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
 	for i, q := range spec.Queries[:20] {
 		res, err := exec.Run(store, gl, q, spec.ACs, exec.EngineDBMS, exec.RouteQdTree)
@@ -121,6 +122,7 @@ func TestRLTreeDeployableEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer store.Close()
 	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
 	for i, q := range spec.Queries {
 		r, err := exec.Run(store, gl, q, spec.ACs, exec.EngineSpark, exec.RouteQdTree)

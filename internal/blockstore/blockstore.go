@@ -10,8 +10,11 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/table"
 )
@@ -28,12 +31,35 @@ type BlockMeta struct {
 	Max   []int64 `json:"max"`
 }
 
-// Store is an opened block directory.
+// Store is an opened block directory. Reads are safe for concurrent use:
+// each block file is opened lazily on first access, header-validated once,
+// and the handle is cached and shared by all subsequent readers, which use
+// positioned reads (ReadAt / pread) and never seek.
 type Store struct {
 	Dir    string
 	Schema *table.Schema
 	Blocks []BlockMeta
+
+	// MaxOpenFiles caps the cached-handle count (0 selects a default of
+	// 128). Blocks beyond the cap fall back to transient open-read-close,
+	// so scans over stores with more blocks than the process fd limit
+	// still complete.
+	MaxOpenFiles int
+
+	once  sync.Once
+	files []blockHandle // lazily-opened, validated per-block handles
+	nopen atomic.Int64  // cached handles currently open
 }
+
+// blockHandle caches one block's open file. The pointer is read lock-free
+// on the hot path; the mutex serializes only the first open of this block
+// (and Close), so concurrent opens of distinct blocks do not contend.
+type blockHandle struct {
+	mu sync.Mutex
+	f  atomic.Pointer[os.File]
+}
+
+const defaultMaxOpenFiles = 128
 
 type catalogJSON struct {
 	Version int         `json:"version"`
@@ -174,15 +200,10 @@ func Open(dir string) (*Store, error) {
 // NumBlocks returns the block count (including empty blocks).
 func (s *Store) NumBlocks() int { return len(s.Blocks) }
 
-// header reads and validates a block file header, returning (ncols, nrows).
-func (s *Store) openBlock(b int) (*os.File, int, int, error) {
-	if b < 0 || b >= len(s.Blocks) {
-		return nil, 0, 0, fmt.Errorf("blockstore: block %d out of range", b)
-	}
+// openValidated opens block b's file and validates its header, returning
+// the handle and the block's (ncols, nrows) shape.
+func (s *Store) openValidated(b int) (*os.File, int, int, error) {
 	m := s.Blocks[b]
-	if m.Rows == 0 {
-		return nil, 0, 0, nil
-	}
 	f, err := os.Open(filepath.Join(s.Dir, m.File))
 	if err != nil {
 		return nil, 0, 0, err
@@ -205,16 +226,83 @@ func (s *Store) openBlock(b int) (*os.File, int, int, error) {
 	return f, ncols, nrows, nil
 }
 
+// readerAt returns a header-validated io.ReaderAt over block b's file, its
+// (ncols, nrows) shape, and a release func the caller must invoke when the
+// read is done. The reader is nil for empty blocks. Up to MaxOpenFiles
+// handles are opened once, cached, and shared by every caller — concurrent
+// scan workers included, since ReadAt issues positioned reads (pread)
+// without touching a shared file offset — replacing the previous
+// open-read-close-per-scan path. Past the cap, reads fall back to a
+// transient handle that release closes, bounding fd usage on huge stores.
+func (s *Store) readerAt(b int) (io.ReaderAt, int, int, func(), error) {
+	noop := func() {}
+	if b < 0 || b >= len(s.Blocks) {
+		return nil, 0, 0, noop, fmt.Errorf("blockstore: block %d out of range", b)
+	}
+	m := s.Blocks[b]
+	if m.Rows == 0 {
+		return nil, 0, 0, noop, nil
+	}
+	s.once.Do(func() { s.files = make([]blockHandle, len(s.Blocks)) })
+	h := &s.files[b]
+	if f := h.f.Load(); f != nil {
+		return f, s.Schema.NumCols(), m.Rows, noop, nil
+	}
+	cap := int64(s.MaxOpenFiles)
+	if cap <= 0 {
+		cap = defaultMaxOpenFiles
+	}
+	if s.nopen.Load() >= cap {
+		// Cache full: transient open, closed by the caller's release.
+		f, ncols, nrows, err := s.openValidated(b)
+		if err != nil {
+			return nil, 0, 0, noop, err
+		}
+		return f, ncols, nrows, func() { f.Close() }, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if f := h.f.Load(); f != nil {
+		return f, s.Schema.NumCols(), m.Rows, noop, nil
+	}
+	f, ncols, nrows, err := s.openValidated(b)
+	if err != nil {
+		return nil, 0, 0, noop, err
+	}
+	h.f.Store(f)
+	s.nopen.Add(1)
+	return f, ncols, nrows, noop, nil
+}
+
+// Close releases every cached block handle. The store remains usable;
+// subsequent reads reopen files on demand.
+func (s *Store) Close() error {
+	var first error
+	for i := range s.files {
+		h := &s.files[i]
+		h.mu.Lock()
+		if f := h.f.Load(); f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			h.f.Store(nil)
+			s.nopen.Add(-1)
+		}
+		h.mu.Unlock()
+	}
+	return first
+}
+
 // ReadColumns reads the given columns of block b (all columns when cols is
 // nil). Unrequested columns return nil slices — the columnar-pruning path
 // of the DBMS engine profile. bytesRead reports I/O volume for the cost
 // model.
 func (s *Store) ReadColumns(b int, cols []int) (data [][]int64, rows int, bytesRead int64, err error) {
-	f, ncols, nrows, err := s.openBlock(b)
+	f, ncols, nrows, release, err := s.readerAt(b)
 	if err != nil || f == nil {
 		return nil, 0, 0, err
 	}
-	defer f.Close()
+	defer release()
 	want := make([]bool, ncols)
 	if cols == nil {
 		for i := range want {
@@ -302,5 +390,6 @@ func ReadSegment(path string, schema *table.Schema) (*table.Table, error) {
 		return nil, fmt.Errorf("blockstore: segment %q column count mismatch", path)
 	}
 	st.Blocks[0].Rows = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	defer st.Close()
 	return st.ReadBlock(0)
 }

@@ -3,6 +3,7 @@ package blockstore
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/workload"
@@ -175,5 +176,98 @@ func TestCorruptBlockDetected(t *testing.T) {
 	f.Close()
 	if _, err := st.ReadBlock(0); err == nil {
 		t.Error("corrupt magic must be detected")
+	}
+}
+
+func TestConcurrentReadColumns(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(2000, 8)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 8
+	}
+	st, err := Write(dir, spec.Table, bids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want, _, _, err := st.ReadColumns(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				b := (g + i) % 8
+				data, rows, _, err := st.ReadColumns(b, nil)
+				if err != nil {
+					t.Errorf("block %d: %v", b, err)
+					return
+				}
+				if rows != st.Blocks[b].Rows {
+					t.Errorf("block %d: rows %d want %d", b, rows, st.Blocks[b].Rows)
+					return
+				}
+				if b == 3 && data[0][0] != want[0][0] {
+					t.Errorf("block 3: concurrent read diverged")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCloseThenReadReopens(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(100, 9)
+	st, err := Write(dir, spec.Table, make([]int, spec.Table.N), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.ReadColumns(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store stays usable after Close: handles reopen on demand.
+	if _, rows, _, err := st.ReadColumns(0, nil); err != nil || rows != spec.Table.N {
+		t.Fatalf("read after close: rows=%d err=%v", rows, err)
+	}
+	st.Close()
+}
+
+func TestHandleCacheCapFallsBackToTransientReads(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(640, 10)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 64
+	}
+	st, err := Write(dir, spec.Table, bids, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.MaxOpenFiles = 8 // far fewer cached handles than blocks
+	for b := 0; b < 64; b++ {
+		_, rows, _, err := st.ReadColumns(b, nil)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if rows != 10 {
+			t.Fatalf("block %d: rows %d", b, rows)
+		}
+	}
+	if got := st.nopen.Load(); got > 8 {
+		t.Errorf("cached %d handles, cap 8", got)
+	}
+	// Re-reads past the cap still work (transient handles reopen cleanly).
+	if _, rows, _, err := st.ReadColumns(63, nil); err != nil || rows != 10 {
+		t.Fatalf("transient re-read: rows=%d err=%v", rows, err)
 	}
 }

@@ -215,6 +215,79 @@ func (l *Layout) SkippedTuples(w []expr.Query) int64 {
 	return total - acc
 }
 
+// mayMatch evaluates SMA-only (zone map) pruning for query q against
+// per-column value intervals supplied by interval(c) = (min, max), both
+// inclusive. Categorical masks and advanced-cut bits are unavailable at
+// this level (Sec. 7.5.1: the "no route" path lacks dictionaries), so
+// KindAdv nodes are conservatively assumed to match.
+func mayMatch(q expr.Query, interval func(c int) (lo, hi int64)) bool {
+	if q.Root == nil {
+		return true
+	}
+	var rec func(n *expr.Node) bool
+	rec = func(n *expr.Node) bool {
+		switch n.Kind {
+		case expr.KindPred:
+			p := n.Pred
+			l, h := interval(p.Col) // inclusive [l, h]
+			if l > h {
+				return false
+			}
+			switch p.Op {
+			case expr.Lt:
+				return l < p.Literal
+			case expr.Le:
+				return l <= p.Literal
+			case expr.Gt:
+				return h > p.Literal
+			case expr.Ge:
+				return h >= p.Literal
+			case expr.Eq:
+				return p.Literal >= l && p.Literal <= h
+			case expr.In:
+				for _, v := range p.Set {
+					if v >= l && v <= h {
+						return true
+					}
+				}
+				return false
+			}
+			return true
+		case expr.KindAdv:
+			return true // no advanced-cut metadata without routing
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if !rec(c) {
+					return false
+				}
+			}
+			return true
+		case expr.KindOr:
+			for _, c := range n.Children {
+				if rec(c) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return rec(q.Root)
+}
+
+// MinMaxMayMatch is SMA-only pruning over the Desc representation of
+// per-column intervals: half-open [lo[c], hi[c]). An empty interval
+// (lo >= hi) on a referenced column prunes the block.
+func MinMaxMayMatch(lo, hi []int64, q expr.Query) bool {
+	return mayMatch(q, func(c int) (int64, int64) { return lo[c], hi[c] - 1 })
+}
+
+// SMAMayMatch is SMA-only pruning over the blockstore catalog
+// representation: inclusive [min[c], max[c]] per column.
+func SMAMayMatch(min, max []int64, q expr.Query) bool {
+	return mayMatch(q, func(c int) (int64, int64) { return min[c], max[c] })
+}
+
 // Selectivity returns the exact fraction of (query, row) matches — the
 // lower bound on any layout's accessed fraction ("the true dataset
 // selectivity ... itself a lower bound for the optimal solution", Sec. 5.2.4).

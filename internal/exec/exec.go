@@ -14,10 +14,42 @@
 // Simulated time is seek + bytes/bandwidth + rows×CPU, the same mechanism
 // that drives the paper's wall-clock results; absolute seconds are not
 // comparable to the paper's cluster, but layout orderings and ratios are.
+//
+// # Parallel scans
+//
+// Candidate blocks are dispatched over a channel to a pool of scan workers
+// (Options.Parallelism). Each worker accumulates its own ScanStats, merged
+// once at the end, so the hot loop shares no state. Counters are exact sums
+// over a fixed candidate set and therefore bit-identical to a sequential
+// scan regardless of how the scheduler interleaved workers.
+//
+// # Deterministic parallel time accounting
+//
+// A parallel scan must report the same SimTime on every run, independent of
+// actual goroutine scheduling. Instead of timing workers, the engine keeps
+// two order-independent reductions over the deterministic per-block cost
+// c(b) = SeekCost + bytes(b)·ByteCost + rows(b)·filters(b)·RowCost:
+//
+//	total = Σ c(b)   — the single-stream work
+//	crit  = max c(b) — the critical path (one block is scanned by
+//	                   exactly one worker)
+//
+// and models N workers as
+//
+//	SimTime(N) = max(total/N, crit)
+//
+// total/N is the throughput bound — I/O- and CPU-bound work divides evenly
+// across the pool in the limit — and crit is the latency bound. For N=1
+// the model degenerates to the exact sequential formula, so engine-profile
+// orderings (Spark vs DBMS, qd-tree vs baseline) are preserved at every
+// parallelism level.
 package exec
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/blockstore"
@@ -60,15 +92,36 @@ var EngineDBMS = Profile{
 	RowCost:  10 * time.Nanosecond,
 }
 
-// Result reports one query execution.
-type Result struct {
-	Query         string
+// ScanStats are the physical counters of one or more block scans. They are
+// exact sums over the scanned blocks, so a parallel scan reports counts
+// bit-identical to a sequential scan of the same candidate set.
+type ScanStats struct {
 	BlocksScanned int
 	RowsScanned   int64
 	RowsMatched   int64
 	BytesRead     int64
-	SimTime       time.Duration // deterministic cost-model time
-	WallTime      time.Duration // measured wall clock of the scan
+}
+
+func (s *ScanStats) merge(o ScanStats) {
+	s.BlocksScanned += o.BlocksScanned
+	s.RowsScanned += o.RowsScanned
+	s.RowsMatched += o.RowsMatched
+	s.BytesRead += o.BytesRead
+}
+
+// simTime is the deterministic single-stream cost of the counted work.
+func (s ScanStats) simTime(prof Profile) time.Duration {
+	return time.Duration(s.BlocksScanned)*prof.SeekCost +
+		time.Duration(s.BytesRead)*prof.ByteCost +
+		time.Duration(s.RowsScanned)*prof.RowCost
+}
+
+// Result reports one query execution.
+type Result struct {
+	Query string
+	ScanStats
+	SimTime  time.Duration // deterministic cost-model time (see package doc)
+	WallTime time.Duration // measured wall clock of the scan
 }
 
 // Mode selects how candidate blocks are pruned.
@@ -85,9 +138,53 @@ const (
 	NoRoute
 )
 
-// Run executes query q over the store under the given layout and profile.
-func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode) (Result, error) {
-	res := Result{Query: q.Name}
+// Options tune how a scan executes. They change scheduling only: the
+// ScanStats of a scan are identical for every Options value.
+type Options struct {
+	// Parallelism is the scan worker pool size. 1 scans on the calling
+	// goroutine; 0 or negative selects GOMAXPROCS.
+	Parallelism int
+	// ShareReads lets RunWorkloadOpts read each block once for all queries
+	// that scan it (read-once, filter-many) instead of once per query.
+	// Per-query accounting is unchanged — each query is still charged
+	// exactly the bytes it alone would have read — but the workload-level
+	// physical counters and SimTime reflect the shared reads.
+	ShareReads bool
+}
+
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// blockCost is the deterministic cost of scanning one block: one seek, the
+// bytes read, and nfilters filter passes over its rows.
+func blockCost(prof Profile, nbytes int64, nrows, nfilters int) time.Duration {
+	return prof.SeekCost +
+		time.Duration(nbytes)*prof.ByteCost +
+		time.Duration(nrows)*time.Duration(nfilters)*prof.RowCost
+}
+
+// parallelSimTime reduces total work and critical-path cost to the modeled
+// makespan of a pool of the given size (see package doc).
+func parallelSimTime(total, crit time.Duration, workers int) time.Duration {
+	if workers <= 1 {
+		return total
+	}
+	t := total / time.Duration(workers)
+	if crit > t {
+		return crit
+	}
+	return t
+}
+
+// candidateBlocks selects the blocks query q must scan under mode, then
+// drops any candidate the blockstore catalog's SMA (min/max) metadata
+// proves non-matching. The sequential and parallel paths share this
+// dispatch-time pruning, so both scan the exact same block set.
+func candidateBlocks(store *blockstore.Store, layout *cost.Layout, q expr.Query, mode Mode) ([]int, error) {
 	var candidates []int
 	switch mode {
 	case RouteQdTree:
@@ -97,40 +194,141 @@ func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.
 			if layout.Counts[b] == 0 {
 				continue
 			}
-			if minMaxMayMatch(layout.Descs[b].Lo, layout.Descs[b].Hi, q) {
+			if cost.MinMaxMayMatch(layout.Descs[b].Lo, layout.Descs[b].Hi, q) {
 				candidates = append(candidates, b)
 			}
 		}
 	default:
-		return res, fmt.Errorf("exec: unknown mode %d", mode)
+		return nil, fmt.Errorf("exec: unknown mode %d", mode)
+	}
+	out := candidates[:0]
+	for _, b := range candidates {
+		if b < 0 || b >= len(store.Blocks) {
+			return nil, fmt.Errorf("exec: candidate block %d outside store of %d blocks", b, len(store.Blocks))
+		}
+		m := store.Blocks[b]
+		if m.Rows == 0 {
+			continue
+		}
+		if len(m.Min) > 0 && !cost.SMAMayMatch(m.Min, m.Max, q) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// runPool distributes tasks 0..n-1 over a pool of workers. fn receives the
+// worker slot (for contention-free per-worker accumulators) and the task
+// index. The first error stops useful work; remaining tasks are drained.
+func runPool(n, workers int, fn func(worker, task int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := range tasks {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				if err := fn(slot, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(k)
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	return firstErr
+}
+
+// Run executes query q over the store under the given layout and profile,
+// sequentially. It is RunOpts at Parallelism 1.
+func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode) (Result, error) {
+	return RunOpts(store, layout, q, acs, prof, mode, Options{Parallelism: 1})
+}
+
+// RunOpts executes query q with a pool of opt.Parallelism scan workers
+// pulling candidate blocks from a shared channel. ScanStats are identical
+// to a sequential run; SimTime follows the deterministic parallel model of
+// the package doc.
+func RunOpts(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (Result, error) {
+	res := Result{Query: q.Name}
+	candidates, err := candidateBlocks(store, layout, q, mode)
+	if err != nil {
+		return res, err
 	}
 	var needCols []int
 	if prof.Columnar {
 		needCols = queryColumns(q, acs)
 	}
+	workers := opt.workers()
+	type acc struct {
+		stats ScanStats
+		crit  time.Duration
+	}
+	accs := make([]acc, max(workers, 1))
 	start := time.Now()
-	for _, b := range candidates {
-		data, nrows, nbytes, err := store.ReadColumns(b, needCols)
+	err = runPool(len(candidates), workers, func(slot, i int) error {
+		data, nrows, nbytes, err := store.ReadColumns(candidates[i], needCols)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if data == nil {
-			continue
+			return nil
 		}
-		res.BlocksScanned++
-		res.RowsScanned += int64(nrows)
-		res.BytesRead += nbytes
-		res.RowsMatched += int64(countMatches(q, acs, data, nrows))
+		a := &accs[slot]
+		a.stats.BlocksScanned++
+		a.stats.RowsScanned += int64(nrows)
+		a.stats.BytesRead += nbytes
+		a.stats.RowsMatched += int64(countMatches(q, acs, data, nrows))
+		if c := blockCost(prof, nbytes, nrows, 1); c > a.crit {
+			a.crit = c
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var crit time.Duration
+	for i := range accs {
+		res.ScanStats.merge(accs[i].stats)
+		if accs[i].crit > crit {
+			crit = accs[i].crit
+		}
 	}
 	res.WallTime = time.Since(start)
-	res.SimTime = time.Duration(res.BlocksScanned)*prof.SeekCost +
-		time.Duration(res.BytesRead)*prof.ByteCost +
-		time.Duration(res.RowsScanned)*prof.RowCost
+	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
 	return res, nil
 }
 
-// RunWorkload executes every query and returns per-query results plus the
-// aggregate simulated time.
+// RunWorkload executes every query sequentially and returns per-query
+// results plus the aggregate simulated time. It is the compatibility
+// entry point; RunWorkloadOpts is the batched parallel engine.
 func RunWorkload(store *blockstore.Store, layout *cost.Layout, w []expr.Query, acs []expr.AdvCut, prof Profile, mode Mode) ([]Result, time.Duration, error) {
 	out := make([]Result, 0, len(w))
 	var total time.Duration
@@ -145,62 +343,170 @@ func RunWorkload(store *blockstore.Store, layout *cost.Layout, w []expr.Query, a
 	return out, total, nil
 }
 
-// minMaxMayMatch is SMA-only pruning: each predicate is checked against
-// the block's per-column interval; categorical masks and advanced-cut bits
-// are unavailable (the "no route" path lacks dictionaries, Sec. 7.5.1).
-func minMaxMayMatch(lo, hi []int64, q expr.Query) bool {
-	if q.Root == nil {
-		return true
-	}
-	var rec func(n *expr.Node) bool
-	rec = func(n *expr.Node) bool {
-		switch n.Kind {
-		case expr.KindPred:
-			p := n.Pred
-			l, h := lo[p.Col], hi[p.Col] // [l, h)
-			if l >= h {
-				return false
-			}
-			switch p.Op {
-			case expr.Lt:
-				return l < p.Literal
-			case expr.Le:
-				return l <= p.Literal
-			case expr.Gt:
-				return h-1 > p.Literal
-			case expr.Ge:
-				return h-1 >= p.Literal
-			case expr.Eq:
-				return p.Literal >= l && p.Literal < h
-			case expr.In:
-				for _, v := range p.Set {
-					if v >= l && v < h {
-						return true
-					}
-				}
-				return false
-			}
-			return true
-		case expr.KindAdv:
-			return true // no advanced-cut metadata without routing
-		case expr.KindAnd:
-			for _, c := range n.Children {
-				if !rec(c) {
-					return false
-				}
-			}
-			return true
-		case expr.KindOr:
-			for _, c := range n.Children {
-				if rec(c) {
-					return true
-				}
-			}
-			return false
+// WorkloadResult reports a batched multi-query execution.
+type WorkloadResult struct {
+	Results []Result
+	// TotalSimTime is Σ per-query SimTime — the single-stream engine time
+	// RunWorkload reports, preserved here for profile-ordering comparisons.
+	TotalSimTime time.Duration
+	// SimTime is the deterministic estimate for the whole batch under
+	// Options.Parallelism workers (and shared reads, if enabled).
+	SimTime time.Duration
+	// WallTime is the measured wall clock of the whole batch.
+	WallTime time.Duration
+	// PhysicalReads and PhysicalBytes count actual block-file reads. With
+	// ShareReads they fall below the per-query sums because one read
+	// serves every query that scans the block.
+	PhysicalReads int
+	PhysicalBytes int64
+}
+
+// RunWorkloadOpts executes a whole workload as one batch: candidates are
+// pruned per query via the layout plus the store's SMA metadata, then
+// dispatched to a pool of scan workers. With ShareReads, queries touching
+// the same block share one physical read (read-once, filter-many).
+// Per-query ScanStats and SimTime are bit-identical to sequential
+// execution for every Options value.
+func RunWorkloadOpts(store *blockstore.Store, layout *cost.Layout, w []expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (*WorkloadResult, error) {
+	workers := opt.workers()
+	cands := make([][]int, len(w))
+	colsets := make([][]int, len(w))
+	for i, q := range w {
+		c, err := candidateBlocks(store, layout, q, mode)
+		if err != nil {
+			return nil, err
 		}
-		return true
+		cands[i] = c
+		if prof.Columnar {
+			colsets[i] = queryColumns(q, acs)
+		}
 	}
-	return rec(q.Root)
+
+	// task is one physical block read evaluating one or more query filters.
+	type task struct {
+		block   int
+		queries []int // indices into w
+		cols    []int // columns to read; nil = all
+	}
+	var tasks []task
+	if opt.ShareReads {
+		byBlock := make(map[int]int) // block -> index into tasks
+		for qi, cs := range cands {
+			for _, b := range cs {
+				ti, ok := byBlock[b]
+				if !ok {
+					ti = len(tasks)
+					byBlock[b] = ti
+					tasks = append(tasks, task{block: b})
+				}
+				tasks[ti].queries = append(tasks[ti].queries, qi)
+			}
+		}
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].block < tasks[j].block })
+		if prof.Columnar {
+			for ti := range tasks {
+				tasks[ti].cols = unionColumns(colsets, tasks[ti].queries)
+			}
+		}
+	} else {
+		for qi, cs := range cands {
+			for _, b := range cs {
+				tasks = append(tasks, task{block: b, queries: []int{qi}, cols: colsets[qi]})
+			}
+		}
+	}
+
+	type acc struct {
+		perQuery  []ScanStats
+		physTotal time.Duration
+		crit      time.Duration
+		reads     int
+		bytes     int64
+	}
+	accs := make([]acc, max(workers, 1))
+	for i := range accs {
+		accs[i].perQuery = make([]ScanStats, len(w))
+	}
+	start := time.Now()
+	err := runPool(len(tasks), workers, func(slot, ti int) error {
+		t := tasks[ti]
+		data, nrows, nbytes, err := store.ReadColumns(t.block, t.cols)
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			return nil
+		}
+		a := &accs[slot]
+		a.reads++
+		a.bytes += nbytes
+		for _, qi := range t.queries {
+			s := &a.perQuery[qi]
+			s.BlocksScanned++
+			s.RowsScanned += int64(nrows)
+			// Charge the query the bytes it alone would have read, so
+			// accounting matches an unshared scan exactly.
+			if prof.Columnar {
+				s.BytesRead += int64(8 * nrows * len(colsets[qi]))
+			} else {
+				s.BytesRead += nbytes
+			}
+			s.RowsMatched += int64(countMatches(w[qi], acs, data, nrows))
+		}
+		c := blockCost(prof, nbytes, nrows, len(t.queries))
+		a.physTotal += c
+		if c > a.crit {
+			a.crit = c
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WorkloadResult{Results: make([]Result, len(w))}
+	merged := make([]ScanStats, len(w))
+	var crit, physTotal time.Duration
+	for i := range accs {
+		for qi := range merged {
+			merged[qi].merge(accs[i].perQuery[qi])
+		}
+		physTotal += accs[i].physTotal
+		if accs[i].crit > crit {
+			crit = accs[i].crit
+		}
+		res.PhysicalReads += accs[i].reads
+		res.PhysicalBytes += accs[i].bytes
+	}
+	for qi := range merged {
+		r := Result{Query: w[qi].Name, ScanStats: merged[qi]}
+		r.SimTime = r.simTime(prof)
+		res.Results[qi] = r
+		res.TotalSimTime += r.SimTime
+	}
+	res.SimTime = parallelSimTime(physTotal, crit, workers)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// unionColumns merges the sorted column sets of the given queries into one
+// sorted distinct read set.
+func unionColumns(colsets [][]int, queries []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, qi := range queries {
+		for _, c := range colsets[qi] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	if out == nil {
+		out = []int{} // non-nil: an empty read set must not mean "all columns"
+	}
+	return out
 }
 
 // queryColumns returns the sorted distinct columns the query reads.

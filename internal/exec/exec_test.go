@@ -38,6 +38,7 @@ func fixture(t *testing.T) (*blockstore.Store, *cost.Layout, *workload.Spec) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { st.Close() })
 	return st, layout, spec
 }
 
@@ -173,40 +174,6 @@ func TestQueryColumnsIncludesACs(t *testing.T) {
 				t.Fatalf("%s: column set not sorted/unique: %v", q.Name, cols)
 			}
 		}
-	}
-}
-
-func TestMinMaxMayMatchCases(t *testing.T) {
-	lo := []int64{10, 0}
-	hi := []int64{20, 5} // col0 in [10,20), col1 in [0,5)
-	cases := []struct {
-		q    expr.Query
-		want bool
-	}{
-		{expr.AndQ("lt-in", expr.Pred{Col: 0, Op: expr.Lt, Literal: 15}), true},
-		{expr.AndQ("lt-out", expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}), false},
-		{expr.AndQ("le-edge", expr.Pred{Col: 0, Op: expr.Le, Literal: 10}), true},
-		{expr.AndQ("gt-in", expr.Pred{Col: 0, Op: expr.Gt, Literal: 18}), true},
-		{expr.AndQ("gt-out", expr.Pred{Col: 0, Op: expr.Gt, Literal: 19}), false},
-		{expr.AndQ("ge-edge", expr.Pred{Col: 0, Op: expr.Ge, Literal: 19}), true},
-		{expr.AndQ("eq-in", expr.Pred{Col: 0, Op: expr.Eq, Literal: 12}), true},
-		{expr.AndQ("eq-out", expr.Pred{Col: 0, Op: expr.Eq, Literal: 25}), false},
-		{expr.AndQ("in-hit", expr.NewIn(0, []int64{1, 2, 15})), true},
-		{expr.AndQ("in-miss", expr.NewIn(0, []int64{1, 2, 35})), false},
-		{expr.Query{Name: "or", Root: expr.Or(
-			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 5}),
-			expr.NewPred(expr.Pred{Col: 1, Op: expr.Lt, Literal: 3}))}, true},
-		{expr.Query{Name: "adv", Root: expr.NewAdv(0)}, true}, // no AC metadata: conservative
-		{expr.Query{Name: "nil"}, true},
-	}
-	for _, c := range cases {
-		if got := minMaxMayMatch(lo, hi, c.q); got != c.want {
-			t.Errorf("%s: got %v, want %v", c.q.Name, got, c.want)
-		}
-	}
-	// Empty interval prunes everything.
-	if minMaxMayMatch([]int64{5, 0}, []int64{5, 5}, cases[0].q) {
-		t.Error("empty interval must prune")
 	}
 }
 

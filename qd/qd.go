@@ -29,9 +29,11 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/baselines"
+	"repro/internal/blockstore"
 	"repro/internal/bottomup"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/greedy"
 	"repro/internal/overlap"
@@ -341,4 +343,63 @@ func NewAdaptive(t *Tree, tbl *Table, acs []AdvCut, queries []Query, minBlockSiz
 // under dir, flushing each leaf buffer at segmentRows.
 func NewIngester(t *Tree, dir string, segmentRows int) (*Ingester, error) {
 	return router.NewIngester(t, dir, segmentRows)
+}
+
+// --- physical execution ---
+
+// Execution re-exports. The exec engine scans materialized block stores
+// under a deterministic engine profile (Sec. 7.4/7.5).
+type (
+	// BlockStore is a materialized layout on disk; safe for concurrent
+	// readers.
+	BlockStore = blockstore.Store
+	// EngineProfile models one execution engine's cost structure.
+	EngineProfile = exec.Profile
+	// ExecResult reports one query execution.
+	ExecResult = exec.Result
+	// ScanStats are the physical counters of a scan.
+	ScanStats = exec.ScanStats
+	// WorkloadResult reports a batched multi-query execution.
+	WorkloadResult = exec.WorkloadResult
+	// ExecMode selects block pruning: qd-tree routing or SMA-only.
+	ExecMode = exec.Mode
+	// ExecOptions tune physical execution: Parallelism is the scan worker
+	// pool size (0 or negative selects GOMAXPROCS, 1 is sequential) and
+	// ShareReads makes ExecuteWorkload read each block once for all
+	// queries that scan it. Options change scheduling only — ScanStats
+	// are identical for every value.
+	ExecOptions = exec.Options
+)
+
+// Engine profiles and pruning modes.
+var (
+	EngineSpark = exec.EngineSpark
+	EngineDBMS  = exec.EngineDBMS
+)
+
+const (
+	RouteQdTree = exec.RouteQdTree
+	NoRoute     = exec.NoRoute
+)
+
+// WriteStore materializes a layout's row→block partitioning as a block
+// directory usable by the execution engine.
+func WriteStore(dir string, tbl *Table, l *Layout) (*BlockStore, error) {
+	return blockstore.Write(dir, tbl, l.BIDs, l.NumBlocks())
+}
+
+// OpenStore reopens a block directory from its catalog.
+func OpenStore(dir string) (*BlockStore, error) { return blockstore.Open(dir) }
+
+// Execute runs one query over a materialized store.
+func Execute(store *BlockStore, l *Layout, q Query, acs []AdvCut, prof EngineProfile, mode ExecMode, opt ExecOptions) (ExecResult, error) {
+	return exec.RunOpts(store, l, q, acs, prof, mode, opt)
+}
+
+// ExecuteWorkload runs a whole workload as one batch: per-query SMA
+// pruning before dispatch, one scan worker pool across all queries, and
+// (with ShareReads) one physical read per block shared by every query
+// touching it.
+func ExecuteWorkload(store *BlockStore, l *Layout, w []Query, acs []AdvCut, prof EngineProfile, mode ExecMode, opt ExecOptions) (*WorkloadResult, error) {
+	return exec.RunWorkloadOpts(store, l, w, acs, prof, mode, opt)
 }

@@ -171,3 +171,52 @@ func TestExplicitQueryConstruction(t *testing.T) {
 		t.Error("query must intersect at least one block")
 	}
 }
+
+// TestPublicExecution drives the physical engine end-to-end through the
+// facade: materialize a layout, scan it sequentially and in parallel, and
+// require identical counters.
+func TestPublicExecution(t *testing.T) {
+	tbl, queries, acs := smallDataset(t)
+	tree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := qd.LayoutFromTree("greedy", tree, tbl)
+	store, err := qd.WriteStore(t.TempDir(), tbl, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	seq, err := qd.ExecuteWorkload(store, layout, queries, acs, qd.EngineDBMS, qd.RouteQdTree,
+		qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := qd.ExecuteWorkload(store, layout, queries, acs, qd.EngineDBMS, qd.RouteQdTree,
+		qd.ExecOptions{Parallelism: 4, ShareReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Results {
+		if seq.Results[i].ScanStats != par.Results[i].ScanStats {
+			t.Errorf("%s: parallel stats %+v, sequential %+v",
+				queries[i].Name, par.Results[i].ScanStats, seq.Results[i].ScanStats)
+		}
+	}
+	if par.TotalSimTime != seq.TotalSimTime {
+		t.Errorf("TotalSimTime %v vs %v", par.TotalSimTime, seq.TotalSimTime)
+	}
+	if par.PhysicalReads > seq.PhysicalReads {
+		t.Errorf("shared reads did not reduce physical reads: %d vs %d", par.PhysicalReads, seq.PhysicalReads)
+	}
+
+	// Single-query path and reopened store.
+	res, err := qd.Execute(store, layout, queries[0], acs, qd.EngineSpark, qd.RouteQdTree, qd.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned == 0 || res.RowsMatched == 0 {
+		t.Errorf("query scanned %d matched %d", res.RowsScanned, res.RowsMatched)
+	}
+}
