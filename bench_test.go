@@ -4,29 +4,24 @@
 // b.ReportMetric, so `go test -bench=. -benchmem` yields the full
 // experiment record (see EXPERIMENTS.md for paper-vs-measured).
 //
+// Everything drives the public Dataset / Planner / Engine surface of the
+// qd package; internal imports remain only for substrates the facade does
+// not wrap (workload generation, routing, split counters).
+//
 // Sizes are scaled down from the paper's 77M–100M rows; the skipping
 // metrics are scale-free (see DESIGN.md, Substitutions).
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"testing"
 	"time"
 
-	"repro/internal/baselines"
-	"repro/internal/blockstore"
-	"repro/internal/bottomup"
 	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/exec"
-	"repro/internal/greedy"
-	"repro/internal/overlap"
-	"repro/internal/replicate"
-	"repro/internal/rl"
 	"repro/internal/router"
 	"repro/internal/workload"
+	"repro/qd"
 )
 
 const (
@@ -35,16 +30,38 @@ const (
 	benchSeed    = 42
 )
 
-func toCuts(ps []workload.Pred2Cut) []core.Cut {
-	out := make([]core.Cut, len(ps))
+func toCuts(ps []workload.Pred2Cut) []qd.Cut {
+	out := make([]qd.Cut, len(ps))
 	for i, p := range ps {
 		if p.IsAdv {
-			out[i] = core.AdvancedCut(p.Adv)
+			out[i] = qd.AdvancedCut(p.Adv)
 		} else {
-			out[i] = core.UnaryCut(p.Pred)
+			out[i] = qd.UnaryCut(p.Pred)
 		}
 	}
 	return out
+}
+
+func specDataset(spec *workload.Spec) *qd.Dataset {
+	return qd.NewDataset(spec.Table.Schema, spec.Table).WithQueries(spec.Queries, spec.ACs)
+}
+
+// planSpec plans a spec with a registry strategy, failing the benchmark on
+// error. The spec's precomputed cuts are used unless opt.Cuts is set.
+func planSpec(b *testing.B, strategy string, spec *workload.Spec, opt qd.PlanOptions) *qd.Plan {
+	b.Helper()
+	if opt.Cuts == nil {
+		opt.Cuts = toCuts(spec.Cuts)
+	}
+	planner, err := qd.NewPlanner(strategy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := planner.Plan(specDataset(spec), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
 }
 
 // --- cached specs: generating workloads once keeps bench time sane ---
@@ -76,49 +93,43 @@ func getELExt() *workload.Spec {
 	return elExtSpec
 }
 
-func buildGreedyLayout(b *testing.B, spec *workload.Spec, minSize int) *cost.Layout {
+// newBenchEngine materializes a plan under a bench temp dir and binds an
+// engine over it.
+func newBenchEngine(b *testing.B, spec *workload.Spec, plan *qd.Plan, prof qd.EngineProfile, opt qd.ExecOptions) *qd.Engine {
 	b.Helper()
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	store, err := qd.WriteStore(b.TempDir(), spec.Table, plan.Layout)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return cost.FromTree("greedy", tree, spec.Table)
+	eng, err := qd.NewEngine(store, plan, prof, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	return eng
 }
 
 // ---------- Table 2: logical access percentage ----------
 
 func benchTable2(b *testing.B, spec *workload.Spec, minSize, rangeCol int) {
-	cuts := toCuts(spec.Cuts)
 	var fractions map[string]float64
 	for i := 0; i < b.N; i++ {
 		fractions = map[string]float64{}
-		gl := buildGreedyLayout(b, spec, minSize)
-		fractions["greedy"] = gl.AccessedFraction(spec.Queries)
-		var base *cost.Layout
-		var err error
-		if rangeCol < 0 {
-			base, err = baselines.Random(spec.Table, gl.NumBlocks(), spec.ACs, benchSeed)
-		} else {
-			base, err = baselines.Range(spec.Table, rangeCol, gl.NumBlocks(), spec.ACs)
+		gPlan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: minSize})
+		fractions["greedy"] = gPlan.AccessedFraction(nil)
+		baseStrategy := "random"
+		if rangeCol >= 0 {
+			baseStrategy = "range"
 		}
-		if err != nil {
-			b.Fatal(err)
-		}
-		fractions["baseline"] = base.AccessedFraction(spec.Queries)
-		bu, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-			MinSize: minSize, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
-		if err != nil {
-			b.Fatal(err)
-		}
-		fractions["bu+"] = bu.Layout.AccessedFraction(spec.Queries)
-		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-			MinSize: minSize, Cuts: cuts, Queries: spec.Queries,
-			Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
-		fractions["rl"] = cost.FromTree("rl", res.Tree, spec.Table).AccessedFraction(spec.Queries)
+		basePlan := planSpec(b, baseStrategy, spec, qd.PlanOptions{
+			NumBlocks: gPlan.Layout.NumBlocks(), Seed: benchSeed, RangeColumn: rangeCol})
+		fractions["baseline"] = basePlan.AccessedFraction(nil)
+		buPlan := planSpec(b, "bottomup", spec, qd.PlanOptions{
+			MinBlockSize: minSize, SelectivityCap: 0.10})
+		fractions["bu+"] = buPlan.AccessedFraction(nil)
+		rlPlan := planSpec(b, "woodblock", spec, qd.PlanOptions{
+			MinBlockSize: minSize, Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
+		fractions["rl"] = rlPlan.AccessedFraction(nil)
 	}
 	for k, v := range fractions {
 		b.ReportMetric(v*100, k+"_%accessed")
@@ -137,22 +148,11 @@ func BenchmarkTable2ErrorLogExt(b *testing.B) {
 
 func BenchmarkFig3GreedyVsRL(b *testing.B) {
 	spec := workload.Fig3(20_000, benchSeed)
-	cuts := toCuts(spec.Cuts)
 	var gFrac, rFrac float64
 	for i := 0; i < b.N; i++ {
-		tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: 100, Cuts: cuts, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		gFrac = cost.FromTree("g", tree, spec.Table).AccessedFraction(spec.Queries)
-		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-			MinSize: 100, Cuts: cuts, Queries: spec.Queries,
-			Hidden: 32, MaxEpisodes: 32, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rFrac = cost.FromTree("r", res.Tree, spec.Table).AccessedFraction(spec.Queries)
+		gFrac = planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: 100}).AccessedFraction(nil)
+		rFrac = planSpec(b, "woodblock", spec, qd.PlanOptions{
+			MinBlockSize: 100, Hidden: 32, MaxEpisodes: 32, Seed: benchSeed}).AccessedFraction(nil)
 	}
 	b.ReportMetric(gFrac*100, "greedy_%")        // paper: 50.5
 	b.ReportMetric(rFrac*100, "rl_%")            // paper: 10.4
@@ -164,24 +164,14 @@ func BenchmarkFig3GreedyVsRL(b *testing.B) {
 func BenchmarkFig4Overlap(b *testing.B) {
 	armN := 2000
 	spec := workload.Fig4(armN, benchSeed)
-	cuts := toCuts(spec.Cuts)
 	var plainAcc, ovAcc int64
 	for i := 0; i < b.N; i++ {
-		tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: armN, Cuts: cuts, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		plain := cost.FromTree("p", tree, spec.Table)
-		lay, err := overlap.Build(spec.Table, spec.ACs, overlap.Options{
-			MinSize: armN, Cuts: cuts, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
+		plain := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: armN})
+		ov := planSpec(b, "overlap", spec, qd.PlanOptions{MinBlockSize: armN})
 		plainAcc, ovAcc = 0, 0
 		for _, q := range spec.Queries {
-			plainAcc += plain.AccessedTuples(q)
-			ovAcc += lay.AccessedTuples(q, spec.Table.Schema)
+			plainAcc += plain.Layout.AccessedTuples(q)
+			ovAcc += ov.Overlap.AccessedTuples(q, spec.Table.Schema)
 		}
 	}
 	ideal := float64(4 * (armN + 1))
@@ -191,60 +181,44 @@ func BenchmarkFig4Overlap(b *testing.B) {
 
 // ---------- Figure 5: TPC-H physical runtimes ----------
 
-func benchFig5(b *testing.B, prof exec.Profile) {
+func benchFig5(b *testing.B, prof qd.EngineProfile) {
 	spec := getTPCH()
 	minSize := benchRows / 770
-	gl := buildGreedyLayout(b, spec, minSize)
-	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: 0.10})
-	if err != nil {
-		b.Fatal(err)
-	}
-	dir := b.TempDir()
-	qdStore, err := blockstore.Write(dir+"/qd", spec.Table, gl.BIDs, gl.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.Layout.BIDs, buRes.Layout.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer qdStore.Close()
-	defer buStore.Close()
+	gPlan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: minSize})
+	buPlan := planSpec(b, "bottomup", spec, qd.PlanOptions{MinBlockSize: minSize, SelectivityCap: 0.10})
+	qdEng := newBenchEngine(b, spec, gPlan, prof, qd.ExecOptions{Parallelism: 1})
+	buEng := newBenchEngine(b, spec, buPlan, prof, qd.ExecOptions{Parallelism: 1})
 	b.ResetTimer()
 	var qdTotal, buTotal time.Duration
 	for i := 0; i < b.N; i++ {
-		_, qdTotal, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+		qdWL, err := qdEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, buTotal, err = exec.RunWorkload(buStore, buRes.Layout, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+		buWL, err := buEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
+		qdTotal, buTotal = qdWL.TotalSimTime, buWL.TotalSimTime
 	}
 	b.ReportMetric(buTotal.Seconds(), "bu_sim_s")
 	b.ReportMetric(qdTotal.Seconds(), "qd_sim_s")
 	b.ReportMetric(float64(buTotal)/float64(qdTotal+1), "speedup_x") // paper: 1.6x spark, 1.3x dbms
 }
 
-func BenchmarkFig5aSparkProfile(b *testing.B) { benchFig5(b, exec.EngineSpark) }
-func BenchmarkFig5bDBMSProfile(b *testing.B)  { benchFig5(b, exec.EngineDBMS) }
+func BenchmarkFig5aSparkProfile(b *testing.B) { benchFig5(b, qd.EngineSpark) }
+func BenchmarkFig5bDBMSProfile(b *testing.B)  { benchFig5(b, qd.EngineDBMS) }
 
 // ---------- Figure 6: routing performance ----------
 
 func BenchmarkFig6aRouting(b *testing.B) {
 	spec := getTPCH()
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
 	for _, threads := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			var rps float64
 			for i := 0; i < b.N; i++ {
-				res := router.MeasureThroughput(tree, spec.Table, threads, 4096)
+				res := router.MeasureThroughput(plan.Tree, spec.Table, threads, 4096)
 				rps = res.RecordsPS
 			}
 			b.ReportMetric(rps, "records/s")
@@ -254,14 +228,9 @@ func BenchmarkFig6aRouting(b *testing.B) {
 
 func BenchmarkFig6bQueryRouting(b *testing.B) {
 	spec := getTPCH()
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-	if err != nil {
-		b.Fatal(err)
-	}
-	bids := tree.RouteTable(spec.Table)
-	tree.Freeze(spec.Table, bids)
-	qr := &router.QueryRouter{Tree: tree}
+	// Planning routes and freezes the tree, so it is deployment-ready.
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
+	qr := &router.QueryRouter{Tree: plan.Tree}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qr.Route(spec.Queries[i%len(spec.Queries)])
@@ -272,38 +241,31 @@ func BenchmarkFig6bQueryRouting(b *testing.B) {
 // ---------- Figure 7: ErrorLog physical runtimes ----------
 
 func benchFig7(b *testing.B, spec *workload.Spec, minSize int) {
-	gl := buildGreedyLayout(b, spec, minSize)
-	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: 0.10})
+	gPlan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: minSize})
+	buPlan := planSpec(b, "bottomup", spec, qd.PlanOptions{MinBlockSize: minSize, SelectivityCap: 0.10})
+	qdEng := newBenchEngine(b, spec, gPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	buEng := newBenchEngine(b, spec, buPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	nrEng, err := qd.NewEngine(qdEng.Store(), gPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	dir := b.TempDir()
-	qdStore, err := blockstore.Write(dir+"/qd", spec.Table, gl.BIDs, gl.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.Layout.BIDs, buRes.Layout.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer qdStore.Close()
-	defer buStore.Close()
+	nrEng.WithMode(qd.NoRoute)
 	b.ResetTimer()
 	var qdT, buT, nrT time.Duration
 	for i := 0; i < b.N; i++ {
-		_, buT, err = exec.RunWorkload(buStore, buRes.Layout, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		buWL, err := buEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, qdT, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		qdWL, err := qdEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, nrT, err = exec.RunWorkload(qdStore, gl, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute)
+		nrWL, err := nrEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
+		buT, qdT, nrT = buWL.TotalSimTime, qdWL.TotalSimTime, nrWL.TotalSimTime
 	}
 	b.ReportMetric(buT.Seconds(), "bu+_sim_s")
 	b.ReportMetric(qdT.Seconds(), "qd_sim_s")
@@ -320,13 +282,10 @@ func BenchmarkFig8LearningCurve(b *testing.B) {
 	spec := getELExt()
 	var first, last float64
 	for i := 0; i < b.N; i++ {
-		res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-			MinSize: benchRows / 1620, Cuts: toCuts(spec.Cuts), Queries: spec.Queries,
-			Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
-		first, last = res.Curve[0].Best, res.Curve[len(res.Curve)-1].Best
+		plan := planSpec(b, "woodblock", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 1620, Hidden: 48, MaxEpisodes: 24, Seed: benchSeed})
+		curve := plan.RL.Curve
+		first, last = curve[0].Best, curve[len(curve)-1].Best
 	}
 	b.ReportMetric(first*100, "first_%")
 	b.ReportMetric(last*100, "final_%")
@@ -336,15 +295,11 @@ func BenchmarkFig8LearningCurve(b *testing.B) {
 
 func BenchmarkFig9CutCounts(b *testing.B) {
 	spec := getTPCH()
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
 	var distinct int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		counts := tree.CutCounts()
+		counts := plan.Tree.CutCounts()
 		distinct = len(counts)
 	}
 	b.ReportMetric(float64(distinct), "columns_cut") // paper: 8 columns cut >= 20 times
@@ -354,13 +309,13 @@ func BenchmarkFig9CutCounts(b *testing.B) {
 
 func BenchmarkRobustnessUnseenQueries(b *testing.B) {
 	spec := getTPCH()
-	gl := buildGreedyLayout(b, spec, benchRows/770)
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
 	test := workload.TPCHQueries(spec.Table.Schema, 20, benchSeed+999)
 	var train, unseen float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		train = gl.AccessedFraction(spec.Queries)
-		unseen = gl.AccessedFraction(test)
+		train = plan.AccessedFraction(nil)
+		unseen = plan.AccessedFraction(test)
 	}
 	b.ReportMetric(train*100, "train_%")
 	b.ReportMetric(unseen*100, "test_%")
@@ -371,35 +326,23 @@ func BenchmarkRobustnessUnseenQueries(b *testing.B) {
 
 func BenchmarkBuildTimeGreedy(b *testing.B) {
 	spec := getELInt()
-	cuts := toCuts(spec.Cuts)
 	for i := 0; i < b.N; i++ {
-		if _, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries}); err != nil {
-			b.Fatal(err)
-		}
+		planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 2000})
 	}
 }
 
 func BenchmarkBuildTimeBottomUp(b *testing.B) {
 	spec := getELInt()
-	cuts := toCuts(spec.Cuts)
 	for i := 0; i < b.N; i++ {
-		if _, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10}); err != nil {
-			b.Fatal(err)
-		}
+		planSpec(b, "bottomup", spec, qd.PlanOptions{MinBlockSize: benchRows / 2000, SelectivityCap: 0.10})
 	}
 }
 
 func BenchmarkBuildTimeWoodblockPerEpisode(b *testing.B) {
 	spec := getELInt()
-	cuts := toCuts(spec.Cuts)
 	for i := 0; i < b.N; i++ {
-		if _, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-			MinSize: benchRows / 2000, Cuts: cuts, Queries: spec.Queries,
-			Hidden: 48, MaxEpisodes: 4, Seed: int64(i)}); err != nil {
-			b.Fatal(err)
-		}
+		planSpec(b, "woodblock", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 2000, Hidden: 48, MaxEpisodes: 4, Seed: int64(i)})
 	}
 }
 
@@ -407,21 +350,11 @@ func BenchmarkBuildTimeWoodblockPerEpisode(b *testing.B) {
 
 func BenchmarkFig4TwoTree(b *testing.B) {
 	spec := getTPCH()
-	cuts := toCuts(spec.Cuts)
 	var one, two float64
 	for i := 0; i < b.N; i++ {
-		single, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		one = cost.FromTree("one", single, spec.Table).AccessedFraction(spec.Queries)
-		tt, err := replicate.Build(spec.Table, spec.ACs, replicate.Options{
-			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		two = tt.AccessedFraction(spec.Queries)
+		one = planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770}).AccessedFraction(nil)
+		tt := planSpec(b, "twotree", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
+		two = tt.TwoTree.AccessedFraction(spec.Queries)
 	}
 	b.ReportMetric(one*100, "one_tree_%")
 	b.ReportMetric(two*100, "two_tree_%")
@@ -433,21 +366,12 @@ func BenchmarkFig4TwoTree(b *testing.B) {
 // a balance-based (decision-tree style) split rule.
 func BenchmarkAblationCriterion(b *testing.B) {
 	spec := getTPCH()
-	cuts := toCuts(spec.Cuts)
 	var dc, ig float64
 	for i := 0; i < b.N; i++ {
-		t1, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries, Criterion: greedy.DeltaSkip})
-		if err != nil {
-			b.Fatal(err)
-		}
-		dc = cost.FromTree("dc", t1, spec.Table).AccessedFraction(spec.Queries)
-		t2, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 770, Cuts: cuts, Queries: spec.Queries, Criterion: greedy.InfoGain})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ig = cost.FromTree("ig", t2, spec.Table).AccessedFraction(spec.Queries)
+		dc = planSpec(b, "greedy", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 770, Criterion: qd.DeltaSkip}).AccessedFraction(nil)
+		ig = planSpec(b, "greedy", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 770, Criterion: qd.InfoGain}).AccessedFraction(nil)
 	}
 	b.ReportMetric(dc*100, "deltaskip_%")
 	b.ReportMetric(ig*100, "infogain_%")
@@ -456,18 +380,13 @@ func BenchmarkAblationCriterion(b *testing.B) {
 // BenchmarkAblationWidth sweeps the Woodblock hidden width (paper: 512).
 func BenchmarkAblationWidth(b *testing.B) {
 	spec := workload.Fig3(10_000, benchSeed)
-	cuts := toCuts(spec.Cuts)
 	for _, hidden := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("hidden=%d", hidden), func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-					MinSize: 50, Cuts: cuts, Queries: spec.Queries,
-					Hidden: hidden, MaxEpisodes: 16, Seed: benchSeed})
-				if err != nil {
-					b.Fatal(err)
-				}
-				frac = res.BestRatio
+				plan := planSpec(b, "woodblock", spec, qd.PlanOptions{
+					MinBlockSize: 50, Hidden: hidden, MaxEpisodes: 16, Seed: benchSeed})
+				frac = plan.RL.BestRatio
 			}
 			b.ReportMetric(frac*100, "best_%")
 		})
@@ -475,28 +394,17 @@ func BenchmarkAblationWidth(b *testing.B) {
 }
 
 // BenchmarkAblationSample sweeps the construction sample rate (Sec. 5.2.1
-// recommends 0.1%–1%; we sweep coarser rates at bench scale).
+// recommends 0.1%–1%; we sweep coarser rates at bench scale). The planner
+// scales b to the sample and deploys the tree over the full table.
 func BenchmarkAblationSample(b *testing.B) {
 	spec := getTPCH()
 	for _, rate := range []float64{0.05, 0.2, 1.0} {
 		b.Run(fmt.Sprintf("rate=%v", rate), func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				build := spec.Table
-				minSize := benchRows / 770
-				if rate < 1 {
-					build = spec.Table.Sample(rate, 1000, rand.New(rand.NewSource(benchSeed)))
-					minSize = int(float64(minSize) * float64(build.N) / float64(spec.Table.N))
-					if minSize < 1 {
-						minSize = 1
-					}
-				}
-				tree, err := greedy.Build(build, spec.ACs, greedy.Options{
-					MinSize: minSize, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-				if err != nil {
-					b.Fatal(err)
-				}
-				frac = cost.FromTree("s", tree, spec.Table).AccessedFraction(spec.Queries)
+				frac = planSpec(b, "greedy", spec, qd.PlanOptions{
+					MinBlockSize: benchRows / 770, SampleRate: rate, Seed: benchSeed,
+				}).AccessedFraction(nil)
 			}
 			b.ReportMetric(frac*100, "deployed_%")
 		})
@@ -510,7 +418,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 		b.Run(fmt.Sprintf("b=%d", bsize), func(b *testing.B) {
 			var frac float64
 			for i := 0; i < b.N; i++ {
-				frac = buildGreedyLayout(b, spec, bsize).AccessedFraction(spec.Queries)
+				frac = planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: bsize}).AccessedFraction(nil)
 			}
 			b.ReportMetric(frac*100, "accessed_%")
 		})
@@ -522,7 +430,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 func BenchmarkAblationAdvancedCuts(b *testing.B) {
 	spec := getTPCH()
 	all := toCuts(spec.Cuts)
-	var unaryOnly []core.Cut
+	var unaryOnly []qd.Cut
 	for _, c := range all {
 		if !c.IsAdv {
 			unaryOnly = append(unaryOnly, c)
@@ -530,18 +438,10 @@ func BenchmarkAblationAdvancedCuts(b *testing.B) {
 	}
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		t1, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 770, Cuts: all, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		with = cost.FromTree("with", t1, spec.Table).AccessedFraction(spec.Queries)
-		t2, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-			MinSize: benchRows / 770, Cuts: unaryOnly, Queries: spec.Queries})
-		if err != nil {
-			b.Fatal(err)
-		}
-		without = cost.FromTree("without", t2, spec.Table).AccessedFraction(spec.Queries)
+		with = planSpec(b, "greedy", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 770, Cuts: all}).AccessedFraction(nil)
+		without = planSpec(b, "greedy", spec, qd.PlanOptions{
+			MinBlockSize: benchRows / 770, Cuts: unaryOnly}).AccessedFraction(nil)
 	}
 	b.ReportMetric(with*100, "with_AC_%")
 	b.ReportMetric(without*100, "without_AC_%")
@@ -551,18 +451,15 @@ func BenchmarkAblationAdvancedCuts(b *testing.B) {
 
 // parallelFixture materializes a coarse random layout (few, large blocks)
 // so each scan task is chunky enough to expose pool scaling.
-func parallelFixture(b *testing.B) (*blockstore.Store, *cost.Layout, *workload.Spec) {
+func parallelFixture(b *testing.B) (*qd.Plan, *qd.BlockStore, *workload.Spec) {
 	b.Helper()
 	spec := getTPCH()
-	lay, err := baselines.Random(spec.Table, 32, spec.ACs, benchSeed)
+	plan := planSpec(b, "random", spec, qd.PlanOptions{NumBlocks: 32, Seed: benchSeed})
+	store, err := qd.WriteStore(b.TempDir(), spec.Table, plan.Layout)
 	if err != nil {
 		b.Fatal(err)
 	}
-	store, err := blockstore.Write(b.TempDir(), spec.Table, lay.BIDs, lay.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	return store, lay, spec
+	return plan, store, spec
 }
 
 // BenchmarkParallelScanSpeedup measures the same multi-query workload at
@@ -571,18 +468,26 @@ func parallelFixture(b *testing.B) (*blockstore.Store, *cost.Layout, *workload.S
 // degenerates to ~1x while the deterministic model still reports the
 // 4x capacity; both are printed so the speedup is measured, not asserted.
 func BenchmarkParallelScanSpeedup(b *testing.B) {
-	store, lay, spec := parallelFixture(b)
-	defer store.Close()
+	plan, store, spec := parallelFixture(b)
+	eng1, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1, ShareReads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng1.Close()
+	eng4, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 4, ShareReads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng1.WithMode(qd.NoRoute)
+	eng4.WithMode(qd.NoRoute)
 	var wall1, wall4, sim1, sim4 time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r1, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
-			exec.Options{Parallelism: 1, ShareReads: true})
+		r1, err := eng1.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
-		r4, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
-			exec.Options{Parallelism: 4, ShareReads: true})
+		r4, err := eng4.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -602,21 +507,32 @@ func BenchmarkParallelScanSpeedup(b *testing.B) {
 }
 
 // BenchmarkSharedReadSpeedup measures the batched read-once/filter-many
-// engine against the per-query sequential engine on the same workload —
+// engine against per-query sequential execution on the same workload —
 // the multi-user scan-sharing win, independent of core count.
 func BenchmarkSharedReadSpeedup(b *testing.B) {
-	store, lay, spec := parallelFixture(b)
-	defer store.Close()
+	plan, store, spec := parallelFixture(b)
+	seqEng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer seqEng.Close()
+	batchEng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: -1, ShareReads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqEng.WithMode(qd.NoRoute)
+	batchEng.WithMode(qd.NoRoute)
 	var seqWall, batchWall time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, _, err := exec.RunWorkload(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute); err != nil {
-			b.Fatal(err)
+		for _, q := range spec.Queries {
+			if _, err := seqEng.Query(q); err != nil {
+				b.Fatal(err)
+			}
 		}
 		seqWall += time.Since(start)
-		wr, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.NoRoute,
-			exec.Options{Parallelism: -1, ShareReads: true})
+		wr, err := batchEng.Workload(spec.Queries)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -631,14 +547,10 @@ func BenchmarkSharedReadSpeedup(b *testing.B) {
 
 func BenchmarkRouteTable(b *testing.B) {
 	spec := getTPCH()
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: benchRows / 770, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-	if err != nil {
-		b.Fatal(err)
-	}
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree.RouteTable(spec.Table)
+		plan.Tree.RouteTable(spec.Table)
 	}
 	b.SetBytes(int64(spec.Table.N * spec.Table.Schema.NumCols() * 8))
 }
@@ -656,18 +568,13 @@ func BenchmarkCounterSplit(b *testing.B) {
 
 func BenchmarkBlockstoreScan(b *testing.B) {
 	spec := getTPCH()
-	gl := buildGreedyLayout(b, spec, benchRows/770)
-	dir := b.TempDir()
-	store, err := blockstore.Write(dir, spec.Table, gl.BIDs, gl.NumBlocks())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer store.Close()
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 770})
+	eng := newBenchEngine(b, spec, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
 	q := spec.Queries[0]
 	b.ResetTimer()
 	var total int64
 	for i := 0; i < b.N; i++ {
-		res, err := exec.Run(store, gl, q, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		res, err := eng.Query(q)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,16 +5,9 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/blockstore"
-	"repro/internal/cost"
-	"repro/internal/exec"
-	"repro/internal/expr"
-	"repro/internal/greedy"
-	"repro/internal/overlap"
-	"repro/internal/replicate"
-	"repro/internal/rl"
 	"repro/internal/router"
 	"repro/internal/workload"
+	"repro/qd"
 )
 
 // expTable2 regenerates Table 2: percentage of tuples accessed under each
@@ -50,7 +43,7 @@ func expTable2(cfg config) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.name, err)
 		}
-		sel := cost.Selectivity(w.spec.Table, w.spec.Queries, w.spec.ACs)
+		sel := ls.ds.Selectivity()
 		fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", w.name,
 			pct(ls.baseline.AccessedFraction(w.spec.Queries)),
 			pct(ls.bu.AccessedFraction(w.spec.Queries)),
@@ -66,21 +59,22 @@ func expTable2(cfg config) error {
 // expFig3 regenerates the Sec. 5.1 microbenchmark (Figure 3).
 func expFig3(cfg config) error {
 	spec := workload.Fig3(cfg.rows, cfg.seed)
-	cuts := toCuts(spec.Cuts)
-	b := cfg.rows / 200
-	gTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	ds := dataset(spec)
+	base := qd.PlanOptions{MinBlockSize: cfg.rows / 200, Cuts: toCuts(spec.Cuts)}
+	gPlan, err := planWith("greedy", ds, base)
 	if err != nil {
 		return err
 	}
-	gFrac := cost.FromTree("greedy", gTree, spec.Table).AccessedFraction(spec.Queries)
-	res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries,
-		Hidden: 32, MaxEpisodes: cfg.episodes, Seed: cfg.seed})
+	gFrac := gPlan.AccessedFraction(nil)
+	rlOpt := base
+	rlOpt.Hidden = 32
+	rlOpt.MaxEpisodes = cfg.episodes
+	rlOpt.Seed = cfg.seed
+	rPlan, err := planWith("woodblock", ds, rlOpt)
 	if err != nil {
 		return err
 	}
-	rFrac := cost.FromTree("rl", res.Tree, spec.Table).AccessedFraction(spec.Queries)
+	rFrac := rPlan.AccessedFraction(nil)
 	fmt.Println("Figure 3 micro: disjunctive queries")
 	fmt.Printf("greedy scan ratio:    %s  (paper: 50.5%%)\n", pct(gFrac))
 	fmt.Printf("woodblock scan ratio: %s  (paper: 10.4%%)\n", pct(rFrac))
@@ -92,53 +86,48 @@ func expFig3(cfg config) error {
 func expFig4(cfg config) error {
 	armN := cfg.rows / 4
 	spec := workload.Fig4(armN, cfg.seed)
-	cuts := toCuts(spec.Cuts)
-	plainTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: armN, Cuts: cuts, Queries: spec.Queries})
+	ds := dataset(spec)
+	opt := qd.PlanOptions{MinBlockSize: armN, Cuts: toCuts(spec.Cuts)}
+	plainPlan, err := planWith("greedy", ds, opt)
 	if err != nil {
 		return err
 	}
-	plain := cost.FromTree("plain", plainTree, spec.Table)
-	lay, err := overlap.Build(spec.Table, spec.ACs, overlap.Options{
-		MinSize: armN, Cuts: cuts, Queries: spec.Queries})
+	ovPlan, err := planWith("overlap", ds, opt)
 	if err != nil {
 		return err
 	}
 	var plainAcc, ovAcc int64
 	for _, q := range spec.Queries {
-		plainAcc += plain.AccessedTuples(q)
-		ovAcc += lay.AccessedTuples(q, spec.Table.Schema)
+		plainAcc += plainPlan.Layout.AccessedTuples(q)
+		ovAcc += ovPlan.Overlap.AccessedTuples(q, spec.Table.Schema)
 	}
 	ideal := int64(4 * (armN + 1))
 	fmt.Println("Figure 4 micro: replicating one record removes cross-block fetches")
 	fmt.Printf("queries select:        %d tuples total (4 x (N+1))\n", ideal)
 	fmt.Printf("plain qd-tree reads:   %d tuples (3N extra, paper's analysis)\n", plainAcc)
 	fmt.Printf("overlap layout reads:  %d tuples\n", ovAcc)
-	fmt.Printf("storage overhead:      %.4f%% (paper: 'virtually no extra storage')\n", lay.StorageOverhead()*100)
+	fmt.Printf("storage overhead:      %.4f%% (paper: 'virtually no extra storage')\n", ovPlan.Overlap.StorageOverhead()*100)
 	return nil
 }
 
 // expFig5 regenerates Figure 5: per-template TPC-H runtimes under an
 // engine profile, bottom-up (BU+) vs qd-tree.
 func expFig5(cfg config, engine string) error {
-	prof := exec.EngineSpark
+	prof := qd.EngineSpark
 	if engine == "dbms" {
-		prof = exec.EngineDBMS
+		prof = qd.EngineDBMS
 	}
 	spec := workload.TPCH(workload.TPCHConfig{Rows: cfg.rows, Seed: cfg.seed})
 	b := cfg.rows / 770
 	if b < 16 {
 		b = 16
 	}
-	cuts := toCuts(spec.Cuts)
-
-	gTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	ds := dataset(spec)
+	gPlan, err := planWith("greedy", ds, qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
 	if err != nil {
 		return err
 	}
-	qd := cost.FromTree("qd-tree", gTree, spec.Table)
-	buRes, err := buildBUPlus(spec, b)
+	buPlan, err := planBottomUp(spec, b, 0.10)
 	if err != nil {
 		return err
 	}
@@ -148,30 +137,38 @@ func expFig5(cfg config, engine string) error {
 		return err
 	}
 	defer cleanup()
-	qdStore, err := blockstore.Write(dir+"/qd", spec.Table, qd.BIDs, qd.NumBlocks())
+	qdStore, err := qd.WriteStore(dir+"/qd", spec.Table, gPlan.Layout)
 	if err != nil {
 		return err
 	}
-	defer qdStore.Close()
-	buStore, err := blockstore.Write(dir+"/bu", spec.Table, buRes.BIDs, buRes.NumBlocks())
+	buStore, err := qd.WriteStore(dir+"/bu", spec.Table, buPlan.Layout)
 	if err != nil {
 		return err
 	}
-	defer buStore.Close()
+	qdEng, err := qd.NewEngine(qdStore, gPlan, prof, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	defer qdEng.Close()
+	buEng, err := qd.NewEngine(buStore, buPlan, prof, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	defer buEng.Close()
 
-	qdRes, qdTotal, err := exec.RunWorkload(qdStore, qd, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+	qdWL, err := qdEng.Workload(spec.Queries)
 	if err != nil {
 		return err
 	}
-	buResults, buTotal, err := exec.RunWorkload(buStore, buRes, spec.Queries, spec.ACs, prof, exec.RouteQdTree)
+	buWL, err := buEng.Workload(spec.Queries)
 	if err != nil {
 		return err
 	}
-	qdTimes := make([]time.Duration, len(qdRes))
-	buTimes := make([]time.Duration, len(buResults))
-	for i := range qdRes {
-		qdTimes[i] = qdRes[i].SimTime
-		buTimes[i] = buResults[i].SimTime
+	qdTimes := make([]time.Duration, len(qdWL.Results))
+	buTimes := make([]time.Duration, len(buWL.Results))
+	for i := range qdWL.Results {
+		qdTimes[i] = qdWL.Results[i].SimTime
+		buTimes[i] = buWL.Results[i].SimTime
 	}
 	qdByT := groupByTemplate(spec.Queries, qdTimes)
 	buByT := groupByTemplate(spec.Queries, buTimes)
@@ -184,16 +181,9 @@ func expFig5(cfg config, engine string) error {
 		fmt.Printf("%-6s %14s %14s %8.1fx\n", k, bu.Round(time.Microsecond), qdt.Round(time.Microsecond), sp)
 	}
 	fmt.Printf("TOTAL  %14s %14s %8.1fx  (paper: 1.6x spark / 1.3x dbms overall)\n",
-		buTotal.Round(time.Millisecond), qdTotal.Round(time.Millisecond), float64(buTotal)/float64(qdTotal+1))
+		buWL.TotalSimTime.Round(time.Millisecond), qdWL.TotalSimTime.Round(time.Millisecond),
+		float64(buWL.TotalSimTime)/float64(qdWL.TotalSimTime+1))
 	return nil
-}
-
-func buildBUPlus(spec *workload.Spec, b int) (*cost.Layout, error) {
-	res, err := buildBottomUpOpt(spec, b, 0.10)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // expFig6a regenerates the data-routing throughput series (Figure 6a).
@@ -203,15 +193,14 @@ func expFig6a(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	plan, err := planWith("greedy", dataset(spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 6a: data-routing throughput (records/s) vs threads")
 	fmt.Printf("%-8s %14s %12s\n", "threads", "records/s", "elapsed")
 	for _, threads := range []int{1, 2, 4, 8, 16, 32, 64} {
-		res := router.MeasureThroughput(tree, spec.Table, threads, 4096)
+		res := router.MeasureThroughput(plan.Tree, spec.Table, threads, 4096)
 		fmt.Printf("%-8d %14.0f %12s\n", threads, res.RecordsPS, res.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Println("(paper: linear scaling to 16 threads, 400K rec/s at 64 — Python impl)")
@@ -225,21 +214,20 @@ func expFig6b(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	// Planning routes the table and freezes leaf descriptions, so the
+	// tree is deployment-ready for the router.
+	plan, err := planWith("greedy", dataset(spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
 	if err != nil {
 		return err
 	}
-	bids := tree.RouteTable(spec.Table)
-	tree.Freeze(spec.Table, bids)
-	lat := router.Latencies(tree, spec.Queries)
+	lat := router.Latencies(plan.Tree, spec.Queries)
 	vals := make([]float64, len(lat))
 	for i, l := range lat {
 		vals[i] = float64(l.Microseconds())
 	}
 	sorted, fracs := router.CDF(vals)
 	fmt.Printf("Figure 6b: query-routing latency CDF over %d queries, %d leaves\n",
-		len(spec.Queries), len(tree.Leaves()))
+		len(spec.Queries), len(plan.Tree.Leaves()))
 	for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
 		idx := int(p*float64(len(sorted))) - 1
 		if idx < 0 {
@@ -266,44 +254,57 @@ func expFig7(cfg config) error {
 		if b < 16 {
 			b = 16
 		}
-		cuts := toCuts(w.spec.Cuts)
-		tree, err := greedy.Build(w.spec.Table, w.spec.ACs, greedy.Options{
-			MinSize: b, Cuts: cuts, Queries: w.spec.Queries})
+		gPlan, err := planWith("greedy", dataset(w.spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(w.spec.Cuts)})
 		if err != nil {
 			return err
 		}
-		qdLay := cost.FromTree("qd-tree", tree, w.spec.Table)
-		buLay, err := buildBottomUpOpt(w.spec, b, 0.10)
+		buPlan, err := planBottomUp(w.spec, b, 0.10)
 		if err != nil {
 			return err
 		}
-		// Inner function so stores and the temp dir release per workload.
-		buTotal, qdTotal, nrTotal, err := func() (bu, qd, nr time.Duration, err error) {
+		// Inner function so engines and the temp dir release per workload.
+		buTotal, qdTotal, nrTotal, err := func() (bu, qdt, nr time.Duration, err error) {
 			dir, cleanup, err := tempDir(cfg, "fig7")
 			if err != nil {
 				return 0, 0, 0, err
 			}
 			defer cleanup()
-			qdStore, err := blockstore.Write(dir+"/qd", w.spec.Table, qdLay.BIDs, qdLay.NumBlocks())
+			qdStore, err := qd.WriteStore(dir+"/qd", w.spec.Table, gPlan.Layout)
 			if err != nil {
 				return 0, 0, 0, err
 			}
-			defer qdStore.Close()
-			buStore, err := blockstore.Write(dir+"/bu", w.spec.Table, buLay.BIDs, buLay.NumBlocks())
+			buStore, err := qd.WriteStore(dir+"/bu", w.spec.Table, buPlan.Layout)
 			if err != nil {
 				return 0, 0, 0, err
 			}
-			defer buStore.Close()
-			if _, bu, err = exec.RunWorkload(buStore, buLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree); err != nil {
+			buEng, err := qd.NewEngine(buStore, buPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+			if err != nil {
 				return 0, 0, 0, err
 			}
-			if _, qd, err = exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.RouteQdTree); err != nil {
+			defer buEng.Close()
+			qdEng, err := qd.NewEngine(qdStore, gPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+			if err != nil {
 				return 0, 0, 0, err
 			}
-			if _, nr, err = exec.RunWorkload(qdStore, qdLay, w.spec.Queries, w.spec.ACs, exec.EngineSpark, exec.NoRoute); err != nil {
+			defer qdEng.Close()
+			nrEng, err := qd.NewEngine(qdStore, gPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+			if err != nil {
 				return 0, 0, 0, err
 			}
-			return bu, qd, nr, nil
+			nrEng.WithMode(qd.NoRoute)
+			buWL, err := buEng.Workload(w.spec.Queries)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			qdWL, err := qdEng.Workload(w.spec.Queries)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			nrWL, err := nrEng.Workload(w.spec.Queries)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return buWL.TotalSimTime, qdWL.TotalSimTime, nrWL.TotalSimTime, nil
 		}()
 		if err != nil {
 			return err
@@ -332,22 +333,19 @@ func expFig7c(cfg config) error {
 		if b < 16 {
 			b = 16
 		}
-		cuts := toCuts(w.spec.Cuts)
-		tree, err := greedy.Build(w.spec.Table, w.spec.ACs, greedy.Options{
-			MinSize: b, Cuts: cuts, Queries: w.spec.Queries})
+		gPlan, err := planWith("greedy", dataset(w.spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(w.spec.Cuts)})
 		if err != nil {
 			return err
 		}
-		qdLay := cost.FromTree("qd", tree, w.spec.Table)
-		buLay, err := buildBottomUpOpt(w.spec, b, 0.10)
+		buPlan, err := planBottomUp(w.spec, b, 0.10)
 		if err != nil {
 			return err
 		}
 		speedups := make([]float64, 0, len(w.spec.Queries))
 		for _, q := range w.spec.Queries {
-			bu := float64(buLay.AccessedTuples(q))
-			qd := float64(qdLay.AccessedTuples(q))
-			speedups = append(speedups, (bu+1)/(qd+1))
+			bu := float64(buPlan.Layout.AccessedTuples(q))
+			qdt := float64(gPlan.Layout.AccessedTuples(q))
+			speedups = append(speedups, (bu+1)/(qdt+1))
 		}
 		sorted, _ := router.CDF(speedups)
 		fmt.Printf("%s:\n", w.name)
@@ -378,12 +376,13 @@ func expFig8(cfg config) error {
 			b = 16
 		}
 		fmt.Printf("Figure 8 — %s learning curve (scan ratio vs elapsed):\n", w.name)
-		res, err := rl.Build(w.spec.Table, w.spec.ACs, rl.Options{
-			MinSize: b, Cuts: toCuts(w.spec.Cuts), Queries: w.spec.Queries,
+		plan, err := planWith("woodblock", dataset(w.spec), qd.PlanOptions{
+			MinBlockSize: b, Cuts: toCuts(w.spec.Cuts),
 			Hidden: cfg.hidden, MaxEpisodes: cfg.episodes, Seed: cfg.seed})
 		if err != nil {
 			return err
 		}
+		res := plan.RL
 		step := len(res.Curve) / 8
 		if step < 1 {
 			step = 1
@@ -407,15 +406,15 @@ func expFig9(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries,
+	plan, err := planWith("woodblock", dataset(spec), qd.PlanOptions{
+		MinBlockSize: b, Cuts: toCuts(spec.Cuts),
 		Hidden: cfg.hidden, MaxEpisodes: cfg.episodes, Seed: cfg.seed})
 	if err != nil {
 		return err
 	}
-	counts := res.Tree.CutCounts()
+	counts := plan.Tree.CutCounts()
 	fmt.Printf("Figure 9: cuts per column across depths of the best Woodblock tree (depth %d, %d leaves)\n",
-		res.Tree.Depth(), len(res.Tree.Leaves()))
+		plan.Tree.Depth(), len(plan.Tree.Leaves()))
 	type kv struct {
 		col   string
 		total int
@@ -436,7 +435,7 @@ func expFig9(cfg config) error {
 	for _, it := range items {
 		fmt.Printf("  %-16s %4d cuts  per-depth %v\n", it.col, it.total, counts[it.col])
 	}
-	if root := res.Tree.Root; root.Cut != nil {
+	if root := plan.Tree.Root; root.Cut != nil {
 		fmt.Printf("root cut: %s\n", root.Cut.StringWith(spec.Table.Schema.Names(), spec.ACs))
 	}
 	return nil
@@ -450,15 +449,13 @@ func expRobust(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	plan, err := planWith("greedy", dataset(spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
 	if err != nil {
 		return err
 	}
-	lay := cost.FromTree("greedy", tree, spec.Table)
-	trainFrac := lay.AccessedFraction(spec.Queries)
+	trainFrac := plan.AccessedFraction(nil)
 	test := workload.TPCHQueries(spec.Table.Schema, 10*len(spec.Queries)/len(workload.TPCHTemplates)/1, cfg.seed+999)
-	testFrac := lay.AccessedFraction(test)
+	testFrac := plan.AccessedFraction(test)
 	fmt.Println("Robustness (Sec. 7.4.1): fixed tree, unseen query literals")
 	fmt.Printf("train queries (%4d): accessed %s\n", len(spec.Queries), pct(trainFrac))
 	fmt.Printf("test  queries (%4d): accessed %s\n", len(test), pct(testFrac))
@@ -495,22 +492,19 @@ func expParScan(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
+	plan, err := planWith("greedy", dataset(spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
 	if err != nil {
 		return err
 	}
-	lay := cost.FromTree("qd-tree", tree, spec.Table)
 	dir, cleanup, err := tempDir(cfg, "parscan")
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	store, err := blockstore.Write(dir, spec.Table, lay.BIDs, lay.NumBlocks())
+	store, err := qd.WriteStore(dir, spec.Table, plan.Layout)
 	if err != nil {
 		return err
 	}
-	defer store.Close()
 
 	maxP := cfg.parallel
 	if maxP <= 0 {
@@ -524,18 +518,25 @@ func expParScan(cfg config) error {
 		levels = append(levels, maxP)
 	}
 
-	base, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree,
-		exec.Options{Parallelism: 1})
+	baseEng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	defer baseEng.Close()
+	base, err := baseEng.Workload(spec.Queries)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Parallel scan engine: %d queries, %d blocks, read-once/filter-many\n",
-		len(spec.Queries), lay.NumBlocks())
+		len(spec.Queries), plan.Layout.NumBlocks())
 	fmt.Printf("%-8s %12s %12s %10s %12s %10s %8s\n",
 		"workers", "wall", "wall-speedup", "sim", "sim-speedup", "physreads", "counts")
 	for _, p := range levels {
-		wr, err := exec.RunWorkloadOpts(store, lay, spec.Queries, spec.ACs, exec.EngineSpark, exec.RouteQdTree,
-			exec.Options{Parallelism: p, ShareReads: true})
+		eng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: p, ShareReads: true})
+		if err != nil {
+			return err
+		}
+		wr, err := eng.Workload(spec.Queries)
 		if err != nil {
 			return err
 		}
@@ -560,6 +561,31 @@ func expParScan(cfg config) error {
 	return nil
 }
 
+// expLayout plans the TPC-H micro workload with the strategy named by
+// -strategy, resolved through the planner registry — the generic
+// single-strategy entry point.
+func expLayout(cfg config) error {
+	spec := workload.TPCH(workload.TPCHConfig{Rows: cfg.rows, Seed: cfg.seed})
+	b := cfg.rows / 770
+	if b < 16 {
+		b = 16
+	}
+	ds := dataset(spec)
+	plan, err := planWith(cfg.strategy, ds, qd.PlanOptions{
+		MinBlockSize: b, Cuts: toCuts(spec.Cuts), Seed: cfg.seed,
+		Hidden: cfg.hidden, MaxEpisodes: cfg.episodes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy %s on TPC-H (%d rows, %d queries, b=%d):\n",
+		plan.Strategy, spec.Table.N, len(spec.Queries), b)
+	fmt.Printf("  blocks:            %d\n", plan.Layout.NumBlocks())
+	fmt.Printf("  accessed fraction: %s (selectivity bound %s)\n",
+		pct(plan.AccessedFraction(nil)), pct(ds.Selectivity()))
+	fmt.Printf("  planned in:        %s\n", plan.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
 // expTwoTree regenerates the Sec. 6.3 two-tree replication experiment.
 func expTwoTree(cfg config) error {
 	spec := workload.TPCH(workload.TPCHConfig{Rows: cfg.rows, Seed: cfg.seed})
@@ -567,24 +593,23 @@ func expTwoTree(cfg config) error {
 	if b < 16 {
 		b = 16
 	}
-	cuts := toCuts(spec.Cuts)
-	single, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	ds := dataset(spec)
+	opt := qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)}
+	singlePlan, err := planWith("greedy", ds, opt)
 	if err != nil {
 		return err
 	}
-	singleLay := cost.FromTree("one", single, spec.Table)
-	tt, err := replicate.Build(spec.Table, spec.ACs, replicate.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	ttPlan, err := planWith("twotree", ds, opt)
 	if err != nil {
 		return err
 	}
+	tt := ttPlan.TwoTree
 	served := map[int]int{}
 	for _, c := range tt.PerQueryChoice {
 		served[c]++
 	}
 	// Worst-decile improvement: mean access over the worst 10% of queries.
-	worstMean := func(acc func(expr.Query) int64) float64 {
+	worstMean := func(acc func(qd.Query) int64) float64 {
 		vals := make([]float64, 0, len(spec.Queries))
 		for _, q := range spec.Queries {
 			vals = append(vals, float64(acc(q)))
@@ -599,7 +624,7 @@ func expTwoTree(cfg config) error {
 	}
 	fmt.Println("Two-tree replication (Sec. 6.3): 2x storage for better worst-case skipping")
 	fmt.Printf("one tree:  accessed %s   worst-decile mean %.0f tuples\n",
-		pct(singleLay.AccessedFraction(spec.Queries)), worstMean(singleLay.AccessedTuples))
+		pct(singlePlan.AccessedFraction(nil)), worstMean(singlePlan.Layout.AccessedTuples))
 	fmt.Printf("two trees: accessed %s   worst-decile mean %.0f tuples\n",
 		pct(tt.AccessedFraction(spec.Queries)), worstMean(tt.AccessedTuples))
 	fmt.Printf("dispatch: %d queries -> T1, %d queries -> T2\n", served[1], served[2])

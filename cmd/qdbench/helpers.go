@@ -7,105 +7,110 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/baselines"
-	"repro/internal/bottomup"
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/expr"
-	"repro/internal/greedy"
-	"repro/internal/rl"
 	"repro/internal/workload"
+	"repro/qd"
 )
 
-// toCuts converts workload candidate cuts into core cuts.
-func toCuts(ps []workload.Pred2Cut) []core.Cut {
-	out := make([]core.Cut, len(ps))
+// toCuts converts workload candidate cuts into facade cuts.
+func toCuts(ps []workload.Pred2Cut) []qd.Cut {
+	out := make([]qd.Cut, len(ps))
 	for i, p := range ps {
 		if p.IsAdv {
-			out[i] = core.AdvancedCut(p.Adv)
+			out[i] = qd.AdvancedCut(p.Adv)
 		} else {
-			out[i] = core.UnaryCut(p.Pred)
+			out[i] = qd.UnaryCut(p.Pred)
 		}
 	}
 	return out
 }
 
+// dataset wraps a generated workload spec as a qd.Dataset.
+func dataset(spec *workload.Spec) *qd.Dataset {
+	return qd.NewDataset(spec.Table.Schema, spec.Table).WithQueries(spec.Queries, spec.ACs)
+}
+
+// planWith resolves a strategy through the planner registry and plans the
+// dataset with it — the single path every experiment builds layouts
+// through.
+func planWith(strategy string, ds *qd.Dataset, opt qd.PlanOptions) (*qd.Plan, error) {
+	planner, err := qd.NewPlanner(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return planner.Plan(ds, opt)
+}
+
 // layouts bundles the five approaches of Sec. 7.3 for one workload.
 type layoutSet struct {
 	spec     *workload.Spec
-	baseline *cost.Layout
-	bu       *cost.Layout // untuned Bottom-Up
-	buPlus   *cost.Layout
-	greedy   *cost.Layout
-	rlLayout *cost.Layout
-	rlResult *rl.Result
+	ds       *qd.Dataset
+	baseline *qd.Layout
+	bu       *qd.Layout // untuned Bottom-Up
+	buPlus   *qd.Layout
+	greedy   *qd.Layout
+	rlLayout *qd.Layout
+	rlResult *qd.RLResult
 	times    map[string]time.Duration
 }
 
-// buildAll constructs every layout for a spec. b is the min block size;
-// rangeCol < 0 selects the random baseline (TPC-H), otherwise range
-// partitioning on that column (ErrorLog).
+// buildAll constructs every layout for a spec via the planner registry.
+// b is the min block size; rangeCol < 0 selects the random baseline
+// (TPC-H), otherwise range partitioning on that column (ErrorLog).
 func buildAll(spec *workload.Spec, b int, rangeCol int, cfg config) (*layoutSet, error) {
-	cuts := toCuts(spec.Cuts)
-	ls := &layoutSet{spec: spec, times: make(map[string]time.Duration)}
+	ds := dataset(spec)
+	base := qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)}
+	ls := &layoutSet{spec: spec, ds: ds, times: make(map[string]time.Duration)}
 
-	gStart := time.Now()
-	gTree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	gPlan, err := planWith("greedy", ds, base)
 	if err != nil {
 		return nil, fmt.Errorf("greedy: %w", err)
 	}
-	ls.times["greedy"] = time.Since(gStart)
-	ls.greedy = cost.FromTree("greedy", gTree, spec.Table)
+	ls.greedy = gPlan.Layout
+	ls.times["greedy"] = gPlan.Elapsed
 	numBlocks := ls.greedy.NumBlocks()
 	if numBlocks < 1 {
 		numBlocks = 1
 	}
 
 	// Baseline with a comparable number of blocks (Sec. 7.1).
-	if rangeCol < 0 {
-		ls.baseline, err = randomBaseline(spec, numBlocks, cfg.seed)
-	} else {
-		ls.baseline, err = rangeBaseline(spec, rangeCol, numBlocks)
+	baselineStrategy := "random"
+	if rangeCol >= 0 {
+		baselineStrategy = "range"
 	}
+	basePlan, err := planWith(baselineStrategy, ds, qd.PlanOptions{
+		NumBlocks: numBlocks, Seed: cfg.seed, RangeColumn: rangeCol})
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
+	ls.baseline = basePlan.Layout
 
-	buStart := time.Now()
-	buRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
+	buPlan, err := planWith("bottomup", ds, base)
 	if err != nil {
 		return nil, fmt.Errorf("bottom-up: %w", err)
 	}
-	ls.times["bottom-up"] = time.Since(buStart)
-	ls.bu = buRes.Layout
+	ls.times["bottom-up"] = buPlan.Elapsed
+	ls.bu = buPlan.Layout
 
-	buPlusRes, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
+	buPlusOpt := base
+	buPlusOpt.SelectivityCap = 0.10
+	buPlusPlan, err := planWith("bottomup", ds, buPlusOpt)
 	if err != nil {
 		return nil, fmt.Errorf("BU+: %w", err)
 	}
-	ls.buPlus = buPlusRes.Layout
+	ls.buPlus = buPlusPlan.Layout
 
-	rlStart := time.Now()
-	ls.rlResult, err = rl.Build(spec.Table, spec.ACs, rl.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries,
-		Hidden: cfg.hidden, MaxEpisodes: cfg.episodes, Seed: cfg.seed})
+	rlOpt := base
+	rlOpt.Hidden = cfg.hidden
+	rlOpt.MaxEpisodes = cfg.episodes
+	rlOpt.Seed = cfg.seed
+	rlPlan, err := planWith("woodblock", ds, rlOpt)
 	if err != nil {
 		return nil, fmt.Errorf("woodblock: %w", err)
 	}
-	ls.times["woodblock"] = time.Since(rlStart)
-	ls.rlLayout = cost.FromTree("woodblock", ls.rlResult.Tree, spec.Table)
+	ls.times["woodblock"] = rlPlan.Elapsed
+	ls.rlResult = rlPlan.RL
+	ls.rlLayout = rlPlan.Layout
 	return ls, nil
-}
-
-func randomBaseline(spec *workload.Spec, numBlocks int, seed int64) (*cost.Layout, error) {
-	return baselines.Random(spec.Table, numBlocks, spec.ACs, seed)
-}
-
-func rangeBaseline(spec *workload.Spec, col, numBlocks int) (*cost.Layout, error) {
-	return baselines.Range(spec.Table, col, numBlocks, spec.ACs)
 }
 
 // pct formats an access fraction the way Table 2 does.
@@ -133,7 +138,7 @@ func meanSim(ds []time.Duration) time.Duration {
 }
 
 // groupByTemplate splits TPC-H query results by template id (name "q<t>#<k>").
-func groupByTemplate(queries []expr.Query, vals []time.Duration) map[string][]time.Duration {
+func groupByTemplate(queries []qd.Query, vals []time.Duration) map[string][]time.Duration {
 	out := make(map[string][]time.Duration)
 	for i, q := range queries {
 		name := q.Name
@@ -173,13 +178,9 @@ func tempDir(cfg config, name string) (string, func(), error) {
 	return dir, func() { os.RemoveAll(dir) }, nil
 }
 
-// buildBottomUpOpt builds a Bottom-Up layout with the given selectivity
-// cap (0.10 = the paper's BU+ tuning).
-func buildBottomUpOpt(spec *workload.Spec, b int, cap float64) (*cost.Layout, error) {
-	res, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: b, Cuts: toCuts(spec.Cuts), Queries: spec.Queries, SelectivityCap: cap})
-	if err != nil {
-		return nil, err
-	}
-	return res.Layout, nil
+// planBottomUp plans a Bottom-Up layout with the given selectivity cap
+// (0.10 = the paper's BU+ tuning).
+func planBottomUp(spec *workload.Spec, b int, cap float64) (*qd.Plan, error) {
+	return planWith("bottomup", dataset(spec), qd.PlanOptions{
+		MinBlockSize: b, Cuts: toCuts(spec.Cuts), SelectivityCap: cap})
 }

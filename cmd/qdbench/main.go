@@ -16,7 +16,8 @@
 //	qdbench -exp buildtime  Sec. 7.6 layout construction time
 //	qdbench -exp twotree    Sec. 6.3 two-tree replication benefit
 //	qdbench -exp parscan    parallel scan engine: wall-clock speedup sweep
-//	qdbench -exp all        everything above
+//	qdbench -exp layout     plan one strategy (-strategy) via the registry
+//	qdbench -exp all        everything above (except layout)
 //
 // Sizes are scaled down from the paper's 77–100M rows (see -rows); all
 // skipping metrics are scale-free.
@@ -26,6 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+
+	"repro/qd"
 )
 
 type config struct {
@@ -36,6 +40,7 @@ type config struct {
 	hidden   int
 	outDir   string
 	parallel int
+	strategy string
 }
 
 func main() {
@@ -48,9 +53,11 @@ func main() {
 		seed     = flag.Int64("seed", 42, "master seed")
 		outDir   = flag.String("out", "", "optional directory for block stores (default: temp)")
 		parallel = flag.Int("parallelism", 0, "max scan workers for parscan (0 = GOMAXPROCS)")
+		strategy = flag.String("strategy", "greedy",
+			fmt.Sprintf("layout strategy for -exp layout (%s)", strings.Join(qd.PlannerNames(), " | ")))
 	)
 	flag.Parse()
-	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir, parallel: *parallel}
+	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir, parallel: *parallel, strategy: *strategy}
 
 	runs := map[string]func(config) error{
 		"table2":    expTable2,
@@ -68,6 +75,7 @@ func main() {
 		"buildtime": expBuildTime,
 		"twotree":   expTwoTree,
 		"parscan":   expParScan,
+		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
 		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan"}

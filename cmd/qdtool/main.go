@@ -1,7 +1,7 @@
 // Command qdtool builds, inspects, and applies qd-trees from CSV data and
 // SQL workloads — the operational CLI around the library.
 //
-//	qdtool build  -data d.csv -schema s.json -workload w.sql -b 1000 -out tree.json [-algo greedy|rl]
+//	qdtool build  -data d.csv -schema s.json -workload w.sql -b 1000 -out tree.json [-strategy greedy|woodblock|...]
 //	qdtool show   -tree tree.json
 //	qdtool route  -tree tree.json -data d.csv -out assignments.csv
 //	qdtool prune  -tree tree.json -query "a < 10 AND b = 'x'"
@@ -11,6 +11,10 @@
 // {"name":"b","kind":"categorical"}]. Dictionary codes and numeric bounds
 // are inferred from the data. Workload files hold one WHERE clause (or
 // full SELECT) per line; lines starting with -- are skipped.
+//
+// Layout strategies are resolved through the qd planner registry
+// (qd.PlannerNames lists them); build requires one that produces a
+// serializable qd-tree (greedy, woodblock, overlap, twotree).
 package main
 
 import (
@@ -173,12 +177,18 @@ func cmdBuild(args []string) error {
 	schemaPath := fs.String("schema", "", "schema JSON file")
 	wlPath := fs.String("workload", "", "workload file (one WHERE clause per line)")
 	b := fs.Int("b", 1000, "minimum rows per block")
-	algo := fs.String("algo", "greedy", "constructor: greedy | rl")
+	strategy := fs.String("strategy", "greedy",
+		fmt.Sprintf("layout strategy from the planner registry (%s)", strings.Join(qd.PlannerNames(), " | ")))
+	algo := fs.String("algo", "", "deprecated alias for -strategy")
 	episodes := fs.Int("episodes", 64, "RL episodes")
 	sample := fs.Float64("sample", 0, "construction sample rate (0 = full data)")
 	out := fs.String("out", "tree.json", "output tree file")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
+	name := *strategy
+	if *algo != "" {
+		name = *algo
+	}
 
 	tbl, err := loadData(*schemaPath, *dataPath)
 	if err != nil {
@@ -188,36 +198,30 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := qd.BuildOptions{MinBlockSize: *b, SampleRate: *sample, Seed: *seed}
-	var tree *qd.Tree
-	switch *algo {
-	case "greedy":
-		tree, err = qd.BuildGreedy(tbl, queries, acs, opt)
-	case "rl":
-		var res *qd.RLResult
-		res, err = qd.BuildWoodblock(tbl, queries, acs, qd.WoodblockOptions{
-			BuildOptions: opt, MaxEpisodes: *episodes})
-		if res != nil {
-			tree = res.Tree
-		}
-	default:
-		return fmt.Errorf("unknown algo %q", *algo)
-	}
+	planner, err := qd.NewPlanner(name)
 	if err != nil {
 		return err
 	}
-	layout := qd.LayoutFromTree(*algo, tree, tbl)
+	ds := qd.NewDataset(tbl.Schema, tbl).WithQueries(queries, acs)
+	plan, err := planner.Plan(ds, qd.PlanOptions{
+		MinBlockSize: *b, SampleRate: *sample, Seed: *seed, MaxEpisodes: *episodes})
+	if err != nil {
+		return err
+	}
+	if plan.Tree == nil {
+		return fmt.Errorf("strategy %q does not produce a serializable qd-tree", name)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := tree.Save(f); err != nil {
+	if err := plan.Tree.Save(f); err != nil {
 		return err
 	}
-	fmt.Printf("built %s tree: %d leaves, depth %d\n", *algo, len(tree.Leaves()), tree.Depth())
+	fmt.Printf("built %s tree: %d leaves, depth %d\n", plan.Strategy, len(plan.Tree.Leaves()), plan.Tree.Depth())
 	fmt.Printf("workload access fraction: %.4f (selectivity lower bound %.4f)\n",
-		layout.AccessedFraction(queries), qd.Selectivity(tbl, queries, acs))
+		plan.AccessedFraction(nil), ds.Selectivity())
 	fmt.Printf("tree written to %s\n", *out)
 	return nil
 }

@@ -85,6 +85,29 @@ func TestBuildShowPruneEvalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBuildStrategyRegistry(t *testing.T) {
+	dir := t.TempDir()
+	data, schema, wl := writeFixture(t, dir, 800)
+	tree := filepath.Join(dir, "tree.json")
+	// A registry strategy beyond the old greedy|rl switch ladder.
+	if err := cmdBuild([]string{"-data", data, "-schema", schema, "-workload", wl,
+		"-b", "100", "-strategy", "twotree", "-out", tree}); err != nil {
+		t.Fatalf("build twotree: %v", err)
+	}
+	if _, err := os.Stat(tree); err != nil {
+		t.Fatal("tree file missing")
+	}
+	if err := cmdBuild([]string{"-data", data, "-schema", schema, "-workload", wl,
+		"-b", "100", "-strategy", "bogus", "-out", tree}); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	// Tree-less strategies cannot be serialized by qdtool build.
+	if err := cmdBuild([]string{"-data", data, "-schema", schema, "-workload", wl,
+		"-b", "100", "-strategy", "random", "-out", tree}); err == nil {
+		t.Fatal("tree-less strategy must error")
+	}
+}
+
 func TestBuildRLAlgo(t *testing.T) {
 	dir := t.TempDir()
 	data, schema, wl := writeFixture(t, dir, 800)

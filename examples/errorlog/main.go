@@ -1,8 +1,8 @@
 // ErrorLog example: the paper's real-workload scenario (Sec. 7.5) — a
 // telemetry table with heavily correlated columns and an ultra-selective
 // 1000-query workload. Shows the range-partitioned production default
-// reading everything while a qd-tree reads a fraction of a percent, and
-// demonstrates incremental ingestion through the learned tree.
+// reading everything while a qd-tree plan reads a fraction of a percent,
+// and demonstrates incremental ingestion through the learned tree.
 //
 //	go run ./examples/errorlog [-rows 100000] [-queries 400]
 package main
@@ -23,36 +23,38 @@ func main() {
 	flag.Parse()
 
 	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: *rows, NumQueries: *nq, Seed: 3})
-	tbl, queries := spec.Table, spec.Queries
+	ds := qd.NewDataset(spec.Table.Schema, spec.Table).WithQueries(spec.Queries, nil)
 	b := *rows / 2000 // the paper's b=50K over 100M rows, rescaled
 	if b < 16 {
 		b = 16
 	}
 	fmt.Printf("ErrorLog-Int style: %d rows x %d cols, %d queries (selectivity %.5f%%)\n",
-		tbl.N, tbl.Schema.NumCols(), len(queries), qd.Selectivity(tbl, queries, nil)*100)
+		ds.Table.N, ds.Schema.NumCols(), len(ds.Queries), ds.Selectivity()*100)
 
-	tree, err := qd.BuildGreedy(tbl, queries, nil, qd.BuildOptions{MinBlockSize: b})
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: b})
 	if err != nil {
 		log.Fatal(err)
 	}
-	layout := qd.LayoutFromTree("greedy", tree, tbl)
 
-	ingest := workload.IngestColumn(tbl.Schema)
-	baseline, err := qd.RangeLayout(tbl, ingest, layout.NumBlocks(), nil)
+	// The deployed default: range partitioning on the ingest column.
+	baseline, err := qd.RangePlanner{}.Plan(ds, qd.PlanOptions{
+		RangeColumn: workload.IngestColumn(ds.Schema),
+		NumBlocks:   plan.Layout.NumBlocks(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\nLogical access percentage:")
 	fmt.Printf("  range-on-ingest baseline: %7.3f%%  (the deployed default)\n",
-		baseline.AccessedFraction(queries)*100)
-	fmt.Printf("  greedy qd-tree:           %7.3f%%\n", layout.AccessedFraction(queries)*100)
+		baseline.AccessedFraction(nil)*100)
+	fmt.Printf("  greedy qd-tree:           %7.3f%%\n", plan.AccessedFraction(nil)*100)
 
 	// Per-query speedup distribution (Fig. 7c style).
-	speedups := make([]float64, 0, len(queries))
-	for _, q := range queries {
-		base := float64(baseline.AccessedTuples(q))
-		qdt := float64(layout.AccessedTuples(q))
+	speedups := make([]float64, 0, len(ds.Queries))
+	for _, q := range ds.Queries {
+		base := float64(baseline.Layout.AccessedTuples(q))
+		qdt := float64(plan.Layout.AccessedTuples(q))
 		speedups = append(speedups, (base+1)/(qdt+1))
 	}
 	sorted, _ := router.CDF(speedups)
@@ -64,12 +66,12 @@ func main() {
 	// Online ingestion (Fig. 1's online path): route a fresh day of logs
 	// through the learned tree with 8 threads.
 	fresh := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: *rows / 4, NumQueries: 1, Seed: 99}).Table
-	res := router.MeasureThroughput(tree, fresh, 8, 4096)
+	res := router.MeasureThroughput(plan.Tree, fresh, 8, 4096)
 	fmt.Printf("\nIngested %d new records through the tree at %.0f records/s (8 threads)\n",
 		res.Records, res.RecordsPS)
 
 	// Query rewrite for an engine that knows nothing about qd-trees.
-	qr := &router.QueryRouter{Tree: tree}
+	qr := &router.QueryRouter{Tree: plan.Tree}
 	fmt.Printf("\nrewritten SQL: %s\n",
-		qr.Rewrite("SELECT COUNT(*) FROM errorlog WHERE event_type = 'BUGCHECK'", queries[0]))
+		qr.Rewrite("SELECT COUNT(*) FROM errorlog WHERE event_type = 'BUGCHECK'", ds.Queries[0]))
 }

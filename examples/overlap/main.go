@@ -19,28 +19,27 @@ func main() {
 	// ---- Part 1: data overlap (Sec. 6.2, Figure 4) ----
 	armN := 5000
 	spec := workload.Fig4(armN, 1)
+	ds := qd.NewDataset(spec.Table.Schema, spec.Table).WithQueries(spec.Queries, spec.ACs)
 	fmt.Printf("Fig. 4 cross dataset: 4 arms x %d records + 1 center record; 4 queries of %d records each\n",
 		armN, armN+1)
 
-	plainTree, err := qd.BuildGreedy(spec.Table, spec.Queries, spec.ACs,
-		qd.BuildOptions{MinBlockSize: armN})
+	plainPlan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: armN})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plain := qd.LayoutFromTree("plain", plainTree, spec.Table)
 	var plainTotal int64
-	for _, q := range spec.Queries {
-		plainTotal += plain.AccessedTuples(q)
+	for _, q := range ds.Queries {
+		plainTotal += plainPlan.Layout.AccessedTuples(q)
 	}
 
-	ov, err := qd.BuildOverlap(spec.Table, spec.Queries, spec.ACs,
-		qd.BuildOptions{MinBlockSize: armN})
+	ovPlan, err := qd.OverlapPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: armN})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ov := ovPlan.Overlap
 	var ovTotal int64
-	for _, q := range spec.Queries {
-		ovTotal += ov.AccessedTuples(q, spec.Table.Schema)
+	for _, q := range ds.Queries {
+		ovTotal += ov.AccessedTuples(q, ds.Schema)
 	}
 	fmt.Printf("  plain qd-tree:   %6d tuples read (3 queries fetch the center's block)\n", plainTotal)
 	fmt.Printf("  overlap layout:  %6d tuples read, %.4f%% extra storage\n",
@@ -70,18 +69,19 @@ func main() {
 				qd.P(qd.Pred{Col: 1, Op: qd.Ge, Literal: lo}),
 				qd.P(qd.Pred{Col: 1, Op: qd.Lt, Literal: lo + 125}))))
 	}
+	conflicted := qd.NewDataset(schema, tbl).WithQueries(queries, nil)
 
-	one, err := qd.BuildGreedy(tbl, queries, nil, qd.BuildOptions{MinBlockSize: 1500})
+	onePlan, err := qd.GreedyPlanner{}.Plan(conflicted, qd.PlanOptions{MinBlockSize: 1500})
 	if err != nil {
 		log.Fatal(err)
 	}
-	oneLayout := qd.LayoutFromTree("one", one, tbl)
-	two, err := qd.BuildTwoTree(tbl, queries, nil, qd.BuildOptions{MinBlockSize: 1500})
+	twoPlan, err := qd.TwoTreePlanner{}.Plan(conflicted, qd.PlanOptions{MinBlockSize: 1500})
 	if err != nil {
 		log.Fatal(err)
 	}
+	two := twoPlan.TwoTree
 	fmt.Println("\nTwo-tree replication on a conflicted workload (x-ranges vs y-ranges):")
-	fmt.Printf("  one tree:  %.1f%% of tuples accessed\n", oneLayout.AccessedFraction(queries)*100)
+	fmt.Printf("  one tree:  %.1f%% of tuples accessed\n", onePlan.AccessedFraction(nil)*100)
 	fmt.Printf("  two trees: %.1f%% of tuples accessed (2x storage)\n", two.AccessedFraction(queries)*100)
 	t1, t2 := 0, 0
 	for _, c := range two.PerQueryChoice {

@@ -41,26 +41,27 @@ func main() {
 			Dict: []string{"auth", "billing", "frontend", "search", "storage", "batch"}},
 		{Name: "latency_ms", Kind: qd.Numeric, Min: 0, Max: 999},
 	})
-	queries, acs, err := qd.ParseWorkload(schema, []string{
-		"service = 'auth' AND latency_ms >= 800",
-		"service IN ('billing','frontend') AND hour >= 9 AND hour < 17",
-		"latency_ms >= 950",
-		"day >= 25 AND service = 'storage'",
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Offline: learn the tree on the first week of data.
 	rng := rand.New(rand.NewSource(1))
 	history := qd.NewTable(schema, 0)
 	for day := 0; day < 7; day++ {
 		history.Concat(genDay(schema, day, 20_000, 0, rng))
 	}
-	tree, err := qd.BuildGreedy(history, queries, acs, qd.BuildOptions{MinBlockSize: 5_000})
+	ds, err := qd.NewDataset(schema, history).WithWorkload(
+		"service = 'auth' AND latency_ms >= 800",
+		"service IN ('billing','frontend') AND hour >= 9 AND hour < 17",
+		"latency_ms >= 950",
+		"day >= 25 AND service = 'storage'",
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	queries, acs := ds.Queries, ds.ACs
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 5_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := plan.Tree
 	fmt.Printf("learned tree on %d historical rows: %d leaves\n", history.N, len(tree.Leaves()))
 
 	// Online path 1: stream new days into per-leaf segments on disk.

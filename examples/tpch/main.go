@@ -1,8 +1,8 @@
 // TPC-H example: the paper's primary benchmark scenario (Sec. 7.4).
 // Generates a denormalized TPC-H-style fact table with the 15 filter
-// templates, compares a random layout, Bottom-Up, greedy qd-tree, and
-// Woodblock, then materializes the best layout to disk and executes the
-// workload through the scan engine.
+// templates, compares the random, Bottom-Up, greedy, and Woodblock
+// planners from the strategy registry, then materializes the best plan to
+// disk and executes the workload through an Engine.
 //
 //	go run ./examples/tpch [-rows 100000] [-episodes 32]
 package main
@@ -14,8 +14,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/blockstore"
-	"repro/internal/exec"
 	"repro/internal/workload"
 	"repro/qd"
 )
@@ -26,76 +24,81 @@ func main() {
 	flag.Parse()
 
 	spec := workload.TPCH(workload.TPCHConfig{Rows: *rows, Seed: 7})
-	tbl, queries, acs := spec.Table, spec.Queries, spec.ACs
+	ds := qd.NewDataset(spec.Table.Schema, spec.Table).WithQueries(spec.Queries, spec.ACs)
 	b := *rows / 770 // the paper's b=100K over 77M rows, rescaled
 	if b < 32 {
 		b = 32
 	}
 	fmt.Printf("TPC-H style: %d rows x %d cols, %d queries, b=%d\n",
-		tbl.N, tbl.Schema.NumCols(), len(queries), b)
+		ds.Table.N, ds.Schema.NumCols(), len(ds.Queries), b)
 
-	// Baseline: random shuffling into same-size blocks.
-	greedyTree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: b})
+	// Plan with every strategy of interest via the registry.
+	plans := map[string]*qd.Plan{}
+	for name, opt := range map[string]qd.PlanOptions{
+		"greedy":    {MinBlockSize: b},
+		"bottomup":  {MinBlockSize: b, SelectivityCap: 0.10},
+		"woodblock": {MinBlockSize: b, Seed: 7, Hidden: 64, MaxEpisodes: *episodes},
+	} {
+		planner, err := qd.NewPlanner(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if plans[name], err = planner.Plan(ds, opt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Random baseline with a comparable number of blocks.
+	random, err := qd.RandomPlanner{}.Plan(ds, qd.PlanOptions{
+		NumBlocks: plans["greedy"].Layout.NumBlocks(), Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	greedyLayout := qd.LayoutFromTree("greedy", greedyTree, tbl)
-	random, err := qd.RandomLayout(tbl, greedyLayout.NumBlocks(), acs, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	buPlus, _, err := qd.BuildBottomUp(tbl, queries, acs, qd.BuildOptions{MinBlockSize: b}, 0.10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rlRes, err := qd.BuildWoodblock(tbl, queries, acs, qd.WoodblockOptions{
-		BuildOptions: qd.BuildOptions{MinBlockSize: b, Seed: 7},
-		Hidden:       64,
-		MaxEpisodes:  *episodes,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rlLayout := qd.LayoutFromTree("woodblock", rlRes.Tree, tbl)
 
 	fmt.Println("\nLogical access percentage (Table 2 metric, lower is better):")
-	fmt.Printf("  random:    %6.2f%%\n", random.AccessedFraction(queries)*100)
-	fmt.Printf("  BU+:       %6.2f%%\n", buPlus.AccessedFraction(queries)*100)
-	fmt.Printf("  greedy:    %6.2f%%\n", greedyLayout.AccessedFraction(queries)*100)
-	fmt.Printf("  woodblock: %6.2f%%\n", rlLayout.AccessedFraction(queries)*100)
-	fmt.Printf("  lower bnd: %6.2f%% (true selectivity)\n", qd.Selectivity(tbl, queries, acs)*100)
+	fmt.Printf("  random:    %6.2f%%\n", random.AccessedFraction(nil)*100)
+	fmt.Printf("  BU+:       %6.2f%%\n", plans["bottomup"].AccessedFraction(nil)*100)
+	fmt.Printf("  greedy:    %6.2f%%\n", plans["greedy"].AccessedFraction(nil)*100)
+	fmt.Printf("  woodblock: %6.2f%%\n", plans["woodblock"].AccessedFraction(nil)*100)
+	fmt.Printf("  lower bnd: %6.2f%% (true selectivity)\n", ds.Selectivity()*100)
 
-	// Pick the better qd-tree and run the physical engine over it.
-	best := greedyLayout
-	if rlLayout.AccessedFraction(queries) < greedyLayout.AccessedFraction(queries) {
-		best = rlLayout
+	// Pick the better qd-tree plan and serve the workload through it.
+	best := plans["greedy"]
+	if plans["woodblock"].AccessedFraction(nil) < best.AccessedFraction(nil) {
+		best = plans["woodblock"]
 	}
 	dir, err := os.MkdirTemp("", "tpch-example-")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	store, err := blockstore.Write(dir, tbl, best.BIDs, best.NumBlocks())
+	store, err := qd.WriteStore(dir, ds.Table, best.Layout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
-	_, simTotal, err := exec.RunWorkload(store, best, queries, acs, exec.EngineSpark, exec.RouteQdTree)
+	eng, err := qd.NewEngine(store, best, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, simNoRoute, err := exec.RunWorkload(store, best, queries, acs, exec.EngineSpark, exec.NoRoute)
+	defer eng.Close()
+	routed, err := eng.Workload(ds.Queries)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nPhysical execution (%s layout, Spark profile, %d blocks):\n", best.Name, best.NumBlocks())
-	fmt.Printf("  with qd-tree routing: %v\n", simTotal.Round(time.Millisecond))
-	fmt.Printf("  no route (SMA only):  %v\n", simNoRoute.Round(time.Millisecond))
+	noRoute, err := qd.NewEngine(store, best, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nrRes, err := noRoute.WithMode(qd.NoRoute).Workload(ds.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPhysical execution (%s plan, Spark profile, %d blocks):\n", best.Strategy, best.Layout.NumBlocks())
+	fmt.Printf("  with qd-tree routing: %v\n", routed.TotalSimTime.Round(time.Millisecond))
+	fmt.Printf("  no route (SMA only):  %v\n", nrRes.TotalSimTime.Round(time.Millisecond))
 
 	// Interpret the tree (Fig. 9 style).
 	fmt.Println("\nTop cut columns of the deployed tree:")
-	counts := bestTreeOf(best, greedyTree, rlRes).CutCounts()
-	for col, perDepth := range counts {
+	for col, perDepth := range best.Tree.CutCounts() {
 		total := 0
 		for _, n := range perDepth {
 			total += n
@@ -104,11 +107,4 @@ func main() {
 			fmt.Printf("  %-16s %d cuts\n", col, total)
 		}
 	}
-}
-
-func bestTreeOf(best *qd.Layout, greedyTree *qd.Tree, rlRes *qd.RLResult) *qd.Tree {
-	if best.Name == "woodblock" {
-		return rlRes.Tree
-	}
-	return greedyTree
 }

@@ -1,6 +1,7 @@
 // Integration tests spanning the full pipeline: workload generation →
-// construction → routing → block storage → physical execution. These
-// assert the paper's invariants end-to-end rather than per module.
+// planning → routing → block storage → physical execution. These assert
+// the paper's invariants end-to-end through the public Dataset / Planner
+// / Engine surface rather than per module.
 package main
 
 import (
@@ -8,47 +9,44 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/baselines"
-	"repro/internal/blockstore"
-	"repro/internal/bottomup"
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/exec"
-	"repro/internal/greedy"
-	"repro/internal/rl"
 	"repro/internal/router"
 	"repro/internal/workload"
+	"repro/qd"
 )
 
 const itRows = 8000
+
+// planIT plans a spec through the registry, failing the test on error.
+func planIT(t *testing.T, strategy string, spec *workload.Spec, opt qd.PlanOptions) *qd.Plan {
+	t.Helper()
+	if opt.Cuts == nil {
+		opt.Cuts = toCuts(spec.Cuts)
+	}
+	planner, err := qd.NewPlanner(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Plan(specDataset(spec), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
 
 // TestPipelineTPCH runs the full TPC-H pipeline and asserts the Table 2
 // ordering plus physical-engine consistency.
 func TestPipelineTPCH(t *testing.T) {
 	spec := workload.TPCH(workload.TPCHConfig{Rows: itRows, SeedsPerTmpl: 3, Seed: 5})
-	cuts := toCuts(spec.Cuts)
 	b := itRows / 100
 
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
-	if err != nil {
-		t.Fatal(err)
-	}
-	gl := cost.FromTree("greedy", tree, spec.Table)
-	base, err := baselines.Random(spec.Table, gl.NumBlocks(), spec.ACs, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bu, err := bottomup.Build(spec.Table, spec.ACs, bottomup.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries, SelectivityCap: 0.10})
-	if err != nil {
-		t.Fatal(err)
-	}
+	gPlan := planIT(t, "greedy", spec, qd.PlanOptions{MinBlockSize: b})
+	basePlan := planIT(t, "random", spec, qd.PlanOptions{NumBlocks: gPlan.Layout.NumBlocks(), Seed: 5})
+	buPlan := planIT(t, "bottomup", spec, qd.PlanOptions{MinBlockSize: b, SelectivityCap: 0.10})
 
-	sel := cost.Selectivity(spec.Table, spec.Queries, spec.ACs)
-	fBase := base.AccessedFraction(spec.Queries)
-	fBU := bu.Layout.AccessedFraction(spec.Queries)
-	fG := gl.AccessedFraction(spec.Queries)
+	sel := qd.Selectivity(spec.Table, spec.Queries, spec.ACs)
+	fBase := basePlan.AccessedFraction(nil)
+	fBU := buPlan.AccessedFraction(nil)
+	fG := gPlan.AccessedFraction(nil)
 
 	// Table 2 ordering: baseline >= BU+ >= greedy >= selectivity.
 	if !(fBase >= fBU && fBU >= fG && fG >= sel) {
@@ -64,22 +62,26 @@ func TestPipelineTPCH(t *testing.T) {
 
 	// Physical engine: rows scanned must equal the layout model and the
 	// matched counts must equal exact evaluation, block store or not.
-	store, err := blockstore.Write(t.TempDir(), spec.Table, gl.BIDs, gl.NumBlocks())
+	store, err := qd.WriteStore(t.TempDir(), spec.Table, gPlan.Layout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer store.Close()
-	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	eng, err := qd.NewEngine(store, gPlan, qd.EngineDBMS, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	exact := qd.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
 	for i, q := range spec.Queries[:20] {
-		res, err := exec.Run(store, gl, q, spec.ACs, exec.EngineDBMS, exec.RouteQdTree)
+		res, err := eng.Query(q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.RowsMatched != exact[i] {
 			t.Fatalf("%s: engine matched %d, exact %d", q.Name, res.RowsMatched, exact[i])
 		}
-		if res.RowsScanned != gl.AccessedTuples(q) {
-			t.Fatalf("%s: engine scanned %d, model %d", q.Name, res.RowsScanned, gl.AccessedTuples(q))
+		if res.RowsScanned != gPlan.Layout.AccessedTuples(q) {
+			t.Fatalf("%s: engine scanned %d, model %d", q.Name, res.RowsScanned, gPlan.Layout.AccessedTuples(q))
 		}
 	}
 }
@@ -88,44 +90,36 @@ func TestPipelineTPCH(t *testing.T) {
 // deployed range baseline reads orders of magnitude more than a qd-tree.
 func TestPipelineErrorLogOrdering(t *testing.T) {
 	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: itRows, NumQueries: 120, Seed: 6})
-	cuts := toCuts(spec.Cuts)
 	b := itRows / 400
 
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: b, Cuts: cuts, Queries: spec.Queries})
-	if err != nil {
-		t.Fatal(err)
-	}
-	gl := cost.FromTree("greedy", tree, spec.Table)
-	base, err := baselines.Range(spec.Table, workload.IngestColumn(spec.Table.Schema), gl.NumBlocks(), spec.ACs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fBase, fG := base.AccessedFraction(spec.Queries), gl.AccessedFraction(spec.Queries)
+	gPlan := planIT(t, "greedy", spec, qd.PlanOptions{MinBlockSize: b})
+	basePlan := planIT(t, "range", spec, qd.PlanOptions{
+		RangeColumn: workload.IngestColumn(spec.Table.Schema),
+		NumBlocks:   gPlan.Layout.NumBlocks()})
+	fBase, fG := basePlan.AccessedFraction(nil), gPlan.AccessedFraction(nil)
 	if fBase < 10*fG {
 		t.Errorf("qd-tree should beat the range baseline by >=10x: baseline %.4f vs greedy %.4f", fBase, fG)
 	}
 }
 
-// TestRLTreeDeployableEndToEnd: an RL-built tree must satisfy the same
-// deployment invariants as a greedy tree.
+// TestRLTreeDeployableEndToEnd: an RL-built plan must satisfy the same
+// deployment invariants as a greedy plan.
 func TestRLTreeDeployableEndToEnd(t *testing.T) {
 	spec := workload.Fig3(itRows, 7)
-	res, err := rl.Build(spec.Table, spec.ACs, rl.Options{
-		MinSize: 80, Cuts: toCuts(spec.Cuts), Queries: spec.Queries,
-		Hidden: 16, MaxEpisodes: 12, Seed: 7})
+	plan := planIT(t, "woodblock", spec, qd.PlanOptions{
+		MinBlockSize: 80, Hidden: 16, MaxEpisodes: 12, Seed: 7})
+	store, err := qd.WriteStore(t.TempDir(), spec.Table, plan.Layout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gl := cost.FromTree("rl", res.Tree, spec.Table)
-	store, err := blockstore.Write(t.TempDir(), spec.Table, gl.BIDs, gl.NumBlocks())
+	eng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer store.Close()
-	exact := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+	defer eng.Close()
+	exact := qd.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
 	for i, q := range spec.Queries {
-		r, err := exec.Run(store, gl, q, spec.ACs, exec.EngineSpark, exec.RouteQdTree)
+		r, err := eng.Query(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +128,7 @@ func TestRLTreeDeployableEndToEnd(t *testing.T) {
 		}
 	}
 	// Query rewriting end to end.
-	qr := &router.QueryRouter{Tree: res.Tree}
+	qr := &router.QueryRouter{Tree: plan.Tree}
 	if out := qr.Rewrite("SELECT * FROM t WHERE disk < 100", spec.Queries[1]); out == "" {
 		t.Fatal("empty rewrite")
 	}
@@ -148,9 +142,9 @@ func TestPropertyRoutingPartition(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		spec := workload.Fig3(500+rng.Intn(1500), seed)
 		cuts := toCuts(spec.Cuts)
-		tree := core.NewTree(spec.Table.Schema, spec.ACs)
+		tree := qd.NewTree(spec.Table.Schema, spec.ACs)
 		// Random sequence of splits.
-		leaves := []*core.Node{tree.Root}
+		leaves := []*qd.Node{tree.Root}
 		for k := 0; k < 3; k++ {
 			n := leaves[rng.Intn(len(leaves))]
 			if !n.IsLeaf() {
@@ -199,8 +193,8 @@ func TestPropertyLayoutConservative(t *testing.T) {
 		for i := range bids {
 			bids[i] = rng.Intn(k)
 		}
-		layout := cost.NewLayout("rand", spec.Table, bids, k, spec.ACs)
-		matches := cost.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
+		layout := qd.NewLayout("rand", spec.Table, bids, k, spec.ACs)
+		matches := qd.PerQueryMatches(spec.Table, spec.Queries, spec.ACs)
 		for i, q := range spec.Queries {
 			if layout.AccessedTuples(q) < matches[i] {
 				return false
@@ -216,18 +210,13 @@ func TestPropertyLayoutConservative(t *testing.T) {
 // TestSerializedTreePrunesIdentically across the full TPC-H workload.
 func TestSerializedTreePrunesIdentically(t *testing.T) {
 	spec := workload.TPCH(workload.TPCHConfig{Rows: 3000, SeedsPerTmpl: 2, Seed: 8})
-	tree, err := greedy.Build(spec.Table, spec.ACs, greedy.Options{
-		MinSize: 100, Cuts: toCuts(spec.Cuts), Queries: spec.Queries})
-	if err != nil {
-		t.Fatal(err)
-	}
-	bids := tree.RouteTable(spec.Table)
-	tree.Freeze(spec.Table, bids)
+	plan := planIT(t, "greedy", spec, qd.PlanOptions{MinBlockSize: 100})
+	tree := plan.Tree
 	data, err := tree.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := core.Unmarshal(data)
+	back, err := qd.LoadTree(data)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -265,12 +265,23 @@ func (s *Store) readerAt(b int) (io.ReaderAt, int, int, func(), error) {
 	if f := h.f.Load(); f != nil {
 		return f, s.Schema.NumCols(), m.Rows, noop, nil
 	}
+	// Reserve a cache slot before opening; the atomic add is the
+	// authoritative cap check, so concurrent first opens of distinct
+	// blocks can never leave more than MaxOpenFiles handles cached.
+	if s.nopen.Add(1) > cap {
+		s.nopen.Add(-1)
+		f, ncols, nrows, err := s.openValidated(b)
+		if err != nil {
+			return nil, 0, 0, noop, err
+		}
+		return f, ncols, nrows, func() { f.Close() }, nil
+	}
 	f, ncols, nrows, err := s.openValidated(b)
 	if err != nil {
+		s.nopen.Add(-1)
 		return nil, 0, 0, noop, err
 	}
 	h.f.Store(f)
-	s.nopen.Add(1)
 	return f, ncols, nrows, noop, nil
 }
 

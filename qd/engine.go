@@ -1,0 +1,96 @@
+package qd
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// Engine binds everything query execution needs — a materialized block
+// store, a plan's layout and advanced cuts, an engine profile, and
+// execution options — at construction, so serving a query takes exactly
+// one argument. It replaces the 7-argument Execute/ExecuteWorkload free
+// functions.
+//
+// An Engine is safe for concurrent use. Close is idempotent: the first
+// call waits for in-flight queries to drain, then releases the store's
+// cached block handles; queries issued after Close fail.
+type Engine struct {
+	store  *BlockStore
+	layout *Layout
+	acs    []AdvCut
+	prof   EngineProfile
+	opt    ExecOptions
+
+	// mu lets queries proceed concurrently (read lock held for the scan's
+	// duration) while Close and WithMode take the write lock — so Close
+	// never yanks cached block handles from under an in-flight scan.
+	mu     sync.RWMutex
+	mode   ExecMode
+	closed bool
+}
+
+// NewEngine binds a store, a plan, a profile, and execution options. The
+// plan supplies the layout and the advanced-cut table; block pruning
+// defaults to qd-tree routing (see WithMode).
+func NewEngine(store *BlockStore, plan *Plan, prof EngineProfile, opt ExecOptions) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("qd: engine needs a block store")
+	}
+	if plan == nil || plan.Layout == nil {
+		return nil, fmt.Errorf("qd: engine needs a plan with a layout")
+	}
+	return &Engine{store: store, layout: plan.Layout, acs: plan.ACs, prof: prof, opt: opt, mode: RouteQdTree}, nil
+}
+
+// WithMode selects the block-pruning mode (RouteQdTree or NoRoute) and
+// returns the engine for chaining.
+func (e *Engine) WithMode(mode ExecMode) *Engine {
+	e.mu.Lock()
+	e.mode = mode
+	e.mu.Unlock()
+	return e
+}
+
+// Layout returns the layout the engine serves.
+func (e *Engine) Layout() *Layout { return e.layout }
+
+// Store returns the underlying block store.
+func (e *Engine) Store() *BlockStore { return e.store }
+
+// Query executes one query.
+func (e *Engine) Query(q Query) (ExecResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ExecResult{}, fmt.Errorf("qd: engine is closed")
+	}
+	return exec.RunOpts(e.store, e.layout, q, e.acs, e.prof, e.mode, e.opt)
+}
+
+// Workload executes a whole workload as one batch: per-query SMA pruning
+// before dispatch, one scan worker pool across all queries, and (with
+// ExecOptions.ShareReads) one physical read per block shared by every
+// query touching it.
+func (e *Engine) Workload(w []Query) (*WorkloadResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("qd: engine is closed")
+	}
+	return exec.RunWorkloadOpts(e.store, e.layout, w, e.acs, e.prof, e.mode, e.opt)
+}
+
+// Close waits for in-flight queries to finish, releases the store's
+// cached block-file handles, and marks the engine unusable. It is
+// idempotent: later calls return nil without touching the store.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.store.Close()
+}

@@ -1,0 +1,169 @@
+package qd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/qd"
+)
+
+// microDataset builds the small two-column dataset used across facade
+// tests, through the Dataset handle.
+func microDataset(t *testing.T) *qd.Dataset {
+	t.Helper()
+	schema := qd.MustSchema([]qd.Column{
+		{Name: "ship", Kind: qd.Numeric, Min: 0, Max: 999},
+		{Name: "commit_d", Kind: qd.Numeric, Min: 0, Max: 999},
+		{Name: "mode", Kind: qd.Categorical, Dom: 3, Dict: []string{"AIR", "RAIL", "SHIP"}},
+	})
+	tbl := qd.NewTable(schema, 4000)
+	for i := 0; i < 4000; i++ {
+		ship := int64(i % 1000)
+		tbl.AppendRow([]int64{ship, ship + int64(i%7) - 3, int64(i % 3)})
+	}
+	ds, err := qd.NewDataset(schema, tbl).WithWorkload(
+		"ship < 100 AND mode = 'AIR'",
+		"ship BETWEEN 500 AND 600",
+		"ship < commit_d AND mode IN ('RAIL', 'SHIP')",
+		"ship >= 900",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestRegistryEveryStrategyPlans drives every registered strategy over
+// the micro workload and checks the resulting Plan is deployable.
+func TestRegistryEveryStrategyPlans(t *testing.T) {
+	ds := microDataset(t)
+	names := qd.PlannerNames()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d strategies (%v), want >= 7", len(names), names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			planner, err := qd.NewPlanner(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := planner.Plan(ds, qd.PlanOptions{
+				MinBlockSize: 200,
+				Seed:         1,
+				Hidden:       8,
+				MaxEpisodes:  2,
+			})
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			if plan == nil || plan.Layout == nil {
+				t.Fatal("plan has no layout")
+			}
+			if plan.Strategy != name {
+				t.Errorf("Strategy = %q, want %q", plan.Strategy, name)
+			}
+			if got := len(plan.Layout.BIDs); got != ds.Table.N {
+				t.Errorf("layout assigns %d rows, table has %d", got, ds.Table.N)
+			}
+			frac := plan.AccessedFraction(nil)
+			if frac <= 0 || frac > 1 {
+				t.Errorf("accessed fraction %f out of (0, 1]", frac)
+			}
+			if frac < ds.Selectivity() {
+				t.Errorf("fraction %f below selectivity bound %f", frac, ds.Selectivity())
+			}
+			switch name {
+			case "greedy", "woodblock", "overlap", "twotree":
+				if plan.Tree == nil {
+					t.Error("tree-backed strategy returned nil Tree")
+				}
+			}
+			switch name {
+			case "woodblock":
+				if plan.RL == nil || len(plan.RL.Curve) == 0 {
+					t.Error("woodblock plan has no learning curve")
+				}
+			case "bottomup":
+				if len(plan.Features) == 0 {
+					t.Error("bottomup plan selected no features")
+				}
+			case "overlap":
+				if plan.Overlap == nil {
+					t.Error("overlap plan has no overlap layout")
+				} else if err := plan.Overlap.Validate(ds.Table); err != nil {
+					t.Error(err)
+				}
+			case "twotree":
+				if plan.TwoTree == nil {
+					t.Error("twotree plan has no two-tree deployment")
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryUnknownStrategy(t *testing.T) {
+	_, err := qd.NewPlanner("nope")
+	if err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "greedy") {
+		t.Errorf("error should name the strategy and the known set: %v", err)
+	}
+}
+
+func TestRegistryAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{"rl": "woodblock", "bu": "bottomup"} {
+		p, err := qd.NewPlanner(alias)
+		if err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+		plan, err := p.Plan(microDataset(t), qd.PlanOptions{MinBlockSize: 400, Hidden: 8, MaxEpisodes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Strategy != canonical {
+			t.Errorf("alias %q planned %q, want %q", alias, plan.Strategy, canonical)
+		}
+	}
+}
+
+// TestSampleRateNeverSilentlyDropped: planners that cannot build on a
+// sample must reject PlanOptions.SampleRate instead of ignoring it.
+func TestSampleRateNeverSilentlyDropped(t *testing.T) {
+	ds := microDataset(t)
+	opt := qd.PlanOptions{MinBlockSize: 200, SampleRate: 0.5, Seed: 1, Hidden: 8, MaxEpisodes: 2}
+	for _, name := range []string{"bottomup", "twotree", "overlap", "random", "range"} {
+		planner, err := qd.NewPlanner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := planner.Plan(ds, opt); err == nil {
+			t.Errorf("%s: SampleRate must be an explicit error, not silently dropped", name)
+		}
+	}
+	// The samplers proper still honor the rate.
+	for _, name := range []string{"greedy", "woodblock"} {
+		planner, err := qd.NewPlanner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := planner.Plan(ds, opt); err != nil {
+			t.Errorf("%s: sampling should be supported: %v", name, err)
+		}
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	if _, err := (qd.GreedyPlanner{}).Plan(qd.NewDataset(nil, nil), qd.PlanOptions{MinBlockSize: 10}); err == nil {
+		t.Error("dataset without a table must error")
+	}
+	ds := microDataset(t)
+	if _, err := (qd.GreedyPlanner{}).Plan(ds, qd.PlanOptions{}); err == nil {
+		t.Error("zero MinBlockSize must error")
+	}
+	empty := qd.NewDataset(ds.Schema, ds.Table) // no workload attached
+	if _, err := (qd.GreedyPlanner{}).Plan(empty, qd.PlanOptions{MinBlockSize: 10}); err == nil {
+		t.Error("empty workload must error")
+	}
+}

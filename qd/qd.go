@@ -5,8 +5,19 @@
 // A qd-tree routes both data and queries: records descend the tree's
 // predicate cuts into blocks with complete semantic descriptions, and
 // queries are answered by scanning only the blocks whose descriptions they
-// intersect. Two constructors are provided: the greedy Algorithm 1 of
-// Sec. 4 and the Woodblock deep-RL agent of Sec. 5.
+// intersect.
+//
+// The API is organized around three handles that mirror the paper's
+// pipeline — workload in, layout out, queries routed:
+//
+//   - Dataset binds schema + table + workload once.
+//   - Planner turns a Dataset into a Plan (a deployable Layout plus
+//     strategy metadata). Strategies — greedy (Algorithm 1, Sec. 4),
+//     woodblock (the deep-RL agent, Sec. 5), bottomup, random, range,
+//     overlap, twotree — are registered by name; resolve one with
+//     NewPlanner or instantiate e.g. GreedyPlanner directly.
+//   - Engine binds a materialized store + plan + engine profile +
+//     ExecOptions and serves queries.
 //
 // Typical use:
 //
@@ -15,11 +26,19 @@
 //	    {Name: "mode", Kind: qd.Categorical, Dom: 7},
 //	})
 //	tbl := qd.NewTable(schema, n)            // append rows...
-//	queries, acs, _ := qd.ParseWorkload(schema, sqls)
-//	tree, _ := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 100_000})
-//	layout := qd.LayoutFromTree("greedy", tree, tbl)
-//	bids := layout.BIDs                      // per-row block assignment
-//	blocks := tree.QueryBlocks(queries[0])   // BID IN (...) pruning
+//	ds, _ := qd.NewDataset(schema, tbl).WithWorkload(sqls...)
+//	plan, _ := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 100_000})
+//	bids := plan.Layout.BIDs                 // per-row block assignment
+//	blocks := plan.Tree.QueryBlocks(ds.Queries[0]) // BID IN (...) pruning
+//
+//	store, _ := qd.WriteStore(dir, tbl, plan.Layout)
+//	eng, _ := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 8})
+//	defer eng.Close()
+//	res, _ := eng.Query(ds.Queries[0])
+//
+// The BuildGreedy / BuildWoodblock / Execute / ExecuteWorkload free
+// functions of earlier revisions remain as thin deprecated wrappers over
+// these handles and will be removed in a future release.
 package qd
 
 import (
@@ -28,14 +47,11 @@ import (
 	"time"
 
 	"repro/internal/adapt"
-	"repro/internal/baselines"
 	"repro/internal/blockstore"
-	"repro/internal/bottomup"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/expr"
-	"repro/internal/greedy"
 	"repro/internal/overlap"
 	"repro/internal/replicate"
 	"repro/internal/rl"
@@ -206,18 +222,29 @@ func (o BuildOptions) prepare(tbl *Table, queries []Query) (*Table, int, []Cut, 
 	return build, b, cuts, nil
 }
 
-// BuildGreedy constructs a qd-tree with Algorithm 1 (Sec. 4).
-func BuildGreedy(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*Tree, error) {
-	build, b, cuts, err := opt.prepare(tbl, queries)
-	if err != nil {
-		return nil, err
+// planOptions lifts legacy BuildOptions into PlanOptions for the
+// deprecated wrappers.
+func (o BuildOptions) planOptions() PlanOptions {
+	return PlanOptions{
+		MinBlockSize: o.MinBlockSize,
+		SampleRate:   o.SampleRate,
+		Cuts:         o.Cuts,
+		MaxLeaves:    o.MaxLeaves,
+		Seed:         o.Seed,
 	}
-	return greedy.Build(build, acs, greedy.Options{
-		MinSize:   b,
-		Cuts:      cuts,
-		Queries:   queries,
-		MaxLeaves: opt.MaxLeaves,
-	})
+}
+
+// BuildGreedy constructs a qd-tree with Algorithm 1 (Sec. 4).
+//
+// Deprecated: use GreedyPlanner with a Dataset; the returned Plan carries
+// both the tree and its deployed layout.
+//
+// Unlike GreedyPlanner.Plan, the returned tree is not yet deployed (the
+// table is not routed and leaf descriptions are not frozen) — deployment
+// happens in LayoutFromTree, preserving this function's original
+// contract.
+func BuildGreedy(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*Tree, error) {
+	return greedyTree(NewDataset(nil, tbl).WithQueries(queries, acs), opt.planOptions())
 }
 
 // WoodblockOptions configure the deep-RL constructor (Sec. 5).
@@ -232,51 +259,57 @@ type WoodblockOptions struct {
 
 // BuildWoodblock trains the Woodblock agent and returns the best tree
 // found plus the learning curve.
+//
+// Deprecated: use WoodblockPlanner with a Dataset; the returned Plan's RL
+// field carries the learning curve.
 func BuildWoodblock(tbl *Table, queries []Query, acs []AdvCut, opt WoodblockOptions) (*RLResult, error) {
-	build, b, cuts, err := opt.prepare(tbl, queries)
-	if err != nil {
-		return nil, err
-	}
-	return rl.Build(build, acs, rl.Options{
-		MinSize:     b,
-		Cuts:        cuts,
-		Queries:     queries,
-		Hidden:      opt.Hidden,
-		MaxEpisodes: opt.MaxEpisodes,
-		TimeBudget:  opt.TimeBudget,
-		MaxLeaves:   opt.MaxLeaves,
-		Seed:        opt.Seed,
-		OnEpisode:   opt.OnEpisode,
-	})
+	popt := opt.BuildOptions.planOptions()
+	popt.Hidden = opt.Hidden
+	popt.MaxEpisodes = opt.MaxEpisodes
+	popt.TimeBudget = opt.TimeBudget
+	popt.OnEpisode = opt.OnEpisode
+	return woodblockResult(NewDataset(nil, tbl).WithQueries(queries, acs), popt)
 }
 
 // BuildBottomUp runs the Sun et al. baseline (Sec. 2.2.2). selectivityCap
-// of ~0.10 gives the paper's tuned BU+; 0 disables the tuning.
+// of ~0.10 gives the paper's tuned BU+; 0 disables the tuning. A sample
+// rate is rejected — the baseline cannot build on a sample.
+//
+// Deprecated: use BottomUpPlanner with a Dataset and
+// PlanOptions.SelectivityCap.
 func BuildBottomUp(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions, selectivityCap float64) (*Layout, []Cut, error) {
-	_, _, cuts, err := opt.prepare(tbl, queries)
+	popt := opt.planOptions()
+	popt.SelectivityCap = selectivityCap
+	plan, err := BottomUpPlanner{}.Plan(NewDataset(nil, tbl).WithQueries(queries, acs), popt)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := bottomup.Build(tbl, acs, bottomup.Options{
-		MinSize:        opt.MinBlockSize,
-		Cuts:           cuts,
-		Queries:        queries,
-		SelectivityCap: selectivityCap,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Layout, res.Features, nil
+	return plan.Layout, plan.Features, nil
 }
 
 // RandomLayout shuffles rows into fixed-size blocks (the TPC-H baseline).
+//
+// Deprecated: use RandomPlanner with a Dataset and PlanOptions.NumBlocks.
 func RandomLayout(tbl *Table, numBlocks int, acs []AdvCut, seed int64) (*Layout, error) {
-	return baselines.Random(tbl, numBlocks, acs, seed)
+	plan, err := RandomPlanner{}.Plan(NewDataset(nil, tbl).WithQueries(nil, acs),
+		PlanOptions{NumBlocks: numBlocks, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Layout, nil
 }
 
 // RangeLayout range-partitions on a column (the ErrorLog baseline).
+//
+// Deprecated: use RangePlanner with a Dataset, PlanOptions.RangeColumn,
+// and PlanOptions.NumBlocks.
 func RangeLayout(tbl *Table, col, numBlocks int, acs []AdvCut) (*Layout, error) {
-	return baselines.Range(tbl, col, numBlocks, acs)
+	plan, err := RangePlanner{}.Plan(NewDataset(nil, tbl).WithQueries(nil, acs),
+		PlanOptions{NumBlocks: numBlocks, RangeColumn: col})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Layout, nil
 }
 
 // LayoutFromTree routes the full table through the tree, freezes leaf
@@ -287,32 +320,42 @@ func LayoutFromTree(name string, t *Tree, tbl *Table) *Layout {
 
 // BuildOverlap constructs a data-overlap layout (Sec. 6.2): relaxed cuts
 // plus small-leaf replication.
+//
+// Deprecated: use OverlapPlanner with a Dataset; the returned Plan's
+// Overlap field carries the multi-assignment layout.
 func BuildOverlap(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*OverlapLayout, error) {
-	build, b, cuts, err := opt.prepare(tbl, queries)
-	if err != nil {
-		return nil, err
-	}
-	if build != tbl {
-		return nil, fmt.Errorf("qd: overlap construction requires the full table (no sampling)")
-	}
-	return overlap.Build(tbl, acs, overlap.Options{
-		MinSize: b, Cuts: cuts, Queries: queries, MaxLeaves: opt.MaxLeaves})
+	return overlapLayout(NewDataset(nil, tbl).WithQueries(queries, acs), opt.planOptions())
 }
 
 // BuildTwoTree constructs the two-tree replication deployment (Sec. 6.3).
+// A sample rate is rejected — both trees are built on the full table.
+//
+// Deprecated: use TwoTreePlanner with a Dataset; the returned Plan's
+// TwoTree field carries the deployment.
 func BuildTwoTree(tbl *Table, queries []Query, acs []AdvCut, opt BuildOptions) (*TwoTree, error) {
-	_, _, cuts, err := opt.prepare(tbl, queries)
+	plan, err := TwoTreePlanner{}.Plan(NewDataset(nil, tbl).WithQueries(queries, acs), opt.planOptions())
 	if err != nil {
 		return nil, err
 	}
-	return replicate.Build(tbl, acs, replicate.Options{
-		MinSize: opt.MinBlockSize, Cuts: cuts, Queries: queries, MaxLeaves: opt.MaxLeaves})
+	return plan.TwoTree, nil
 }
 
 // Selectivity returns the workload's exact match fraction — the lower
 // bound on any layout's accessed fraction.
 func Selectivity(tbl *Table, queries []Query, acs []AdvCut) float64 {
 	return cost.Selectivity(tbl, queries, acs)
+}
+
+// PerQueryMatches evaluates every query exactly and returns the match
+// count per query — the ground truth physical engines are checked against.
+func PerQueryMatches(tbl *Table, queries []Query, acs []AdvCut) []int64 {
+	return cost.PerQueryMatches(tbl, queries, acs)
+}
+
+// NewLayout wraps an arbitrary row→block assignment as a Layout with
+// per-block skipping metadata, for layouts not produced by a planner.
+func NewLayout(name string, tbl *Table, bids []int, numBlocks int, acs []AdvCut) *Layout {
+	return cost.NewLayout(name, tbl, bids, numBlocks, acs)
 }
 
 // LoadTree deserializes a tree written with Tree.Save / Tree.Marshal.
@@ -392,14 +435,25 @@ func WriteStore(dir string, tbl *Table, l *Layout) (*BlockStore, error) {
 func OpenStore(dir string) (*BlockStore, error) { return blockstore.Open(dir) }
 
 // Execute runs one query over a materialized store.
+//
+// Deprecated: construct an Engine with NewEngine and call Query; the
+// engine binds the store, layout, cuts, profile, and options once.
 func Execute(store *BlockStore, l *Layout, q Query, acs []AdvCut, prof EngineProfile, mode ExecMode, opt ExecOptions) (ExecResult, error) {
-	return exec.RunOpts(store, l, q, acs, prof, mode, opt)
+	eng, err := NewEngine(store, &Plan{Layout: l, ACs: acs}, prof, opt)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return eng.WithMode(mode).Query(q)
 }
 
-// ExecuteWorkload runs a whole workload as one batch: per-query SMA
-// pruning before dispatch, one scan worker pool across all queries, and
-// (with ShareReads) one physical read per block shared by every query
-// touching it.
+// ExecuteWorkload runs a whole workload as one batch.
+//
+// Deprecated: construct an Engine with NewEngine and call Workload; the
+// engine binds the store, layout, cuts, profile, and options once.
 func ExecuteWorkload(store *BlockStore, l *Layout, w []Query, acs []AdvCut, prof EngineProfile, mode ExecMode, opt ExecOptions) (*WorkloadResult, error) {
-	return exec.RunWorkloadOpts(store, l, w, acs, prof, mode, opt)
+	eng, err := NewEngine(store, &Plan{Layout: l, ACs: acs}, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	return eng.WithMode(mode).Workload(w)
 }

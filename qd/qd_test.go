@@ -7,41 +7,14 @@ import (
 	"repro/qd"
 )
 
-// smallDataset builds a tiny two-column dataset with a SQL workload via
-// the public API only — the facade must be self-sufficient.
-func smallDataset(t *testing.T) (*qd.Table, []qd.Query, []qd.AdvCut) {
-	t.Helper()
-	schema := qd.MustSchema([]qd.Column{
-		{Name: "ship", Kind: qd.Numeric, Min: 0, Max: 999},
-		{Name: "commit_d", Kind: qd.Numeric, Min: 0, Max: 999},
-		{Name: "mode", Kind: qd.Categorical, Dom: 3, Dict: []string{"AIR", "RAIL", "SHIP"}},
-	})
-	tbl := qd.NewTable(schema, 4000)
-	for i := 0; i < 4000; i++ {
-		ship := int64(i % 1000)
-		tbl.AppendRow([]int64{ship, ship + int64(i%7) - 3, int64(i % 3)})
-	}
-	queries, acs, err := qd.ParseWorkload(schema, []string{
-		"ship < 100 AND mode = 'AIR'",
-		"ship BETWEEN 500 AND 600",
-		"ship < commit_d AND mode IN ('RAIL', 'SHIP')",
-		"ship >= 900",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return tbl, queries, acs
-}
-
 func TestPublicGreedyPipeline(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	tree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
+	ds := microDataset(t)
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	layout := qd.LayoutFromTree("greedy", tree, tbl)
-	frac := layout.AccessedFraction(queries)
-	sel := qd.Selectivity(tbl, queries, acs)
+	frac := plan.AccessedFraction(nil)
+	sel := ds.Selectivity()
 	if frac < sel {
 		t.Fatalf("fraction %.4f below selectivity lower bound %.4f", frac, sel)
 	}
@@ -50,43 +23,40 @@ func TestPublicGreedyPipeline(t *testing.T) {
 	}
 	// Serialization round trip through the public API.
 	var buf bytes.Buffer
-	if err := tree.Save(&buf); err != nil {
+	if err := plan.Tree.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
 	back, err := qd.LoadTree(buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(back.Leaves()), len(tree.Leaves()); got != want {
+	if got, want := len(back.Leaves()), len(plan.Tree.Leaves()); got != want {
 		t.Errorf("leaves after round trip: %d vs %d", got, want)
 	}
 }
 
 func TestPublicWoodblockPipeline(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	res, err := qd.BuildWoodblock(tbl, queries, acs, qd.WoodblockOptions{
-		BuildOptions: qd.BuildOptions{MinBlockSize: 200, Seed: 1},
-		Hidden:       16,
-		MaxEpisodes:  6,
-	})
+	ds := microDataset(t)
+	plan, err := qd.WoodblockPlanner{}.Plan(ds, qd.PlanOptions{
+		MinBlockSize: 200, Seed: 1, Hidden: 16, MaxEpisodes: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Tree == nil || res.Episodes != 6 {
-		t.Fatalf("RL result: %+v", res)
+	if plan.Tree == nil || plan.RL == nil || plan.RL.Episodes != 6 {
+		t.Fatalf("RL plan: %+v", plan)
 	}
 }
 
 func TestPublicSamplingScalesB(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	tree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{
+	ds := microDataset(t)
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{
 		MinBlockSize: 400, SampleRate: 0.5, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Route the FULL table; blocks must be ≈ >= b (sampling noise aside).
-	layout := qd.LayoutFromTree("sampled", tree, tbl)
-	for b, n := range layout.Counts {
+	// The plan's layout routes the FULL table; blocks must be ≈ >= b
+	// (sampling noise aside).
+	for b, n := range plan.Layout.Counts {
 		if n > 0 && n < 100 {
 			t.Errorf("block %d has %d rows; sampled construction degenerated", b, n)
 		}
@@ -94,27 +64,27 @@ func TestPublicSamplingScalesB(t *testing.T) {
 }
 
 func TestPublicBaselinesAndBottomUp(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	r1, err := qd.RandomLayout(tbl, 8, acs, 1)
+	ds := microDataset(t)
+	r1, err := qd.RandomPlanner{}.Plan(ds, qd.PlanOptions{NumBlocks: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := qd.RangeLayout(tbl, 0, 8, acs)
+	r2, err := qd.RangePlanner{}.Plan(ds, qd.PlanOptions{NumBlocks: 8, RangeColumn: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bu, feats, err := qd.BuildBottomUp(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200}, 0.5)
+	bu, err := qd.BottomUpPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 200, SelectivityCap: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(feats) == 0 {
+	if len(bu.Features) == 0 {
 		t.Error("bottom-up selected no features")
 	}
 	// Ordering sanity: range partitioning on ship must beat random for
 	// this ship-heavy workload.
-	f1 := r1.AccessedFraction(queries)
-	f2 := r2.AccessedFraction(queries)
-	fb := bu.AccessedFraction(queries)
+	f1 := r1.AccessedFraction(nil)
+	f2 := r2.AccessedFraction(nil)
+	fb := bu.AccessedFraction(nil)
 	if f2 >= f1 {
 		t.Errorf("range %.3f should beat random %.3f on ship-range workload", f2, f1)
 	}
@@ -124,25 +94,62 @@ func TestPublicBaselinesAndBottomUp(t *testing.T) {
 }
 
 func TestPublicExtensions(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	ov, err := qd.BuildOverlap(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
+	ds := microDataset(t)
+	ov, err := qd.OverlapPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ov.Validate(tbl); err != nil {
+	if err := ov.Overlap.Validate(ds.Table); err != nil {
 		t.Fatal(err)
 	}
-	tt, err := qd.BuildTwoTree(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
+	tt, err := qd.TwoTreePlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tt.AccessedFraction(queries) <= 0 {
+	if tt.TwoTree.AccessedFraction(ds.Queries) <= 0 {
 		t.Error("two-tree fraction must be positive")
 	}
 }
 
-func TestPublicValidation(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
+func TestExplicitQueryConstruction(t *testing.T) {
+	ds := microDataset(t)
+	q := qd.NewQuery("manual", qd.And(
+		qd.P(qd.Pred{Col: 0, Op: qd.Lt, Literal: 50}),
+		qd.Or(
+			qd.P(qd.Pred{Col: 2, Op: qd.Eq, Literal: 0}),
+			qd.P(qd.NewIn(2, []int64{1, 2})),
+		),
+	))
+	manual := qd.NewDataset(ds.Schema, ds.Table).WithQueries([]qd.Query{q}, nil)
+	plan, err := qd.GreedyPlanner{}.Plan(manual, qd.PlanOptions{MinBlockSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Tree.QueryBlocks(q); len(got) == 0 {
+		t.Error("query must intersect at least one block")
+	}
+}
+
+// TestDeprecatedWrappersDelegate keeps the one-release compatibility
+// surface honest: the legacy free functions must produce the same layouts
+// and results as the handles they now wrap.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	ds := microDataset(t)
+	tbl, queries, acs := ds.Table, ds.Queries, ds.ACs
+
+	tree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := qd.LayoutFromTree("greedy", tree, tbl)
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := layout.AccessedFraction(queries), plan.AccessedFraction(nil); got != want {
+		t.Errorf("wrapper layout fraction %f, planner %f", got, want)
+	}
+
 	if _, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{}); err == nil {
 		t.Error("zero MinBlockSize must error")
 	}
@@ -152,71 +159,43 @@ func TestPublicValidation(t *testing.T) {
 	if _, err := qd.BuildOverlap(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 10, SampleRate: 0.5}); err == nil {
 		t.Error("overlap with sampling must error")
 	}
-}
-
-func TestExplicitQueryConstruction(t *testing.T) {
-	tbl, _, _ := smallDataset(t)
-	q := qd.NewQuery("manual", qd.And(
-		qd.P(qd.Pred{Col: 0, Op: qd.Lt, Literal: 50}),
-		qd.Or(
-			qd.P(qd.Pred{Col: 2, Op: qd.Eq, Literal: 0}),
-			qd.P(qd.NewIn(2, []int64{1, 2})),
-		),
-	))
-	tree, err := qd.BuildGreedy(tbl, []qd.Query{q}, nil, qd.BuildOptions{MinBlockSize: 100})
-	if err != nil {
-		t.Fatal(err)
+	if _, _, err := qd.BuildBottomUp(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200, SampleRate: 0.5}, 0.1); err == nil {
+		t.Error("bottom-up with sampling must error, not silently drop the sample")
 	}
-	if got := tree.QueryBlocks(q); len(got) == 0 {
-		t.Error("query must intersect at least one block")
-	}
-}
-
-// TestPublicExecution drives the physical engine end-to-end through the
-// facade: materialize a layout, scan it sequentially and in parallel, and
-// require identical counters.
-func TestPublicExecution(t *testing.T) {
-	tbl, queries, acs := smallDataset(t)
-	tree, err := qd.BuildGreedy(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200})
-	if err != nil {
-		t.Fatal(err)
-	}
-	layout := qd.LayoutFromTree("greedy", tree, tbl)
-	store, err := qd.WriteStore(t.TempDir(), tbl, layout)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer store.Close()
-
-	seq, err := qd.ExecuteWorkload(store, layout, queries, acs, qd.EngineDBMS, qd.RouteQdTree,
-		qd.ExecOptions{Parallelism: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	par, err := qd.ExecuteWorkload(store, layout, queries, acs, qd.EngineDBMS, qd.RouteQdTree,
-		qd.ExecOptions{Parallelism: 4, ShareReads: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range seq.Results {
-		if seq.Results[i].ScanStats != par.Results[i].ScanStats {
-			t.Errorf("%s: parallel stats %+v, sequential %+v",
-				queries[i].Name, par.Results[i].ScanStats, seq.Results[i].ScanStats)
-		}
-	}
-	if par.TotalSimTime != seq.TotalSimTime {
-		t.Errorf("TotalSimTime %v vs %v", par.TotalSimTime, seq.TotalSimTime)
-	}
-	if par.PhysicalReads > seq.PhysicalReads {
-		t.Errorf("shared reads did not reduce physical reads: %d vs %d", par.PhysicalReads, seq.PhysicalReads)
+	if _, err := qd.BuildTwoTree(tbl, queries, acs, qd.BuildOptions{MinBlockSize: 200, SampleRate: 0.5}); err == nil {
+		t.Error("two-tree with sampling must error, not silently drop the sample")
 	}
 
-	// Single-query path and reopened store.
-	res, err := qd.Execute(store, layout, queries[0], acs, qd.EngineSpark, qd.RouteQdTree, qd.ExecOptions{})
+	// Execution wrappers against the Engine.
+	store, err := qd.WriteStore(t.TempDir(), tbl, plan.Layout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.RowsScanned == 0 || res.RowsMatched == 0 {
-		t.Errorf("query scanned %d matched %d", res.RowsScanned, res.RowsMatched)
+	eng, err := qd.NewEngine(store, plan, qd.EngineDBMS, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	wrapRes, err := qd.Execute(store, plan.Layout, queries[0], acs, qd.EngineDBMS, qd.RouteQdTree, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engRes, err := eng.Query(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapRes.ScanStats != engRes.ScanStats {
+		t.Errorf("Execute wrapper stats %+v, engine %+v", wrapRes.ScanStats, engRes.ScanStats)
+	}
+	wrapWL, err := qd.ExecuteWorkload(store, plan.Layout, queries, acs, qd.EngineDBMS, qd.RouteQdTree, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engWL, err := eng.Workload(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapWL.TotalSimTime != engWL.TotalSimTime {
+		t.Errorf("ExecuteWorkload TotalSimTime %v, engine %v", wrapWL.TotalSimTime, engWL.TotalSimTime)
 	}
 }
