@@ -1,0 +1,180 @@
+// Command qdserve runs the online serving subsystem as an HTTP/JSON
+// service: queries execute against the live layout generation, every
+// execution lands in a sliding workload log, and a background drift
+// monitor replans the logged window — when the candidate layout beats the
+// live one by the configured margin, the store is rewritten into a new
+// generation and hot-swapped with zero failed queries.
+//
+//	qdserve -demo                             # bootstrap a synthetic store and serve it
+//	qdserve -store /data/qd                   # serve an existing generation root
+//	qdserve -store /data/qd -interval 10s -threshold 0.2 -strategy woodblock
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "severity >= 8"}   one query; returns scan stats
+//	GET  /stats                               serving counters + last drift check
+//	POST /relayout                            force a replan + swap cycle
+//	GET  /healthz                             liveness
+//
+// A generation root is created from any planned layout with
+// qd.InitServing (or -demo, which synthesizes data, plans an initial
+// layout for a deliberately narrow workload, and serves it — replay a
+// different workload and watch /stats report a swap).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/qd"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		store     = flag.String("store", "", "generation root to serve (created by qd.InitServing or -demo)")
+		demo      = flag.Bool("demo", false, "bootstrap a synthetic demo store under -store (or a temp dir) before serving")
+		rows      = flag.Int("rows", 200_000, "demo table rows")
+		strategy  = flag.String("strategy", "greedy", "replan strategy (qd planner registry name)")
+		minBlock  = flag.Int("min-block", 0, "replan min rows per block (0 = rows/64)")
+		window    = flag.Int("window", 0, "drift window: logged queries replanned per check (0 = log capacity)")
+		minWindow = flag.Int("min-window", 16, "minimum logged queries before the monitor replans")
+		threshold = flag.Float64("threshold", 0.10, "minimum relative cost improvement before a swap (0 = default 0.10, negative = any improvement)")
+		interval  = flag.Duration("interval", 30*time.Second, "background drift-check period (0 disables the monitor)")
+		keep      = flag.Int("keep", 0, "retired generations kept on disk after a swap")
+		parallel  = flag.Int("parallelism", 0, "scan worker pool size (0 = GOMAXPROCS)")
+		profile   = flag.String("profile", "spark", "engine cost profile: spark | dbms")
+	)
+	flag.Parse()
+	if err := run(*addr, *store, *demo, *rows, *strategy, *minBlock, *window, *minWindow, *threshold, *interval, *keep, *parallel, *profile); err != nil {
+		fmt.Fprintf(os.Stderr, "qdserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, store string, demo bool, rows int, strategy string, minBlock, window, minWindow int,
+	threshold float64, interval time.Duration, keep, parallel int, profile string) error {
+	prof := qd.EngineSpark
+	switch profile {
+	case "spark":
+	case "dbms":
+		prof = qd.EngineDBMS
+	default:
+		return fmt.Errorf("unknown profile %q (spark | dbms)", profile)
+	}
+	if demo {
+		if store == "" {
+			dir, err := os.MkdirTemp("", "qdserve-demo-")
+			if err != nil {
+				return err
+			}
+			store = dir
+		}
+		// Idempotent: restarting with the same -demo -store serves the
+		// existing generations instead of failing on generation 1.
+		if _, err := os.Stat(filepath.Join(store, "CURRENT")); err == nil {
+			log.Printf("store %s already initialized; serving it", store)
+		} else {
+			if err := bootstrapDemo(store, rows); err != nil {
+				return fmt.Errorf("demo bootstrap: %w", err)
+			}
+			log.Printf("demo store bootstrapped at %s (%d rows)", store, rows)
+		}
+	}
+	if store == "" {
+		return fmt.Errorf("need -store (or -demo)")
+	}
+
+	srv, err := qd.NewServer(store, qd.ServeOptions{
+		Strategy:        strategy,
+		Plan:            qd.PlanOptions{MinBlockSize: minBlock},
+		Profile:         prof,
+		Exec:            qd.ExecOptions{Parallelism: parallel, ShareReads: true},
+		WindowSize:      window,
+		MinWindow:       minWindow,
+		MinImprovement:  threshold,
+		CheckInterval:   interval,
+		KeepGenerations: keep,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s (generation %d, %d rows) on http://%s", store, srv.Generation(), srv.Rows(), ln.Addr())
+	log.Printf(`try: curl -s -X POST http://%s/query -d '{"sql": "..."}'`, ln.Addr())
+
+	httpSrv := &http.Server{Handler: qd.ServerHandler(srv)}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+		// Drain in-flight requests (zero failed queries extends to
+		// shutdown); fall back to a hard close after a grace period.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			httpSrv.Close()
+		}
+		return nil
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}
+
+// bootstrapDemo synthesizes an ops-log style table and plans the initial
+// layout for a deliberately narrow workload (recent high-severity auth
+// traffic), so replaying anything else drifts the log and exercises the
+// background re-layout.
+func bootstrapDemo(root string, rows int) error {
+	schema := qd.MustSchema([]qd.Column{
+		{Name: "event_date", Kind: qd.Numeric, Min: 0, Max: 364},
+		{Name: "severity", Kind: qd.Numeric, Min: 0, Max: 9},
+		{Name: "service", Kind: qd.Categorical, Dom: 5,
+			Dict: []string{"auth", "billing", "frontend", "search", "storage"}},
+	})
+	rng := rand.New(rand.NewSource(1))
+	tbl := qd.NewTable(schema, rows)
+	for i := 0; i < rows; i++ {
+		service := int64(rng.Intn(5))
+		sev := int64(rng.Intn(10))
+		if service == 0 {
+			sev = int64(5 + rng.Intn(5))
+		}
+		tbl.AppendRow([]int64{int64(rng.Intn(365)), sev, service})
+	}
+	ds, err := qd.NewDataset(schema, tbl).WithWorkload(
+		"service = 'auth' AND severity >= 8",
+		"severity >= 9 AND event_date >= 300",
+		"service = 'auth' AND event_date >= 340",
+	)
+	if err != nil {
+		return err
+	}
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: max(1, rows/64)})
+	if err != nil {
+		return err
+	}
+	return qd.InitServing(root, tbl, plan)
+}

@@ -68,11 +68,12 @@ type catalogJSON struct {
 }
 
 type catCol struct {
-	Name string `json:"name"`
-	Kind int    `json:"kind"`
-	Dom  int64  `json:"dom,omitempty"`
-	Min  int64  `json:"min,omitempty"`
-	Max  int64  `json:"max,omitempty"`
+	Name string   `json:"name"`
+	Kind int      `json:"kind"`
+	Dom  int64    `json:"dom,omitempty"`
+	Min  int64    `json:"min,omitempty"`
+	Max  int64    `json:"max,omitempty"`
+	Dict []string `json:"dict,omitempty"` // categorical dictionary, so reopened stores parse string literals
 }
 
 // Write materializes a partitioned table: rows are grouped by block ID and
@@ -104,10 +105,37 @@ func Write(dir string, tbl *table.Table, bids []int, numBlocks int) (*Store, err
 		}
 		st.Blocks = append(st.Blocks, meta)
 	}
+	if err := removeStaleBlockFiles(dir, st.Blocks); err != nil {
+		return nil, err
+	}
 	if err := st.writeCatalog(); err != nil {
 		return nil, err
 	}
 	return st, nil
+}
+
+// removeStaleBlockFiles deletes block files a previous layout left in the
+// directory that the new catalog does not describe — rewriting a store in
+// place must round-trip through Open's file validation.
+func removeStaleBlockFiles(dir string, blocks []BlockMeta) error {
+	live := make(map[string]bool, len(blocks))
+	for _, m := range blocks {
+		if m.Rows > 0 {
+			live[m.File] = true
+		}
+	}
+	onDisk, err := filepath.Glob(filepath.Join(dir, "block_*.qdb"))
+	if err != nil {
+		return err
+	}
+	for _, path := range onDisk {
+		if !live[filepath.Base(path)] {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("blockstore: remove stale block file %s: %w", path, err)
+			}
+		}
+	}
+	return nil
 }
 
 func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []int64, error) {
@@ -164,7 +192,7 @@ func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []in
 func (s *Store) writeCatalog() error {
 	cat := catalogJSON{Version: 1, Blocks: s.Blocks}
 	for _, c := range s.Schema.Cols {
-		cat.Columns = append(cat.Columns, catCol{Name: c.Name, Kind: int(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max})
+		cat.Columns = append(cat.Columns, catCol{Name: c.Name, Kind: int(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max, Dict: c.Dict})
 	}
 	data, err := json.Marshal(cat)
 	if err != nil {
@@ -173,7 +201,12 @@ func (s *Store) writeCatalog() error {
 	return os.WriteFile(filepath.Join(s.Dir, "catalog.json"), data, 0o644)
 }
 
-// Open reopens a store from its catalog.
+// Open reopens a store from its catalog. The catalog is validated against
+// the block files actually present in the directory: a non-empty block
+// whose file is missing, or a block file the catalog does not describe,
+// fails with an error naming the discrepancy — a half-deleted or stale
+// generation directory must not open as a smaller store and silently drop
+// rows.
 func Open(dir string) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
 	if err != nil {
@@ -186,15 +219,46 @@ func Open(dir string) (*Store, error) {
 	if cat.Version != 1 {
 		return nil, fmt.Errorf("blockstore: unsupported catalog version %d", cat.Version)
 	}
+	if err := validateBlockFiles(dir, cat.Blocks); err != nil {
+		return nil, err
+	}
 	cols := make([]table.Column, len(cat.Columns))
 	for i, c := range cat.Columns {
-		cols[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max}
+		cols[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max, Dict: c.Dict}
 	}
 	schema, err := table.NewSchema(cols)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks}, nil
+}
+
+// validateBlockFiles cross-checks the catalog's block list against the
+// block_*.qdb files on disk, in both directions.
+func validateBlockFiles(dir string, blocks []BlockMeta) error {
+	expected := make(map[string]int, len(blocks))
+	for _, m := range blocks {
+		if m.Rows == 0 {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, m.File)); err != nil {
+			return fmt.Errorf("blockstore: catalog of %s lists block %d (%d rows) but its file %s is missing: %w",
+				dir, m.ID, m.Rows, m.File, err)
+		}
+		expected[m.File] = m.ID
+	}
+	onDisk, err := filepath.Glob(filepath.Join(dir, "block_*.qdb"))
+	if err != nil {
+		return err
+	}
+	for _, path := range onDisk {
+		name := filepath.Base(path)
+		if _, ok := expected[name]; !ok {
+			return fmt.Errorf("blockstore: %s holds block file %s that the catalog (%d blocks) does not describe — stale or mixed generation directory",
+				dir, name, len(blocks))
+		}
+	}
+	return nil
 }
 
 // NumBlocks returns the block count (including empty blocks).

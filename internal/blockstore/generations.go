@@ -1,0 +1,119 @@
+package blockstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Generations give a store root zero-downtime re-layout semantics: each
+// layout version lives in its own immutable gen_NNNNNN directory, and a
+// CURRENT pointer file names the live one. A re-layout writes the next
+// generation beside the live one, flips CURRENT atomically (write-temp +
+// rename), and garbage-collects retired directories once readers drain —
+// the storage half of the serve subsystem's log → drift → replan → swap
+// loop.
+
+// currentFile is the pointer file naming the live generation.
+const currentFile = "CURRENT"
+
+const genPrefix = "gen_"
+
+// GenDir returns the directory of generation id under root.
+func GenDir(root string, id int) string {
+	return filepath.Join(root, fmt.Sprintf("%s%06d", genPrefix, id))
+}
+
+// WriteGeneration materializes a partitioned table as generation id under
+// root. The directory must not already exist — generations are immutable
+// once written. The CURRENT pointer is not touched; call SetCurrent after
+// the write (and any validation) succeeds.
+func WriteGeneration(root string, id int, tbl *table.Table, bids []int, numBlocks int) (*Store, error) {
+	if id < 1 {
+		return nil, fmt.Errorf("blockstore: generation id must be >= 1 (got %d)", id)
+	}
+	dir := GenDir(root, id)
+	if _, err := os.Stat(dir); err == nil {
+		return nil, fmt.Errorf("blockstore: generation %d already exists at %s", id, dir)
+	}
+	return Write(dir, tbl, bids, numBlocks)
+}
+
+// SetCurrent atomically points root's CURRENT file at generation id: the
+// pointer is written to a temp file and renamed into place, so a reader
+// never observes a partial pointer and a crash leaves the old generation
+// live.
+func SetCurrent(root string, id int) error {
+	if _, err := os.Stat(filepath.Join(GenDir(root, id), "catalog.json")); err != nil {
+		return fmt.Errorf("blockstore: cannot set CURRENT to generation %d: %w", id, err)
+	}
+	tmp := filepath.Join(root, currentFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(id)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(root, currentFile))
+}
+
+// CurrentGeneration reads root's CURRENT pointer.
+func CurrentGeneration(root string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(root, currentFile))
+	if err != nil {
+		return 0, fmt.Errorf("blockstore: read CURRENT: %w", err)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || id < 1 {
+		return 0, fmt.Errorf("blockstore: CURRENT holds %q, not a generation id", strings.TrimSpace(string(data)))
+	}
+	return id, nil
+}
+
+// OpenCurrent opens the live generation of a root and reports its id.
+func OpenCurrent(root string) (*Store, int, error) {
+	id, err := CurrentGeneration(root)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := Open(GenDir(root, id))
+	if err != nil {
+		return nil, 0, fmt.Errorf("blockstore: open generation %d: %w", id, err)
+	}
+	return st, id, nil
+}
+
+// ListGenerations returns the generation ids present under root, sorted
+// ascending. Directories that merely resemble generations (unparsable
+// suffix) are ignored.
+func ListGenerations(root string) ([]int, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), genPrefix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(e.Name(), genPrefix))
+		if err != nil || id < 1 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// RemoveGeneration deletes a retired generation directory. The live
+// generation is refused — flip CURRENT first. This is the GC hook the
+// serve subsystem calls after a swap drains.
+func RemoveGeneration(root string, id int) error {
+	if cur, err := CurrentGeneration(root); err == nil && cur == id {
+		return fmt.Errorf("blockstore: refusing to remove live generation %d", id)
+	}
+	return os.RemoveAll(GenDir(root, id))
+}

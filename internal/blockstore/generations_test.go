@@ -1,0 +1,164 @@
+package blockstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func writeGen(t *testing.T, root string, id, blocks int) *Store {
+	t.Helper()
+	spec := workload.Fig3(300, int64(id))
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % blocks
+	}
+	st, err := WriteGeneration(root, id, spec.Table, bids, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestGenerationLifecycle(t *testing.T) {
+	root := t.TempDir()
+	writeGen(t, root, 1, 3)
+	if err := SetCurrent(root, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, id, err := OpenCurrent(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || st.NumBlocks() != 3 {
+		t.Fatalf("gen=%d blocks=%d", id, st.NumBlocks())
+	}
+	st.Close()
+
+	// Write the next generation beside the live one and flip CURRENT.
+	writeGen(t, root, 2, 5)
+	if err := SetCurrent(root, 2); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ListGenerations(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("generations = %v", ids)
+	}
+	st, id, err = OpenCurrent(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 || st.NumBlocks() != 5 {
+		t.Fatalf("gen=%d blocks=%d", id, st.NumBlocks())
+	}
+	st.Close()
+
+	// GC the retired generation; the live one is protected.
+	if err := RemoveGeneration(root, 2); err == nil {
+		t.Fatal("removing the live generation must be refused")
+	}
+	if err := RemoveGeneration(root, 1); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = ListGenerations(root)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("after GC generations = %v", ids)
+	}
+}
+
+func TestGenerationGuards(t *testing.T) {
+	root := t.TempDir()
+	if _, err := CurrentGeneration(root); err == nil {
+		t.Error("missing CURRENT must error")
+	}
+	if err := SetCurrent(root, 3); err == nil {
+		t.Error("pointing CURRENT at a missing generation must error")
+	}
+	writeGen(t, root, 1, 2)
+	if _, err := WriteGeneration(root, 1, workload.Fig3(10, 1).Table, make([]int, 10), 1); err == nil {
+		t.Error("rewriting an existing generation must error")
+	}
+	if _, err := WriteGeneration(root, 0, workload.Fig3(10, 1).Table, make([]int, 10), 1); err == nil {
+		t.Error("generation 0 must be rejected")
+	}
+	os.WriteFile(filepath.Join(root, currentFile), []byte("banana"), 0o644)
+	if _, err := CurrentGeneration(root); err == nil {
+		t.Error("garbage CURRENT must error")
+	}
+}
+
+func TestOpenDetectsMissingBlockFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(200, 11)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 4
+	}
+	st, err := Write(dir, spec.Table, bids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, st.Blocks[2].File)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil {
+		t.Fatal("open with a missing block file must error")
+	}
+	if !strings.Contains(err.Error(), "block 2") || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error does not name the missing block: %v", err)
+	}
+}
+
+func TestOpenDetectsStaleBlockFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(100, 12)
+	if _, err := Write(dir, spec.Table, make([]int, spec.Table.N), 1); err != nil {
+		t.Fatal(err)
+	}
+	// A leftover file from a larger, stale layout of the same directory.
+	if err := os.WriteFile(filepath.Join(dir, "block_000007.qdb"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if err == nil {
+		t.Fatal("open with an undescribed block file must error")
+	}
+	if !strings.Contains(err.Error(), "block_000007.qdb") {
+		t.Errorf("error does not name the stale file: %v", err)
+	}
+}
+
+func TestWriteInPlaceRebuildRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(400, 13)
+	// First layout: 8 blocks.
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 8
+	}
+	if _, err := Write(dir, spec.Table, bids, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild in place with fewer blocks: stale block files must be
+	// cleaned up so the directory still opens.
+	for i := range bids {
+		bids[i] = i % 3
+	}
+	if _, err := Write(dir, spec.Table, bids, 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("rebuilt store must reopen: %v", err)
+	}
+	if st.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", st.NumBlocks())
+	}
+}

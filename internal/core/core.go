@@ -33,6 +33,32 @@ func UnaryCut(p expr.Pred) Cut { return Cut{Pred: p} }
 // AdvancedCut wraps an advanced-cut index as a cut.
 func AdvancedCut(i int) Cut { return Cut{IsAdv: true, Adv: i} }
 
+// ExtractCuts derives the candidate cut set from a workload (Sec. 3.4):
+// all pushed-down unary predicates, de-duplicated, plus one advanced cut
+// per distinct reference. Shared by the qd facade and the serving
+// subsystem's background replanner.
+func ExtractCuts(queries []expr.Query) []Cut {
+	seen := make(map[string]bool)
+	var out []Cut
+	for _, q := range queries {
+		for _, p := range q.Preds() {
+			c := UnaryCut(p)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				out = append(out, c)
+			}
+		}
+		for _, a := range q.AdvRefs() {
+			c := AdvancedCut(a)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
 // Eval evaluates the cut on a row given the tree's advanced-cut table.
 func (c Cut) Eval(row []int64, acs []expr.AdvCut) bool {
 	if c.IsAdv {

@@ -120,8 +120,35 @@ func (s ScanStats) simTime(prof Profile) time.Duration {
 type Result struct {
 	Query string
 	ScanStats
-	SimTime  time.Duration // deterministic cost-model time (see package doc)
-	WallTime time.Duration // measured wall clock of the scan
+	// BlocksTotal / RowsTotal are the store's non-empty block universe —
+	// the denominator of the query's skip rate, surfaced so serving layers
+	// can log per-query layout effectiveness without holding the store.
+	BlocksTotal int
+	RowsTotal   int64
+	SimTime     time.Duration // deterministic cost-model time (see package doc)
+	WallTime    time.Duration // measured wall clock of the scan
+}
+
+// SkipRate is the fraction of the store's rows the query skipped
+// (1 = touched nothing, 0 = full scan) — the per-query form of the
+// paper's accessed-percentage metric, recorded by the serving workload
+// log to detect layout decay.
+func (r Result) SkipRate() float64 {
+	if r.RowsTotal == 0 {
+		return 0
+	}
+	return 1 - float64(r.RowsScanned)/float64(r.RowsTotal)
+}
+
+// storeTotals counts the store's non-empty blocks and their rows.
+func storeTotals(store *blockstore.Store) (blocks int, rows int64) {
+	for _, m := range store.Blocks {
+		if m.Rows > 0 {
+			blocks++
+			rows += int64(m.Rows)
+		}
+	}
+	return blocks, rows
 }
 
 // Mode selects how candidate blocks are pruned.
@@ -278,6 +305,7 @@ func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.
 // the package doc.
 func RunOpts(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (Result, error) {
 	res := Result{Query: q.Name}
+	res.BlocksTotal, res.RowsTotal = storeTotals(store)
 	candidates, err := candidateBlocks(store, layout, q, mode)
 	if err != nil {
 		return res, err
@@ -478,8 +506,9 @@ func RunWorkloadOpts(store *blockstore.Store, layout *cost.Layout, w []expr.Quer
 		res.PhysicalReads += accs[i].reads
 		res.PhysicalBytes += accs[i].bytes
 	}
+	totBlocks, totRows := storeTotals(store)
 	for qi := range merged {
-		r := Result{Query: w[qi].Name, ScanStats: merged[qi]}
+		r := Result{Query: w[qi].Name, ScanStats: merged[qi], BlocksTotal: totBlocks, RowsTotal: totRows}
 		r.SimTime = r.simTime(prof)
 		res.Results[qi] = r
 		res.TotalSimTime += r.SimTime

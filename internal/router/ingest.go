@@ -1,6 +1,7 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -123,17 +124,20 @@ func (in *Ingester) flushLocked(leaf int) error {
 }
 
 // Flush forces all non-empty buffers to disk (call at end of a batch or
-// on shutdown).
+// on shutdown). Every leaf is attempted even if an earlier one fails; the
+// returned error joins each per-leaf failure, so a partial flush reports
+// exactly which leaves kept their buffers.
 func (in *Ingester) Flush() error {
+	var errs []error
 	for leaf := range in.buffers {
 		in.mu[leaf].Lock()
 		err := in.flushLocked(leaf)
 		in.mu[leaf].Unlock()
 		if err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("router: flush leaf %d: %w", leaf, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Segments returns the flushed segment catalog (copy).

@@ -1,8 +1,14 @@
 package router
 
 import (
+	"os"
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/workload"
 )
 
 func TestIngesterFlushesSegments(t *testing.T) {
@@ -140,5 +146,45 @@ func TestIngesterSegmentsSurviveReopen(t *testing.T) {
 	}
 	if got.N == 0 {
 		t.Fatal("segment read back empty")
+	}
+}
+
+func TestFlushAggregatesPerLeafErrors(t *testing.T) {
+	// A hand-built 4-leaf tree guarantees several leaves hold buffered rows.
+	spec := workload.Fig3(1000, 1)
+	tree := core.NewTree(spec.Table.Schema, spec.ACs)
+	l, r := tree.Split(tree.Root, core.UnaryCut(expr.Pred{Col: 0, Op: expr.Lt, Literal: 50}))
+	tree.Split(l, core.UnaryCut(expr.Pred{Col: 1, Op: expr.Lt, Literal: 5000}))
+	tree.Split(r, core.UnaryCut(expr.Pred{Col: 1, Op: expr.Lt, Literal: 5000}))
+	dir := t.TempDir()
+	// Segment threshold above any leaf's row count: everything stays
+	// buffered until Flush.
+	in, err := NewIngester(tree, dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Ingest(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for leaf := range in.buffers {
+		if in.buffers[leaf].N > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("test needs >= 2 buffered leaves, have %d", nonEmpty)
+	}
+	// Yank the directory: every per-leaf segment write now fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	err = in.Flush()
+	if err == nil {
+		t.Fatal("flush into a removed directory must error")
+	}
+	// The error must report every failed leaf, not just the first.
+	if got := strings.Count(err.Error(), "router: flush leaf"); got != nonEmpty {
+		t.Errorf("error reports %d leaves, want %d: %v", got, nonEmpty, err)
 	}
 }

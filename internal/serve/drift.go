@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/expr"
+)
+
+// Report is the outcome of one drift check: the estimated scan cost of
+// the live layout vs a freshly replanned candidate over the logged window,
+// and what the server did about it.
+type Report struct {
+	// Window is the number of logged queries the check replanned.
+	Window int `json:"window"`
+	// LiveFraction / CandidateFraction are the estimated accessed
+	// fractions (Table 2 metric: scanned tuples / window·|table|) of the
+	// live and candidate layouts over the window.
+	LiveFraction      float64 `json:"live_fraction"`
+	CandidateFraction float64 `json:"candidate_fraction"`
+	// Improvement is the relative cost reduction the candidate offers:
+	// (live - candidate) / live. 0 when the live layout scans nothing.
+	Improvement float64 `json:"improvement"`
+	// Threshold is the configured minimum improvement for a swap.
+	Threshold float64 `json:"threshold"`
+	// Swapped reports whether the candidate was materialized and hot-swapped.
+	Swapped bool `json:"swapped"`
+	// Generation is the live generation after the check.
+	Generation int `json:"generation"`
+	// Reason explains the decision in one line.
+	Reason string `json:"reason"`
+}
+
+// assess compares the live layout against a candidate over a window and
+// decides whether the improvement crosses the threshold. It is pure — the
+// server performs the actual rewrite and swap.
+func assess(live, cand *cost.Layout, w []expr.Query, threshold float64) Report {
+	r := Report{
+		Window:            len(w),
+		LiveFraction:      live.AccessedFraction(w),
+		CandidateFraction: cand.AccessedFraction(w),
+		Threshold:         threshold,
+	}
+	if r.LiveFraction > 0 {
+		r.Improvement = (r.LiveFraction - r.CandidateFraction) / r.LiveFraction
+	}
+	if r.Improvement >= threshold {
+		r.Reason = fmt.Sprintf("candidate cuts estimated scan cost %.1f%% → %.1f%% (%.1f%% better, threshold %.1f%%)",
+			r.LiveFraction*100, r.CandidateFraction*100, r.Improvement*100, threshold*100)
+	} else {
+		r.Reason = fmt.Sprintf("candidate improvement %.1f%% below threshold %.1f%%; keeping live layout",
+			r.Improvement*100, threshold*100)
+	}
+	return r
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTP/JSON surface of a Server, mounted by cmd/qdserve:
+//
+//	POST /query    {"sql": "severity >= 8"}  → per-query scan stats
+//	GET  /stats                              → Stats snapshot
+//	POST /relayout {"force": true|false}     → run one drift-check cycle
+//	GET  /healthz                            → 200 ok
+//
+// /relayout with an empty body forces the cycle (the operator asked for
+// it); pass {"force": false} for a gated check identical to a monitor
+// tick.
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse reports one served query.
+type QueryResponse struct {
+	Query         string  `json:"query"`
+	Generation    int     `json:"generation"`
+	BlocksScanned int     `json:"blocks_scanned"`
+	BlocksTotal   int     `json:"blocks_total"`
+	RowsScanned   int64   `json:"rows_scanned"`
+	RowsMatched   int64   `json:"rows_matched"`
+	BytesRead     int64   `json:"bytes_read"`
+	SkipRate      float64 `json:"skip_rate"`
+	SimTimeNS     int64   `json:"sim_time_ns"`
+	WallTimeNS    int64   `json:"wall_time_ns"`
+}
+
+// RelayoutRequest is the POST /relayout body. An empty body means force.
+type RelayoutRequest struct {
+	Force *bool `json:"force"`
+}
+
+// Handler mounts the server's HTTP/JSON API.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.SQL == "" {
+			httpErr(w, http.StatusBadRequest, `body needs {"sql": "..."}`)
+			return
+		}
+		q, err := s.ParseSQL(req.SQL)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		start := time.Now()
+		res, err := s.Query(q)
+		if err != nil {
+			// Parsing succeeded; a failure here is an execution/storage
+			// fault on our side, not the client's.
+			httpErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, QueryResponse{
+			Query:         res.Query,
+			Generation:    res.Generation,
+			BlocksScanned: res.BlocksScanned,
+			BlocksTotal:   res.BlocksTotal,
+			RowsScanned:   res.RowsScanned,
+			RowsMatched:   res.RowsMatched,
+			BytesRead:     res.BytesRead,
+			SkipRate:      res.SkipRate(),
+			SimTimeNS:     int64(res.SimTime),
+			WallTimeNS:    int64(time.Since(start)),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/relayout", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		// Empty body = force; a non-empty body must parse — a mangled
+		// {"force": false} must not silently become an unconditional swap.
+		force := true
+		var req RelayoutRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		} else if req.Force != nil {
+			force = *req.Force
+		}
+		rep, err := s.Relayout(force)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newHTTPFixture(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	tbl := fixtureTable(2000)
+	root := newTestRoot(t, tbl, workloadA())
+	s, err := New(root, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(s))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPQuery(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{SQL: "x >= 100 AND x < 150"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowsMatched != 100 { // 2000 rows cycle 0..999: each value twice
+		t.Fatalf("matched %d, want 100", qr.RowsMatched)
+	}
+	if qr.Generation != 1 || qr.SkipRate <= 0 {
+		t.Fatalf("response = %+v", qr)
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	for _, body := range []any{QueryRequest{}, QueryRequest{SQL: "bogus !!"}, QueryRequest{SQL: "nope > 3"}} {
+		resp := postJSON(t, ts.URL+"/query", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %+v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndRelayout(t *testing.T) {
+	s, ts := newHTTPFixture(t)
+	// Log drifted traffic, then force a cycle over HTTP.
+	for _, q := range workloadB() {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/relayout", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("relayout status %d", resp.StatusCode)
+	}
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped || rep.Generation != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.Swaps != 1 || st.Queries != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Gated relayout right after a swap: window is now well-served.
+	resp3 := postJSON(t, ts.URL+"/relayout", RelayoutRequest{Force: new(bool)})
+	defer resp3.Body.Close()
+	var rep2 Report
+	json.NewDecoder(resp3.Body).Decode(&rep2)
+	if rep2.Swapped {
+		t.Fatalf("gated relayout after swap must not swap again: %+v", rep2)
+	}
+}
+
+func TestHTTPRelayoutMalformedBody(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	resp, err := http.Post(ts.URL+"/relayout", "application/json", bytes.NewReader([]byte(`{"force": fals`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed /relayout body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/greedy"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// ReplanFunc plans a fresh layout for the logged query window over the
+// served table. The returned layout's BIDs must assign every row of tbl.
+// Repeated queries in the window are intentional: a query executed often
+// weighs proportionally more in the replan, exactly as frequency weights
+// the paper's workload cost (Eq. 1).
+type ReplanFunc func(tbl *table.Table, acs []expr.AdvCut, window []expr.Query) (*cost.Layout, error)
+
+// Config tunes a Server. The zero value of every field except Replan is
+// usable; New fills defaults.
+type Config struct {
+	// Profile / Mode / ExecOptions configure physical execution, exactly as
+	// for a standalone engine.
+	Profile     exec.Profile
+	Mode        exec.Mode
+	ExecOptions exec.Options
+	// ACs is the advanced-cut table queries may reference. Queries that
+	// reference cuts beyond it are rejected (the layout's descriptions
+	// carry no metadata for them).
+	ACs []expr.AdvCut
+	// LogCapacity bounds the sliding workload log (default 1024).
+	LogCapacity int
+	// WindowSize is how many logged queries a drift check replans
+	// (default: LogCapacity; an explicit value larger than LogCapacity
+	// grows the log to hold it).
+	WindowSize int
+	// MinWindow is the minimum logged-query count before the background
+	// monitor replans at all (default 16). Forced relayouts ignore it.
+	MinWindow int
+	// MinImprovement is the relative estimated-cost reduction a candidate
+	// must offer before the monitor swaps it in. 0 selects the default of
+	// 0.10 (10%); a negative value means swap on any improvement at all.
+	MinImprovement float64
+	// CheckInterval is the background drift-monitor period; 0 disables the
+	// monitor (drift checks then happen only via Relayout).
+	CheckInterval time.Duration
+	// KeepGenerations is how many retired generations survive GC after a
+	// swap (default 0: only the live generation is kept on disk).
+	KeepGenerations int
+	// Replan plans the candidate layout for a window. Required; see
+	// GreedyReplan for the default strategy.
+	Replan ReplanFunc
+}
+
+func (c *Config) fillDefaults() {
+	if c.Profile.Name == "" {
+		c.Profile = exec.EngineSpark
+	}
+	if c.LogCapacity <= 0 {
+		c.LogCapacity = 1024
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = c.LogCapacity
+	} else if c.WindowSize > c.LogCapacity {
+		// An explicit window must be honored: grow the log to hold it
+		// rather than silently shrinking the drift window.
+		c.LogCapacity = c.WindowSize
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 16
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.10
+	} else if c.MinImprovement < 0 {
+		c.MinImprovement = 0
+	}
+}
+
+// generation binds one immutable on-disk layout version to its in-memory
+// routing metadata.
+type generation struct {
+	id     int
+	store  *blockstore.Store
+	layout *cost.Layout
+}
+
+// Server is the live serving handle: concurrent queries execute against
+// the current generation while the drift monitor replans and swaps
+// generations underneath, with zero failed queries. Create with New,
+// bootstrap a root with Init.
+type Server struct {
+	cfg  Config
+	root string
+	tbl  *table.Table // served rows, block order of the boot generation
+
+	log *Log
+
+	// mu guards the generation handle: queries hold the read lock for the
+	// scan's duration; a swap takes the write lock only for the pointer
+	// flip, after the new generation is fully materialized — so in-flight
+	// queries drain on the old generation and new ones start on the new
+	// one, and the old store is closed only once no reader can hold it.
+	mu     sync.RWMutex
+	gen    *generation
+	closed bool
+
+	// relayoutMu serializes drift checks, rewrites, and Close, so at most
+	// one candidate generation is ever being built.
+	relayoutMu sync.Mutex
+
+	queries    atomic.Uint64
+	swaps      atomic.Uint64
+	lastReport atomic.Pointer[Report]
+	lastErr    atomic.Pointer[string]
+
+	stop        chan struct{}
+	stopOnce    sync.Once
+	monitorDone chan struct{}
+}
+
+// Init bootstraps a generation root: the layout is materialized as
+// generation 1 and CURRENT is pointed at it. The root is then servable by
+// New.
+func Init(root string, tbl *table.Table, l *cost.Layout) error {
+	if _, err := blockstore.WriteGeneration(root, 1, tbl, l.BIDs, l.NumBlocks()); err != nil {
+		return err
+	}
+	return blockstore.SetCurrent(root, 1)
+}
+
+// New opens the live generation under root and starts serving. The table
+// is read back from the generation's blocks and held in memory — it is
+// both the scan substrate's ground truth and the input to background
+// re-layouts. If cfg.CheckInterval > 0 a background drift monitor starts;
+// Close stops it.
+func New(root string, cfg Config) (*Server, error) {
+	if cfg.Replan == nil {
+		return nil, fmt.Errorf("serve: Config.Replan is required (see GreedyReplan)")
+	}
+	cfg.fillDefaults()
+	store, id, err := blockstore.OpenCurrent(root)
+	if err != nil {
+		return nil, err
+	}
+	tbl, bids, err := loadTable(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	layout := cost.NewLayout(genName(id), tbl, bids, store.NumBlocks(), cfg.ACs)
+	s := &Server{
+		cfg:  cfg,
+		root: root,
+		tbl:  tbl,
+		log:  NewLog(cfg.LogCapacity),
+		gen:  &generation{id: id, store: store, layout: layout},
+		stop: make(chan struct{}),
+	}
+	if cfg.CheckInterval > 0 {
+		s.monitorDone = make(chan struct{})
+		go s.monitor(cfg.CheckInterval)
+	}
+	return s, nil
+}
+
+func genName(id int) string { return fmt.Sprintf("gen_%06d", id) }
+
+// loadTable reads every block of a store back into one table, returning
+// the per-row block assignment implied by block order.
+func loadTable(store *blockstore.Store) (*table.Table, []int, error) {
+	total := 0
+	for _, m := range store.Blocks {
+		total += m.Rows
+	}
+	tbl := table.New(store.Schema, total)
+	bids := make([]int, 0, total)
+	for b := range store.Blocks {
+		blk, err := store.ReadBlock(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: load block %d: %w", b, err)
+		}
+		tbl.Concat(blk)
+		for i := 0; i < blk.N; i++ {
+			bids = append(bids, b)
+		}
+	}
+	return tbl, bids, nil
+}
+
+// Schema returns the served table's schema.
+func (s *Server) Schema() *table.Schema { return s.tbl.Schema }
+
+// Rows returns the served row count.
+func (s *Server) Rows() int { return s.tbl.N }
+
+// Generation returns the live generation id.
+func (s *Server) Generation() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen.id
+}
+
+// QueryResult is one served query's scan stats plus the generation that
+// actually served it — which may already be retired by the time the
+// caller reads the result.
+type QueryResult struct {
+	exec.Result
+	Generation int
+}
+
+// Query executes one query against the live generation and records it in
+// the workload log. Safe for concurrent use, including across generation
+// swaps: a query runs entirely on the generation it acquired.
+func (s *Server) Query(q expr.Query) (QueryResult, error) {
+	for _, a := range q.AdvRefs() {
+		if a >= len(s.cfg.ACs) {
+			return QueryResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
+		}
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return QueryResult{}, fmt.Errorf("serve: server is closed")
+	}
+	g := s.gen
+	res, err := exec.RunOpts(g.store, g.layout, q, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions)
+	s.mu.RUnlock()
+	if err != nil {
+		return QueryResult{Result: res, Generation: g.id}, err
+	}
+	s.queries.Add(1)
+	s.log.Record(Entry{
+		Name:       q.Name,
+		Query:      q,
+		Generation: g.id,
+		Blocks:     res.BlocksScanned,
+		Rows:       res.RowsScanned,
+		Matched:    res.RowsMatched,
+		Bytes:      res.BytesRead,
+		SkipRate:   res.SkipRate(),
+		SimTime:    res.SimTime,
+	})
+	return QueryResult{Result: res, Generation: g.id}, nil
+}
+
+// QuerySQL parses one SQL WHERE clause (or full SELECT) against the served
+// schema and executes it. Queries that introduce advanced cuts absent from
+// the server's table are rejected — the live layout has no skipping
+// metadata for them.
+func (s *Server) QuerySQL(sql string) (QueryResult, error) {
+	q, err := s.ParseSQL(sql)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return s.Query(q)
+}
+
+// ParseSQL parses one SQL WHERE clause against the served schema without
+// executing it. Errors here are client faults (malformed SQL, unknown
+// columns, unsupported advanced cuts) — the HTTP layer maps them to 400
+// while execution errors map to 500.
+func (s *Server) ParseSQL(sql string) (expr.Query, error) {
+	p := sqlparse.NewParser(s.tbl.Schema)
+	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
+	q, err := p.Parse(sql)
+	if err != nil {
+		return expr.Query{}, err
+	}
+	if len(p.ACs) > len(s.cfg.ACs) {
+		return expr.Query{}, fmt.Errorf("serve: query %q introduces an advanced cut the server was not configured with", sql)
+	}
+	if q.Name == "" {
+		q.Name = sql
+	}
+	return q, nil
+}
+
+// Relayout runs one drift-check cycle synchronously. With force=false it
+// behaves exactly like a background tick: the window must reach MinWindow
+// and the candidate must beat MinImprovement. With force=true both gates
+// are bypassed — the window (whatever is logged) is replanned and the
+// candidate is swapped in unconditionally, which is the POST /relayout
+// escape hatch for operators who know the workload has moved.
+func (s *Server) Relayout(force bool) (Report, error) {
+	s.relayoutMu.Lock()
+	defer s.relayoutMu.Unlock()
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Report{}, fmt.Errorf("serve: server is closed")
+	}
+	live := s.gen
+	s.mu.RUnlock()
+
+	window := s.log.Queries(s.cfg.WindowSize)
+	rep := Report{Window: len(window), Threshold: s.cfg.MinImprovement, Generation: live.id}
+	if len(window) == 0 {
+		rep.Reason = "workload log is empty; nothing to replan"
+		s.finishCheck(rep, nil)
+		return rep, nil
+	}
+	if !force && len(window) < s.cfg.MinWindow {
+		rep.Reason = fmt.Sprintf("window %d below MinWindow %d", len(window), s.cfg.MinWindow)
+		s.finishCheck(rep, nil)
+		return rep, nil
+	}
+
+	cand, err := s.cfg.Replan(s.tbl, s.cfg.ACs, window)
+	if err != nil {
+		rep.Reason = "replan failed"
+		err = fmt.Errorf("serve: replan over %d-query window: %w", len(window), err)
+		s.finishCheck(rep, err)
+		return rep, err
+	}
+	if len(cand.BIDs) != s.tbl.N {
+		rep.Reason = "replan returned a layout for a different table"
+		err = fmt.Errorf("serve: replanned layout assigns %d rows, table has %d", len(cand.BIDs), s.tbl.N)
+		s.finishCheck(rep, err)
+		return rep, err
+	}
+	rep = assess(live.layout, cand, window, s.cfg.MinImprovement)
+	rep.Generation = live.id
+	// A gated swap needs strictly positive improvement even at threshold
+	// 0 ("any improvement"), or a steady workload would rewrite the table
+	// on every tick for an identical candidate.
+	if !force && (rep.Improvement < s.cfg.MinImprovement || rep.Improvement <= 0) {
+		s.finishCheck(rep, nil)
+		return rep, nil
+	}
+	if force {
+		rep.Reason = "forced relayout: " + rep.Reason
+	}
+
+	// Materialize the candidate as the next generation, then flip. The id
+	// skips past any directory already on disk (e.g. a partial write from
+	// a failed cycle), so one bad cycle cannot wedge every later one.
+	newID := live.id + 1
+	if ids, lerr := blockstore.ListGenerations(s.root); lerr == nil {
+		for _, id := range ids {
+			if id >= newID {
+				newID = id + 1
+			}
+		}
+	}
+	cand.Name = genName(newID)
+	store, err := blockstore.WriteGeneration(s.root, newID, s.tbl, cand.BIDs, cand.NumBlocks())
+	if err != nil {
+		rep.Reason = "generation write failed"
+		s.finishCheck(rep, err)
+		return rep, err
+	}
+	if err := blockstore.SetCurrent(s.root, newID); err != nil {
+		store.Close()
+		blockstore.RemoveGeneration(s.root, newID)
+		rep.Reason = "CURRENT flip failed"
+		s.finishCheck(rep, err)
+		return rep, err
+	}
+	next := &generation{id: newID, store: store, layout: cand}
+	s.mu.Lock()
+	old := s.gen
+	s.gen = next
+	s.mu.Unlock()
+	// No new query can acquire old past this point and mu.Lock drained the
+	// in-flight ones, so the old generation can be released and collected.
+	old.store.Close()
+	s.gcGenerations(newID)
+	s.swaps.Add(1)
+	rep.Swapped = true
+	rep.Generation = newID
+	s.finishCheck(rep, nil)
+	return rep, nil
+}
+
+// gcGenerations removes retired generation directories, keeping the live
+// one and the cfg.KeepGenerations most recent retirees.
+func (s *Server) gcGenerations(liveID int) {
+	ids, err := blockstore.ListGenerations(s.root)
+	if err != nil {
+		return
+	}
+	var retired []int
+	for _, id := range ids {
+		if id != liveID {
+			retired = append(retired, id)
+		}
+	}
+	for i := 0; i < len(retired)-s.cfg.KeepGenerations; i++ {
+		blockstore.RemoveGeneration(s.root, retired[i])
+	}
+}
+
+// finishCheck publishes the report for Stats; a successful check clears
+// any error a previous cycle left behind.
+func (s *Server) finishCheck(rep Report, err error) {
+	s.lastReport.Store(&rep)
+	if err != nil {
+		msg := err.Error()
+		s.lastErr.Store(&msg)
+	} else {
+		s.lastErr.Store(nil)
+	}
+}
+
+// monitor is the background drift loop: one no-force Relayout per tick.
+func (s *Server) monitor(interval time.Duration) {
+	defer close(s.monitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Relayout(false) // outcome lands in Stats via finishCheck
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the serving subsystem.
+type Stats struct {
+	Generation     int     `json:"generation"`
+	Rows           int     `json:"rows"`
+	Blocks         int     `json:"blocks"`
+	Queries        uint64  `json:"queries"`
+	Swaps          uint64  `json:"swaps"`
+	Logged         int     `json:"logged"`
+	LogTotal       uint64  `json:"log_total"`
+	WindowSkipRate float64 `json:"window_skip_rate"`
+	LastCheck      *Report `json:"last_check,omitempty"`
+	LastError      string  `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the live counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	gen := s.gen
+	s.mu.RUnlock()
+	st := Stats{
+		Generation:     gen.id,
+		Rows:           s.tbl.N,
+		Blocks:         gen.layout.NumBlocks(),
+		Queries:        s.queries.Load(),
+		Swaps:          s.swaps.Load(),
+		Logged:         s.log.Len(),
+		LogTotal:       s.log.Total(),
+		WindowSkipRate: s.log.MeanSkipRate(s.cfg.WindowSize),
+		LastCheck:      s.lastReport.Load(),
+	}
+	if msg := s.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	return st
+}
+
+// Close stops the drift monitor, waits for in-flight queries and any
+// running relayout to drain, and releases the live generation's store.
+// Idempotent. The monitor is stopped before relayoutMu is taken — taking
+// the lock first would deadlock against a monitor tick blocked on it.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.monitorDone != nil {
+		<-s.monitorDone
+	}
+	s.relayoutMu.Lock()
+	defer s.relayoutMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	gen := s.gen
+	s.mu.Unlock()
+	return gen.store.Close()
+}
+
+// GreedyReplan returns the default replanner: Algorithm 1 (Sec. 4) over
+// the window's extracted cuts, with minBlockSize as b.
+func GreedyReplan(minBlockSize int) ReplanFunc {
+	return func(tbl *table.Table, acs []expr.AdvCut, window []expr.Query) (*cost.Layout, error) {
+		tree, err := greedy.Build(tbl, acs, greedy.Options{
+			MinSize: minBlockSize,
+			Cuts:    core.ExtractCuts(window),
+			Queries: window,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cost.FromTree("greedy", tree, tbl), nil
+	}
+}

@@ -148,27 +148,7 @@ func NewTree(s *Schema, acs []AdvCut) *Tree { return core.NewTree(s, acs) }
 // ExtractCuts derives the candidate cut set from a workload (Sec. 3.4):
 // all pushed-down unary predicates, de-duplicated, plus one advanced cut
 // per distinct reference.
-func ExtractCuts(queries []Query) []Cut {
-	seen := make(map[string]bool)
-	var out []Cut
-	for _, q := range queries {
-		for _, p := range q.Preds() {
-			c := core.UnaryCut(p)
-			if !seen[c.Key()] {
-				seen[c.Key()] = true
-				out = append(out, c)
-			}
-		}
-		for _, a := range q.AdvRefs() {
-			c := core.AdvancedCut(a)
-			if !seen[c.Key()] {
-				seen[c.Key()] = true
-				out = append(out, c)
-			}
-		}
-	}
-	return out
-}
+func ExtractCuts(queries []Query) []Cut { return core.ExtractCuts(queries) }
 
 // ParseWorkload parses SQL WHERE clauses (or full SELECT statements) into
 // queries plus the advanced-cut table discovered during parsing.

@@ -1,0 +1,111 @@
+package qd
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Serving re-exports. The serve subsystem closes the loop the paper
+// leaves offline: observe live queries, detect that the deployed layout
+// has drifted away from the workload, replan in the background, and
+// hot-swap the new layout with zero failed queries.
+type (
+	// Server is the online serving handle: concurrent queries execute
+	// against the live layout generation while a background drift monitor
+	// replans the logged workload window and swaps improved generations in.
+	Server = serve.Server
+	// ServerStats is a point-in-time snapshot of the serving counters.
+	ServerStats = serve.Stats
+	// DriftReport is the outcome of one drift-check cycle.
+	DriftReport = serve.Report
+	// ServerResult is one served query's scan stats plus the generation
+	// that served it.
+	ServerResult = serve.QueryResult
+	// WorkloadLogEntry is one logged query execution.
+	WorkloadLogEntry = serve.Entry
+)
+
+// ServeOptions configure NewServer. The zero value serves with the greedy
+// replanner, Spark profile, and drift gates of 16 logged queries / 10%
+// improvement; only Strategy-specific planning knobs usually need setting.
+type ServeOptions struct {
+	// Strategy names the registry planner used for background replans
+	// (default "greedy"). Tree-producing strategies are recommended — the
+	// replanned layout routes queries through frozen leaf descriptions.
+	Strategy string
+	// Plan configures each background replan. MinBlockSize 0 defaults to
+	// table rows / 64 at replan time.
+	Plan PlanOptions
+	// ACs is the advanced-cut table served queries may reference.
+	ACs []AdvCut
+	// Profile / Mode / Exec configure physical execution (default
+	// EngineSpark, RouteQdTree).
+	Profile EngineProfile
+	Mode    ExecMode
+	Exec    ExecOptions
+	// LogCapacity / WindowSize / MinWindow / MinImprovement /
+	// CheckInterval / KeepGenerations tune the workload log and drift
+	// monitor; see serve.Config for semantics and defaults.
+	// MinImprovement 0 selects the default of 0.10; negative means swap
+	// on any improvement.
+	LogCapacity     int
+	WindowSize      int
+	MinWindow       int
+	MinImprovement  float64
+	CheckInterval   time.Duration
+	KeepGenerations int
+}
+
+// InitServing bootstraps a generation root from a planned layout: the
+// plan's blocks become generation 1 and CURRENT points at it. The root is
+// then servable by NewServer (and by cmd/qdserve).
+func InitServing(root string, tbl *Table, plan *Plan) error {
+	if plan == nil || plan.Layout == nil {
+		return fmt.Errorf("qd: InitServing needs a plan with a layout")
+	}
+	return serve.Init(root, tbl, plan.Layout)
+}
+
+// NewServer opens the live generation under root and starts serving, with
+// background replans driven by the named registry strategy.
+func NewServer(root string, opt ServeOptions) (*Server, error) {
+	strategy := opt.Strategy
+	if strategy == "" {
+		strategy = "greedy"
+	}
+	planner, err := NewPlanner(strategy)
+	if err != nil {
+		return nil, err
+	}
+	replan := func(tbl *Table, acs []AdvCut, window []Query) (*Layout, error) {
+		popt := opt.Plan
+		if popt.MinBlockSize < 1 {
+			popt.MinBlockSize = max(1, tbl.N/64)
+		}
+		plan, err := planner.Plan(NewDataset(nil, tbl).WithQueries(window, acs), popt)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Layout, nil
+	}
+	return serve.New(root, serve.Config{
+		Profile:         opt.Profile,
+		Mode:            opt.Mode,
+		ExecOptions:     opt.Exec,
+		ACs:             opt.ACs,
+		LogCapacity:     opt.LogCapacity,
+		WindowSize:      opt.WindowSize,
+		MinWindow:       opt.MinWindow,
+		MinImprovement:  opt.MinImprovement,
+		CheckInterval:   opt.CheckInterval,
+		KeepGenerations: opt.KeepGenerations,
+		Replan:          replan,
+	})
+}
+
+// ServerHandler mounts a Server's HTTP/JSON API (POST /query, GET /stats,
+// POST /relayout, GET /healthz) — the surface cmd/qdserve exposes.
+func ServerHandler(s *Server) http.Handler { return serve.Handler(s) }

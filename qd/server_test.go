@@ -1,0 +1,82 @@
+package qd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// serverFixture plans a layout for a low-range workload and boots a
+// serving root; high-range SQL then drifts the log.
+func serverFixture(t *testing.T) (*Server, []string) {
+	t.Helper()
+	schema := MustSchema([]Column{{Name: "x", Kind: Numeric, Min: 0, Max: 999}})
+	tbl := NewTable(schema, 4000)
+	for i := 0; i < 4000; i++ {
+		tbl.AppendRow([]int64{int64(i % 1000)})
+	}
+	var lowSQL, highSQL []string
+	for i := 0; i < 4; i++ {
+		lowSQL = append(lowSQL, fmt.Sprintf("x >= %d AND x < %d", i*50, i*50+50))
+		highSQL = append(highSQL, fmt.Sprintf("x >= %d AND x < %d", 800+i*50, 850+i*50))
+	}
+	ds, err := NewDataset(schema, tbl).WithWorkload(lowSQL...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := GreedyPlanner{}.Plan(ds, PlanOptions{MinBlockSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := InitServing(root, tbl, plan); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(root, ServeOptions{
+		Plan:      PlanOptions{MinBlockSize: 100},
+		MinWindow: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, highSQL
+}
+
+func TestServerFacadeDriftLoop(t *testing.T) {
+	srv, highSQL := serverFixture(t)
+	for _, sql := range highSQL {
+		res, err := srv.QuerySQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsMatched != 200 { // 4000 rows cycle 0..999: 50-wide band = 200
+			t.Fatalf("%s matched %d, want 200", sql, res.RowsMatched)
+		}
+	}
+	rep, err := srv.Relayout(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped || srv.Generation() != 2 {
+		t.Fatalf("drifted SQL workload must swap via the registry replanner: %+v", rep)
+	}
+	if rep.CandidateFraction >= rep.LiveFraction {
+		t.Fatalf("candidate %.3f vs live %.3f", rep.CandidateFraction, rep.LiveFraction)
+	}
+	st := srv.Stats()
+	if st.Swaps != 1 || st.Generation != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNewServerUnknownStrategy(t *testing.T) {
+	if _, err := NewServer(t.TempDir(), ServeOptions{Strategy: "nope"}); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+}
+
+func TestInitServingValidation(t *testing.T) {
+	if err := InitServing(t.TempDir(), nil, nil); err == nil {
+		t.Fatal("nil plan must error")
+	}
+}
