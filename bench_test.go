@@ -543,6 +543,61 @@ func BenchmarkSharedReadSpeedup(b *testing.B) {
 	b.ReportMetric(float64(seqWall)/float64(batchWall+1), "speedup_x")
 }
 
+// BenchmarkCompressedScanSpeedup compares block format v1 (plain) against
+// v2 (encoded) on the categorical-heavy ErrorLog-Int workload: wall clock
+// of a full batched scan of each store, plus the on-disk compression ratio
+// and modeled (SimTime, encoded-byte-charged) speedup as metrics.
+func BenchmarkCompressedScanSpeedup(b *testing.B) {
+	spec := getELInt()
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 64})
+	v1Store, err := qd.WriteStore(b.TempDir(), spec.Table, plan.Layout, qd.StoreOptions{FormatVersion: qd.StoreFormatV1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2Store, err := qd.WriteStore(b.TempDir(), spec.Table, plan.Layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v1Eng, err := qd.NewEngine(v1Store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1, ShareReads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v1Eng.Close()
+	v2Eng, err := qd.NewEngine(v2Store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1, ShareReads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v2Eng.Close()
+	var v1Wall, v2Wall time.Duration
+	var v1Sim, v2Sim time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w1, err := v1Eng.Workload(spec.Queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w2, err := v2Eng.Workload(spec.Queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for qi := range w1.Results {
+			if w1.Results[qi].RowsMatched != w2.Results[qi].RowsMatched {
+				b.Fatalf("query %d: counts differ between formats", qi)
+			}
+		}
+		v1Wall += w1.WallTime
+		v2Wall += w2.WallTime
+		v1Sim += w1.TotalSimTime
+		v2Sim += w2.TotalSimTime
+	}
+	b.ReportMetric(v1Store.Sizes().Ratio(), "v1_disk_ratio")
+	b.ReportMetric(v2Store.Sizes().Ratio(), "v2_disk_ratio_x")
+	b.ReportMetric(float64(v1Sim)/float64(v2Sim+1), "sim_speedup_x")
+	b.ReportMetric(float64(v1Wall)/float64(v2Wall+1), "wall_speedup_x")
+	b.ReportMetric(v1Wall.Seconds()/float64(b.N), "v1_wall_s")
+	b.ReportMetric(v2Wall.Seconds()/float64(b.N), "v2_wall_s")
+}
+
 // ---------- micro-benchmarks of the hot paths ----------
 
 func BenchmarkRouteTable(b *testing.B) {

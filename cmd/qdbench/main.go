@@ -16,6 +16,7 @@
 //	qdbench -exp buildtime  Sec. 7.6 layout construction time
 //	qdbench -exp twotree    Sec. 6.3 two-tree replication benefit
 //	qdbench -exp parscan    parallel scan engine: wall-clock speedup sweep
+//	qdbench -exp compress   block format v2: encodings, size, scan speedup
 //	qdbench -exp layout     plan one strategy (-strategy) via the registry
 //	qdbench -exp all        everything above (except layout)
 //
@@ -75,10 +76,11 @@ func main() {
 		"buildtime": expBuildTime,
 		"twotree":   expTwoTree,
 		"parscan":   expParScan,
+		"compress":  expCompress,
 		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress"}
 
 	if *exp == "all" {
 		for _, name := range order {

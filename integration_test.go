@@ -232,3 +232,56 @@ func TestSerializedTreePrunesIdentically(t *testing.T) {
 		}
 	}
 }
+
+// TestCompressedFormatAcceptance pins the block-format-v2 acceptance bar
+// on the categorical-heavy ErrorLog-Int demo workload: at least 2x
+// on-disk size reduction versus the v1 plain format and at least 1.5x
+// modeled scan-throughput (SimTime charges encoded bytes), with
+// bit-identical per-query match counts between the two formats.
+func TestCompressedFormatAcceptance(t *testing.T) {
+	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: itRows, NumQueries: 80, Seed: 7})
+	plan := planIT(t, "greedy", spec, qd.PlanOptions{MinBlockSize: itRows / 64})
+	v1, err := qd.WriteStore(t.TempDir(), spec.Table, plan.Layout, qd.StoreOptions{FormatVersion: qd.StoreFormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := qd.WriteStore(t.TempDir(), spec.Table, plan.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := v1.Sizes(), v2.Sizes()
+	if s1.EncodedBytes < 2*s2.EncodedBytes {
+		t.Errorf("on-disk reduction %.2fx below the 2x acceptance bar (v1 %d, v2 %d bytes)",
+			float64(s1.EncodedBytes)/float64(s2.EncodedBytes), s1.EncodedBytes, s2.EncodedBytes)
+	}
+	for _, prof := range []qd.EngineProfile{qd.EngineSpark, qd.EngineDBMS} {
+		e1, err := qd.NewEngine(v1, plan, prof, qd.ExecOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := qd.NewEngine(v2, plan, prof, qd.ExecOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1, err := e1.Workload(spec.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := e2.Workload(spec.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w1.Results {
+			if w1.Results[i].RowsMatched != w2.Results[i].RowsMatched {
+				t.Fatalf("%s: query %d counts differ between formats: v1 %d, v2 %d",
+					prof.Name, i, w1.Results[i].RowsMatched, w2.Results[i].RowsMatched)
+			}
+		}
+		if speedup := float64(w1.TotalSimTime) / float64(w2.TotalSimTime+1); speedup < 1.5 {
+			t.Errorf("%s: modeled scan speedup %.2fx below the 1.5x acceptance bar (v1 %v, v2 %v)",
+				prof.Name, speedup, w1.TotalSimTime, w2.TotalSimTime)
+		}
+		e1.Close()
+		e2.Close()
+	}
+}

@@ -3,6 +3,24 @@
 // in for the paper's Parquet files / commercial columnar format (Sec. 7.1).
 // Each leaf (or baseline block) becomes one file; a JSON catalog records
 // block metadata so a store can be reopened without scanning.
+//
+// # Block formats
+//
+// Two on-disk formats coexist:
+//
+//   - Format v1 ("QDB1"): plain fixed-width int64 columns. The original
+//     format; still written on request and always readable.
+//   - Format v2 ("QDB2", the default for new writes): each column is
+//     stored in the cheapest of four encodings chosen at write time
+//     (PLAIN, FOR bit-packing, DICT-code bit-packing, RLE — see
+//     encoding.go), behind a per-block column directory. The catalog
+//     (version 2) records every column's encoding and encoded size, so
+//     readers position-read exactly the bytes they need and cost models
+//     can compare encoded against logical footprints.
+//
+// Open detects the catalog version and serves either format through the
+// same Store API: ReadColVecs hands encoded columns to the vectorized
+// filter kernels, ReadColumns decodes to plain int64 slices.
 package blockstore
 
 import (
@@ -16,10 +34,45 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cost"
 	"repro/internal/table"
 )
 
-const magic = "QDB1"
+const (
+	magicV1 = "QDB1"
+	magicV2 = "QDB2"
+)
+
+// Store format versions, persisted as the catalog "version" field.
+const (
+	FormatV1 = 1
+	FormatV2 = 2
+)
+
+// WriteOptions tune how a store is materialized.
+type WriteOptions struct {
+	// FormatVersion selects the on-disk block format: FormatV2 (the
+	// default, selected by 0) writes per-column encodings; FormatV1 writes
+	// the legacy plain fixed-width layout.
+	FormatVersion int
+	// PlainOnly keeps the v2 container but forces every column to the
+	// PLAIN encoding — useful for isolating encoding effects in benchmarks.
+	PlainOnly bool
+}
+
+func (o WriteOptions) version() int {
+	if o.FormatVersion == 0 {
+		return FormatV2
+	}
+	return o.FormatVersion
+}
+
+// ColMeta is the catalog entry for one encoded column of one block
+// (format v2 only; v1 catalogs carry no per-column entries).
+type ColMeta struct {
+	Enc   Encoding `json:"enc"`
+	Bytes int64    `json:"bytes"` // encoded payload size on disk
+}
 
 // BlockMeta is the catalog entry for one block.
 type BlockMeta struct {
@@ -29,6 +82,8 @@ type BlockMeta struct {
 	Bytes int64   `json:"bytes"`
 	Min   []int64 `json:"min"`
 	Max   []int64 `json:"max"`
+	// Cols describes each column's encoding and encoded size (v2 only).
+	Cols []ColMeta `json:"cols,omitempty"`
 }
 
 // Store is an opened block directory. Reads are safe for concurrent use:
@@ -39,6 +94,9 @@ type Store struct {
 	Dir    string
 	Schema *table.Schema
 	Blocks []BlockMeta
+	// Format is the block format version (FormatV1 or FormatV2). The zero
+	// value reads as v1 for compatibility with directly constructed stores.
+	Format int
 
 	// MaxOpenFiles caps the cached-handle count (0 selects a default of
 	// 128). Blocks beyond the cap fall back to transient open-read-close,
@@ -76,9 +134,19 @@ type catCol struct {
 	Dict []string `json:"dict,omitempty"` // categorical dictionary, so reopened stores parse string literals
 }
 
-// Write materializes a partitioned table: rows are grouped by block ID and
-// each block is written as one columnar file. Empty blocks get no file.
+// Write materializes a partitioned table in the default format (v2): rows
+// are grouped by block ID and each block is written as one columnar file
+// with per-column encodings. Empty blocks get no file.
 func Write(dir string, tbl *table.Table, bids []int, numBlocks int) (*Store, error) {
+	return WriteOpts(dir, tbl, bids, numBlocks, WriteOptions{})
+}
+
+// WriteOpts is Write with explicit format options.
+func WriteOpts(dir string, tbl *table.Table, bids []int, numBlocks int, opt WriteOptions) (*Store, error) {
+	version := opt.version()
+	if version != FormatV1 && version != FormatV2 {
+		return nil, fmt.Errorf("blockstore: unsupported write format version %d", version)
+	}
 	if len(bids) != tbl.N {
 		return nil, fmt.Errorf("blockstore: %d assignments for %d rows", len(bids), tbl.N)
 	}
@@ -92,13 +160,18 @@ func Write(dir string, tbl *table.Table, bids []int, numBlocks int) (*Store, err
 		}
 		perBlock[b] = append(perBlock[b], r)
 	}
-	st := &Store{Dir: dir, Schema: tbl.Schema}
+	st := &Store{Dir: dir, Schema: tbl.Schema, Format: version}
 	for b, rows := range perBlock {
 		meta := BlockMeta{ID: b, Rows: len(rows)}
 		if len(rows) > 0 {
 			meta.File = fmt.Sprintf("block_%06d.qdb", b)
+			path := filepath.Join(dir, meta.File)
 			var err error
-			meta.Bytes, meta.Min, meta.Max, err = writeBlock(filepath.Join(dir, meta.File), tbl, rows)
+			if version == FormatV2 {
+				meta.Bytes, meta.Min, meta.Max, meta.Cols, err = writeBlockV2(path, tbl, rows, opt.PlainOnly)
+			} else {
+				meta.Bytes, meta.Min, meta.Max, err = writeBlockV1(path, tbl, rows)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +211,7 @@ func removeStaleBlockFiles(dir string, blocks []BlockMeta) error {
 	return nil
 }
 
-func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []int64, error) {
+func writeBlockV1(path string, tbl *table.Table, rows []int) (int64, []int64, []int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, nil, nil, err
@@ -146,7 +219,7 @@ func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []in
 	defer f.Close()
 	w := bufio.NewWriterSize(f, 1<<16)
 	ncols := tbl.Schema.NumCols()
-	if _, err := w.WriteString(magic); err != nil {
+	if _, err := w.WriteString(magicV1); err != nil {
 		return 0, nil, nil, err
 	}
 	hdr := make([]byte, 8)
@@ -189,8 +262,92 @@ func writeBlock(path string, tbl *table.Table, rows []int) (int64, []int64, []in
 	return info.Size(), mins, maxs, nil
 }
 
+// v2HeaderSize is the fixed block header: magic + shape + per-column
+// min/max + per-column directory entry (encoding byte + payload size).
+func v2HeaderSize(ncols int) int64 { return int64(12 + (16+9)*ncols) }
+
+// writeBlockV2 writes one block in format v2: header, per-column min/max,
+// a column directory (encoding + payload bytes), then the concatenated
+// encoded payloads.
+func writeBlockV2(path string, tbl *table.Table, rows []int, plainOnly bool) (int64, []int64, []int64, []ColMeta, error) {
+	ncols := tbl.Schema.NumCols()
+	mins := make([]int64, ncols)
+	maxs := make([]int64, ncols)
+	metas := make([]ColMeta, ncols)
+	payloads := make([][]byte, ncols)
+	vals := make([]int64, len(rows))
+	for c := 0; c < ncols; c++ {
+		col := tbl.Cols[c]
+		for i, r := range rows {
+			vals[i] = col[r]
+		}
+		lo, hi, _ := tbl.MinMax(c, rows)
+		mins[c], maxs[c] = lo, hi
+		var enc Encoding
+		var payload []byte
+		if plainOnly {
+			payload = make([]byte, 8*len(vals))
+			for i, v := range vals {
+				binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
+			}
+		} else {
+			enc, payload = encodeColumn(vals, tbl.Schema.Cols[c].Kind)
+		}
+		metas[c] = ColMeta{Enc: enc, Bytes: int64(len(payload))}
+		payloads[c] = payload
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.WriteString(magicV2); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ncols))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(rows)))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	buf := make([]byte, 16)
+	for c := 0; c < ncols; c++ {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(mins[c]))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(maxs[c]))
+		if _, err := w.Write(buf); err != nil {
+			return 0, nil, nil, nil, err
+		}
+	}
+	for c := 0; c < ncols; c++ {
+		buf[0] = byte(metas[c].Enc)
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(metas[c].Bytes))
+		if _, err := w.Write(buf[:9]); err != nil {
+			return 0, nil, nil, nil, err
+		}
+	}
+	for c := 0; c < ncols; c++ {
+		if _, err := w.Write(payloads[c]); err != nil {
+			return 0, nil, nil, nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	return info.Size(), mins, maxs, metas, nil
+}
+
 func (s *Store) writeCatalog() error {
-	cat := catalogJSON{Version: 1, Blocks: s.Blocks}
+	version := s.Format
+	if version == 0 {
+		version = FormatV1
+	}
+	cat := catalogJSON{Version: version, Blocks: s.Blocks}
 	for _, c := range s.Schema.Cols {
 		cat.Columns = append(cat.Columns, catCol{Name: c.Name, Kind: int(c.Kind), Dom: c.Dom, Min: c.Min, Max: c.Max, Dict: c.Dict})
 	}
@@ -201,12 +358,12 @@ func (s *Store) writeCatalog() error {
 	return os.WriteFile(filepath.Join(s.Dir, "catalog.json"), data, 0o644)
 }
 
-// Open reopens a store from its catalog. The catalog is validated against
-// the block files actually present in the directory: a non-empty block
-// whose file is missing, or a block file the catalog does not describe,
-// fails with an error naming the discrepancy — a half-deleted or stale
-// generation directory must not open as a smaller store and silently drop
-// rows.
+// Open reopens a store from its catalog (format v1 or v2). The catalog is
+// validated against the block files actually present in the directory: a
+// non-empty block whose file is missing, or a block file the catalog does
+// not describe, fails with an error naming the discrepancy — a
+// half-deleted or stale generation directory must not open as a smaller
+// store and silently drop rows.
 func Open(dir string) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
 	if err != nil {
@@ -216,7 +373,7 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return nil, fmt.Errorf("blockstore: decode catalog: %w", err)
 	}
-	if cat.Version != 1 {
+	if cat.Version != FormatV1 && cat.Version != FormatV2 {
 		return nil, fmt.Errorf("blockstore: unsupported catalog version %d", cat.Version)
 	}
 	if err := validateBlockFiles(dir, cat.Blocks); err != nil {
@@ -230,7 +387,14 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks}, nil
+	if cat.Version == FormatV2 {
+		for _, m := range cat.Blocks {
+			if m.Rows > 0 && len(m.Cols) != len(cols) {
+				return nil, fmt.Errorf("blockstore: v2 catalog block %d describes %d columns, schema has %d", m.ID, len(m.Cols), len(cols))
+			}
+		}
+	}
+	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks, Format: cat.Version}, nil
 }
 
 // validateBlockFiles cross-checks the catalog's block list against the
@@ -264,6 +428,17 @@ func validateBlockFiles(dir string, blocks []BlockMeta) error {
 // NumBlocks returns the block count (including empty blocks).
 func (s *Store) NumBlocks() int { return len(s.Blocks) }
 
+// isV2 reports whether the store reads format v2 blocks.
+func (s *Store) isV2() bool { return s.Format >= FormatV2 }
+
+// magic returns the block-file magic the store's format requires.
+func (s *Store) magic() string {
+	if s.isV2() {
+		return magicV2
+	}
+	return magicV1
+}
+
 // openValidated opens block b's file and validates its header, returning
 // the handle and the block's (ncols, nrows) shape.
 func (s *Store) openValidated(b int) (*os.File, int, int, error) {
@@ -277,9 +452,9 @@ func (s *Store) openValidated(b int) (*os.File, int, int, error) {
 		f.Close()
 		return nil, 0, 0, fmt.Errorf("blockstore: block %d header: %w", b, err)
 	}
-	if string(hdr[:4]) != magic {
+	if string(hdr[:4]) != s.magic() {
 		f.Close()
-		return nil, 0, 0, fmt.Errorf("blockstore: block %d bad magic %q", b, hdr[:4])
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d bad magic %q (want %q)", b, hdr[:4], s.magic())
 	}
 	ncols := int(binary.LittleEndian.Uint32(hdr[4:8]))
 	nrows := int(binary.LittleEndian.Uint32(hdr[8:12]))
@@ -368,48 +543,171 @@ func (s *Store) Close() error {
 	return first
 }
 
-// ReadColumns reads the given columns of block b (all columns when cols is
-// nil). Unrequested columns return nil slices — the columnar-pruning path
-// of the DBMS engine profile. bytesRead reports I/O volume for the cost
-// model.
-func (s *Store) ReadColumns(b int, cols []int) (data [][]int64, rows int, bytesRead int64, err error) {
-	f, ncols, nrows, release, err := s.readerAt(b)
-	if err != nil || f == nil {
-		return nil, 0, 0, err
-	}
-	defer release()
+// wantCols expands a column selection (nil = all) into a per-column flag
+// slice, validating indices.
+func wantCols(cols []int, ncols int) ([]bool, error) {
 	want := make([]bool, ncols)
 	if cols == nil {
 		for i := range want {
 			want[i] = true
 		}
-	} else {
-		for _, c := range cols {
-			if c < 0 || c >= ncols {
-				return nil, 0, 0, fmt.Errorf("blockstore: column %d out of range", c)
-			}
-			want[c] = true
-		}
+		return want, nil
 	}
-	data = make([][]int64, ncols)
-	base := int64(12 + 16*ncols) // header + per-column min/max
-	buf := make([]byte, 8*nrows)
+	for _, c := range cols {
+		if c < 0 || c >= ncols {
+			return nil, fmt.Errorf("blockstore: column %d out of range", c)
+		}
+		want[c] = true
+	}
+	return want, nil
+}
+
+// ReadColVecs reads the given columns of block b (all when cols is nil) in
+// their on-disk encoding, ready for the vectorized filter kernels.
+// Unrequested columns are nil entries. bytesRead is the encoded I/O volume
+// — for a v2 store this is what the column actually occupies on disk, the
+// quantity engine profiles charge ByteCost against.
+func (s *Store) ReadColVecs(b int, cols []int) (vecs []*ColVec, rows int, bytesRead int64, err error) {
+	f, ncols, nrows, release, err := s.readerAt(b)
+	if err != nil || f == nil {
+		return nil, 0, 0, err
+	}
+	defer release()
+	want, err := wantCols(cols, ncols)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	vecs = make([]*ColVec, ncols)
+	if !s.isV2() {
+		base := int64(12 + 16*ncols) // header + per-column min/max
+		for c := 0; c < ncols; c++ {
+			if !want[c] {
+				continue
+			}
+			buf := make([]byte, 8*nrows)
+			if _, err := f.ReadAt(buf, base+int64(c)*int64(8*nrows)); err != nil {
+				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+			}
+			vecs[c] = &ColVec{Enc: EncPlain, N: nrows, raw: buf}
+			bytesRead += int64(8 * nrows)
+		}
+		return vecs, nrows, bytesRead, nil
+	}
+	metas := s.Blocks[b].Cols
+	if len(metas) != ncols {
+		return nil, 0, 0, fmt.Errorf("blockstore: block %d catalog describes %d columns, file has %d", b, len(metas), ncols)
+	}
+	off := v2HeaderSize(ncols)
 	for c := 0; c < ncols; c++ {
-		if !want[c] {
-			continue
+		n := metas[c].Bytes
+		if want[c] {
+			// Slack bytes beyond the payload let packed kernels issue
+			// unaligned 8-byte loads at any in-range bit offset.
+			buf := make([]byte, n+packSlack)
+			if _, err := f.ReadAt(buf[:n], off); err != nil {
+				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+			}
+			vecs[c], err = parseColVec(metas[c].Enc, nrows, buf[:n])
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+			}
+			bytesRead += n
 		}
-		off := base + int64(c)*int64(8*nrows)
-		if _, err := f.ReadAt(buf, off); err != nil {
-			return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+		off += n
+	}
+	return vecs, nrows, bytesRead, nil
+}
+
+// ReadColumns reads the given columns of block b (all columns when cols is
+// nil), decoded to plain int64 slices. Unrequested columns return nil
+// slices — the columnar-pruning path of the DBMS engine profile. bytesRead
+// reports encoded I/O volume for the cost model.
+func (s *Store) ReadColumns(b int, cols []int) (data [][]int64, rows int, bytesRead int64, err error) {
+	vecs, nrows, bytesRead, err := s.ReadColVecs(b, cols)
+	if err != nil || vecs == nil {
+		return nil, 0, 0, err
+	}
+	data = make([][]int64, len(vecs))
+	for c, v := range vecs {
+		if v != nil {
+			data[c] = v.Decode(nil)
 		}
-		col := make([]int64, nrows)
-		for r := 0; r < nrows; r++ {
-			col[r] = int64(binary.LittleEndian.Uint64(buf[8*r : 8*r+8]))
-		}
-		data[c] = col
-		bytesRead += int64(8 * nrows)
 	}
 	return data, nrows, bytesRead, nil
+}
+
+// ColBytes returns the encoded on-disk size of the given columns of block
+// b (nil = all). For v1 stores this is the logical 8 bytes per value.
+func (s *Store) ColBytes(b int, cols []int) int64 {
+	m := s.Blocks[b]
+	if m.Rows == 0 {
+		return 0
+	}
+	if !s.isV2() || len(m.Cols) == 0 {
+		n := len(cols)
+		if cols == nil {
+			n = s.Schema.NumCols()
+		}
+		return int64(8*m.Rows) * int64(n)
+	}
+	var total int64
+	if cols == nil {
+		for _, cm := range m.Cols {
+			total += cm.Bytes
+		}
+		return total
+	}
+	for _, c := range cols {
+		total += m.Cols[c].Bytes
+	}
+	return total
+}
+
+// Sizes returns the store's total encoded (on-disk payload) and logical
+// (decoded, 8 bytes per value) footprint — the compression headline of
+// qdbench -exp compress.
+func (s *Store) Sizes() cost.SizeStats {
+	var st cost.SizeStats
+	ncols := s.Schema.NumCols()
+	for b, m := range s.Blocks {
+		st.LogicalBytes += int64(8*m.Rows) * int64(ncols)
+		st.EncodedBytes += s.ColBytes(b, nil)
+	}
+	return st
+}
+
+// ColumnStats summarizes one column's encodings and sizes across all
+// blocks of a store.
+type ColumnStats struct {
+	Name  string
+	Kind  table.Kind
+	Encs  map[Encoding]int // blocks using each encoding
+	Sizes cost.SizeStats
+}
+
+// ColumnStats reports per-column encoding choices and encoded vs logical
+// sizes, in schema order.
+func (s *Store) ColumnStats() []ColumnStats {
+	out := make([]ColumnStats, s.Schema.NumCols())
+	for c := range out {
+		out[c] = ColumnStats{Name: s.Schema.Cols[c].Name, Kind: s.Schema.Cols[c].Kind, Encs: make(map[Encoding]int)}
+	}
+	for _, m := range s.Blocks {
+		if m.Rows == 0 {
+			continue
+		}
+		for c := range out {
+			out[c].Sizes.LogicalBytes += int64(8 * m.Rows)
+			if len(m.Cols) > 0 {
+				out[c].Encs[m.Cols[c].Enc]++
+				out[c].Sizes.EncodedBytes += m.Cols[c].Bytes
+			} else {
+				out[c].Encs[EncPlain]++
+				out[c].Sizes.EncodedBytes += int64(8 * m.Rows)
+			}
+		}
+	}
+	return out
 }
 
 // ReadBlock reads a full block back into a table.
@@ -432,7 +730,8 @@ func (s *Store) ReadBlock(b int) (*table.Table, error) {
 // WriteSegment writes one standalone segment file holding the given rows
 // of tbl (nil = all rows). Large leaves are "physically stored as multiple
 // segments on storage" (Sec. 3.1); the online ingester appends segments
-// per leaf as buffers fill.
+// per leaf as buffers fill. Segments use the v1 plain format — they are
+// short-lived spill buffers, rewritten into encoded blocks at re-layout.
 func WriteSegment(path string, tbl *table.Table, rows []int) (int64, error) {
 	if rows == nil {
 		rows = make([]int, tbl.N)
@@ -440,13 +739,13 @@ func WriteSegment(path string, tbl *table.Table, rows []int) (int64, error) {
 			rows[i] = i
 		}
 	}
-	bytes, _, _, err := writeBlock(path, tbl, rows)
+	bytes, _, _, err := writeBlockV1(path, tbl, rows)
 	return bytes, err
 }
 
 // ReadSegment reads a segment written by WriteSegment.
 func ReadSegment(path string, schema *table.Schema) (*table.Table, error) {
-	st := &Store{Dir: "", Schema: schema, Blocks: []BlockMeta{{ID: 0, Rows: -1, File: path}}}
+	st := &Store{Dir: "", Schema: schema, Format: FormatV1, Blocks: []BlockMeta{{ID: 0, Rows: -1, File: path}}}
 	// Rows is unknown; read the header directly.
 	f, err := os.Open(path)
 	if err != nil {
@@ -458,7 +757,7 @@ func ReadSegment(path string, schema *table.Schema) (*table.Table, error) {
 		return nil, fmt.Errorf("blockstore: segment header: %w", err)
 	}
 	f.Close()
-	if string(hdr[:4]) != magic {
+	if string(hdr[:4]) != magicV1 {
 		return nil, fmt.Errorf("blockstore: segment %q bad magic", path)
 	}
 	if int(binary.LittleEndian.Uint32(hdr[4:8])) != schema.NumCols() {

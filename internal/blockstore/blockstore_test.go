@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/table"
 	"repro/internal/workload"
 )
 
@@ -101,12 +102,19 @@ func TestReadColumnsPrunes(t *testing.T) {
 	if rows != 400 || data[0] != nil || data[1] == nil {
 		t.Fatal("column pruning read the wrong columns")
 	}
+	// A pruned read is charged exactly the pruned column's encoded bytes.
+	if want := st.ColBytes(0, []int{1}); bytes1 != want {
+		t.Errorf("pruned read %d bytes, catalog says column 1 is %d", bytes1, want)
+	}
 	_, _, bytes2, err := st.ReadColumns(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bytes1*2 != bytes2 {
-		t.Errorf("pruned read %d bytes, full read %d; want half", bytes1, bytes2)
+	if want := st.ColBytes(0, nil); bytes2 != want {
+		t.Errorf("full read %d bytes, catalog says block is %d", bytes2, want)
+	}
+	if bytes1 >= bytes2 {
+		t.Errorf("pruned read %d bytes, full read %d; pruning must read less", bytes1, bytes2)
 	}
 }
 
@@ -239,6 +247,217 @@ func TestCloseThenReadReopens(t *testing.T) {
 		t.Fatalf("read after close: rows=%d err=%v", rows, err)
 	}
 	st.Close()
+}
+
+// TestV1WriteReadCompat pins the legacy format: a store written with
+// FormatVersion 1 must round-trip through Open and read back the exact
+// rows, with the v1 catalog version and no per-column metadata.
+func TestV1WriteReadCompat(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(600, 11)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 5
+	}
+	st, err := WriteOpts(dir, spec.Table, bids, 5, WriteOptions{FormatVersion: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != FormatV1 {
+		t.Fatalf("written format = %d", st.Format)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Format != FormatV1 {
+		t.Fatalf("reopened format = %d", re.Format)
+	}
+	for _, m := range re.Blocks {
+		if m.Cols != nil {
+			t.Fatalf("v1 block %d carries column metadata", m.ID)
+		}
+	}
+	perBlock := make(map[int][]int)
+	for r, b := range bids {
+		perBlock[b] = append(perBlock[b], r)
+	}
+	for b := 0; b < 5; b++ {
+		blk, err := re.ReadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range perBlock[b] {
+			for c := range spec.Table.Cols {
+				if blk.Cols[c][i] != spec.Table.Cols[c][r] {
+					t.Fatalf("v1 block %d row %d col %d mismatch", b, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestV1V2IdenticalContents writes the same partitioned table in both
+// formats and verifies both stores decode to identical values while the
+// v2 store occupies fewer encoded bytes.
+func TestV1V2IdenticalContents(t *testing.T) {
+	spec := workload.Fig3(1000, 12)
+	bids := make([]int, spec.Table.N)
+	for i := range bids {
+		bids[i] = i % 4
+	}
+	v1, err := WriteOpts(t.TempDir(), spec.Table, bids, 4, WriteOptions{FormatVersion: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Write(t.TempDir(), spec.Table, bids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	defer v2.Close()
+	for b := 0; b < 4; b++ {
+		t1, err := v1.ReadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := v2.ReadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1.N != t2.N {
+			t.Fatalf("block %d: v1 %d rows, v2 %d rows", b, t1.N, t2.N)
+		}
+		for c := range t1.Cols {
+			for r := 0; r < t1.N; r++ {
+				if t1.Cols[c][r] != t2.Cols[c][r] {
+					t.Fatalf("block %d col %d row %d: v1 %d, v2 %d", b, c, r, t1.Cols[c][r], t2.Cols[c][r])
+				}
+			}
+		}
+		if v1.Blocks[b].Min[0] != v2.Blocks[b].Min[0] || v1.Blocks[b].Max[1] != v2.Blocks[b].Max[1] {
+			t.Fatalf("block %d SMA metadata differs across formats", b)
+		}
+	}
+	s1, s2 := v1.Sizes(), v2.Sizes()
+	if s1.LogicalBytes != s2.LogicalBytes {
+		t.Fatalf("logical sizes differ: %d vs %d", s1.LogicalBytes, s2.LogicalBytes)
+	}
+	if s1.EncodedBytes != s1.LogicalBytes {
+		t.Errorf("v1 encoded %d != logical %d", s1.EncodedBytes, s1.LogicalBytes)
+	}
+	if s2.EncodedBytes >= s1.EncodedBytes {
+		t.Errorf("v2 encoded %d bytes, not smaller than v1 %d", s2.EncodedBytes, s1.EncodedBytes)
+	}
+}
+
+// TestColumnStats checks the per-column encoding summary a v2 store
+// reports for qdbench -exp compress.
+func TestColumnStats(t *testing.T) {
+	spec := workload.Fig3(500, 13)
+	st, err := Write(t.TempDir(), spec.Table, make([]int, spec.Table.N), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.ColumnStats()
+	if len(stats) != 2 {
+		t.Fatalf("%d column stats", len(stats))
+	}
+	var total int64
+	for _, cs := range stats {
+		n := 0
+		for _, c := range cs.Encs {
+			n += c
+		}
+		if n != 1 {
+			t.Errorf("column %s: %d encoded blocks, want 1", cs.Name, n)
+		}
+		if cs.Sizes.LogicalBytes != 8*500 {
+			t.Errorf("column %s: logical %d", cs.Name, cs.Sizes.LogicalBytes)
+		}
+		total += cs.Sizes.EncodedBytes
+	}
+	if got := st.Sizes().EncodedBytes; got != total {
+		t.Errorf("store encoded %d != per-column sum %d", got, total)
+	}
+}
+
+// --- WriteSegment / ReadSegment error paths ---
+
+func TestReadSegmentTruncatedHeader(t *testing.T) {
+	spec := workload.Fig3(100, 14)
+	path := filepath.Join(t.TempDir(), "seg.qdb")
+	if _, err := WriteSegment(path, spec.Table, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegment(path, spec.Table.Schema); err == nil {
+		t.Error("truncated header must error")
+	}
+}
+
+func TestReadSegmentTruncatedPayload(t *testing.T) {
+	spec := workload.Fig3(100, 15)
+	path := filepath.Join(t.TempDir(), "seg.qdb")
+	n, err := WriteSegment(path, spec.Table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, n-17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegment(path, spec.Table.Schema); err == nil {
+		t.Error("truncated payload must error")
+	}
+}
+
+func TestReadSegmentBadMagic(t *testing.T) {
+	spec := workload.Fig3(50, 16)
+	path := filepath.Join(t.TempDir(), "seg.qdb")
+	if _, err := WriteSegment(path, spec.Table, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("NOPE"), 0)
+	f.Close()
+	if _, err := ReadSegment(path, spec.Table.Schema); err == nil {
+		t.Error("bad magic must error")
+	}
+}
+
+func TestReadSegmentSchemaMismatch(t *testing.T) {
+	spec := workload.Fig3(50, 17)
+	path := filepath.Join(t.TempDir(), "seg.qdb")
+	if _, err := WriteSegment(path, spec.Table, nil); err != nil {
+		t.Fatal(err)
+	}
+	three := table.MustSchema([]table.Column{
+		{Name: "a", Kind: table.Numeric}, {Name: "b", Kind: table.Numeric}, {Name: "c", Kind: table.Numeric},
+	})
+	if _, err := ReadSegment(path, three); err == nil {
+		t.Error("column-count mismatch must error")
+	}
+}
+
+func TestReadSegmentMissingFile(t *testing.T) {
+	spec := workload.Fig3(10, 18)
+	if _, err := ReadSegment(filepath.Join(t.TempDir(), "absent.qdb"), spec.Table.Schema); err == nil {
+		t.Error("missing segment must error")
+	}
+}
+
+func TestWriteSegmentBadPath(t *testing.T) {
+	spec := workload.Fig3(10, 19)
+	if _, err := WriteSegment(filepath.Join(t.TempDir(), "no", "such", "dir", "seg.qdb"), spec.Table, nil); err == nil {
+		t.Error("unwritable segment path must error")
+	}
 }
 
 func TestHandleCacheCapFallsBackToTransientReads(t *testing.T) {

@@ -30,10 +30,18 @@ func GenDir(root string, id int) string {
 }
 
 // WriteGeneration materializes a partitioned table as generation id under
-// root. The directory must not already exist — generations are immutable
-// once written. The CURRENT pointer is not touched; call SetCurrent after
-// the write (and any validation) succeeds.
+// root, in the default block format (v2). The directory must not already
+// exist — generations are immutable once written. The CURRENT pointer is
+// not touched; call SetCurrent after the write (and any validation)
+// succeeds.
 func WriteGeneration(root string, id int, tbl *table.Table, bids []int, numBlocks int) (*Store, error) {
+	return WriteGenerationOpts(root, id, tbl, bids, numBlocks, WriteOptions{})
+}
+
+// WriteGenerationOpts is WriteGeneration with explicit format options —
+// the hook the serving subsystem uses so online re-layouts rewrite tables
+// into encoded v2 generations (or pinned v1, for staged migrations).
+func WriteGenerationOpts(root string, id int, tbl *table.Table, bids []int, numBlocks int, opt WriteOptions) (*Store, error) {
 	if id < 1 {
 		return nil, fmt.Errorf("blockstore: generation id must be >= 1 (got %d)", id)
 	}
@@ -41,7 +49,7 @@ func WriteGeneration(root string, id int, tbl *table.Table, bids []int, numBlock
 	if _, err := os.Stat(dir); err == nil {
 		return nil, fmt.Errorf("blockstore: generation %d already exists at %s", id, dir)
 	}
-	return Write(dir, tbl, bids, numBlocks)
+	return WriteOpts(dir, tbl, bids, numBlocks, opt)
 }
 
 // SetCurrent atomically points root's CURRENT file at generation id: the

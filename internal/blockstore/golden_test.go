@@ -1,0 +1,137 @@
+package blockstore
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// The golden fixture pins block format v2 on disk: a small store whose
+// bytes are checked into testdata/golden_v2. The test fails if either
+// direction of the format drifts — a reader change that decodes the
+// checked-in bytes differently, or a writer change that no longer
+// produces them — so accidental on-disk format breaks fail CI instead of
+// corrupting readers in the field. Intentional format changes must bump
+// the format version and regenerate the fixture:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/blockstore -run TestGoldenV2
+const goldenDir = "testdata/golden_v2"
+
+// goldenTable regenerates the fixture's source table and block
+// assignment, deterministically. Four columns are shaped to exercise all
+// four encodings; block 3 stays empty.
+func goldenTable() (*table.Table, []int, int) {
+	rng := rand.New(rand.NewSource(99))
+	schema := table.MustSchema([]table.Column{
+		{Name: "wide", Kind: table.Numeric, Min: -1 << 62, Max: 1 << 62},
+		{Name: "app", Kind: table.Categorical, Dom: 16, Dict: []string{
+			"a00", "a01", "a02", "a03", "a04", "a05", "a06", "a07",
+			"a08", "a09", "a10", "a11", "a12", "a13", "a14", "a15"}},
+		{Name: "state", Kind: table.Numeric, Min: 0, Max: 1 << 30},
+		{Name: "delta", Kind: table.Numeric, Min: 0, Max: 1 << 40},
+	})
+	const rows = 150
+	tbl := table.New(schema, rows)
+	// Wide run values keep bit-packing expensive so RLE wins the column.
+	run := int64(7)
+	for i := 0; i < rows; i++ {
+		if i%30 == 29 {
+			run += rng.Int63n(1 << 40)
+		}
+		tbl.AppendRow([]int64{
+			rng.Int63() - rng.Int63(),   // wide spread -> PLAIN
+			rng.Int63n(16),              // dictionary codes -> DICT
+			run,                         // long runs -> RLE
+			1_000_000 + rng.Int63n(512), // narrow range -> FOR
+		})
+	}
+	bids := make([]int, rows)
+	for i := range bids {
+		bids[i] = i % 3
+	}
+	return tbl, bids, 4 // block 3 is empty
+}
+
+func TestGoldenV2Fixture(t *testing.T) {
+	tbl, bids, numBlocks := goldenTable()
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Write(goldenDir, tbl, bids, numBlocks); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("golden fixture regenerated")
+	}
+
+	st, err := Open(goldenDir)
+	if err != nil {
+		t.Fatalf("open golden store (run with UPDATE_GOLDEN=1 to create it): %v", err)
+	}
+	defer st.Close()
+	if st.Format != FormatV2 {
+		t.Fatalf("golden store format = %d, want %d", st.Format, FormatV2)
+	}
+
+	// Reader direction: checked-in bytes must decode to the regenerated
+	// table, block by block.
+	perBlock := make(map[int][]int)
+	for r, b := range bids {
+		perBlock[b] = append(perBlock[b], r)
+	}
+	for b := 0; b < numBlocks; b++ {
+		blk, err := st.ReadBlock(b)
+		if err != nil {
+			t.Fatalf("read golden block %d: %v", b, err)
+		}
+		if blk.N != len(perBlock[b]) {
+			t.Fatalf("golden block %d: %d rows, want %d", b, blk.N, len(perBlock[b]))
+		}
+		for i, r := range perBlock[b] {
+			for c := range tbl.Cols {
+				if blk.Cols[c][i] != tbl.Cols[c][r] {
+					t.Fatalf("golden block %d row %d col %d: decoded %d want %d",
+						b, i, c, blk.Cols[c][i], tbl.Cols[c][r])
+				}
+			}
+		}
+	}
+
+	// The fixture must actually cover all four encodings, or the pin is
+	// weaker than it claims.
+	want := map[string]Encoding{"wide": EncPlain, "app": EncDict, "state": EncRLE, "delta": EncFOR}
+	for c, cs := range st.ColumnStats() {
+		if n := cs.Encs[want[cs.Name]]; n == 0 {
+			t.Errorf("golden column %d (%s): encoding %v never used (%v)", c, cs.Name, want[cs.Name], cs.Encs)
+		}
+	}
+
+	// Writer direction: rewriting the same table must reproduce the
+	// checked-in bytes exactly, catalog included.
+	dir := t.TempDir()
+	if _, err := Write(dir, tbl, bids, numBlocks); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		goldenBytes, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("writer no longer produces %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(goldenBytes, fresh) {
+			t.Errorf("%s: freshly written bytes differ from golden fixture (format drift?)", e.Name())
+		}
+	}
+}

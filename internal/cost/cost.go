@@ -288,6 +288,32 @@ func SMAMayMatch(min, max []int64, q expr.Query) bool {
 	return mayMatch(q, func(c int) (int64, int64) { return min[c], max[c] })
 }
 
+// SizeStats pairs the logical footprint of stored data (decoded, 8 bytes
+// per value) with its encoded on-disk footprint. Block format v2 stores
+// report these per store and per column; the engine profiles charge I/O
+// ByteCost against encoded bytes while CPU RowCost stays a function of
+// logical rows, so the compression ratio translates directly into scan
+// speedup under the cost model.
+type SizeStats struct {
+	LogicalBytes int64
+	EncodedBytes int64
+}
+
+// Add accumulates another stat into s.
+func (s *SizeStats) Add(o SizeStats) {
+	s.LogicalBytes += o.LogicalBytes
+	s.EncodedBytes += o.EncodedBytes
+}
+
+// Ratio returns the compression ratio logical/encoded (1.0 = uncompressed,
+// higher is better; 0 for an empty store).
+func (s SizeStats) Ratio() float64 {
+	if s.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.EncodedBytes)
+}
+
 // Selectivity returns the exact fraction of (query, row) matches — the
 // lower bound on any layout's accessed fraction ("the true dataset
 // selectivity ... itself a lower bound for the optimal solution", Sec. 5.2.4).

@@ -198,3 +198,34 @@ func TestNoRouteOnFullScanQueryReadsEverything(t *testing.T) {
 		t.Errorf("full scan matched %d of %d rows", res.RowsMatched, spec.Table.N)
 	}
 }
+
+// TestVecEmptyConjunctionPartialBatch pins the SetFirst stale-bit
+// regression: an empty conjunction (expr.And() with zero children — a
+// public constructor) over a block larger than one batch must count
+// exactly the block's rows, not leak selection bits from the previous
+// full batch into the final partial one.
+func TestVecEmptyConjunctionPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(blockstore.BatchSize+500, 21)
+	st, err := blockstore.Write(dir, spec.Table, make([]int, spec.Table.N), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	vecs, nrows, _, err := st.ReadColVecs(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch vecScratch
+	for _, q := range []expr.Query{
+		{Name: "empty-and", Root: &expr.Node{Kind: expr.KindAnd}},
+		{Name: "nil-root"},
+	} {
+		if got := countMatchesVec(q, nil, vecs, nrows, &scratch); got != nrows {
+			t.Errorf("%s: counted %d of %d rows", q.Name, got, nrows)
+		}
+	}
+	if got := countMatchesVec(expr.Query{Name: "empty-or", Root: &expr.Node{Kind: expr.KindOr}}, nil, vecs, nrows, &scratch); got != 0 {
+		t.Errorf("empty-or: counted %d rows, want 0", got)
+	}
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// KeepGenerations is how many retired generations survive GC after a
 	// swap (default 0: only the live generation is kept on disk).
 	KeepGenerations int
+	// StoreWrite selects the block format of rewritten generations. The
+	// zero value emits format v2 (per-column encodings), so every online
+	// re-layout also migrates the table to the compressed format — a v1
+	// store becomes v2 at its first swap with no downtime.
+	StoreWrite blockstore.WriteOptions
 	// Replan plans the candidate layout for a window. Required; see
 	// GreedyReplan for the default strategy.
 	Replan ReplanFunc
@@ -351,7 +356,7 @@ func (s *Server) Relayout(force bool) (Report, error) {
 		}
 	}
 	cand.Name = genName(newID)
-	store, err := blockstore.WriteGeneration(s.root, newID, s.tbl, cand.BIDs, cand.NumBlocks())
+	store, err := blockstore.WriteGenerationOpts(s.root, newID, s.tbl, cand.BIDs, cand.NumBlocks(), s.cfg.StoreWrite)
 	if err != nil {
 		rep.Reason = "generation write failed"
 		s.finishCheck(rep, err)

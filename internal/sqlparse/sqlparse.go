@@ -153,10 +153,16 @@ func (l *lexer) emitN(k tokKind, s string, n int) {
 	l.pos += n
 }
 
+// maxNestingDepth bounds parenthesis recursion so adversarial input (for
+// instance from the fuzzer) returns an error instead of exhausting the
+// goroutine stack.
+const maxNestingDepth = 200
+
 type parseState struct {
-	p    *Parser
-	toks []token
-	i    int
+	p     *Parser
+	toks  []token
+	i     int
+	depth int
 }
 
 func (ps *parseState) cur() token  { return ps.toks[ps.i] }
@@ -255,11 +261,16 @@ func (ps *parseState) parseAnd() (*expr.Node, error) {
 
 func (ps *parseState) parsePrimary() (*expr.Node, error) {
 	if ps.cur().kind == tokLParen {
+		ps.depth++
+		if ps.depth > maxNestingDepth {
+			return nil, fmt.Errorf("sqlparse: expression nested deeper than %d at %d", maxNestingDepth, ps.cur().pos)
+		}
 		ps.next()
 		inner, err := ps.parseOr()
 		if err != nil {
 			return nil, err
 		}
+		ps.depth--
 		if _, err := ps.expect(tokRParen, ")"); err != nil {
 			return nil, err
 		}

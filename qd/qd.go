@@ -405,10 +405,43 @@ const (
 	NoRoute     = exec.NoRoute
 )
 
+// StoreOptions tune how WriteStore materializes a layout: FormatVersion
+// selects block format v2 (default: per-column PLAIN/DICT/RLE/FOR
+// encodings) or the legacy v1 plain layout, and PlainOnly keeps the v2
+// container but disables encoding selection.
+type StoreOptions = blockstore.WriteOptions
+
+// Block store format versions for StoreOptions.FormatVersion.
+const (
+	StoreFormatV1 = blockstore.FormatV1
+	StoreFormatV2 = blockstore.FormatV2
+)
+
+// SizeStats pairs a store's logical (decoded) and encoded (on-disk)
+// footprints; see BlockStore.Sizes.
+type SizeStats = cost.SizeStats
+
+// ColumnEncoding identifies one block-format-v2 column encoding.
+type ColumnEncoding = blockstore.Encoding
+
+// Column encodings a v2 store may choose per column per block.
+const (
+	EncPlain = blockstore.EncPlain
+	EncFOR   = blockstore.EncFOR
+	EncDict  = blockstore.EncDict
+	EncRLE   = blockstore.EncRLE
+)
+
 // WriteStore materializes a layout's row→block partitioning as a block
-// directory usable by the execution engine.
-func WriteStore(dir string, tbl *Table, l *Layout) (*BlockStore, error) {
-	return blockstore.Write(dir, tbl, l.BIDs, l.NumBlocks())
+// directory usable by the execution engine. With no options it writes
+// block format v2 (per-column encodings); pass a StoreOptions to select
+// the format explicitly.
+func WriteStore(dir string, tbl *Table, l *Layout, opts ...StoreOptions) (*BlockStore, error) {
+	var opt StoreOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	return blockstore.WriteOpts(dir, tbl, l.BIDs, l.NumBlocks(), opt)
 }
 
 // OpenStore reopens a block directory from its catalog.
