@@ -598,6 +598,55 @@ func BenchmarkCompressedScanSpeedup(b *testing.B) {
 	b.ReportMetric(v2Wall.Seconds()/float64(b.N), "v2_wall_s")
 }
 
+// BenchmarkAggregatePushdown compares the vectorized aggregation engine
+// (encoded-column kernels, zone-map shortcuts) against decode-then-
+// aggregate on a filtered SUM over the ErrorLog-Int demo. The acceptance
+// bar — ≥1.5x modeled (sim-time) speedup with identical results — is
+// pinned by TestAggregatePushdownAcceptance; this benchmark reports the
+// measured ratio plus wall time.
+func BenchmarkAggregatePushdown(b *testing.B) {
+	spec := getELInt()
+	plan := planSpec(b, "greedy", spec, qd.PlanOptions{MinBlockSize: benchRows / 64})
+	store, err := qd.WriteStore(b.TempDir(), spec.Table, plan.Layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	aq, _, err := qd.ParseSelect(spec.Table.Schema,
+		"SELECT SUM(x_num06), COUNT(*) FROM logs WHERE ingest_date >= 48 AND validity = 'VALID'")
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := qd.ReferenceAggregate(spec.Table, aq, plan.ACs)
+	var pushSim, naiveSim, pushWall, naiveWall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push, err := eng.Aggregate(aq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, err := qd.AggregateNaive(store, plan, aq, qd.EngineSpark, qd.RouteQdTree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if push.Rows[0].Vals[0].Int != truth[0].Vals[0].Int || naive.Rows[0].Vals[0].Int != truth[0].Vals[0].Int {
+			b.Fatal("aggregate results diverge from reference")
+		}
+		pushSim += push.SimTime
+		naiveSim += naive.SimTime
+		pushWall += push.WallTime
+		naiveWall += naive.WallTime
+	}
+	b.ReportMetric(float64(naiveSim)/float64(pushSim+1), "sim_speedup_x")
+	b.ReportMetric(float64(naiveWall)/float64(pushWall+1), "wall_speedup_x")
+	b.ReportMetric(pushWall.Seconds()/float64(b.N)*1e3, "pushdown_ms")
+	b.ReportMetric(naiveWall.Seconds()/float64(b.N)*1e3, "naive_ms")
+}
+
 // ---------- micro-benchmarks of the hot paths ----------
 
 func BenchmarkRouteTable(b *testing.B) {

@@ -17,6 +17,7 @@
 //	qdbench -exp twotree    Sec. 6.3 two-tree replication benefit
 //	qdbench -exp parscan    parallel scan engine: wall-clock speedup sweep
 //	qdbench -exp compress   block format v2: encodings, size, scan speedup
+//	qdbench -exp agg        vectorized aggregation: pushdown vs decode-then-aggregate
 //	qdbench -exp layout     plan one strategy (-strategy) via the registry
 //	qdbench -exp all        everything above (except layout)
 //
@@ -77,10 +78,11 @@ func main() {
 		"twotree":   expTwoTree,
 		"parscan":   expParScan,
 		"compress":  expCompress,
+		"agg":       expAgg,
 		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -11,7 +11,9 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "severity >= 8"}   one query; returns scan stats
+//	POST /query    {"sql": "severity >= 8"}   one filter query; returns scan stats
+//	POST /query    {"sql": "SELECT service, COUNT(*) FROM logs GROUP BY service"}
+//	                                          aggregation; returns typed rows + stats
 //	GET  /stats                               serving counters + last drift check
 //	POST /relayout                            force a replan + swap cycle
 //	GET  /healthz                             liveness

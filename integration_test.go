@@ -285,3 +285,47 @@ func TestCompressedFormatAcceptance(t *testing.T) {
 		e2.Close()
 	}
 }
+
+// TestAggregatePushdownAcceptance pins the aggregation acceptance bar on
+// the ErrorLog-Int demo: a filtered SUM through the vectorized pushdown
+// engine must beat decode-then-aggregate by at least 1.5x modeled time,
+// with results identical to the naive reference evaluator.
+func TestAggregatePushdownAcceptance(t *testing.T) {
+	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: itRows, NumQueries: 40, Seed: 7})
+	plan := planIT(t, "greedy", spec, qd.PlanOptions{MinBlockSize: itRows / 64})
+	store, err := qd.WriteStore(t.TempDir(), spec.Table, plan.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq, _, err := qd.ParseSelect(spec.Table.Schema,
+		"SELECT SUM(x_num06), COUNT(*) FROM logs WHERE ingest_date >= 48 AND validity = 'VALID'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := qd.ReferenceAggregate(spec.Table, aq, plan.ACs)
+	for _, prof := range []qd.EngineProfile{qd.EngineSpark, qd.EngineDBMS} {
+		eng, err := qd.NewEngine(store, plan, prof, qd.ExecOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		push, err := eng.Aggregate(aq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := qd.AggregateNaive(store, plan, aq, prof, qd.RouteQdTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rows := range []qd.Rows{push.Rows, naive.Rows} {
+			if len(rows) != 1 || rows[0].Vals[0].Int != truth[0].Vals[0].Int || rows[0].Vals[1].Int != truth[0].Vals[1].Int {
+				t.Fatalf("%s: results diverge from reference: push %+v naive %+v truth %+v",
+					prof.Name, push.Rows, naive.Rows, truth)
+			}
+		}
+		if speedup := float64(naive.SimTime) / float64(push.SimTime+1); speedup < 1.5 {
+			t.Errorf("%s: filtered-SUM pushdown speedup %.2fx below the 1.5x acceptance bar (naive %v, pushdown %v)",
+				prof.Name, speedup, naive.SimTime, push.SimTime)
+		}
+		eng.Close()
+	}
+}

@@ -1,0 +1,142 @@
+// Aggregate kernels over encoded columns. Like the filter kernels in
+// encoding.go, these consume a column in its on-disk encoding plus a
+// SelVec selection bitmap and reduce without materializing int64 slices
+// where the encoding allows it:
+//
+//   - RLE columns reduce once per run: SUM adds run-value × selected-run-
+//     length (a popcount over the bitmap span), MIN/MAX compare each run's
+//     value once if any of its rows is selected.
+//   - FOR/DICT columns reduce in code space — SUM accumulates packed codes
+//     and applies the frame base once per batch, MIN/MAX track codes.
+//   - PLAIN columns read values at the selected positions only.
+package blockstore
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// CountRange returns the number of selected bits in [lo, hi).
+func (s *SelVec) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(s[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(s[loW] & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(s[w])
+	}
+	return n + bits.OnesCount64(s[hiW]&hiMask)
+}
+
+// ForEach invokes fn for every selected bit in [0, n), in ascending
+// order. Kernels uphold the invariant that bits at and above n are zero,
+// so only full words are walked.
+func (s *SelVec) ForEach(n int, fn func(i int)) {
+	words := (n + 63) / 64
+	for w := 0; w < words; w++ {
+		word := s[w]
+		base := w << 6
+		for word != 0 {
+			fn(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// SumSelected returns the sum and count of the column's values at the
+// selected rows of batch [start, start+n). RLE columns never decode: each
+// run contributes value × selected-run-length.
+func (v *ColVec) SumSelected(sel *SelVec, start, n int) (sum, cnt int64) {
+	switch v.Enc {
+	case EncRLE:
+		r := sort.Search(len(v.runEnds), func(k int) bool { return v.runEnds[k] > int32(start) })
+		for i := 0; i < n; {
+			end := int(v.runEnds[r]) - start
+			if end > n {
+				end = n
+			}
+			if c := int64(sel.CountRange(i, end)); c > 0 {
+				sum += v.runVals[r] * c
+				cnt += c
+			}
+			i = end
+			r++
+		}
+		return sum, cnt
+	case EncFOR, EncDict:
+		var codes uint64
+		sel.ForEach(n, func(i int) {
+			codes += v.code(start + i)
+			cnt++
+		})
+		// value = base + code, so Σ values = cnt·base + Σ codes.
+		return v.base*cnt + int64(codes), cnt
+	}
+	sel.ForEach(n, func(i int) {
+		sum += v.Get(start + i)
+		cnt++
+	})
+	return sum, cnt
+}
+
+// MinMaxSelected returns the minimum and maximum of the column's values at
+// the selected rows of batch [start, start+n); ok is false when no row is
+// selected. RLE columns compare once per selected run.
+func (v *ColVec) MinMaxSelected(sel *SelVec, start, n int) (lo, hi int64, ok bool) {
+	switch v.Enc {
+	case EncRLE:
+		r := sort.Search(len(v.runEnds), func(k int) bool { return v.runEnds[k] > int32(start) })
+		for i := 0; i < n; {
+			end := int(v.runEnds[r]) - start
+			if end > n {
+				end = n
+			}
+			if sel.CountRange(i, end) > 0 {
+				val := v.runVals[r]
+				if !ok || val < lo {
+					lo = val
+				}
+				if !ok || val > hi {
+					hi = val
+				}
+				ok = true
+			}
+			i = end
+			r++
+		}
+		return lo, hi, ok
+	case EncFOR, EncDict:
+		var cLo, cHi uint64
+		sel.ForEach(n, func(i int) {
+			c := v.code(start + i)
+			if !ok || c < cLo {
+				cLo = c
+			}
+			if !ok || c > cHi {
+				cHi = c
+			}
+			ok = true
+		})
+		if !ok {
+			return 0, 0, false
+		}
+		return v.base + int64(cLo), v.base + int64(cHi), true
+	}
+	sel.ForEach(n, func(i int) {
+		val := v.Get(start + i)
+		if !ok || val < lo {
+			lo = val
+		}
+		if !ok || val > hi {
+			hi = val
+		}
+		ok = true
+	})
+	return lo, hi, ok
+}

@@ -1,0 +1,97 @@
+package blockstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountRange pins the masked popcount against bit-by-bit counting.
+func TestCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s SelVec
+	for trial := 0; trial < 200; trial++ {
+		s.Zero()
+		for i := 0; i < BatchSize; i++ {
+			if rng.Intn(3) == 0 {
+				s.Set(i)
+			}
+		}
+		lo := rng.Intn(BatchSize + 1)
+		hi := rng.Intn(BatchSize + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for i := lo; i < hi; i++ {
+			if s.Get(i) {
+				want++
+			}
+		}
+		if got := s.CountRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d, %d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+	if s.CountRange(10, 10) != 0 || s.CountRange(20, 10) != 0 {
+		t.Error("empty/inverted range must count 0")
+	}
+}
+
+// TestAggKernelsMatchReference: SumSelected and MinMaxSelected agree with
+// row-at-a-time reduction over every encoding, random columns, random
+// selections, and batch offsets.
+func TestAggKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seen := make(map[Encoding]int)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(2600)
+		vals, kind := genColumn(rng, n)
+		enc, v := encDec(t, vals, kind)
+		seen[enc]++
+		var sel SelVec
+		density := rng.Intn(5) // 0 = empty .. 4 = full
+		for start := 0; start < n; start += BatchSize {
+			cnt := n - start
+			if cnt > BatchSize {
+				cnt = BatchSize
+			}
+			sel.Zero()
+			for i := 0; i < cnt; i++ {
+				if density == 4 || (density > 0 && rng.Intn(4) < density) {
+					sel.Set(i)
+				}
+			}
+			var wantSum, wantCnt int64
+			var wantLo, wantHi int64
+			wantOK := false
+			for i := 0; i < cnt; i++ {
+				if !sel.Get(i) {
+					continue
+				}
+				val := vals[start+i]
+				wantSum += val
+				wantCnt++
+				if !wantOK || val < wantLo {
+					wantLo = val
+				}
+				if !wantOK || val > wantHi {
+					wantHi = val
+				}
+				wantOK = true
+			}
+			sum, c := v.SumSelected(&sel, start, cnt)
+			if sum != wantSum || c != wantCnt {
+				t.Fatalf("trial %d enc %v: SumSelected = (%d, %d), want (%d, %d)", trial, enc, sum, c, wantSum, wantCnt)
+			}
+			lo, hi, ok := v.MinMaxSelected(&sel, start, cnt)
+			if ok != wantOK || (ok && (lo != wantLo || hi != wantHi)) {
+				t.Fatalf("trial %d enc %v: MinMaxSelected = (%d, %d, %v), want (%d, %d, %v)",
+					trial, enc, lo, hi, ok, wantLo, wantHi, wantOK)
+			}
+		}
+	}
+	for _, e := range []Encoding{EncPlain, EncFOR, EncDict, EncRLE} {
+		if seen[e] == 0 {
+			t.Errorf("encoding %v never chosen across trials", e)
+		}
+	}
+}

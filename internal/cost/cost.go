@@ -5,6 +5,8 @@
 package cost
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/table"
@@ -286,6 +288,68 @@ func MinMaxMayMatch(lo, hi []int64, q expr.Query) bool {
 // representation: inclusive [min[c], max[c]] per column.
 func SMAMayMatch(min, max []int64, q expr.Query) bool {
 	return mayMatch(q, func(c int) (int64, int64) { return min[c], max[c] })
+}
+
+// SMAFullyMatches reports whether the block's SMA metadata proves every
+// row satisfies q — the dual of SMAMayMatch, used by the aggregate engine
+// to serve COUNT/MIN/MAX of fully-selected blocks from zone maps without
+// reading data. It is conservative: false means "not provable", never
+// "no". Advanced-cut leaves are unprovable from per-column intervals. A
+// nil root matches every row.
+func SMAFullyMatches(min, max []int64, q expr.Query) bool {
+	if q.Root == nil {
+		return true
+	}
+	var rec func(n *expr.Node) bool
+	rec = func(n *expr.Node) bool {
+		switch n.Kind {
+		case expr.KindPred:
+			p := n.Pred
+			lo, hi := min[p.Col], max[p.Col]
+			switch p.Op {
+			case expr.Lt:
+				return hi < p.Literal
+			case expr.Le:
+				return hi <= p.Literal
+			case expr.Gt:
+				return lo > p.Literal
+			case expr.Ge:
+				return lo >= p.Literal
+			case expr.Eq:
+				return lo == p.Literal && hi == p.Literal
+			case expr.In:
+				// Every integer in [lo, hi] must be a set member. The set
+				// is sorted and distinct, so it covers the interval iff lo
+				// and hi both occur exactly hi-lo positions apart.
+				span := uint64(hi) - uint64(lo) // lo <= hi always
+				if span >= uint64(len(p.Set)) {
+					return false
+				}
+				i := sort.Search(len(p.Set), func(k int) bool { return p.Set[k] >= lo })
+				j := i + int(span)
+				return i < len(p.Set) && p.Set[i] == lo && j < len(p.Set) && p.Set[j] == hi
+			}
+			return false
+		case expr.KindAdv:
+			return false // column-vs-column needs row values
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if !rec(c) {
+					return false
+				}
+			}
+			return true
+		case expr.KindOr:
+			for _, c := range n.Children {
+				if rec(c) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return rec(q.Root)
 }
 
 // SizeStats pairs the logical footprint of stored data (decoded, 8 bytes

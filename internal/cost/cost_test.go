@@ -209,3 +209,59 @@ func TestMinMaxMayMatchCases(t *testing.T) {
 		t.Error("empty interval must prune")
 	}
 }
+
+// TestSMAFullyMatchesSoundAndSharp: the subsumption test must never claim
+// full match when some in-range value fails the predicate (soundness —
+// checked exhaustively over the interval), and must recognize the plainly
+// subsumed shapes the aggregate engine relies on (sharpness).
+func TestSMAFullyMatchesSoundAndSharp(t *testing.T) {
+	pred := func(p expr.Pred) expr.Query { return expr.Query{Root: expr.NewPred(p)} }
+	cases := []struct {
+		name     string
+		min, max []int64
+		q        expr.Query
+		want     bool
+	}{
+		{"nil-root", []int64{0}, []int64{9}, expr.Query{}, true},
+		{"lt-inside", []int64{0}, []int64{9}, pred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}), true},
+		{"lt-boundary", []int64{0}, []int64{10}, pred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 10}), false},
+		{"le-boundary", []int64{0}, []int64{10}, pred(expr.Pred{Col: 0, Op: expr.Le, Literal: 10}), true},
+		{"ge-inside", []int64{5}, []int64{9}, pred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 5}), true},
+		{"ge-straddle", []int64{4}, []int64{9}, pred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 5}), false},
+		{"gt-boundary", []int64{5}, []int64{9}, pred(expr.Pred{Col: 0, Op: expr.Gt, Literal: 5}), false},
+		{"eq-constant", []int64{7}, []int64{7}, pred(expr.Pred{Col: 0, Op: expr.Eq, Literal: 7}), true},
+		{"eq-range", []int64{6}, []int64{7}, pred(expr.Pred{Col: 0, Op: expr.Eq, Literal: 7}), false},
+		{"in-covering", []int64{2}, []int64{4}, pred(expr.NewIn(0, []int64{1, 2, 3, 4, 9})), true},
+		{"in-gap", []int64{2}, []int64{4}, pred(expr.NewIn(0, []int64{2, 4})), false},
+		{"in-empty", []int64{2}, []int64{2}, pred(expr.Pred{Col: 0, Op: expr.In}), false},
+		{"adv-unprovable", []int64{0, 0}, []int64{0, 0}, expr.Query{Root: expr.NewAdv(0)}, false},
+		{"and-both", []int64{5, 0}, []int64{9, 3}, expr.Query{Root: expr.And(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 5}),
+			expr.NewPred(expr.Pred{Col: 1, Op: expr.Lt, Literal: 4}))}, true},
+		{"and-half", []int64{5, 0}, []int64{9, 4}, expr.Query{Root: expr.And(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 5}),
+			expr.NewPred(expr.Pred{Col: 1, Op: expr.Lt, Literal: 4}))}, false},
+		{"or-one-side", []int64{8}, []int64{9}, expr.Query{Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 2}),
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 8}))}, true},
+		{"or-neither", []int64{1}, []int64{9}, expr.Query{Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 2}),
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Ge, Literal: 8}))}, false},
+	}
+	acs := []expr.AdvCut{{Left: 0, Op: expr.Lt, Right: 1}}
+	for _, c := range cases {
+		if got := SMAFullyMatches(c.min, c.max, c.q); got != c.want {
+			t.Errorf("%s: SMAFullyMatches = %v, want %v", c.name, got, c.want)
+		}
+		// Soundness: a claimed full match must hold for every in-range value
+		// (single-column cases only; multi-column checked structurally above).
+		if len(c.min) == 1 && SMAFullyMatches(c.min, c.max, c.q) {
+			for v := c.min[0]; v <= c.max[0]; v++ {
+				if !c.q.Eval([]int64{v}, acs) {
+					t.Errorf("%s: claimed full match but value %d fails", c.name, v)
+					break
+				}
+			}
+		}
+	}
+}

@@ -151,10 +151,12 @@ type Result struct {
 // SkipRate is the fraction of the store's rows the query skipped
 // (1 = touched nothing, 0 = full scan) — the per-query form of the
 // paper's accessed-percentage metric, recorded by the serving workload
-// log to detect layout decay.
+// log to detect layout decay. An empty store reports 1 (the query
+// touched nothing), never a divide-by-zero — a zero here would read as
+// "full scan" and trip drift monitors on stores with no data.
 func (r Result) SkipRate() float64 {
 	if r.RowsTotal == 0 {
-		return 0
+		return 1
 	}
 	return 1 - float64(r.RowsScanned)/float64(r.RowsTotal)
 }

@@ -1,0 +1,124 @@
+// Aggregate query AST. The paper's engine answers every query as a bare
+// match count; real analytical workloads (TPC-H Q1/Q6 style) carry a
+// SELECT list of aggregates and an optional GROUP BY. AggQuery couples
+// that aggregation spec with the filter Query the qd-tree already routes,
+// so block skipping keeps paying off on the new query class.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc identifies one supported aggregate function.
+type AggFunc int
+
+// Supported aggregates. COUNT(col) equals COUNT(*) in this system — every
+// column value is a non-NULL dictionary-encoded int64 — but both spellings
+// parse and render faithfully.
+const (
+	AggCountStar AggFunc = iota // COUNT(*)
+	AggCount                    // COUNT(col)
+	AggSum                      // SUM(col)
+	AggMin                      // MIN(col)
+	AggMax                      // MAX(col)
+	AggAvg                      // AVG(col)
+)
+
+// String returns the SQL function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCountStar, AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Agg is one aggregate of a SELECT list: a function over a column ordinal
+// (Col is ignored for AggCountStar).
+type Agg struct {
+	Func AggFunc
+	Col  int
+}
+
+// StringWith renders the aggregate using the provided column names.
+func (a Agg) StringWith(names []string) string {
+	if a.Func == AggCountStar {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, colName(a.Col, names))
+}
+
+// NeedsColumn reports whether evaluating the aggregate requires the
+// column's data. COUNT(*) and COUNT(col) only count selected rows.
+func (a Agg) NeedsColumn() bool {
+	return a.Func != AggCountStar && a.Func != AggCount
+}
+
+// AggQuery is a full aggregation statement:
+//
+//	SELECT <group cols>, <aggs> FROM t [WHERE <filter>] [GROUP BY <cols>]
+//
+// Aggs holds the aggregates in SELECT-list order; GroupBy the grouping
+// column ordinals in GROUP BY order. Filter.Root nil means no WHERE
+// clause (aggregate over every row).
+type AggQuery struct {
+	Name    string
+	Aggs    []Agg
+	GroupBy []int
+	Filter  Query
+}
+
+// String renders the statement with positional column names.
+func (aq AggQuery) String() string { return aq.StringWith(nil, nil) }
+
+// StringWith renders the statement in its canonical SQL spelling: group
+// columns first (in GROUP BY order), then aggregates in SELECT order. The
+// rendering is a parse fixpoint — re-parsing it yields a query that
+// renders identically (see sqlparse.FuzzParseSelect).
+func (aq AggQuery) StringWith(names []string, acs []AdvCut) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, g := range aq.GroupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(colName(g, names))
+	}
+	for i, a := range aq.Aggs {
+		if i > 0 || len(aq.GroupBy) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.StringWith(names))
+	}
+	sb.WriteString(" FROM t")
+	if aq.Filter.Root != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(aq.Filter.StringWith(names, acs))
+	}
+	if len(aq.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range aq.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(colName(g, names))
+		}
+	}
+	return sb.String()
+}
+
+func colName(c int, names []string) string {
+	if names != nil && c >= 0 && c < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("col%d", c)
+}

@@ -5,15 +5,56 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
 )
+
+// isSelect reports whether the SQL text starts with the SELECT keyword
+// (as opposed to a bare filter expression). The keyword must end at a
+// word boundary so a filter on a column named e.g. "selector" is not
+// misrouted to the aggregation parser.
+func isSelect(sql string) bool {
+	trimmed := strings.TrimSpace(sql)
+	if len(trimmed) < 6 || !strings.EqualFold(trimmed[:6], "SELECT") {
+		return false
+	}
+	if len(trimmed) == 6 {
+		return true
+	}
+	c := trimmed[6]
+	return !(c == '_' || c >= '0' && c <= '9' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z')
+}
+
+// legacySelectShape reports whether the statement's select list (the text
+// between SELECT and the first FROM) is the pre-aggregation shape — plain
+// identifiers or * with no function calls — and therefore eligible for
+// the skip-to-WHERE filter fallback.
+func legacySelectShape(sql string) bool {
+	rest := strings.TrimSpace(sql)[6:]
+	upper := strings.ToUpper(rest)
+	from := strings.Index(upper, " FROM ")
+	if from < 0 {
+		return false
+	}
+	return !strings.ContainsAny(rest[:from], "()")
+}
 
 // HTTP/JSON surface of a Server, mounted by cmd/qdserve:
 //
 //	POST /query    {"sql": "severity >= 8"}  → per-query scan stats
+//	POST /query    {"sql": "SELECT ..."}     → scan stats + typed rows
 //	GET  /stats                              → Stats snapshot
 //	POST /relayout {"force": true|false}     → run one drift-check cycle
 //	GET  /healthz                            → 200 ok
+//
+// A /query body whose SQL starts with SELECT runs as an aggregation
+// statement (COUNT/SUM/MIN/MAX/AVG, optional GROUP BY) and its response
+// carries the typed result rows; any other SQL is a bare filter answered
+// as a match count. Both are logged into the drift window.
 //
 // /relayout with an empty body forces the cycle (the operator asked for
 // it); pass {"force": false} for a gated check identical to a monitor
@@ -24,18 +65,30 @@ type QueryRequest struct {
 	SQL string `json:"sql"`
 }
 
-// QueryResponse reports one served query.
+// QueryRow is one typed result row of an aggregation query. Key holds the
+// raw group-key values; KeyStrings their dictionary spellings where the
+// grouping column has one.
+type QueryRow struct {
+	Key        []int64       `json:"key,omitempty"`
+	KeyStrings []string      `json:"key_strings,omitempty"`
+	Aggs       []exec.AggVal `json:"aggs"`
+}
+
+// QueryResponse reports one served query. GroupBy and Rows are present
+// only for aggregation statements.
 type QueryResponse struct {
-	Query         string  `json:"query"`
-	Generation    int     `json:"generation"`
-	BlocksScanned int     `json:"blocks_scanned"`
-	BlocksTotal   int     `json:"blocks_total"`
-	RowsScanned   int64   `json:"rows_scanned"`
-	RowsMatched   int64   `json:"rows_matched"`
-	BytesRead     int64   `json:"bytes_read"`
-	SkipRate      float64 `json:"skip_rate"`
-	SimTimeNS     int64   `json:"sim_time_ns"`
-	WallTimeNS    int64   `json:"wall_time_ns"`
+	Query         string     `json:"query"`
+	Generation    int        `json:"generation"`
+	BlocksScanned int        `json:"blocks_scanned"`
+	BlocksTotal   int        `json:"blocks_total"`
+	RowsScanned   int64      `json:"rows_scanned"`
+	RowsMatched   int64      `json:"rows_matched"`
+	BytesRead     int64      `json:"bytes_read"`
+	SkipRate      float64    `json:"skip_rate"`
+	SimTimeNS     int64      `json:"sim_time_ns"`
+	WallTimeNS    int64      `json:"wall_time_ns"`
+	GroupBy       []string   `json:"group_by,omitempty"`
+	Rows          []QueryRow `json:"rows,omitempty"`
 }
 
 // RelayoutRequest is the POST /relayout body. An empty body means force.
@@ -60,31 +113,77 @@ func Handler(s *Server) http.Handler {
 			httpErr(w, http.StatusBadRequest, `body needs {"sql": "..."}`)
 			return
 		}
+		if isSelect(req.SQL) {
+			aq, err := s.ParseSelectSQL(req.SQL)
+			if err != nil {
+				// Not a parsable aggregation statement. Legacy clients send
+				// "SELECT x FROM t WHERE <filter>" or "SELECT * FROM ..."
+				// expecting the filter path (Parse skips everything up to
+				// WHERE) — keep honoring that shape. A select list that
+				// contains a function call expressed aggregation intent, so
+				// its parse error must surface, not be silently answered as
+				// a bare match count.
+				if legacySelectShape(req.SQL) {
+					if q, ferr := s.ParseSQL(req.SQL); ferr == nil {
+						serveFilterQuery(w, s, q)
+						return
+					}
+				}
+				httpErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			start := time.Now()
+			res, err := s.Select(aq)
+			if err != nil {
+				httpErr(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			resp := QueryResponse{
+				Query:         res.Query,
+				Generation:    res.Generation,
+				BlocksScanned: res.BlocksScanned,
+				BlocksTotal:   res.BlocksTotal,
+				RowsScanned:   res.RowsScanned,
+				RowsMatched:   res.RowsMatched,
+				BytesRead:     res.BytesRead,
+				SkipRate:      res.SkipRate(),
+				SimTimeNS:     int64(res.SimTime),
+				WallTimeNS:    int64(time.Since(start)),
+				Rows:          make([]QueryRow, len(res.Rows)),
+			}
+			schema := s.Schema()
+			for _, g := range res.GroupBy {
+				resp.GroupBy = append(resp.GroupBy, schema.Cols[g].Name)
+			}
+			hasDict := false
+			for _, g := range res.GroupBy {
+				if len(schema.Cols[g].Dict) > 0 {
+					hasDict = true
+				}
+			}
+			for i, row := range res.Rows {
+				qr := QueryRow{Key: row.Key, Aggs: row.Vals}
+				if hasDict {
+					for ki, k := range row.Key {
+						dict := schema.Cols[res.GroupBy[ki]].Dict
+						if k >= 0 && k < int64(len(dict)) {
+							qr.KeyStrings = append(qr.KeyStrings, dict[k])
+						} else {
+							qr.KeyStrings = append(qr.KeyStrings, "")
+						}
+					}
+				}
+				resp.Rows[i] = qr
+			}
+			writeJSON(w, resp)
+			return
+		}
 		q, err := s.ParseSQL(req.SQL)
 		if err != nil {
 			httpErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		start := time.Now()
-		res, err := s.Query(q)
-		if err != nil {
-			// Parsing succeeded; a failure here is an execution/storage
-			// fault on our side, not the client's.
-			httpErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		writeJSON(w, QueryResponse{
-			Query:         res.Query,
-			Generation:    res.Generation,
-			BlocksScanned: res.BlocksScanned,
-			BlocksTotal:   res.BlocksTotal,
-			RowsScanned:   res.RowsScanned,
-			RowsMatched:   res.RowsMatched,
-			BytesRead:     res.BytesRead,
-			SkipRate:      res.SkipRate(),
-			SimTimeNS:     int64(res.SimTime),
-			WallTimeNS:    int64(time.Since(start)),
-		})
+		serveFilterQuery(w, s, q)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -120,6 +219,30 @@ func Handler(s *Server) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// serveFilterQuery executes a parsed filter query and writes its scan
+// stats. A failure after a successful parse is an execution/storage
+// fault on our side, not the client's — it maps to 500.
+func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query) {
+	start := time.Now()
+	res, err := s.Query(q)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, QueryResponse{
+		Query:         res.Query,
+		Generation:    res.Generation,
+		BlocksScanned: res.BlocksScanned,
+		BlocksTotal:   res.BlocksTotal,
+		RowsScanned:   res.RowsScanned,
+		RowsMatched:   res.RowsMatched,
+		BytesRead:     res.BytesRead,
+		SkipRate:      res.SkipRate(),
+		SimTimeNS:     int64(res.SimTime),
+		WallTimeNS:    int64(time.Since(start)),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -255,6 +255,83 @@ func (s *Server) Query(q expr.Query) (QueryResult, error) {
 	return QueryResult{Result: res, Generation: g.id}, nil
 }
 
+// SelectResult is one served aggregation: typed result rows plus scan
+// stats and the generation that served it.
+type SelectResult struct {
+	*exec.AggResult
+	Generation int
+}
+
+// Select executes one aggregation statement against the live generation
+// and records its filter and scan cost in the workload log — aggregate
+// traffic therefore drives drift detection and background re-layouts
+// exactly like plain filter queries. Safe for concurrent use across
+// generation swaps.
+func (s *Server) Select(aq expr.AggQuery) (SelectResult, error) {
+	for _, a := range aq.Filter.AdvRefs() {
+		if a >= len(s.cfg.ACs) {
+			return SelectResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
+		}
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return SelectResult{}, fmt.Errorf("serve: server is closed")
+	}
+	g := s.gen
+	res, err := exec.RunAggOpts(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions)
+	s.mu.RUnlock()
+	if err != nil {
+		return SelectResult{}, err
+	}
+	s.queries.Add(1)
+	name := aq.Name
+	if name == "" {
+		name = aq.StringWith(s.tbl.Schema.Names(), s.cfg.ACs)
+	}
+	s.log.Record(Entry{
+		Name:       name,
+		Query:      aq.Filter,
+		Generation: g.id,
+		Blocks:     res.BlocksScanned,
+		Rows:       res.RowsScanned,
+		Matched:    res.RowsMatched,
+		Bytes:      res.BytesRead,
+		SkipRate:   res.SkipRate(),
+		SimTime:    res.SimTime,
+	})
+	return SelectResult{AggResult: res, Generation: g.id}, nil
+}
+
+// SelectSQL parses one aggregation statement against the served schema
+// and executes it.
+func (s *Server) SelectSQL(sql string) (SelectResult, error) {
+	aq, err := s.ParseSelectSQL(sql)
+	if err != nil {
+		return SelectResult{}, err
+	}
+	return s.Select(aq)
+}
+
+// ParseSelectSQL parses one aggregation statement without executing it.
+// Like ParseSQL, statements that introduce advanced cuts the server was
+// not configured with are rejected.
+func (s *Server) ParseSelectSQL(sql string) (expr.AggQuery, error) {
+	p := sqlparse.NewParser(s.tbl.Schema)
+	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
+	aq, err := p.ParseSelect(sql)
+	if err != nil {
+		return expr.AggQuery{}, err
+	}
+	if len(p.ACs) > len(s.cfg.ACs) {
+		return expr.AggQuery{}, fmt.Errorf("serve: query %q introduces an advanced cut the server was not configured with", sql)
+	}
+	if aq.Name == "" {
+		aq.Name = sql
+	}
+	return aq, nil
+}
+
 // QuerySQL parses one SQL WHERE clause (or full SELECT) against the served
 // schema and executes it. Queries that introduce advanced cuts absent from
 // the server's table are rejected — the live layout has no skipping

@@ -72,6 +72,75 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzParseSelect extends the parser hardening to the full SELECT
+// grammar:
+//
+//  1. ParseSelect never panics, whatever bytes arrive.
+//  2. Formatting is a fixpoint: any successfully parsed statement,
+//     rendered back to canonical SQL (group columns, then aggregates,
+//     then WHERE, then GROUP BY), must re-parse to a statement that
+//     renders identically.
+//
+// The maxNestingDepth guard covers the WHERE clause here exactly as it
+// does in FuzzParse — the deep-paren seed pins that.
+func FuzzParseSelect(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM t",
+		"SELECT COUNT(*) FROM t WHERE a < 10",
+		"SELECT mode, COUNT(*), SUM(a) FROM t GROUP BY mode",
+		"SELECT mode, a, SUM(b), AVG(ship), MIN(b), MAX(b), COUNT(commit_d) FROM logs WHERE (a < 10 OR b > 90) AND mode IN ('AIR', 'RAIL') GROUP BY mode, a",
+		"SELECT SUM(a) FROM t WHERE ship < commit_d",
+		"SELECT AVG(a) FROM t WHERE mode LIKE 'AIR%'",
+		"SELECT COUNT(*) FROM t WHERE ship >= '1994-01-01' AND ship < '1995-01-01'",
+		"SELECT SUM(a) FROM t WHERE a BETWEEN 0.05 AND 0.07",
+		"select min(b) from t group by mode, mode",
+		"SELECT * FROM t",
+		"SELECT a FROM t",
+		"SELECT FROM t",
+		"SELECT COUNT( FROM t",
+		"SELECT COUNT(*) FROM t GROUP BY",
+		"SELECT COUNT(*) FROM t WHERE " + strings.Repeat("(", 300) + "a<1" + strings.Repeat(")", 300),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		p := NewParser(testSchema())
+		aq, err := p.ParseSelect(sql) // must not panic
+		if err != nil {
+			return
+		}
+		names := p.Schema.Names()
+		rendered := aq.StringWith(names, p.ACs)
+		// LIKE patterns matching nothing lower to an empty IN set, which
+		// has no SQL spelling; skip the fixpoint check for those.
+		if strings.Contains(rendered, "IN ()") {
+			return
+		}
+		p2 := NewParser(testSchema())
+		aq2, err := p2.ParseSelect(rendered)
+		if err != nil {
+			t.Fatalf("round-trip parse failed\n  input:    %q\n  rendered: %q\n  error:    %v", sql, rendered, err)
+		}
+		if got := aq2.StringWith(names, p2.ACs); got != rendered {
+			t.Fatalf("format not a fixpoint\n  input:  %q\n  first:  %q\n  second: %q", sql, rendered, got)
+		}
+	})
+}
+
+// TestParseSelectDepthLimit pins the nesting guard on the SELECT path.
+func TestParseSelectDepthLimit(t *testing.T) {
+	p := NewParser(testSchema())
+	deep := "SELECT COUNT(*) FROM t WHERE " + strings.Repeat("(", 5000) + "a < 1" + strings.Repeat(")", 5000)
+	if _, err := p.ParseSelect(deep); err == nil {
+		t.Fatal("5000-deep nesting must be rejected")
+	}
+	ok := "SELECT COUNT(*) FROM t WHERE " + strings.Repeat("(", 50) + "a < 1" + strings.Repeat(")", 50)
+	if _, err := p.ParseSelect(ok); err != nil {
+		t.Fatalf("50-deep nesting must parse: %v", err)
+	}
+}
+
 // TestParseDepthLimit pins the anti-stack-overflow guard the fuzzer
 // motivated: pathological nesting errors out instead of crashing.
 func TestParseDepthLimit(t *testing.T) {

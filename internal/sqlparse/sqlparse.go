@@ -1,11 +1,19 @@
-// Package sqlparse is a small SQL WHERE-clause parser used to feed real
-// query text into the qd-tree pipeline (Sec. 3.4: "we simply parse
-// [queries] through a standard SQL planner and take all pushed-down unary
-// predicates as allowed cuts"). It supports the predicate language of the
-// paper: comparisons {<, <=, >, >=, =}, IN lists, BETWEEN, LIKE with a
-// literal prefix (resolved against the column dictionary), arbitrary
-// AND/OR nesting, and column-vs-column comparisons, which become advanced
-// cuts (Sec. 6.1).
+// Package sqlparse is a small SQL parser used to feed real query text
+// into the qd-tree pipeline (Sec. 3.4: "we simply parse [queries] through
+// a standard SQL planner and take all pushed-down unary predicates as
+// allowed cuts"). It supports the predicate language of the paper:
+// comparisons {<, <=, >, >=, =}, IN lists, BETWEEN, LIKE with a literal
+// prefix (resolved against the column dictionary), arbitrary AND/OR
+// nesting, and column-vs-column comparisons, which become advanced cuts
+// (Sec. 6.1).
+//
+// Two entry points cover the two query surfaces:
+//
+//   - Parse takes a bare boolean filter (or the WHERE clause of a full
+//     statement) and returns the expr.Query the tree routes.
+//   - ParseSelect takes a full aggregation statement — SELECT over
+//     COUNT(*)/COUNT/SUM/MIN/MAX/AVG with an optional WHERE and GROUP BY
+//     — and returns an expr.AggQuery for the aggregate execution layer.
 package sqlparse
 
 import (
@@ -63,6 +71,7 @@ const (
 	tokLParen
 	tokRParen
 	tokComma
+	tokStar
 )
 
 type token struct {
@@ -90,6 +99,8 @@ func lex(src string) ([]token, error) {
 			l.emit(tokRParen, ")")
 		case c == ',':
 			l.emit(tokComma, ",")
+		case c == '*':
+			l.emit(tokStar, "*")
 		case c == '<':
 			if l.peek(1) == '=' {
 				l.emitN(tokOp, "<=", 2)
@@ -221,6 +232,175 @@ func (p *Parser) ParseMany(sqls []string) ([]expr.Query, error) {
 		}
 		q.Name = fmt.Sprintf("q%d", i)
 		out = append(out, q)
+	}
+	return out, nil
+}
+
+// ParseSelect parses a full aggregation statement:
+//
+//	SELECT <item> [, <item>]... FROM <table>
+//	    [WHERE <filter>] [GROUP BY <col> [, <col>]...]
+//
+// where each item is COUNT(*), COUNT(col), SUM(col), MIN(col), MAX(col),
+// AVG(col), or a bare grouping column (which must then appear in GROUP
+// BY). The table name is accepted and ignored — the parser binds a single
+// schema. The filter uses the same predicate grammar as Parse, so every
+// pushed-down predicate stays a qd-tree cut candidate.
+func (p *Parser) ParseSelect(sql string) (expr.AggQuery, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return expr.AggQuery{}, err
+	}
+	ps := &parseState{p: p, toks: toks}
+	if !isKeyword(ps.cur(), "SELECT") {
+		return expr.AggQuery{}, fmt.Errorf("sqlparse: aggregation statement must start with SELECT, got %q at %d", ps.cur().text, ps.cur().pos)
+	}
+	ps.next()
+
+	var aq expr.AggQuery
+	var bareCols []int // bare select-list columns; must appear in GROUP BY
+	for {
+		item, bare, err := ps.parseSelectItem()
+		if err != nil {
+			return expr.AggQuery{}, err
+		}
+		if bare >= 0 {
+			bareCols = append(bareCols, bare)
+		} else {
+			aq.Aggs = append(aq.Aggs, item)
+		}
+		if ps.cur().kind != tokComma {
+			break
+		}
+		ps.next()
+	}
+	if len(aq.Aggs) == 0 && len(bareCols) == 0 {
+		return expr.AggQuery{}, fmt.Errorf("sqlparse: empty SELECT list")
+	}
+	if !isKeyword(ps.cur(), "FROM") {
+		return expr.AggQuery{}, fmt.Errorf("sqlparse: expected FROM at %d, got %q", ps.cur().pos, ps.cur().text)
+	}
+	ps.next()
+	if _, err := ps.expect(tokIdent, "table name"); err != nil {
+		return expr.AggQuery{}, err
+	}
+	if isKeyword(ps.cur(), "WHERE") {
+		ps.next()
+		root, err := ps.parseOr()
+		if err != nil {
+			return expr.AggQuery{}, err
+		}
+		aq.Filter = expr.Query{Root: root}
+	}
+	if isKeyword(ps.cur(), "GROUP") {
+		ps.next()
+		if !isKeyword(ps.cur(), "BY") {
+			return expr.AggQuery{}, fmt.Errorf("sqlparse: GROUP must be followed by BY at %d", ps.cur().pos)
+		}
+		ps.next()
+		for {
+			t, err := ps.expect(tokIdent, "grouping column")
+			if err != nil {
+				return expr.AggQuery{}, err
+			}
+			col := p.resolveCol(t.text)
+			if col < 0 {
+				return expr.AggQuery{}, fmt.Errorf("sqlparse: unknown column %q at %d", t.text, t.pos)
+			}
+			aq.GroupBy = append(aq.GroupBy, col)
+			if ps.cur().kind != tokComma {
+				break
+			}
+			ps.next()
+		}
+	}
+	if ps.cur().kind != tokEOF {
+		return expr.AggQuery{}, fmt.Errorf("sqlparse: trailing input at %d: %q", ps.cur().pos, ps.cur().text)
+	}
+	// Canonicalize: de-duplicate GROUP BY columns (keeping first position)
+	// so the rendered form is a parse fixpoint.
+	seen := make(map[int]bool, len(aq.GroupBy))
+	dedup := aq.GroupBy[:0]
+	for _, g := range aq.GroupBy {
+		if !seen[g] {
+			seen[g] = true
+			dedup = append(dedup, g)
+		}
+	}
+	aq.GroupBy = dedup
+	for _, c := range bareCols {
+		if !seen[c] {
+			return expr.AggQuery{}, fmt.Errorf("sqlparse: select column %q is not aggregated and not in GROUP BY", p.Schema.Cols[c].Name)
+		}
+	}
+	return aq, nil
+}
+
+// parseSelectItem parses one SELECT-list item. It returns either an
+// aggregate (bare == -1) or a bare column ordinal (bare >= 0).
+func (ps *parseState) parseSelectItem() (expr.Agg, int, error) {
+	t, err := ps.expect(tokIdent, "aggregate function or column")
+	if err != nil {
+		return expr.Agg{}, -1, err
+	}
+	var fn expr.AggFunc
+	switch strings.ToUpper(t.text) {
+	case "COUNT":
+		fn = expr.AggCount
+	case "SUM":
+		fn = expr.AggSum
+	case "MIN":
+		fn = expr.AggMin
+	case "MAX":
+		fn = expr.AggMax
+	case "AVG":
+		fn = expr.AggAvg
+	default:
+		// A bare column: only legal when grouped by it (validated later).
+		if ps.cur().kind == tokLParen {
+			return expr.Agg{}, -1, fmt.Errorf("sqlparse: unknown aggregate function %q at %d", t.text, t.pos)
+		}
+		col := ps.p.resolveCol(t.text)
+		if col < 0 {
+			return expr.Agg{}, -1, fmt.Errorf("sqlparse: unknown column %q at %d", t.text, t.pos)
+		}
+		return expr.Agg{}, col, nil
+	}
+	if _, err := ps.expect(tokLParen, "("); err != nil {
+		return expr.Agg{}, -1, err
+	}
+	if fn == expr.AggCount && ps.cur().kind == tokStar {
+		ps.next()
+		if _, err := ps.expect(tokRParen, ")"); err != nil {
+			return expr.Agg{}, -1, err
+		}
+		return expr.Agg{Func: expr.AggCountStar}, -1, nil
+	}
+	argTok, err := ps.expect(tokIdent, "column name")
+	if err != nil {
+		return expr.Agg{}, -1, err
+	}
+	col := ps.p.resolveCol(argTok.text)
+	if col < 0 {
+		return expr.Agg{}, -1, fmt.Errorf("sqlparse: unknown column %q at %d", argTok.text, argTok.pos)
+	}
+	if _, err := ps.expect(tokRParen, ")"); err != nil {
+		return expr.Agg{}, -1, err
+	}
+	return expr.Agg{Func: fn, Col: col}, -1, nil
+}
+
+// ParseSelectMany parses an aggregation workload, sharing the advanced-cut
+// table; statement i is named q<i>.
+func (p *Parser) ParseSelectMany(sqls []string) ([]expr.AggQuery, error) {
+	out := make([]expr.AggQuery, 0, len(sqls))
+	for i, sql := range sqls {
+		aq, err := p.ParseSelect(sql)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		aq.Name = fmt.Sprintf("q%d", i)
+		out = append(out, aq)
 	}
 	return out, nil
 }

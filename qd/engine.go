@@ -82,6 +82,34 @@ func (e *Engine) Workload(w []Query) (*WorkloadResult, error) {
 	return exec.RunWorkloadOpts(e.store, e.layout, w, e.acs, e.prof, e.mode, e.opt)
 }
 
+// Aggregate executes one aggregation statement (SELECT <aggs> FROM t
+// [WHERE ...] [GROUP BY ...]) and returns typed result rows sorted by
+// group key. The filter prunes blocks exactly like Query; aggregates
+// evaluate over encoded columns with zone-map and RLE pushdown (see
+// exec.RunAggOpts).
+func (e *Engine) Aggregate(aq AggQuery) (*AggResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("qd: engine is closed")
+	}
+	return exec.RunAggOpts(e.store, e.layout, aq, e.acs, e.prof, e.mode, e.opt)
+}
+
+// AggregateWorkload executes each aggregation statement in order,
+// returning per-statement results.
+func (e *Engine) AggregateWorkload(w []AggQuery) ([]*AggResult, error) {
+	out := make([]*AggResult, len(w))
+	for i, aq := range w {
+		res, err := e.Aggregate(aq)
+		if err != nil {
+			return nil, fmt.Errorf("qd: aggregate %q: %w", aq.Name, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // Close waits for in-flight queries to finish, releases the store's
 // cached block-file handles, and marks the engine unusable. It is
 // idempotent: later calls return nil without touching the store.

@@ -161,6 +161,32 @@ func ParseWorkload(s *Schema, sqls []string) ([]Query, []AdvCut, error) {
 	return qs, p.ACs, nil
 }
 
+// ParseSelect parses one full aggregation statement —
+// SELECT <aggs> FROM t [WHERE ...] [GROUP BY ...] — against the schema.
+// The returned cut table holds any column-vs-column advanced cuts the
+// WHERE clause introduced; an engine executing the statement must be
+// bound to a plan whose cut table covers them (execution rejects
+// out-of-range cut references with an error).
+func ParseSelect(s *Schema, sql string) (AggQuery, []AdvCut, error) {
+	p := sqlparse.NewParser(s)
+	aq, err := p.ParseSelect(sql)
+	if err != nil {
+		return AggQuery{}, nil, err
+	}
+	return aq, p.ACs, nil
+}
+
+// ParseAggWorkload parses an aggregation workload, returning the
+// statements plus the advanced-cut table their filters discovered.
+func ParseAggWorkload(s *Schema, sqls []string) ([]AggQuery, []AdvCut, error) {
+	p := sqlparse.NewParser(s)
+	aqs, err := p.ParseSelectMany(sqls)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aqs, p.ACs, nil
+}
+
 // BuildOptions configure tree construction.
 type BuildOptions struct {
 	// MinBlockSize is b: the minimum rows per block, in full-table rows
@@ -386,6 +412,20 @@ type (
 	WorkloadResult = exec.WorkloadResult
 	// ExecMode selects block pruning: qd-tree routing or SMA-only.
 	ExecMode = exec.Mode
+	// AggQuery is a full aggregation statement: SELECT-list aggregates,
+	// optional GROUP BY columns, and the filter the qd-tree routes.
+	AggQuery = expr.AggQuery
+	// Agg is one aggregate of a SELECT list (function over a column).
+	Agg = expr.Agg
+	// AggFunc identifies one aggregate function.
+	AggFunc = expr.AggFunc
+	// AggResult reports one aggregate query execution: scan stats plus
+	// typed result rows sorted by group key.
+	AggResult = exec.AggResult
+	// AggRow is one typed result row: group key + one value per aggregate.
+	AggRow = exec.AggRow
+	// AggVal is one aggregate output cell (Valid, Int, Float).
+	AggVal = exec.AggVal
 	// ExecOptions tune physical execution: Parallelism is the scan worker
 	// pool size (0 or negative selects GOMAXPROCS, 1 is sequential) and
 	// ShareReads makes ExecuteWorkload read each block once for all
@@ -393,6 +433,36 @@ type (
 	// are identical for every value.
 	ExecOptions = exec.Options
 )
+
+// Rows is the typed result set of an aggregate query, sorted by group key.
+type Rows = []exec.AggRow
+
+// Aggregate functions for building AggQuery values programmatically.
+const (
+	AggCountStar = expr.AggCountStar
+	AggCount     = expr.AggCount
+	AggSum       = expr.AggSum
+	AggMin       = expr.AggMin
+	AggMax       = expr.AggMax
+	AggAvg       = expr.AggAvg
+)
+
+// ReferenceAggregate evaluates an aggregate query over an in-memory table
+// row at a time — the naive ground truth the vectorized engine is tested
+// against (and a convenient way to aggregate without materializing a
+// store).
+func ReferenceAggregate(tbl *Table, aq AggQuery, acs []AdvCut) Rows {
+	return exec.ReferenceAggregate(tbl, aq, acs)
+}
+
+// AggregateNaive executes an aggregate query over a store with no
+// pushdown: every candidate block is fully decoded and aggregated row at
+// a time, charging the decoded logical bytes — the decode-then-aggregate
+// cost baseline qdbench -exp agg and BenchmarkAggregatePushdown compare
+// the vectorized engine against.
+func AggregateNaive(store *BlockStore, plan *Plan, aq AggQuery, prof EngineProfile, mode ExecMode) (*AggResult, error) {
+	return exec.RunAggNaive(store, plan.Layout, aq, plan.ACs, prof, mode)
+}
 
 // Engine profiles and pruning modes.
 var (

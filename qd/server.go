@@ -24,6 +24,9 @@ type (
 	// ServerResult is one served query's scan stats plus the generation
 	// that served it.
 	ServerResult = serve.QueryResult
+	// ServerAggResult is one served aggregation's typed rows and stats
+	// plus the generation that served it.
+	ServerAggResult = serve.SelectResult
 	// WorkloadLogEntry is one logged query execution.
 	WorkloadLogEntry = serve.Entry
 )
