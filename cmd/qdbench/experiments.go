@@ -861,3 +861,151 @@ func expCompress(cfg config) error {
 	fmt.Printf("\nacceptance: on-disk reduction %.2fx (target >= 2x); scan SimTime charges encoded bytes\n", s2.Ratio())
 	return nil
 }
+
+// expIngest measures the streaming-ingest lifecycle: rows inserted into
+// the LSM delta are visible immediately but scanned unpruned, so the
+// workload's skip rate degrades as the delta fills; one compaction routes
+// them through the live qd-tree into a fresh generation and restores the
+// skip rate to what a cold bulk load of the same rows achieves.
+func expIngest(cfg config) error {
+	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: cfg.rows, NumQueries: cfg.queries, Seed: cfg.seed})
+	b := cfg.rows / 2000
+	if b < 16 {
+		b = 16
+	}
+	popt := qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)}
+
+	// 80% of the table bulk-loads as the base; 20% arrives as the stream.
+	nbase := spec.Table.N * 4 / 5
+	base := qd.NewTable(spec.Table.Schema, nbase)
+	stream := make([][]int64, 0, spec.Table.N-nbase)
+	row := make([]int64, spec.Table.Schema.NumCols())
+	for r := 0; r < spec.Table.N; r++ {
+		row = spec.Table.Row(r, row)
+		if r < nbase {
+			base.AppendRow(row)
+		} else {
+			stream = append(stream, append([]int64(nil), row...))
+		}
+	}
+
+	plan, err := planWith("greedy", qd.NewDataset(nil, base).WithQueries(spec.Queries, spec.ACs), popt)
+	if err != nil {
+		return err
+	}
+	root, cleanup, err := tempDir(cfg, "ingest")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	if err := qd.InitServing(root, base, plan); err != nil {
+		return err
+	}
+	srv, err := qd.NewServer(root, qd.ServeOptions{
+		Strategy: "greedy",
+		Plan:     popt,
+		Profile:  qd.EngineSpark,
+		Exec:     qd.ExecOptions{Parallelism: cfg.parallel, ShareReads: true},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	eval := func() (skip float64, sim time.Duration, err error) {
+		var scanned, total int64
+		for _, q := range spec.Queries {
+			res, err := srv.Query(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			scanned += res.RowsScanned
+			total += res.RowsTotal
+			sim += res.SimTime
+		}
+		if total > 0 {
+			skip = 1 - float64(scanned)/float64(total)
+		}
+		return skip, sim / time.Duration(len(spec.Queries)), nil
+	}
+
+	fmt.Printf("Streaming ingest: ErrorLog-Int, %d base rows (%d blocks) + %d streamed rows, %d queries\n",
+		base.N, plan.Layout.NumBlocks(), len(stream), len(spec.Queries))
+	fmt.Printf("%-12s %10s %7s %9s %12s\n", "phase", "delta-rows", "fill%", "skip", "mean-sim")
+
+	report := func(phase string) error {
+		skip, sim, err := eval()
+		if err != nil {
+			return err
+		}
+		st := srv.Stats()
+		fmt.Printf("%-12s %10d %6.1f%% %8.1f%% %12s\n",
+			phase, st.DeltaRows, 100*float64(st.DeltaRows)/float64(base.N+len(stream)),
+			100*skip, sim.Round(time.Microsecond))
+		return nil
+	}
+	if err := report("base"); err != nil {
+		return err
+	}
+	steps := 4
+	for s := 0; s < steps; s++ {
+		lo, hi := s*len(stream)/steps, (s+1)*len(stream)/steps
+		if err := srv.Insert(stream[lo:hi]); err != nil {
+			return err
+		}
+		if err := report(fmt.Sprintf("ingest %d/%d", s+1, steps)); err != nil {
+			return err
+		}
+	}
+
+	if err := srv.Compact(); err != nil {
+		return err
+	}
+	postSkip, postSim, err := eval()
+	if err != nil {
+		return err
+	}
+	st := srv.Stats()
+	if rep := st.LastCompact; rep != nil {
+		fmt.Printf("\ncompaction: %d rows folded via %q into generation %d, %dK written, freshness erased %.2fs\n",
+			rep.Rows, rep.Routed, rep.Generation, rep.BytesWritten/1000, rep.FreshnessSeconds)
+	}
+	fmt.Printf("write amplification %.1fx over %d compacted rows (%d compactions)\n",
+		st.WriteAmplification, st.CompactedRows, st.Compactions)
+	fmt.Printf("%-12s %10d %6.1f%% %8.1f%% %12s\n", "compacted", st.DeltaRows, 0.0, 100*postSkip, postSim.Round(time.Microsecond))
+
+	// Cold baseline: bulk-load base+stream in one shot and replan.
+	coldPlan, err := planWith("greedy", dataset(spec), popt)
+	if err != nil {
+		return err
+	}
+	coldDir, coldCleanup, err := tempDir(cfg, "ingest-cold")
+	if err != nil {
+		return err
+	}
+	defer coldCleanup()
+	coldStore, err := qd.WriteStore(coldDir, spec.Table, coldPlan.Layout)
+	if err != nil {
+		return err
+	}
+	coldEng, err := qd.NewEngine(coldStore, coldPlan, qd.EngineSpark, qd.ExecOptions{Parallelism: cfg.parallel})
+	if err != nil {
+		return err
+	}
+	defer coldEng.Close()
+	var coldScanned, coldTotal int64
+	for _, q := range spec.Queries {
+		res, err := coldEng.Query(q)
+		if err != nil {
+			return err
+		}
+		coldScanned += res.RowsScanned
+		coldTotal += res.RowsTotal
+	}
+	coldSkip := 1 - float64(coldScanned)/float64(coldTotal)
+
+	diff := 100 * math.Abs(postSkip-coldSkip)
+	fmt.Printf("\nacceptance: post-compaction skip %.1f%% vs cold bulk-load %.1f%% (|diff| %.1f pts, target <= 5)\n",
+		100*postSkip, 100*coldSkip, diff)
+	return nil
+}

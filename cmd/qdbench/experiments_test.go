@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestExperimentSmoke runs the deterministic experiments at toy scale —
+// the same code paths CI's bench-smoke job drives at full size, but
+// cheap enough for the unit suite (and counted by the coverage gate).
+// Acceptance thresholds inside the experiments (compression speedup,
+// ingest skip-rate recovery) must hold even at this scale.
+func TestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke at -short")
+	}
+	cfg := config{rows: 6000, queries: 40, episodes: 2, hidden: 8, seed: 42, parallel: 2, strategy: "greedy"}
+	for _, tc := range []struct {
+		name string
+		run  func(config) error
+	}{
+		{"table2", expTable2},
+		{"fig3", expFig3},
+		{"fig4", expFig4},
+		{"fig6a", expFig6a},
+		{"fig6b", expFig6b},
+		{"fig9", expFig9},
+		{"layout", expLayout},
+		{"agg", expAgg},
+		{"compress", expCompress},
+		{"ingest", expIngest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

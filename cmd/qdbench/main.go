@@ -18,6 +18,7 @@
 //	qdbench -exp parscan    parallel scan engine: wall-clock speedup sweep
 //	qdbench -exp compress   block format v2: encodings, size, scan speedup
 //	qdbench -exp agg        vectorized aggregation: pushdown vs decode-then-aggregate
+//	qdbench -exp ingest     streaming ingest: delta fill vs skip rate, compaction recovery
 //	qdbench -exp layout     plan one strategy (-strategy) via the registry
 //	qdbench -exp all        everything above (except layout)
 //
@@ -79,10 +80,11 @@ func main() {
 		"parscan":   expParScan,
 		"compress":  expCompress,
 		"agg":       expAgg,
+		"ingest":    expIngest,
 		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg", "ingest"}
 
 	if *exp == "all" {
 		for _, name := range order {

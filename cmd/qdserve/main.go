@@ -14,6 +14,9 @@
 //	POST /query    {"sql": "severity >= 8"}   one filter query; returns scan stats
 //	POST /query    {"sql": "SELECT service, COUNT(*) FROM logs GROUP BY service"}
 //	                                          aggregation; returns typed rows + stats
+//	POST /ingest   {"columns": [...], "rows": [[...], ...]}
+//	                                          stream rows into the delta; visible immediately
+//	POST /compact                             force a delta-compaction cycle
 //	GET  /stats                               serving counters + last drift check
 //	POST /relayout                            force a replan + swap cycle
 //	GET  /healthz                             liveness
@@ -56,16 +59,20 @@ func main() {
 		keep      = flag.Int("keep", 0, "retired generations kept on disk after a swap")
 		parallel  = flag.Int("parallelism", 0, "scan worker pool size (0 = GOMAXPROCS)")
 		profile   = flag.String("profile", "spark", "engine cost profile: spark | dbms")
+		memRows   = flag.Int("memtable-rows", 0, "ingest memtable rows before sealing to a delta segment (0 = default 4096)")
+		compRows  = flag.Int("compact-rows", 0, "uncompacted delta rows before a background compaction (0 = default 65536)")
+		compEvery = flag.Duration("compact-interval", 10*time.Second, "background compaction check period (0 disables; POST /compact still works)")
 	)
 	flag.Parse()
-	if err := run(*addr, *store, *demo, *rows, *strategy, *minBlock, *window, *minWindow, *threshold, *interval, *keep, *parallel, *profile); err != nil {
+	if err := run(*addr, *store, *demo, *rows, *strategy, *minBlock, *window, *minWindow, *threshold, *interval, *keep, *parallel, *profile, *memRows, *compRows, *compEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "qdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, store string, demo bool, rows int, strategy string, minBlock, window, minWindow int,
-	threshold float64, interval time.Duration, keep, parallel int, profile string) error {
+	threshold float64, interval time.Duration, keep, parallel int, profile string,
+	memRows, compRows int, compEvery time.Duration) error {
 	prof := qd.EngineSpark
 	switch profile {
 	case "spark":
@@ -107,6 +114,9 @@ func run(addr, store string, demo bool, rows int, strategy string, minBlock, win
 		MinImprovement:  threshold,
 		CheckInterval:   interval,
 		KeepGenerations: keep,
+		MemtableRows:    memRows,
+		CompactRows:     compRows,
+		CompactInterval: compEvery,
 	})
 	if err != nil {
 		return err

@@ -104,6 +104,13 @@ type Store struct {
 	// still complete.
 	MaxOpenFiles int
 
+	// Delta lists the validated streaming-ingest delta segments found
+	// beside the blocks at Open time (delta_*.qdb); their rows belong to
+	// the table but are not yet part of any block. DeltaWarnings records
+	// torn or corrupt segments Open quarantined instead of failing.
+	Delta         []DeltaSegment
+	DeltaWarnings []string
+
 	once  sync.Once
 	files []blockHandle // lazily-opened, validated per-block handles
 	nopen atomic.Int64  // cached handles currently open
@@ -394,7 +401,11 @@ func Open(dir string) (*Store, error) {
 			}
 		}
 	}
-	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks, Format: cat.Version}, nil
+	delta, warns, err := ScanDeltaSegments(dir, schema.NumCols())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Dir: dir, Schema: schema, Blocks: cat.Blocks, Format: cat.Version, Delta: delta, DeltaWarnings: warns}, nil
 }
 
 // validateBlockFiles cross-checks the catalog's block list against the

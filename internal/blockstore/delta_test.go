@@ -1,0 +1,123 @@
+package blockstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParseDeltaSegName(t *testing.T) {
+	if name := DeltaSegName(7); name != "delta_000007.qdb" {
+		t.Fatalf("name %q", name)
+	}
+	for _, tc := range []struct {
+		name string
+		id   int
+		ok   bool
+	}{
+		{"delta_000007.qdb", 7, true},
+		{"delta_000007.qdb.quarantined", 7, true},
+		{"delta_xyz.qdb", 0, false},
+		{"block_000001.qdb", 0, false},
+		{"delta_000001.txt", 0, false},
+	} {
+		id, ok := ParseDeltaSegName(tc.name)
+		if ok != tc.ok || (ok && id != tc.id) {
+			t.Errorf("parse %q = (%d, %v), want (%d, %v)", tc.name, id, ok, tc.id, tc.ok)
+		}
+	}
+}
+
+// TestOpenQuarantinesTornDeltaSegment is the crash-recovery contract: a
+// store directory holding a partially written delta segment (process died
+// mid-append) must open, serve the intact segments, and set the torn file
+// aside with a warning instead of failing.
+func TestOpenQuarantinesTornDeltaSegment(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(100, 4)
+	st, err := Write(dir, spec.Table, make([]int, spec.Table.N), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Two sealed segments beside the blocks; tear the tail off the second.
+	sub := spec.Table
+	for id := 0; id < 2; id++ {
+		if _, err := WriteSegment(filepath.Join(dir, DeltaSegName(id)), sub, []int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	torn := filepath.Join(dir, DeltaSegName(1))
+	info, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal("torn delta segment must not fail Open:", err)
+	}
+	defer re.Close()
+	if len(re.Delta) != 1 || re.Delta[0].ID != 0 || re.Delta[0].Rows != 3 {
+		t.Fatalf("delta segments %+v, want just segment 0 with 3 rows", re.Delta)
+	}
+	if len(re.DeltaWarnings) != 1 {
+		t.Fatalf("warnings %v, want exactly one", re.DeltaWarnings)
+	}
+	if _, err := os.Stat(torn + QuarantineSuffix); err != nil {
+		t.Fatal("torn file must be renamed aside:", err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn file must no longer carry the segment name")
+	}
+
+	// Quarantined ids stay burned so a new segment never collides.
+	next, err := NextDeltaSegID(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 2 {
+		t.Fatalf("next id %d, want 2", next)
+	}
+
+	// Reopening again is stable: the quarantined file is ignored.
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if len(re2.Delta) != 1 || len(re2.DeltaWarnings) != 0 {
+		t.Fatalf("second open: delta %+v warnings %v", re2.Delta, re2.DeltaWarnings)
+	}
+}
+
+// A delta segment with the right magic but the wrong column count is
+// corrupt for this store and is quarantined like a torn one.
+func TestOpenQuarantinesWrongWidthSegment(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Fig3(50, 2) // 2-column schema
+	if _, err := Write(dir, spec.Table, make([]int, spec.Table.N), 1); err != nil {
+		t.Fatal(err)
+	}
+	one := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: 10, NumQueries: 1, Seed: 1})
+	if one.Table.Schema.NumCols() == spec.Table.Schema.NumCols() {
+		t.Fatal("fixture schemas must differ in width")
+	}
+	if _, err := WriteSegment(filepath.Join(dir, DeltaSegName(0)), one.Table, nil); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(re.Delta) != 0 || len(re.DeltaWarnings) != 1 {
+		t.Fatalf("delta %+v warnings %v, want quarantine", re.Delta, re.DeltaWarnings)
+	}
+}

@@ -1,0 +1,309 @@
+package delta
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/table"
+)
+
+func testSchema() *table.Schema {
+	return table.MustSchema([]table.Column{
+		{Name: "x", Kind: table.Numeric, Min: 0, Max: 999},
+		{Name: "s", Kind: table.Categorical, Dom: 3, Dict: []string{"a", "b", "c"}},
+	})
+}
+
+func rowsOf(tables []*table.Table) [][]int64 {
+	var out [][]int64
+	for _, t := range tables {
+		row := make([]int64, t.Schema.NumCols())
+		for r := 0; r < t.N; r++ {
+			row = t.Row(r, row)
+			out = append(out, append([]int64(nil), row...))
+		}
+	}
+	return out
+}
+
+func TestInsertSealsAndSnapshots(t *testing.T) {
+	s, warns, err := Open(testSchema(), Options{MemtableRows: 4})
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("open: %v %v", err, warns)
+	}
+	var want [][]int64
+	for i := 0; i < 10; i++ {
+		row := []int64{int64(i), int64(i % 3)}
+		want = append(want, row)
+		if err := s.Insert([][]int64{row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Rows() != 10 || s.Segments() != 2 {
+		t.Fatalf("rows=%d segments=%d, want 10/2", s.Rows(), s.Segments())
+	}
+	if s.RowsIngested() != 10 {
+		t.Fatalf("ingested %d", s.RowsIngested())
+	}
+	got := rowsOf(s.Snapshot())
+	if len(got) != 10 {
+		t.Fatalf("snapshot rows %d", len(got))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v (insertion order must be preserved)", i, got[i], want[i])
+		}
+	}
+	if _, ok := s.Oldest(); !ok {
+		t.Fatal("non-empty delta must report an oldest row")
+	}
+}
+
+func TestInsertValidatesWholeBatchFirst(t *testing.T) {
+	s, _, err := Open(testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width mismatch.
+	if err := s.Insert([][]int64{{1}}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("short row: %v, want ErrSchemaMismatch", err)
+	}
+	// Categorical code outside the dictionary.
+	if err := s.Insert([][]int64{{1, 7}}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("bad code: %v, want ErrSchemaMismatch", err)
+	}
+	// A bad row anywhere rejects the batch atomically.
+	if err := s.Insert([][]int64{{1, 0}, {2, -1}}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("mixed batch: %v, want ErrSchemaMismatch", err)
+	}
+	if s.Rows() != 0 {
+		t.Fatalf("rejected batches must leave the store unchanged, got %d rows", s.Rows())
+	}
+}
+
+func TestFlushIsIdempotentAndDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(testSchema(), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([][]int64{{1, 0}, {2, 1}, {3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated flushes seal exactly once
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "delta_*.qdb"))
+	if len(files) != 1 {
+		t.Fatalf("segment files %v, want exactly 1", files)
+	}
+	if s.Segments() != 1 || s.Rows() != 3 {
+		t.Fatalf("segments=%d rows=%d", s.Segments(), s.Rows())
+	}
+}
+
+func TestCloseSealsAndRecoversAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(testSchema(), Options{Dir: dir, MemtableRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // one sealed segment + 2 buffered rows
+		if err := s.Insert([][]int64{{int64(i), 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close must be idempotent:", err)
+	}
+	if err := s.Insert([][]int64{{9, 0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("insert after close: %v, want ErrClosed", err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.BeginCompaction(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("begin after close: %v, want ErrClosed", err)
+	}
+
+	re, warns, err := Open(testSchema(), Options{Dir: dir, MemtableRows: 4})
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("reopen: %v %v", err, warns)
+	}
+	if re.Rows() != 6 {
+		t.Fatalf("recovered %d rows, want all 6 (Close seals the memtable)", re.Rows())
+	}
+	got := rowsOf(re.Snapshot())
+	for i := range got {
+		if got[i][0] != int64(i) {
+			t.Fatalf("recovered row %d = %v, want x=%d", i, got[i], i)
+		}
+	}
+}
+
+func TestReopenQuarantinesTornSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(testSchema(), Options{Dir: dir, MemtableRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([][]int64{{1, 0}, {2, 1}, {3, 2}, {4, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second segment's tail, as a crash mid-append would.
+	torn := filepath.Join(dir, blockstore.DeltaSegName(1))
+	info, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, warns, err := Open(testSchema(), Options{Dir: dir, MemtableRows: 2})
+	if err != nil {
+		t.Fatal("a torn segment must not fail Open:", err)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("warnings %v, want exactly one for the torn segment", warns)
+	}
+	if re.Rows() != 2 {
+		t.Fatalf("recovered %d rows, want 2 (intact segment only)", re.Rows())
+	}
+	if _, err := os.Stat(torn + blockstore.QuarantineSuffix); err != nil {
+		t.Fatal("torn segment must be renamed aside, not deleted:", err)
+	}
+	// The quarantined id is not reused: the next seal gets a fresh id.
+	if err := re.Insert([][]int64{{5, 0}, {6, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, blockstore.DeltaSegName(2))); err != nil {
+		t.Fatal("next segment must use id 2:", err)
+	}
+}
+
+func TestCheckpointCompleteKeepsRacingInserts(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(testSchema(), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([][]int64{{1, 0}, {2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.BeginCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Rows != 2 || len(cp.SegIDs()) != 1 {
+		t.Fatalf("checkpoint rows=%d segs=%v", cp.Rows, cp.SegIDs())
+	}
+	// A racing insert lands in the next memtable and misses the checkpoint.
+	if err := s.Insert([][]int64{{3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 3 {
+		t.Fatal("checkpointed rows must keep serving until Complete")
+	}
+	paths := s.Complete(cp)
+	if len(paths) != 1 {
+		t.Fatalf("paths %v, want the checkpointed segment file", paths)
+	}
+	if s.Rows() != 1 {
+		t.Fatalf("after Complete rows=%d, want just the racing insert", s.Rows())
+	}
+	if got := rowsOf(s.Snapshot()); len(got) != 1 || got[0][0] != 3 {
+		t.Fatalf("surviving rows %v, want [[3 2]]", got)
+	}
+}
+
+func TestSnapshotIsImmuneToLaterInserts(t *testing.T) {
+	s, _, err := Open(testSchema(), Options{MemtableRows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([][]int64{{1, 0}, {2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	for i := 0; i < 100; i++ {
+		if err := s.Insert([][]int64{{int64(100 + i), 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rowsOf(snap)
+	if len(got) != 2 || got[0][0] != 1 || got[1][0] != 2 {
+		t.Fatalf("snapshot changed under later inserts: %v", got)
+	}
+}
+
+// TestMarkerRoundTrip pins the crash-recovery record's own contract;
+// how serving reconciles it is covered in internal/serve.
+func TestMarkerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := ReadMarker(dir); err != nil || m != nil {
+		t.Fatalf("empty dir: marker %+v err %v, want nil, nil", m, err)
+	}
+	if err := ClearMarker(dir); err != nil {
+		t.Fatal("clearing an absent marker must be a no-op:", err)
+	}
+	want := Marker{Gen: 7, Segs: []int{0, 2}}
+	if err := WriteMarker(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMarker(dir)
+	if err != nil || m == nil || m.Gen != 7 || len(m.Segs) != 2 {
+		t.Fatalf("read back %+v err %v, want %+v", m, err, want)
+	}
+	if err := ClearMarker(dir); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadMarker(dir); err != nil || m != nil {
+		t.Fatalf("after clear: marker %+v err %v", m, err)
+	}
+	// A corrupt marker is an error, not a silent nil.
+	if err := os.WriteFile(filepath.Join(dir, "COMPACTING.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMarker(dir); err == nil {
+		t.Fatal("corrupt marker must error")
+	}
+}
+
+func TestRemoveSegmentFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(testSchema(), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([][]int64{{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema() != testSchema() && s.Schema().NumCols() != 2 {
+		t.Fatal("Schema accessor")
+	}
+	if s.Bytes() != int64(s.Rows())*8*2 {
+		t.Fatalf("Bytes %d", s.Bytes())
+	}
+	// id 0 exists, id 9 doesn't — both must succeed (recovery retries).
+	if err := RemoveSegmentFiles(dir, []int{0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, blockstore.DeltaSegName(0))); !os.IsNotExist(err) {
+		t.Fatal("segment 0 must be deleted")
+	}
+}

@@ -1,0 +1,78 @@
+package delta
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blockstore"
+)
+
+// markerFile records an in-flight compaction inside the delta directory.
+const markerFile = "COMPACTING.json"
+
+// Marker is the crash-recovery record of one compaction: the delta
+// segments folded into generation Gen. It is written (tmp + rename)
+// before the CURRENT pointer flips and cleared after the segments are
+// deleted. On restart the invariant is simple: if the live generation is
+// at least Gen, the compaction committed and the listed segments are
+// duplicates to delete; otherwise the flip never happened and the
+// segments are still the only copy of their rows.
+type Marker struct {
+	Gen  int   `json:"gen"`
+	Segs []int `json:"segs"`
+}
+
+// WriteMarker durably records m in dir via tmp + rename.
+func WriteMarker(dir string, m Marker) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, markerFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, markerFile))
+}
+
+// ReadMarker returns dir's compaction marker, or (nil, nil) when none
+// exists.
+func ReadMarker(dir string) (*Marker, error) {
+	data, err := os.ReadFile(filepath.Join(dir, markerFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Marker
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("delta: decode compaction marker: %w", err)
+	}
+	return &m, nil
+}
+
+// ClearMarker removes dir's compaction marker (a no-op when absent).
+func ClearMarker(dir string) error {
+	err := os.Remove(filepath.Join(dir, markerFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// RemoveSegmentFiles deletes the named delta segments from dir, ignoring
+// files already gone — recovery may retry a deletion that half-finished.
+func RemoveSegmentFiles(dir string, ids []int) error {
+	for _, id := range ids {
+		err := os.Remove(filepath.Join(dir, blockstore.DeltaSegName(id)))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}

@@ -399,8 +399,19 @@ func RunAgg(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs 
 // drains; the result is bit-identical for every Options value, both
 // block formats, and both pruning modes.
 func RunAggOpts(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (*AggResult, error) {
+	return RunAggDelta(store, layout, aq, acs, prof, mode, opt, nil)
+}
+
+// RunAggDelta is RunAggOpts over the merged view `delta ∪ base`: after
+// the pruned block scan, every delta table is aggregated in full through
+// the same batch kernels (no zone-map shortcuts — delta rows carry no
+// metadata). The merge arithmetic is order-independent, so results stay
+// bit-identical to the reference evaluator over the concatenated table.
+// A nil view is a plain RunAggOpts.
+func RunAggDelta(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (*AggResult, error) {
 	res := &AggResult{Query: aq.Name, GroupBy: append([]int(nil), aq.GroupBy...)}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
+	res.RowsTotal += dv.Rows()
 	candidates, err := candidateBlocks(store, layout, aq.Filter, mode)
 	if err != nil {
 		return nil, err
@@ -488,6 +499,19 @@ func RunAggOpts(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, t := range dv.tables() {
+		a := &accs[0]
+		vecs, nbytes := deltaColVecs(t, pl.readCols)
+		a.stats.BlocksScanned++
+		a.stats.DeltaRows += int64(t.N)
+		a.stats.RowsScanned += int64(t.N)
+		a.stats.BytesRead += nbytes
+		a.stats.BytesLogical += readWidth * int64(t.N)
+		a.stats.RowsMatched += aggregateBlock(pl, vecs, t.N, &a.sel, &a.scratch, a.bufs, a.part)
+		if c := blockCost(prof, nbytes, t.N, 1); c > a.crit {
+			a.crit = c
+		}
 	}
 
 	var crit time.Duration

@@ -118,6 +118,10 @@ type ScanStats struct {
 	// effective compression ratio.
 	BytesRead    int64
 	BytesLogical int64
+	// DeltaRows is the share of RowsScanned that came from the streaming
+	// ingest delta (scanned unpruned; see delta.go). Zero for scans
+	// without a delta view.
+	DeltaRows int64
 }
 
 func (s *ScanStats) merge(o ScanStats) {
@@ -126,6 +130,7 @@ func (s *ScanStats) merge(o ScanStats) {
 	s.RowsMatched += o.RowsMatched
 	s.BytesRead += o.BytesRead
 	s.BytesLogical += o.BytesLogical
+	s.DeltaRows += o.DeltaRows
 }
 
 // simTime is the deterministic single-stream cost of the counted work.
@@ -325,8 +330,16 @@ func Run(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.
 // to a sequential run; SimTime follows the deterministic parallel model of
 // the package doc.
 func RunOpts(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (Result, error) {
+	return RunDelta(store, layout, q, acs, prof, mode, opt, nil)
+}
+
+// RunDelta is RunOpts over the merged view `delta ∪ base`: base blocks
+// are pruned as usual, then every table of the delta view is scanned in
+// full (see delta.go). A nil view is a plain RunOpts.
+func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (Result, error) {
 	res := Result{Query: q.Name}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
+	res.RowsTotal += dv.Rows()
 	candidates, err := candidateBlocks(store, layout, q, mode)
 	if err != nil {
 		return res, err
@@ -376,6 +389,18 @@ func RunOpts(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []e
 			crit = accs[i].crit
 		}
 	}
+	for _, t := range dv.tables() {
+		vecs, nbytes := deltaColVecs(t, needCols)
+		res.BlocksScanned++
+		res.DeltaRows += int64(t.N)
+		res.RowsScanned += int64(t.N)
+		res.BytesRead += nbytes
+		res.BytesLogical += logicalWidth * int64(t.N)
+		res.RowsMatched += int64(countMatchesVec(q, acs, vecs, t.N, &accs[0].scratch))
+		if c := blockCost(prof, nbytes, t.N, 1); c > crit {
+			crit = c
+		}
+	}
 	res.WallTime = time.Since(start)
 	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
 	return res, nil
@@ -423,6 +448,16 @@ type WorkloadResult struct {
 // Per-query ScanStats and SimTime are bit-identical to sequential
 // execution for every Options value.
 func RunWorkloadOpts(store *blockstore.Store, layout *cost.Layout, w []expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (*WorkloadResult, error) {
+	return RunWorkloadDelta(store, layout, w, acs, prof, mode, opt, nil)
+}
+
+// RunWorkloadDelta is RunWorkloadOpts over `delta ∪ base`: after the
+// batched block scan, every query additionally scans every delta table in
+// full. Column conversions are shared across queries per delta table, but
+// each query is charged exactly the bytes it alone references, matching
+// the unshared accounting of block scans. A nil view is a plain
+// RunWorkloadOpts.
+func RunWorkloadDelta(store *blockstore.Store, layout *cost.Layout, w []expr.Query, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (*WorkloadResult, error) {
 	workers := opt.workers()
 	cands := make([][]int, len(w))
 	colsets := make([][]int, len(w))
@@ -537,7 +572,43 @@ func RunWorkloadOpts(store *blockstore.Store, layout *cost.Layout, w []expr.Quer
 		res.PhysicalReads += accs[i].reads
 		res.PhysicalBytes += accs[i].bytes
 	}
+	for _, t := range dv.tables() {
+		cache := make([]*blockstore.ColVec, ncols)
+		vecFor := func(c int) *blockstore.ColVec {
+			if cache[c] == nil {
+				cache[c] = blockstore.PlainColVec(t.Cols[c][:t.N])
+			}
+			return cache[c]
+		}
+		for qi := range w {
+			vecs := make([]*blockstore.ColVec, ncols)
+			width := int64(8 * ncols)
+			if prof.Columnar {
+				width = int64(8 * len(colsets[qi]))
+				for _, c := range colsets[qi] {
+					vecs[c] = vecFor(c)
+				}
+			} else {
+				for c := range vecs {
+					vecs[c] = vecFor(c)
+				}
+			}
+			s := &merged[qi]
+			nbytes := width * int64(t.N)
+			s.BlocksScanned++
+			s.DeltaRows += int64(t.N)
+			s.RowsScanned += int64(t.N)
+			s.BytesRead += nbytes
+			s.BytesLogical += nbytes
+			s.RowsMatched += int64(countMatchesVec(w[qi], acs, vecs, t.N, &accs[0].scratch))
+			if c := blockCost(prof, nbytes, t.N, 1); c > crit {
+				crit = c
+			}
+			physTotal += blockCost(prof, nbytes, t.N, 1)
+		}
+	}
 	totBlocks, totRows := storeTotals(store)
+	totRows += dv.Rows()
 	for qi := range merged {
 		r := Result{Query: w[qi].Name, ScanStats: merged[qi], BlocksTotal: totBlocks, RowsTotal: totRows}
 		r.SimTime = r.simTime(prof)

@@ -6,11 +6,17 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/table"
 )
+
+// ErrClosed is returned by Ingest after Close — previously an ingest into
+// a closed ingester could race buffer flushes against shutdown and fail
+// with confusing file errors.
+var ErrClosed = errors.New("router: ingester is closed")
 
 // Ingester is the online ingestion path of Fig. 1: records stream through
 // a deployed qd-tree into per-leaf buffers, and full buffers are flushed
@@ -28,6 +34,7 @@ type Ingester struct {
 	segMu   sync.Mutex
 	segs    []Segment
 	nextSeg int
+	closed  atomic.Bool
 }
 
 // Segment records one flushed segment file.
@@ -60,8 +67,11 @@ func NewIngester(t *core.Tree, dir string, segmentRows int) (*Ingester, error) {
 }
 
 // Ingest routes every row of tbl into leaf buffers, flushing any buffer
-// that reaches the segment threshold.
+// that reaches the segment threshold. After Close it returns ErrClosed.
 func (in *Ingester) Ingest(tbl *table.Table) error {
+	if in.closed.Load() {
+		return ErrClosed
+	}
 	rows := make([]int, tbl.N)
 	for i := range rows {
 		rows[i] = i
@@ -126,7 +136,9 @@ func (in *Ingester) flushLocked(leaf int) error {
 // Flush forces all non-empty buffers to disk (call at end of a batch or
 // on shutdown). Every leaf is attempted even if an earlier one fails; the
 // returned error joins each per-leaf failure, so a partial flush reports
-// exactly which leaves kept their buffers.
+// exactly which leaves kept their buffers. Flush is idempotent — empty
+// buffers are skipped, so repeated calls (including after Close, whose
+// own flush already emptied everything) write nothing twice.
 func (in *Ingester) Flush() error {
 	var errs []error
 	for leaf := range in.buffers {
@@ -138,6 +150,17 @@ func (in *Ingester) Flush() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Close flushes every buffer and marks the ingester closed: later Ingest
+// calls return ErrClosed instead of appending to dead buffers, and later
+// Flush calls are no-ops. Close is idempotent; it returns the final
+// flush's error, if any.
+func (in *Ingester) Close() error {
+	if in.closed.Swap(true) {
+		return nil
+	}
+	return in.Flush()
 }
 
 // Segments returns the flushed segment catalog (copy).

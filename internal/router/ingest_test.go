@@ -1,6 +1,7 @@
 package router
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"sync"
@@ -146,6 +147,43 @@ func TestIngesterSegmentsSurviveReopen(t *testing.T) {
 	}
 	if got.N == 0 {
 		t.Fatal("segment read back empty")
+	}
+}
+
+// TestIngesterFlushIdempotentAndClose pins the shutdown contract: a
+// second Flush with nothing buffered writes no new segments, Close
+// flushes and is idempotent, and Ingest after Close fails with ErrClosed
+// instead of racing file writes against shutdown.
+func TestIngesterFlushIdempotentAndClose(t *testing.T) {
+	tree, spec := buildTree(t, 800)
+	in, err := NewIngester(tree, t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Ingest(spec.Table); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(in.Segments())
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(in.Segments()); got != n {
+		t.Fatalf("idempotent Flush grew segments %d -> %d", n, got)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal("Close must be idempotent:", err)
+	}
+	if err := in.Ingest(spec.Table); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after Close = %v, want ErrClosed", err)
+	}
+	if got := len(in.Segments()); got != n {
+		t.Fatalf("close wrote unexpected segments %d -> %d", n, got)
 	}
 }
 

@@ -2,14 +2,17 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/table"
 )
 
 // isSelect reports whether the SQL text starts with the SELECT keyword
@@ -47,8 +50,10 @@ func legacySelectShape(sql string) bool {
 //
 //	POST /query    {"sql": "severity >= 8"}  → per-query scan stats
 //	POST /query    {"sql": "SELECT ..."}     → scan stats + typed rows
+//	POST /ingest   {"rows": [[...], ...]}    → insert rows into the delta
 //	GET  /stats                              → Stats snapshot
 //	POST /relayout {"force": true|false}     → run one drift-check cycle
+//	POST /compact  {"force": true|false}     → run one compaction cycle
 //	GET  /healthz                            → 200 ok
 //
 // A /query body whose SQL starts with SELECT runs as an aggregation
@@ -94,6 +99,75 @@ type QueryResponse struct {
 // RelayoutRequest is the POST /relayout body. An empty body means force.
 type RelayoutRequest struct {
 	Force *bool `json:"force"`
+}
+
+// IngestRequest is the POST /ingest body. Each row lists one value per
+// column: numeric columns take JSON integers, categorical columns take
+// either the dictionary string or its integer code. Columns, when
+// present, names every schema column and gives the order the row values
+// use; absent, rows are in schema order.
+type IngestRequest struct {
+	Columns []string            `json:"columns,omitempty"`
+	Rows    [][]json.RawMessage `json:"rows"`
+}
+
+// IngestResponse reports one accepted ingest batch.
+type IngestResponse struct {
+	Inserted  int `json:"inserted"`
+	DeltaRows int `json:"delta_rows"`
+}
+
+// decodeIngestRows validates and decodes an ingest batch against the
+// served schema. All errors here are client faults (400).
+func decodeIngestRows(schema *table.Schema, req IngestRequest) ([][]int64, error) {
+	ncols := schema.NumCols()
+	order := make([]int, ncols) // position in request row → schema ordinal
+	for i := range order {
+		order[i] = i
+	}
+	if req.Columns != nil {
+		if len(req.Columns) != ncols {
+			return nil, fmt.Errorf("columns names %d of %d schema columns — every column is required", len(req.Columns), ncols)
+		}
+		seen := make(map[int]bool, ncols)
+		for i, name := range req.Columns {
+			c := schema.Col(name)
+			if c < 0 {
+				return nil, fmt.Errorf("unknown column %q", name)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("column %q named twice", name)
+			}
+			seen[c] = true
+			order[i] = c
+		}
+	}
+	rows := make([][]int64, len(req.Rows))
+	for ri, raw := range req.Rows {
+		if len(raw) != ncols {
+			return nil, fmt.Errorf("row %d has %d values, schema has %d columns", ri, len(raw), ncols)
+		}
+		row := make([]int64, ncols)
+		for i, rv := range raw {
+			c := order[i]
+			var sval string
+			if err := json.Unmarshal(rv, &sval); err == nil {
+				code := schema.Code(c, sval)
+				if code < 0 {
+					return nil, fmt.Errorf("row %d column %s: %q is not in the dictionary", ri, schema.Cols[c].Name, sval)
+				}
+				row[c] = code
+				continue
+			}
+			var ival int64
+			if err := json.Unmarshal(rv, &ival); err != nil {
+				return nil, fmt.Errorf("row %d column %s: want an integer or a dictionary string, got %s", ri, schema.Cols[c].Name, string(rv))
+			}
+			row[c] = ival
+		}
+		rows[ri] = row
+	}
+	return rows, nil
 }
 
 // Handler mounts the server's HTTP/JSON API.
@@ -184,6 +258,59 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		serveFilterQuery(w, s, q)
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if len(req.Rows) == 0 {
+			httpErr(w, http.StatusBadRequest, `body needs {"rows": [[...], ...]}`)
+			return
+		}
+		rows, err := decodeIngestRows(s.Schema(), req)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.Insert(rows); err != nil {
+			// A schema mismatch the decoder could not see (e.g. an integer
+			// categorical code outside the dictionary) is still the
+			// client's fault.
+			if errors.Is(err, delta.ErrSchemaMismatch) {
+				httpErr(w, http.StatusBadRequest, "%v", err)
+			} else {
+				httpErr(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		writeJSON(w, IngestResponse{Inserted: len(rows), DeltaRows: s.delta.Rows()})
+	})
+	mux.HandleFunc("/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		// Same convention as /relayout: empty body = force.
+		force := true
+		var req RelayoutRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		} else if req.Force != nil {
+			force = *req.Force
+		}
+		rep, err := s.RunCompaction(force)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, rep)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/table"
 )
 
 func newHTTPFixture(t *testing.T) (*Server, *httptest.Server) {
@@ -134,5 +136,131 @@ func TestHTTPHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPIngestAndCompact(t *testing.T) {
+	s, ts := newHTTPFixture(t)
+
+	resp := postJSON(t, ts.URL+"/ingest", IngestRequest{Rows: [][]json.RawMessage{
+		{json.RawMessage("500")}, {json.RawMessage("500")}, {json.RawMessage("500")},
+	}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Inserted != 3 || ir.DeltaRows != 3 {
+		t.Fatalf("ingest response %+v", ir)
+	}
+
+	// The rows answer queries before any compaction.
+	q := postJSON(t, ts.URL+"/query", QueryRequest{SQL: "x >= 500 AND x < 501"})
+	defer q.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(q.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowsMatched != 5 { // 2 base (2000 rows cycle 0..999) + 3 ingested
+		t.Fatalf("matched %d, want 5", qr.RowsMatched)
+	}
+
+	// Force a compaction over the wire; the rows remain visible.
+	c := postJSON(t, ts.URL+"/compact", struct{}{})
+	defer c.Body.Close()
+	if c.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d", c.StatusCode)
+	}
+	var rep CompactReport
+	if err := json.NewDecoder(c.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped || rep.Rows != 3 {
+		t.Fatalf("compact report %+v", rep)
+	}
+	q2 := postJSON(t, ts.URL+"/query", QueryRequest{SQL: "x >= 500 AND x < 501"})
+	defer q2.Body.Close()
+	if err := json.NewDecoder(q2.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowsMatched != 5 || qr.Generation != rep.Generation {
+		t.Fatalf("post-compaction query %+v, want 5 matches from generation %d", qr, rep.Generation)
+	}
+
+	// Stats surface the ingest counters.
+	st, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsIngested != 3 || stats.Compactions != 1 || stats.DeltaRows != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.WriteAmplification <= 0 {
+		t.Fatalf("write amplification %v, want > 0 after a compaction", stats.WriteAmplification)
+	}
+	_ = s
+}
+
+func TestHTTPIngestErrors(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	for name, body := range map[string]IngestRequest{
+		"no rows":        {},
+		"short row":      {Rows: [][]json.RawMessage{{}}},
+		"wide row":       {Rows: [][]json.RawMessage{{json.RawMessage("1"), json.RawMessage("2")}}},
+		"bad value":      {Rows: [][]json.RawMessage{{json.RawMessage("1.5")}}},
+		"unknown column": {Columns: []string{"nope"}, Rows: [][]json.RawMessage{{json.RawMessage("1")}}},
+	} {
+		resp := postJSON(t, ts.URL+"/ingest", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// decodeIngestRows maps named column order and dictionary strings onto
+// schema-ordered coded rows.
+func TestDecodeIngestRows(t *testing.T) {
+	schema := table.MustSchema([]table.Column{
+		{Name: "x", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "svc", Kind: table.Categorical, Dom: 2, Dict: []string{"auth", "web"}},
+	})
+	rows, err := decodeIngestRows(schema, IngestRequest{
+		Columns: []string{"svc", "x"}, // reversed on the wire
+		Rows: [][]json.RawMessage{
+			{json.RawMessage(`"web"`), json.RawMessage("7")},
+			{json.RawMessage("0"), json.RawMessage("9")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 7 || rows[0][1] != 1 || rows[1][0] != 9 || rows[1][1] != 0 {
+		t.Fatalf("decoded %v", rows)
+	}
+	for name, req := range map[string]IngestRequest{
+		"partial columns": {Columns: []string{"x"}, Rows: [][]json.RawMessage{{json.RawMessage("1")}}},
+		"dup column":      {Columns: []string{"x", "x"}, Rows: [][]json.RawMessage{{json.RawMessage("1"), json.RawMessage("2")}}},
+		"bad dict string": {Rows: [][]json.RawMessage{{json.RawMessage("1"), json.RawMessage(`"db"`)}}},
+	} {
+		if _, err := decodeIngestRows(schema, req); err == nil {
+			t.Errorf("%s: want error", name)
+		}
 	}
 }

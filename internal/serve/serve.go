@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,12 +11,16 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/greedy"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
 )
+
+// ErrClosed is returned by operations on a closed Server.
+var ErrClosed = errors.New("serve: server is closed")
 
 // ReplanFunc plans a fresh layout for the logged query window over the
 // served table. The returned layout's BIDs must assign every row of tbl.
@@ -59,6 +65,17 @@ type Config struct {
 	// re-layout also migrates the table to the compressed format — a v1
 	// store becomes v2 at its first swap with no downtime.
 	StoreWrite blockstore.WriteOptions
+	// MemtableRows seals the ingest memtable into an on-disk delta
+	// segment at this row count (default delta.DefaultMemtableRows).
+	MemtableRows int
+	// CompactRows is the uncompacted delta size past which the background
+	// compactor folds the delta into a fresh generation (default 65536).
+	// Forced compactions (Compact, POST /compact) ignore it.
+	CompactRows int
+	// CompactInterval is the background compactor's check period; 0
+	// disables it (compactions then happen only via Compact /
+	// RunCompaction).
+	CompactInterval time.Duration
 	// Replan plans the candidate layout for a window. Required; see
 	// GreedyReplan for the default strategy.
 	Replan ReplanFunc
@@ -85,6 +102,9 @@ func (c *Config) fillDefaults() {
 		c.MinImprovement = 0.10
 	} else if c.MinImprovement < 0 {
 		c.MinImprovement = 0
+	}
+	if c.CompactRows <= 0 {
+		c.CompactRows = 1 << 16
 	}
 }
 
@@ -116,18 +136,32 @@ type Server struct {
 	gen    *generation
 	closed bool
 
-	// relayoutMu serializes drift checks, rewrites, and Close, so at most
-	// one candidate generation is ever being built.
+	// relayoutMu serializes drift checks, compactions, and Close, so at
+	// most one candidate generation is ever being built.
 	relayoutMu sync.Mutex
 
-	queries    atomic.Uint64
-	swaps      atomic.Uint64
-	lastReport atomic.Pointer[Report]
-	lastErr    atomic.Pointer[string]
+	// delta absorbs Insert traffic; its snapshot is merged into every
+	// query (delta ∪ base) until a compaction folds it into a fresh
+	// generation. Lock order: s.mu before the delta store's internal lock.
+	delta      *delta.Store
+	deltaWarns []string
+
+	queries       atomic.Uint64
+	swaps         atomic.Uint64
+	compactions   atomic.Uint64
+	compactedRows atomic.Int64
+	// compactBytes is the cumulative on-disk size of generations written
+	// by compactions — the numerator of write amplification (denominator:
+	// logical bytes ever ingested).
+	compactBytes atomic.Int64
+	lastReport   atomic.Pointer[Report]
+	lastCompact  atomic.Pointer[CompactReport]
+	lastErr      atomic.Pointer[string]
 
 	stop        chan struct{}
 	stopOnce    sync.Once
 	monitorDone chan struct{}
+	compactDone chan struct{}
 }
 
 // Init bootstraps a generation root: the layout is materialized as
@@ -159,21 +193,56 @@ func New(root string, cfg Config) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
+	// Crash recovery for a compaction interrupted between the CURRENT flip
+	// and segment deletion: if the live generation reached the marker's,
+	// the flip committed and the listed segments are duplicates of rows
+	// already in the base; otherwise the flip never happened and the
+	// segments are still the only copy of their rows.
+	deltaDir := deltaDir(root)
+	if m, merr := delta.ReadMarker(deltaDir); merr != nil {
+		store.Close()
+		return nil, merr
+	} else if m != nil {
+		if id >= m.Gen {
+			if err := delta.RemoveSegmentFiles(deltaDir, m.Segs); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+		if err := delta.ClearMarker(deltaDir); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	dst, warns, err := delta.Open(tbl.Schema, delta.Options{Dir: deltaDir, MemtableRows: cfg.MemtableRows})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
 	layout := cost.NewLayout(genName(id), tbl, bids, store.NumBlocks(), cfg.ACs)
 	s := &Server{
-		cfg:  cfg,
-		root: root,
-		tbl:  tbl,
-		log:  NewLog(cfg.LogCapacity),
-		gen:  &generation{id: id, store: store, layout: layout},
-		stop: make(chan struct{}),
+		cfg:        cfg,
+		root:       root,
+		tbl:        tbl,
+		log:        NewLog(cfg.LogCapacity),
+		gen:        &generation{id: id, store: store, layout: layout},
+		delta:      dst,
+		deltaWarns: warns,
+		stop:       make(chan struct{}),
 	}
 	if cfg.CheckInterval > 0 {
 		s.monitorDone = make(chan struct{})
 		go s.monitor(cfg.CheckInterval)
 	}
+	if cfg.CompactInterval > 0 {
+		s.compactDone = make(chan struct{})
+		go s.compactor(cfg.CompactInterval)
+	}
 	return s, nil
 }
+
+// deltaDir is where a root's delta segments live, beside its generations.
+func deltaDir(root string) string { return filepath.Join(root, "delta") }
 
 func genName(id int) string { return fmt.Sprintf("gen_%06d", id) }
 
@@ -199,11 +268,57 @@ func loadTable(store *blockstore.Store) (*table.Table, []int, error) {
 	return tbl, bids, nil
 }
 
-// Schema returns the served table's schema.
-func (s *Server) Schema() *table.Schema { return s.tbl.Schema }
+// table returns the served base table — the pointer is swapped by
+// compaction, so readers go through the generation lock.
+func (s *Server) table() *table.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tbl
+}
 
-// Rows returns the served row count.
-func (s *Server) Rows() int { return s.tbl.N }
+// Schema returns the served table's schema.
+func (s *Server) Schema() *table.Schema { return s.table().Schema }
+
+// Rows returns the served row count: base rows plus uncompacted delta
+// rows.
+func (s *Server) Rows() int { return s.table().N + s.delta.Rows() }
+
+// Insert appends rows to the live delta store; they are visible to
+// queries immediately and are folded into the learned layout by the next
+// compaction. The batch is atomic: schema mismatches (wrapping
+// delta.ErrSchemaMismatch) reject the whole batch.
+func (s *Server) Insert(rows [][]int64) error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return s.delta.Insert(rows)
+}
+
+// Flush seals the delta memtable into an on-disk segment, making
+// buffered inserts durable without waiting for a compaction.
+func (s *Server) Flush() error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return s.delta.Flush()
+}
+
+// deltaView snapshots the uncompacted delta for a merged read; callers
+// hold s.mu.RLock, pairing the view with the generation it is served
+// beside.
+func (s *Server) deltaView() *exec.DeltaView {
+	tbls := s.delta.Snapshot()
+	if len(tbls) == 0 {
+		return nil
+	}
+	return &exec.DeltaView{Tables: tbls}
+}
 
 // Generation returns the live generation id.
 func (s *Server) Generation() int {
@@ -232,10 +347,10 @@ func (s *Server) Query(q expr.Query) (QueryResult, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return QueryResult{}, fmt.Errorf("serve: server is closed")
+		return QueryResult{}, ErrClosed
 	}
 	g := s.gen
-	res, err := exec.RunOpts(g.store, g.layout, q, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions)
+	res, err := exec.RunDelta(g.store, g.layout, q, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions, s.deltaView())
 	s.mu.RUnlock()
 	if err != nil {
 		return QueryResult{Result: res, Generation: g.id}, err
@@ -276,10 +391,10 @@ func (s *Server) Select(aq expr.AggQuery) (SelectResult, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return SelectResult{}, fmt.Errorf("serve: server is closed")
+		return SelectResult{}, ErrClosed
 	}
 	g := s.gen
-	res, err := exec.RunAggOpts(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions)
+	res, err := exec.RunAggDelta(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions, s.deltaView())
 	s.mu.RUnlock()
 	if err != nil {
 		return SelectResult{}, err
@@ -287,7 +402,7 @@ func (s *Server) Select(aq expr.AggQuery) (SelectResult, error) {
 	s.queries.Add(1)
 	name := aq.Name
 	if name == "" {
-		name = aq.StringWith(s.tbl.Schema.Names(), s.cfg.ACs)
+		name = aq.StringWith(s.Schema().Names(), s.cfg.ACs)
 	}
 	s.log.Record(Entry{
 		Name:       name,
@@ -317,7 +432,7 @@ func (s *Server) SelectSQL(sql string) (SelectResult, error) {
 // Like ParseSQL, statements that introduce advanced cuts the server was
 // not configured with are rejected.
 func (s *Server) ParseSelectSQL(sql string) (expr.AggQuery, error) {
-	p := sqlparse.NewParser(s.tbl.Schema)
+	p := sqlparse.NewParser(s.Schema())
 	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
 	aq, err := p.ParseSelect(sql)
 	if err != nil {
@@ -349,7 +464,7 @@ func (s *Server) QuerySQL(sql string) (QueryResult, error) {
 // columns, unsupported advanced cuts) — the HTTP layer maps them to 400
 // while execution errors map to 500.
 func (s *Server) ParseSQL(sql string) (expr.Query, error) {
-	p := sqlparse.NewParser(s.tbl.Schema)
+	p := sqlparse.NewParser(s.Schema())
 	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
 	q, err := p.Parse(sql)
 	if err != nil {
@@ -377,9 +492,10 @@ func (s *Server) Relayout(force bool) (Report, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return Report{}, fmt.Errorf("serve: server is closed")
+		return Report{}, ErrClosed
 	}
 	live := s.gen
+	tbl := s.tbl
 	s.mu.RUnlock()
 
 	window := s.log.Queries(s.cfg.WindowSize)
@@ -395,16 +511,16 @@ func (s *Server) Relayout(force bool) (Report, error) {
 		return rep, nil
 	}
 
-	cand, err := s.cfg.Replan(s.tbl, s.cfg.ACs, window)
+	cand, err := s.cfg.Replan(tbl, s.cfg.ACs, window)
 	if err != nil {
 		rep.Reason = "replan failed"
 		err = fmt.Errorf("serve: replan over %d-query window: %w", len(window), err)
 		s.finishCheck(rep, err)
 		return rep, err
 	}
-	if len(cand.BIDs) != s.tbl.N {
+	if len(cand.BIDs) != tbl.N {
 		rep.Reason = "replan returned a layout for a different table"
-		err = fmt.Errorf("serve: replanned layout assigns %d rows, table has %d", len(cand.BIDs), s.tbl.N)
+		err = fmt.Errorf("serve: replanned layout assigns %d rows, table has %d", len(cand.BIDs), tbl.N)
 		s.finishCheck(rep, err)
 		return rep, err
 	}
@@ -424,16 +540,9 @@ func (s *Server) Relayout(force bool) (Report, error) {
 	// Materialize the candidate as the next generation, then flip. The id
 	// skips past any directory already on disk (e.g. a partial write from
 	// a failed cycle), so one bad cycle cannot wedge every later one.
-	newID := live.id + 1
-	if ids, lerr := blockstore.ListGenerations(s.root); lerr == nil {
-		for _, id := range ids {
-			if id >= newID {
-				newID = id + 1
-			}
-		}
-	}
+	newID := s.nextGenID(live.id)
 	cand.Name = genName(newID)
-	store, err := blockstore.WriteGenerationOpts(s.root, newID, s.tbl, cand.BIDs, cand.NumBlocks(), s.cfg.StoreWrite)
+	store, err := blockstore.WriteGenerationOpts(s.root, newID, tbl, cand.BIDs, cand.NumBlocks(), s.cfg.StoreWrite)
 	if err != nil {
 		rep.Reason = "generation write failed"
 		s.finishCheck(rep, err)
@@ -460,6 +569,20 @@ func (s *Server) Relayout(force bool) (Report, error) {
 	rep.Generation = newID
 	s.finishCheck(rep, nil)
 	return rep, nil
+}
+
+// nextGenID picks the next generation id, skipping past any directory
+// already on disk (e.g. a partial write from a failed cycle).
+func (s *Server) nextGenID(liveID int) int {
+	newID := liveID + 1
+	if ids, lerr := blockstore.ListGenerations(s.root); lerr == nil {
+		for _, id := range ids {
+			if id >= newID {
+				newID = id + 1
+			}
+		}
+	}
+	return newID
 }
 
 // gcGenerations removes retired generation directories, keeping the live
@@ -519,23 +642,53 @@ type Stats struct {
 	WindowSkipRate float64 `json:"window_skip_rate"`
 	LastCheck      *Report `json:"last_check,omitempty"`
 	LastError      string  `json:"last_error,omitempty"`
+
+	// Streaming ingest. DeltaRows/DeltaSegments/DeltaBytes describe the
+	// uncompacted delta (Rows above includes DeltaRows);
+	// FreshnessSeconds is the age of the oldest uncompacted row (0 when
+	// the delta is empty); WriteAmplification is cumulative compaction
+	// bytes written over logical bytes ingested.
+	DeltaRows          int            `json:"delta_rows"`
+	DeltaSegments      int            `json:"delta_segments"`
+	DeltaBytes         int64          `json:"delta_bytes"`
+	DeltaWarnings      []string       `json:"delta_warnings,omitempty"`
+	RowsIngested       int64          `json:"rows_ingested"`
+	Compactions        uint64         `json:"compactions"`
+	CompactedRows      int64          `json:"compacted_rows"`
+	FreshnessSeconds   float64        `json:"freshness_seconds"`
+	WriteAmplification float64        `json:"write_amplification"`
+	LastCompact        *CompactReport `json:"last_compact,omitempty"`
 }
 
 // Stats snapshots the live counters.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	gen := s.gen
+	tbl := s.tbl
 	s.mu.RUnlock()
+	deltaRows := s.delta.Rows()
 	st := Stats{
-		Generation:     gen.id,
-		Rows:           s.tbl.N,
-		Blocks:         gen.layout.NumBlocks(),
-		Queries:        s.queries.Load(),
-		Swaps:          s.swaps.Load(),
-		Logged:         s.log.Len(),
-		LogTotal:       s.log.Total(),
-		WindowSkipRate: s.log.MeanSkipRate(s.cfg.WindowSize),
-		LastCheck:      s.lastReport.Load(),
+		Generation:         gen.id,
+		Rows:               tbl.N + deltaRows,
+		Blocks:             gen.layout.NumBlocks(),
+		Queries:            s.queries.Load(),
+		Swaps:              s.swaps.Load(),
+		Logged:             s.log.Len(),
+		LogTotal:           s.log.Total(),
+		WindowSkipRate:     s.log.MeanSkipRate(s.cfg.WindowSize),
+		LastCheck:          s.lastReport.Load(),
+		DeltaRows:          deltaRows,
+		DeltaSegments:      s.delta.Segments(),
+		DeltaBytes:         s.delta.Bytes(),
+		DeltaWarnings:      s.deltaWarns,
+		RowsIngested:       s.delta.RowsIngested(),
+		Compactions:        s.compactions.Load(),
+		CompactedRows:      s.compactedRows.Load(),
+		WriteAmplification: s.writeAmp(),
+		LastCompact:        s.lastCompact.Load(),
+	}
+	if oldest, ok := s.delta.Oldest(); ok {
+		st.FreshnessSeconds = time.Since(oldest).Seconds()
 	}
 	if msg := s.lastErr.Load(); msg != nil {
 		st.LastError = *msg
@@ -543,14 +696,19 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close stops the drift monitor, waits for in-flight queries and any
-// running relayout to drain, and releases the live generation's store.
-// Idempotent. The monitor is stopped before relayoutMu is taken — taking
-// the lock first would deadlock against a monitor tick blocked on it.
+// Close stops the drift monitor and the compactor, waits for in-flight
+// queries and any running relayout or compaction to drain, seals the
+// delta memtable (buffered inserts become durable segments), and releases
+// the live generation's store. Idempotent. The background loops are
+// stopped before relayoutMu is taken — taking the lock first would
+// deadlock against a tick blocked on it.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	if s.monitorDone != nil {
 		<-s.monitorDone
+	}
+	if s.compactDone != nil {
+		<-s.compactDone
 	}
 	s.relayoutMu.Lock()
 	defer s.relayoutMu.Unlock()
@@ -562,7 +720,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	gen := s.gen
 	s.mu.Unlock()
-	return gen.store.Close()
+	return errors.Join(s.delta.Close(), gen.store.Close())
 }
 
 // GreedyReplan returns the default replanner: Algorithm 1 (Sec. 4) over

@@ -374,6 +374,11 @@ type Adaptive = adapt.Adaptive
 
 // Ingester streams records through a tree into per-leaf segment files
 // (the Fig. 1 online path).
+//
+// Deprecated: use the Writer API instead — Engine.Insert (or
+// Server.Insert) lands rows in an LSM-style delta that queries merge with
+// the base blocks, and Compact folds them into the layout. Ingester's
+// per-leaf segments are invisible to the execution engine.
 type Ingester = router.Ingester
 
 // NewAdaptive wraps an existing tree and its routed table for continuous
@@ -390,6 +395,10 @@ func NewAdaptive(t *Tree, tbl *Table, acs []AdvCut, queries []Query, minBlockSiz
 
 // NewIngester prepares a streaming ingester writing columnar segments
 // under dir, flushing each leaf buffer at segmentRows.
+//
+// Deprecated: use the Writer API instead (Engine.Insert / Server.Insert
+// + Compact); see Writer. NewIngester remains a thin wrapper over
+// router.NewIngester for callers that manage segment files themselves.
 func NewIngester(t *Tree, dir string, segmentRows int) (*Ingester, error) {
 	return router.NewIngester(t, dir, segmentRows)
 }

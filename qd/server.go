@@ -29,6 +29,9 @@ type (
 	ServerAggResult = serve.SelectResult
 	// WorkloadLogEntry is one logged query execution.
 	WorkloadLogEntry = serve.Entry
+	// CompactReport is the outcome of one delta-compaction cycle (see
+	// Server.Compact / Server.RunCompaction).
+	CompactReport = serve.CompactReport
 )
 
 // ServeOptions configure NewServer. The zero value serves with the greedy
@@ -60,6 +63,15 @@ type ServeOptions struct {
 	MinImprovement  float64
 	CheckInterval   time.Duration
 	KeepGenerations int
+	// MemtableRows / CompactRows / CompactInterval tune the streaming
+	// ingest path: the memtable seals into an on-disk delta segment at
+	// MemtableRows, and the background compactor folds the delta into a
+	// fresh generation once it holds CompactRows rows, checking every
+	// CompactInterval (0 disables background compaction; Compact still
+	// works on demand). See serve.Config for defaults.
+	MemtableRows    int
+	CompactRows     int
+	CompactInterval time.Duration
 }
 
 // InitServing bootstraps a generation root from a planned layout: the
@@ -105,6 +117,9 @@ func NewServer(root string, opt ServeOptions) (*Server, error) {
 		MinImprovement:  opt.MinImprovement,
 		CheckInterval:   opt.CheckInterval,
 		KeepGenerations: opt.KeepGenerations,
+		MemtableRows:    opt.MemtableRows,
+		CompactRows:     opt.CompactRows,
+		CompactInterval: opt.CompactInterval,
 		Replan:          replan,
 	})
 }
