@@ -532,6 +532,42 @@ func expParScan(cfg config) error {
 		len(spec.Queries), plan.Layout.NumBlocks())
 	fmt.Printf("%-8s %12s %12s %10s %12s %10s %8s\n",
 		"workers", "wall", "wall-speedup", "sim", "sim-speedup", "physreads", "counts")
+	var scanned, totalRows, bytesRead int64
+	for _, r := range base.Results {
+		scanned += r.RowsScanned
+		totalRows = r.RowsTotal
+		bytesRead += r.BytesRead
+	}
+	skipRate := 1.0
+	if totalRows > 0 {
+		skipRate = 1 - float64(scanned)/float64(totalRows*int64(len(base.Results)))
+	}
+	type parscanLevel struct {
+		Workers       int     `json:"workers"`
+		WallNS        int64   `json:"wall_ns"`
+		SimNS         int64   `json:"sim_ns"`
+		WallSpeedup   float64 `json:"wall_speedup"`
+		SimSpeedup    float64 `json:"sim_speedup"`
+		PhysicalReads int     `json:"physical_reads"`
+		PhysicalBytes int64   `json:"physical_bytes"`
+		Identical     bool    `json:"counts_identical"`
+	}
+	bench := struct {
+		Experiment string         `json:"experiment"`
+		Rows       int            `json:"rows"`
+		Queries    int            `json:"queries"`
+		Blocks     int            `json:"blocks"`
+		BytesRead  int64          `json:"bytes_read"`
+		SkipRate   float64        `json:"skip_rate"`
+		Levels     []parscanLevel `json:"levels"`
+	}{
+		Experiment: "parscan",
+		Rows:       spec.Table.N,
+		Queries:    len(spec.Queries),
+		Blocks:     plan.Layout.NumBlocks(),
+		BytesRead:  bytesRead,
+		SkipRate:   skipRate,
+	}
 	for _, p := range levels {
 		eng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: p, ShareReads: true})
 		if err != nil {
@@ -558,8 +594,18 @@ func expParScan(cfg config) error {
 			wr.SimTime.Round(time.Microsecond),
 			float64(base.SimTime)/float64(wr.SimTime+1),
 			wr.PhysicalReads, status)
+		bench.Levels = append(bench.Levels, parscanLevel{
+			Workers:       p,
+			WallNS:        int64(wr.WallTime),
+			SimNS:         int64(wr.SimTime),
+			WallSpeedup:   float64(base.WallTime) / float64(wr.WallTime+1),
+			SimSpeedup:    float64(base.SimTime) / float64(wr.SimTime+1),
+			PhysicalReads: wr.PhysicalReads,
+			PhysicalBytes: wr.PhysicalBytes,
+			Identical:     identical,
+		})
 	}
-	return nil
+	return writeBenchJSON(cfg, "parscan", bench)
 }
 
 // expLayout plans the TPC-H micro workload with the strategy named by
@@ -633,6 +679,24 @@ func expAgg(cfg config) error {
 		spec.Table.N, plan.Layout.NumBlocks())
 	fmt.Printf("%-4s %-7s %12s %12s %8s %10s %8s %s\n",
 		"q", "rows", "push-sim", "naive-sim", "speedup", "bytes-read", "result", "statement")
+	type aggRecord struct {
+		SQL        string  `json:"sql"`
+		ResultRows int     `json:"result_rows"`
+		WallNS     int64   `json:"wall_ns"`
+		PushSimNS  int64   `json:"push_sim_ns"`
+		NaiveSimNS int64   `json:"naive_sim_ns"`
+		Speedup    float64 `json:"speedup"`
+		BytesRead  int64   `json:"bytes_read"`
+		SkipRate   float64 `json:"skip_rate"`
+		Identical  bool    `json:"identical"`
+	}
+	bench := struct {
+		Experiment         string      `json:"experiment"`
+		Rows               int         `json:"rows"`
+		Blocks             int         `json:"blocks"`
+		Queries            []aggRecord `json:"queries"`
+		FilteredSumSpeedup float64     `json:"filtered_sum_speedup"`
+	}{Experiment: "agg", Rows: spec.Table.N, Blocks: plan.Layout.NumBlocks()}
 	var filteredSumSpeedup float64
 	for i, aq := range aqs {
 		push, err := eng.Aggregate(aq)
@@ -659,6 +723,17 @@ func expAgg(cfg config) error {
 		fmt.Printf("%-4d %-7d %12s %12s %8s %9dK %8s %s\n",
 			i, len(push.Rows), push.SimTime.Round(time.Microsecond), naive.SimTime.Round(time.Microsecond),
 			spStr, push.BytesRead/1000, status, sqls[i])
+		bench.Queries = append(bench.Queries, aggRecord{
+			SQL:        sqls[i],
+			ResultRows: len(push.Rows),
+			WallNS:     int64(push.WallTime),
+			PushSimNS:  int64(push.SimTime),
+			NaiveSimNS: int64(naive.SimTime),
+			Speedup:    speedup,
+			BytesRead:  push.BytesRead,
+			SkipRate:   push.SkipRate(),
+			Identical:  status == "same",
+		})
 	}
 
 	// Show one grouped result with dictionary keys (the event_type cut).
@@ -676,7 +751,8 @@ func expAgg(cfg config) error {
 		fmt.Printf("  %-18s count %8d  avg %12.2f\n", name, row.Vals[0].Int, row.Vals[1].Float)
 	}
 	fmt.Printf("\nacceptance: filtered-SUM pushdown speedup %.2fx (target >= 1.5x)\n", filteredSumSpeedup)
-	return nil
+	bench.FilteredSumSpeedup = filteredSumSpeedup
+	return writeBenchJSON(cfg, "agg", bench)
 }
 
 // sameRows compares aggregate result sets exactly (AVG within 1e-9).

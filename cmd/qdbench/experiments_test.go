@@ -11,7 +11,8 @@ func TestExperimentSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke at -short")
 	}
-	cfg := config{rows: 6000, queries: 40, episodes: 2, hidden: 8, seed: 42, parallel: 2, strategy: "greedy"}
+	cfg := config{rows: 6000, queries: 40, episodes: 2, hidden: 8, seed: 42, parallel: 2, strategy: "greedy",
+		outDir: t.TempDir()} // BENCH_*.json and block stores land here, not the package dir
 	for _, tc := range []struct {
 		name string
 		run  func(config) error
@@ -26,6 +27,7 @@ func TestExperimentSmoke(t *testing.T) {
 		{"agg", expAgg},
 		{"compress", expCompress},
 		{"ingest", expIngest},
+		{"scatter", expScatter},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := tc.run(cfg); err != nil {

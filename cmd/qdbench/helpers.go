@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -163,6 +165,29 @@ func sortedTemplates(m map[string][]time.Duration) []string {
 		return a < b
 	})
 	return keys
+}
+
+// writeBenchJSON persists an experiment's machine-readable results as
+// BENCH_<name>.json in -out (or the working directory), so harnesses can
+// track wall/sim time, bytes, and skip rates across runs without
+// scraping the human tables.
+func writeBenchJSON(cfg config, name string, payload any) error {
+	dir := cfg.outDir
+	if dir == "" {
+		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
 }
 
 // tempDir resolves the block-store directory.

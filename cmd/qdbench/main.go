@@ -19,6 +19,7 @@
 //	qdbench -exp compress   block format v2: encodings, size, scan speedup
 //	qdbench -exp agg        vectorized aggregation: pushdown vs decode-then-aggregate
 //	qdbench -exp ingest     streaming ingest: delta fill vs skip rate, compaction recovery
+//	qdbench -exp scatter    distributed serving: scatter/gather front door over 1/2/4 shards
 //	qdbench -exp layout     plan one strategy (-strategy) via the registry
 //	qdbench -exp all        everything above (except layout)
 //
@@ -81,10 +82,11 @@ func main() {
 		"compress":  expCompress,
 		"agg":       expAgg,
 		"ingest":    expIngest,
+		"scatter":   expScatter,
 		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg", "ingest"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg", "ingest", "scatter"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,0 +1,171 @@
+package main
+
+// Experiment "scatter": distributed serving through the cluster front
+// door. The learned layout is partitioned across 1/2/4 store nodes
+// (in-process HTTP servers), the same ErrorLog workload is scattered
+// through the front door at each width, and every merged answer is
+// checked against single-node ground truth. Reported per width: wall
+// and (critical-path) sim time, bytes read, skip rate, and how many
+// shard contacts the summary envelopes pruned away.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/workload"
+	"repro/qd"
+)
+
+func expScatter(cfg config) error {
+	nq := cfg.queries
+	if nq > 100 {
+		nq = 100 // each query is an HTTP scatter; keep -exp all bounded
+	}
+	spec := workload.ErrorLogInt(workload.ErrorLogConfig{Rows: cfg.rows, NumQueries: nq, Seed: cfg.seed})
+	b := cfg.rows / 2000
+	if b < 16 {
+		b = 16
+	}
+	plan, err := planWith("greedy", dataset(spec), qd.PlanOptions{MinBlockSize: b, Cuts: toCuts(spec.Cuts)})
+	if err != nil {
+		return err
+	}
+	names := spec.Table.Schema.Names()
+	matchTruth := qd.PerQueryMatches(spec.Table, spec.Queries, plan.ACs)
+
+	aggSQLs := []string{
+		"SELECT COUNT(*) FROM logs",
+		"SELECT SUM(x_num06), COUNT(*) FROM logs WHERE ingest_date >= 48 AND validity = 'VALID'",
+		"SELECT event_type, COUNT(*), AVG(x_num06) FROM logs WHERE validity = 'VALID' GROUP BY event_type",
+	}
+	aggQueries, _, err := qd.ParseAggWorkload(spec.Table.Schema, aggSQLs)
+	if err != nil {
+		return err
+	}
+	aggTruth := make([]qd.Rows, len(aggQueries))
+	for i, aq := range aggQueries {
+		aggTruth[i] = qd.ReferenceAggregate(spec.Table, aq, plan.ACs)
+	}
+
+	type scatterRecord struct {
+		Shards          int     `json:"shards"`
+		WallNS          int64   `json:"wall_ns"`
+		SimNS           int64   `json:"sim_ns"`
+		BytesRead       int64   `json:"bytes_read"`
+		SkipRate        float64 `json:"skip_rate"`
+		ShardsContacted int     `json:"shards_contacted"`
+		ShardsPruned    int     `json:"shards_pruned"`
+		ProbePruned     int     `json:"probe_pruned"`
+		Identical       bool    `json:"identical"`
+	}
+	bench := struct {
+		Experiment string          `json:"experiment"`
+		Rows       int             `json:"rows"`
+		Queries    int             `json:"queries"`
+		Blocks     int             `json:"blocks"`
+		Widths     []scatterRecord `json:"widths"`
+	}{Experiment: "scatter", Rows: spec.Table.N, Queries: len(spec.Queries), Blocks: plan.Layout.NumBlocks()}
+
+	fmt.Printf("Scatter/gather front door: ErrorLog-Int, %d rows, %d blocks, %d filter + %d agg queries\n",
+		spec.Table.N, plan.Layout.NumBlocks(), len(spec.Queries), len(aggSQLs))
+	fmt.Printf("%-8s %12s %12s %10s %8s %12s %8s\n",
+		"shards", "wall", "sim", "bytes", "skip", "contacted", "result")
+
+	for _, nshards := range []int{1, 2, 4} {
+		dir, cleanup, err := tempDir(cfg, fmt.Sprintf("scatter%d", nshards))
+		if err != nil {
+			return err
+		}
+		m, err := qd.InitCluster(dir, spec.Table, plan, nshards)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		var addrs []string
+		for _, asn := range m.Shards {
+			s, err := qd.NewServer(qd.ClusterShardRoot(dir, asn.ID), qd.ServeOptions{
+				ACs:        plan.ACs,
+				ShardLabel: fmt.Sprintf("shard_%03d", asn.ID),
+			})
+			if err != nil {
+				cleanup()
+				return err
+			}
+			hs := httptest.NewServer(qd.ShardServerHandler(s))
+			addrs = append(addrs, hs.URL)
+			defer func() { hs.Close(); s.Close() }()
+		}
+		fd, err := qd.NewFrontDoor(addrs, qd.FrontDoorOptions{ACs: plan.ACs})
+		if err != nil {
+			cleanup()
+			return err
+		}
+
+		rec := scatterRecord{Shards: nshards, Identical: true}
+		var scanned, total int64
+		start := time.Now()
+		for i, q := range spec.Queries {
+			res, err := fd.Query(q.StringWith(names, plan.ACs))
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("shards=%d query %d: %w", nshards, i, err)
+			}
+			if res.Filter.RowsMatched != matchTruth[i] {
+				rec.Identical = false
+			}
+			rec.SimNS += int64(res.Filter.SimTime)
+			rec.BytesRead += res.Filter.BytesRead
+			scanned += res.Filter.RowsScanned
+			total += res.Filter.RowsTotal
+			rec.ShardsContacted += res.ShardsContacted
+			rec.ShardsPruned += res.ShardsPruned
+		}
+		for i, sql := range aggSQLs {
+			res, err := fd.Query(sql)
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("shards=%d agg %d: %w", nshards, i, err)
+			}
+			if !sameRows(res.Agg.Rows, aggTruth[i]) {
+				rec.Identical = false
+			}
+			rec.SimNS += int64(res.Agg.SimTime)
+			rec.BytesRead += res.Agg.BytesRead
+			scanned += res.Agg.RowsScanned
+			total += res.Agg.RowsTotal
+			rec.ShardsContacted += res.ShardsContacted
+			rec.ShardsPruned += res.ShardsPruned
+		}
+		rec.WallNS = int64(time.Since(start))
+		if total > 0 {
+			rec.SkipRate = 1 - float64(scanned)/float64(total)
+		}
+
+		// An out-of-domain probe must be answered entirely from the
+		// cached shard summaries: zero contacts at every width.
+		probe, err := fd.Query("ingest_date > 1099511627776")
+		if err != nil {
+			cleanup()
+			return err
+		}
+		rec.ProbePruned = probe.ShardsPruned
+		if probe.ShardsContacted != 0 {
+			rec.Identical = false
+		}
+
+		status := "same"
+		if !rec.Identical {
+			status = "DIFFER"
+		}
+		fmt.Printf("%-8d %12s %12s %9dK %7.1f%% %6d/%-5d %8s\n",
+			nshards,
+			time.Duration(rec.WallNS).Round(time.Microsecond),
+			time.Duration(rec.SimNS).Round(time.Microsecond),
+			rec.BytesRead/1000, 100*rec.SkipRate,
+			rec.ShardsContacted, rec.ShardsContacted+rec.ShardsPruned, status)
+		bench.Widths = append(bench.Widths, rec)
+		cleanup()
+	}
+	return writeBenchJSON(cfg, "scatter", bench)
+}

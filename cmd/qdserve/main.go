@@ -5,11 +5,18 @@
 // live one by the configured margin, the store is rewritten into a new
 // generation and hot-swapped with zero failed queries.
 //
-//	qdserve -demo                             # bootstrap a synthetic store and serve it
-//	qdserve -store /data/qd                   # serve an existing generation root
-//	qdserve -store /data/qd -interval 10s -threshold 0.2 -strategy woodblock
+// Three roles cover standalone and distributed serving:
 //
-// Endpoints:
+//	qdserve -demo                             # standalone: bootstrap a synthetic store and serve it
+//	qdserve -store /data/qd                   # standalone: serve an existing generation root
+//	qdserve -role shard -demo -shards 3 -shard-index 1 -store /data/cluster
+//	                                          # store node: bootstrap + serve shard 1 of a 3-shard demo cluster
+//	qdserve -role shard -store /data/cluster/shard_001
+//	                                          # store node: serve an existing shard root
+//	qdserve -role frontdoor -peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	                                          # front door: scatter/gather over the shard peers
+//
+// Endpoints (standalone and shard):
 //
 //	POST /query    {"sql": "severity >= 8"}   one filter query; returns scan stats
 //	POST /query    {"sql": "SELECT service, COUNT(*) FROM logs GROUP BY service"}
@@ -21,10 +28,17 @@
 //	POST /relayout                            force a replan + swap cycle
 //	GET  /healthz                             liveness
 //
+// A shard additionally serves GET /cluster/summary (its pruning envelope)
+// and POST /cluster/select (partial aggregation for the front door's
+// gather). A front door serves POST /query, POST /ingest, GET /stats,
+// POST /refresh, and GET /healthz — queries are parsed once, shards whose
+// envelope cannot match are pruned, and the rest are scattered in
+// parallel; answers are bit-identical to a single-node run unless the
+// response carries "partial": true.
+//
 // A generation root is created from any planned layout with
-// qd.InitServing (or -demo, which synthesizes data, plans an initial
-// layout for a deliberately narrow workload, and serves it — replay a
-// different workload and watch /stats report a swap).
+// qd.InitServing, a sharded cluster with qd.InitCluster (or the -demo
+// shard role, which bootstraps its own slice deterministically).
 package main
 
 import (
@@ -38,50 +52,101 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/qd"
 )
 
+type config struct {
+	addr       string
+	addrFile   string
+	role       string
+	store      string
+	demo       bool
+	rows       int
+	shards     int
+	shardIndex int
+	peers      string
+	strategy   string
+	minBlock   int
+	window     int
+	minWindow  int
+	threshold  float64
+	interval   time.Duration
+	keep       int
+	parallel   int
+	profile    string
+	memRows    int
+	compRows   int
+	compEvery  time.Duration
+	fdTimeout  time.Duration
+	fdRetries  int
+	fdWait     time.Duration
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		store     = flag.String("store", "", "generation root to serve (created by qd.InitServing or -demo)")
-		demo      = flag.Bool("demo", false, "bootstrap a synthetic demo store under -store (or a temp dir) before serving")
-		rows      = flag.Int("rows", 200_000, "demo table rows")
-		strategy  = flag.String("strategy", "greedy", "replan strategy (qd planner registry name)")
-		minBlock  = flag.Int("min-block", 0, "replan min rows per block (0 = rows/64)")
-		window    = flag.Int("window", 0, "drift window: logged queries replanned per check (0 = log capacity)")
-		minWindow = flag.Int("min-window", 16, "minimum logged queries before the monitor replans")
-		threshold = flag.Float64("threshold", 0.10, "minimum relative cost improvement before a swap (0 = default 0.10, negative = any improvement)")
-		interval  = flag.Duration("interval", 30*time.Second, "background drift-check period (0 disables the monitor)")
-		keep      = flag.Int("keep", 0, "retired generations kept on disk after a swap")
-		parallel  = flag.Int("parallelism", 0, "scan worker pool size (0 = GOMAXPROCS)")
-		profile   = flag.String("profile", "spark", "engine cost profile: spark | dbms")
-		memRows   = flag.Int("memtable-rows", 0, "ingest memtable rows before sealing to a delta segment (0 = default 4096)")
-		compRows  = flag.Int("compact-rows", 0, "uncompacted delta rows before a background compaction (0 = default 65536)")
-		compEvery = flag.Duration("compact-interval", 10*time.Second, "background compaction check period (0 disables; POST /compact still works)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address (host:port) to this file after listen — for orchestrating port-0 clusters")
+	flag.StringVar(&cfg.role, "role", "standalone", "process role: standalone | shard | frontdoor")
+	flag.StringVar(&cfg.store, "store", "", "generation root to serve; for -role shard -demo, the cluster directory")
+	flag.BoolVar(&cfg.demo, "demo", false, "bootstrap a synthetic demo store under -store (or a temp dir) before serving")
+	flag.IntVar(&cfg.rows, "rows", 200_000, "demo table rows")
+	flag.IntVar(&cfg.shards, "shards", 1, "demo cluster size (role=shard with -demo)")
+	flag.IntVar(&cfg.shardIndex, "shard-index", 0, "which shard this process serves (role=shard with -demo)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated shard addresses (role=frontdoor)")
+	flag.StringVar(&cfg.strategy, "strategy", "greedy", "replan strategy (qd planner registry name)")
+	flag.IntVar(&cfg.minBlock, "min-block", 0, "replan min rows per block (0 = rows/64)")
+	flag.IntVar(&cfg.window, "window", 0, "drift window: logged queries replanned per check (0 = log capacity)")
+	flag.IntVar(&cfg.minWindow, "min-window", 16, "minimum logged queries before the monitor replans")
+	flag.Float64Var(&cfg.threshold, "threshold", 0.10, "minimum relative cost improvement before a swap (0 = default 0.10, negative = any improvement)")
+	flag.DurationVar(&cfg.interval, "interval", 30*time.Second, "background drift-check period (0 disables the monitor)")
+	flag.IntVar(&cfg.keep, "keep", 0, "retired generations kept on disk after a swap")
+	flag.IntVar(&cfg.parallel, "parallelism", 0, "scan worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.profile, "profile", "spark", "engine cost profile: spark | dbms")
+	flag.IntVar(&cfg.memRows, "memtable-rows", 0, "ingest memtable rows before sealing to a delta segment (0 = default 4096)")
+	flag.IntVar(&cfg.compRows, "compact-rows", 0, "uncompacted delta rows before a background compaction (0 = default 65536)")
+	flag.DurationVar(&cfg.compEvery, "compact-interval", 10*time.Second, "background compaction check period (0 disables; POST /compact still works)")
+	flag.DurationVar(&cfg.fdTimeout, "shard-timeout", 10*time.Second, "front door: per-shard request timeout")
+	flag.IntVar(&cfg.fdRetries, "shard-retries", 1, "front door: extra attempts per failed shard call")
+	flag.DurationVar(&cfg.fdWait, "peer-wait", 15*time.Second, "front door: how long to wait for peers at startup")
 	flag.Parse()
-	if err := run(*addr, *store, *demo, *rows, *strategy, *minBlock, *window, *minWindow, *threshold, *interval, *keep, *parallel, *profile, *memRows, *compRows, *compEvery); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "qdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, store string, demo bool, rows int, strategy string, minBlock, window, minWindow int,
-	threshold float64, interval time.Duration, keep, parallel int, profile string,
-	memRows, compRows int, compEvery time.Duration) error {
+func run(cfg config) error {
+	switch cfg.role {
+	case "standalone", "shard":
+		return runServer(cfg)
+	case "frontdoor":
+		return runFrontDoor(cfg)
+	default:
+		return fmt.Errorf("unknown role %q (standalone | shard | frontdoor)", cfg.role)
+	}
+}
+
+// runServer serves one generation root — the whole table (standalone) or
+// one shard's slice (role=shard, which adds the /cluster endpoints).
+func runServer(cfg config) error {
 	prof := qd.EngineSpark
-	switch profile {
+	switch cfg.profile {
 	case "spark":
 	case "dbms":
 		prof = qd.EngineDBMS
 	default:
-		return fmt.Errorf("unknown profile %q (spark | dbms)", profile)
+		return fmt.Errorf("unknown profile %q (spark | dbms)", cfg.profile)
 	}
-	if demo {
+	store := cfg.store
+	label := ""
+	if cfg.role == "shard" {
+		label = fmt.Sprintf("shard_%03d", cfg.shardIndex)
+	}
+	if cfg.demo {
 		if store == "" {
 			dir, err := os.MkdirTemp("", "qdserve-demo-")
 			if err != nil {
@@ -89,15 +154,44 @@ func run(addr, store string, demo bool, rows int, strategy string, minBlock, win
 			}
 			store = dir
 		}
-		// Idempotent: restarting with the same -demo -store serves the
-		// existing generations instead of failing on generation 1.
-		if _, err := os.Stat(filepath.Join(store, "CURRENT")); err == nil {
+		if cfg.role == "shard" {
+			// Every shard process derives the same table and plan from the
+			// same seed and materializes only its own slice — no
+			// coordinator process needed for the demo cluster.
+			if cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shards {
+				return fmt.Errorf("-shard-index %d out of range for -shards %d", cfg.shardIndex, cfg.shards)
+			}
+			root := qd.ClusterShardRoot(store, cfg.shardIndex)
+			if _, err := os.Stat(filepath.Join(root, "CURRENT")); err == nil {
+				log.Printf("shard root %s already initialized; serving it", root)
+			} else {
+				tbl, plan, err := demoPlan(cfg.rows)
+				if err != nil {
+					return fmt.Errorf("demo bootstrap: %w", err)
+				}
+				if err := qd.InitClusterShard(store, tbl, plan, cfg.shards, cfg.shardIndex); err != nil {
+					return fmt.Errorf("demo bootstrap: %w", err)
+				}
+				log.Printf("demo shard %d/%d bootstrapped at %s", cfg.shardIndex, cfg.shards, root)
+			}
+			store = root
+		} else if _, err := os.Stat(filepath.Join(store, "CURRENT")); err == nil {
+			// Idempotent: restarting with the same -demo -store serves the
+			// existing generations instead of failing on generation 1.
 			log.Printf("store %s already initialized; serving it", store)
 		} else {
-			if err := bootstrapDemo(store, rows); err != nil {
+			if err := bootstrapDemo(store, cfg.rows); err != nil {
 				return fmt.Errorf("demo bootstrap: %w", err)
 			}
-			log.Printf("demo store bootstrapped at %s (%d rows)", store, rows)
+			log.Printf("demo store bootstrapped at %s (%d rows)", store, cfg.rows)
+		}
+	} else if cfg.role == "shard" && store != "" {
+		// Serving an existing shard root directly (e.g. one written by
+		// qd.InitCluster): -store points at the root itself.
+		if _, err := os.Stat(filepath.Join(store, "CURRENT")); err != nil {
+			if alt := qd.ClusterShardRoot(store, cfg.shardIndex); fileExists(filepath.Join(alt, "CURRENT")) {
+				store = alt
+			}
 		}
 	}
 	if store == "" {
@@ -105,32 +199,94 @@ func run(addr, store string, demo bool, rows int, strategy string, minBlock, win
 	}
 
 	srv, err := qd.NewServer(store, qd.ServeOptions{
-		Strategy:        strategy,
-		Plan:            qd.PlanOptions{MinBlockSize: minBlock},
+		Strategy:        cfg.strategy,
+		Plan:            qd.PlanOptions{MinBlockSize: cfg.minBlock},
 		Profile:         prof,
-		Exec:            qd.ExecOptions{Parallelism: parallel, ShareReads: true},
-		WindowSize:      window,
-		MinWindow:       minWindow,
-		MinImprovement:  threshold,
-		CheckInterval:   interval,
-		KeepGenerations: keep,
-		MemtableRows:    memRows,
-		CompactRows:     compRows,
-		CompactInterval: compEvery,
+		Exec:            qd.ExecOptions{Parallelism: cfg.parallel, ShareReads: true},
+		WindowSize:      cfg.window,
+		MinWindow:       cfg.minWindow,
+		MinImprovement:  cfg.threshold,
+		CheckInterval:   cfg.interval,
+		KeepGenerations: cfg.keep,
+		MemtableRows:    cfg.memRows,
+		CompactRows:     cfg.compRows,
+		CompactInterval: cfg.compEvery,
+		ShardLabel:      label,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	handler := qd.ServerHandler(srv)
+	if cfg.role == "shard" {
+		handler = qd.ShardServerHandler(srv)
+	}
+	what := fmt.Sprintf("serving %s (generation %d, %d rows)", store, srv.Generation(), srv.Rows())
+	if label != "" {
+		what = label + ": " + what
+	}
+	return serveHTTP(cfg, handler, what)
+}
+
+// runFrontDoor starts the stateless scatter/gather tier over the -peers
+// shard addresses, waiting up to -peer-wait for them to come up.
+func runFrontDoor(cfg config) error {
+	var peers []string
+	for _, p := range strings.Split(cfg.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("role frontdoor needs -peers host:port,host:port,...")
+	}
+	retries := cfg.fdRetries
+	if retries <= 0 {
+		retries = -1 // flag 0 means no retries; the option's 0 means default
+	}
+	opt := qd.FrontDoorOptions{Timeout: cfg.fdTimeout, Retries: retries}
+	var fd *qd.FrontDoor
+	var err error
+	deadline := time.Now().Add(cfg.fdWait)
+	for {
+		fd, err = qd.NewFrontDoor(peers, opt)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("peers not ready after %v: %w", cfg.fdWait, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	rows := 0
+	for _, sum := range fd.Summaries() {
+		rows += sum.Rows + sum.DeltaRows
+	}
+	what := fmt.Sprintf("front door over %d shards (%d rows)", fd.NumShards(), rows)
+	return serveHTTP(cfg, qd.FrontDoorHandler(fd), what)
+}
+
+// serveHTTP binds the listener, optionally publishes the bound address to
+// -addr-file, and serves until SIGINT/SIGTERM drains it.
+func serveHTTP(cfg config, handler http.Handler, what string) error {
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s (generation %d, %d rows) on http://%s", store, srv.Generation(), srv.Rows(), ln.Addr())
+	if cfg.addrFile != "" {
+		tmp := cfg.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, cfg.addrFile); err != nil {
+			return err
+		}
+	}
+	log.Printf("%s on http://%s", what, ln.Addr())
 	log.Printf(`try: curl -s -X POST http://%s/query -d '{"sql": "..."}'`, ln.Addr())
 
-	httpSrv := &http.Server{Handler: qd.ServerHandler(srv)}
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 
@@ -155,11 +311,17 @@ func run(addr, store string, demo bool, rows int, strategy string, minBlock, win
 	}
 }
 
-// bootstrapDemo synthesizes an ops-log style table and plans the initial
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// demoPlan synthesizes the ops-log demo table and plans the initial
 // layout for a deliberately narrow workload (recent high-severity auth
-// traffic), so replaying anything else drifts the log and exercises the
-// background re-layout.
-func bootstrapDemo(root string, rows int) error {
+// traffic). Deterministic: every call with the same rows yields the same
+// table and plan, which is what lets independent shard processes
+// bootstrap consistent slices.
+func demoPlan(rows int) (*qd.Table, *qd.Plan, error) {
 	schema := qd.MustSchema([]qd.Column{
 		{Name: "event_date", Kind: qd.Numeric, Min: 0, Max: 364},
 		{Name: "severity", Kind: qd.Numeric, Min: 0, Max: 9},
@@ -182,9 +344,19 @@ func bootstrapDemo(root string, rows int) error {
 		"service = 'auth' AND event_date >= 340",
 	)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: max(1, rows/64)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tbl, plan, nil
+}
+
+// bootstrapDemo materializes the demo table as a standalone generation
+// root.
+func bootstrapDemo(root string, rows int) error {
+	tbl, plan, err := demoPlan(rows)
 	if err != nil {
 		return err
 	}

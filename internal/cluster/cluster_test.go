@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// fixtureTable builds a deterministic two-column table sorted by t, so a
+// contiguous block assignment yields disjoint per-block t ranges.
+func fixtureTable(n int) *table.Table {
+	schema := table.MustSchema([]table.Column{
+		{Name: "t", Kind: table.Numeric, Min: 0, Max: 999},
+		{Name: "cat", Kind: table.Categorical, Dom: 4, Dict: []string{"a", "b", "c", "d"}},
+	})
+	tbl := table.New(schema, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		tbl.AppendRow([]int64{int64(i * 1000 / n), rng.Int63n(4)})
+	}
+	return tbl
+}
+
+// rangeLayout assigns rows to nblocks contiguous runs (disjoint t ranges).
+func rangeLayout(tbl *table.Table, nblocks int) *cost.Layout {
+	bids := make([]int, tbl.N)
+	for i := range bids {
+		b := i * nblocks / tbl.N
+		bids[i] = b
+	}
+	return cost.NewLayout("range", tbl, bids, nblocks, nil)
+}
+
+func TestPartitionCoversEveryLeafOnce(t *testing.T) {
+	counts := []int{100, 0, 40, 70, 0, 10, 90, 25}
+	for _, nshards := range []int{1, 2, 3, 4, 16} {
+		groups := Partition(counts, nshards)
+		if len(groups) != nshards {
+			t.Fatalf("nshards=%d: got %d groups", nshards, len(groups))
+		}
+		seen := map[int]int{}
+		for _, g := range groups {
+			if !sort.IntsAreSorted(g) {
+				t.Errorf("nshards=%d: group %v not sorted", nshards, g)
+			}
+			for _, leaf := range g {
+				seen[leaf]++
+			}
+		}
+		for leaf := range counts {
+			if seen[leaf] != 1 {
+				t.Fatalf("nshards=%d: leaf %d owned %d times", nshards, leaf, seen[leaf])
+			}
+		}
+	}
+}
+
+func TestPartitionBalancesRows(t *testing.T) {
+	counts := make([]int, 64)
+	rng := rand.New(rand.NewSource(3))
+	total := 0
+	for i := range counts {
+		counts[i] = 50 + rng.Intn(200)
+		total += counts[i]
+	}
+	groups := Partition(counts, 4)
+	for s, g := range groups {
+		rows := 0
+		for _, leaf := range g {
+			rows += counts[leaf]
+		}
+		// LPT on many similar-sized leaves lands well within 2x of ideal.
+		if ideal := total / 4; rows > 2*ideal || rows < ideal/2 {
+			t.Errorf("shard %d holds %d rows, ideal %d", s, rows, ideal)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	tbl := fixtureTable(800)
+	layout := rangeLayout(tbl, 8)
+	dir := t.TempDir()
+	m, err := InitShards(dir, tbl, layout, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards != 3 || len(m.Shards) != 3 {
+		t.Fatalf("manifest shards: %+v", m)
+	}
+	rows := 0
+	for _, asn := range m.Shards {
+		rows += asn.Rows
+	}
+	if rows != tbl.N {
+		t.Fatalf("assignments cover %d rows, table has %d", rows, tbl.N)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards != m.NumShards || len(got.Columns) != len(tbl.Schema.Cols) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i, asn := range got.Shards {
+		if asn.Rows != m.Shards[i].Rows || len(asn.Leaves) != len(m.Shards[i].Leaves) {
+			t.Fatalf("shard %d round trip: %+v vs %+v", i, asn, m.Shards[i])
+		}
+	}
+}
+
+// testConfig serves a shard root with no background monitors.
+func testConfig(label string) serve.Config {
+	return serve.Config{
+		Replan:     serve.GreedyReplan(50),
+		MinWindow:  1,
+		ShardLabel: label,
+	}
+}
+
+// startRangeCluster materializes a 2-shard cluster with disjoint t
+// envelopes (shard 0 owns the low half, shard 1 the high half) and
+// returns a front door over httptest shard servers.
+func startRangeCluster(t *testing.T, opt FrontDoorOptions) (*FrontDoor, []*serve.Server, []*httptest.Server) {
+	t.Helper()
+	tbl := fixtureTable(1000)
+	layout := rangeLayout(tbl, 4)
+	dir := t.TempDir()
+	assignments := []ShardAssignment{
+		{ID: 0, Leaves: []int{0, 1}},
+		{ID: 1, Leaves: []int{2, 3}},
+	}
+	var servers []*serve.Server
+	var https []*httptest.Server
+	var addrs []string
+	for _, asn := range assignments {
+		if err := InitShard(dir, tbl, layout, nil, asn); err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(filepath.Join(dir, fmt.Sprintf("shard_%03d", asn.ID)), testConfig(fmt.Sprintf("shard_%03d", asn.ID)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(ShardHandler(s))
+		servers = append(servers, s)
+		https = append(https, hs)
+		addrs = append(addrs, hs.URL)
+	}
+	t.Cleanup(func() {
+		for _, hs := range https {
+			hs.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	fd, err := NewFrontDoor(addrs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd, servers, https
+}
+
+// TestShardPruning is the shard-level SMA property: a selective query
+// contacts fewer shards than exist, and the pruned answer matches the
+// unpruned one.
+func TestShardPruning(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{})
+
+	res, err := fd.Query("t < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsContacted >= res.ShardsTotal {
+		t.Fatalf("selective query contacted %d of %d shards — shard pruning not observable", res.ShardsContacted, res.ShardsTotal)
+	}
+	if res.ShardsPruned != 1 {
+		t.Fatalf("ShardsPruned = %d, want 1", res.ShardsPruned)
+	}
+	if res.Filter.RowsMatched != 100 {
+		t.Fatalf("RowsMatched = %d, want 100", res.Filter.RowsMatched)
+	}
+	if res.Filter.RowsTotal != 1000 {
+		t.Fatalf("RowsTotal = %d, want 1000 (pruned shards count toward the universe)", res.Filter.RowsTotal)
+	}
+	if res.Partial {
+		t.Fatal("pruned scatter must not be partial")
+	}
+
+	// A query outside every envelope contacts nobody and answers zero.
+	res, err = fd.Query("t >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsContacted != 0 || res.Filter.RowsMatched != 0 {
+		t.Fatalf("fully pruned query: contacted %d, matched %d", res.ShardsContacted, res.Filter.RowsMatched)
+	}
+	// Same for an aggregate: the merged result is the empty partial.
+	ares, err := fd.Query("SELECT COUNT(*), MIN(t) FROM t WHERE t >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.ShardsContacted != 0 {
+		t.Fatalf("fully pruned aggregate contacted %d shards", ares.ShardsContacted)
+	}
+	if len(ares.Agg.Rows) != 1 || ares.Agg.Rows[0].Vals[0].Int != 0 || ares.Agg.Rows[0].Vals[1].Valid {
+		t.Fatalf("fully pruned aggregate rows: %+v", ares.Agg.Rows)
+	}
+}
+
+// TestIngestMakesShardUnprunable is the delta soundness property: rows
+// routed into a shard's delta store defeat pruning until compaction, and
+// the front door's cached summary widens without a refresh.
+func TestIngestMakesShardUnprunable(t *testing.T) {
+	fd, servers, _ := startRangeCluster(t, FrontDoorOptions{})
+
+	// t=5000 is outside both envelopes → least-loaded routing; both
+	// shards hold 500 rows, so the tie breaks to shard 0.
+	ing, err := fd.Ingest(ingestBody([][]int64{{5000, 1}, {5001, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Inserted != 2 || ing.PerShard[0] != 2 {
+		t.Fatalf("ingest routing: %+v", ing)
+	}
+
+	// The query that was fully pruned now must contact shard 0 and see
+	// the delta rows — without any /refresh in between.
+	res, err := fd.Query("t >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsContacted != 1 {
+		t.Fatalf("delta-holding shard was pruned (contacted %d)", res.ShardsContacted)
+	}
+	if res.Filter.RowsMatched != 2 {
+		t.Fatalf("RowsMatched = %d, want 2 delta rows", res.Filter.RowsMatched)
+	}
+	agg, err := fd.Query("SELECT COUNT(*), MAX(t) FROM t WHERE t >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Agg.Rows[0].Vals[0].Int != 2 || agg.Agg.Rows[0].Vals[1].Int != 5001 {
+		t.Fatalf("aggregate over delta rows: %+v", agg.Agg.Rows)
+	}
+
+	// Compaction folds the delta into described blocks; after a refresh
+	// the envelope covers t=5001 and the shard stays contactable.
+	if _, err := servers[0].RunCompaction(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = fd.Query("t >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Filter.RowsMatched != 2 || res.Filter.DeltaRows != 0 {
+		t.Fatalf("post-compaction: matched %d, delta rows %d", res.Filter.RowsMatched, res.Filter.DeltaRows)
+	}
+}
+
+// TestGracefulDegradation kills one shard: queries still owning a live
+// shard answer with the partial flag; queries whose owners are all dead
+// fail with ErrAllShardsFailed (503 at the HTTP layer).
+func TestGracefulDegradation(t *testing.T) {
+	fd, _, https := startRangeCluster(t, FrontDoorOptions{Retries: -1, Timeout: 2 * time.Second})
+
+	https[1].Close() // shard 1 (high t range) goes dark
+
+	// Query owning only the dead shard → all owners failed.
+	if _, err := fd.Query("t >= 900"); err == nil {
+		t.Fatal("query owned only by the dead shard must fail")
+	}
+
+	// Query owning both shards → partial answer from the survivor.
+	res, err := fd.Query("t >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.ShardsFailed != 1 {
+		t.Fatalf("expected partial result with 1 failed shard, got %+v", res)
+	}
+	if res.Filter.RowsMatched != 500 {
+		t.Fatalf("survivor rows: %d, want 500", res.Filter.RowsMatched)
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Shard != 1 {
+		t.Fatalf("failed shard report: %+v", res.Failed)
+	}
+
+	// Query owned only by the live shard → clean, non-partial answer.
+	res, err = fd.Query("t < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.Filter.RowsMatched != 100 {
+		t.Fatalf("live-shard query: %+v", res)
+	}
+}
+
+// TestConcurrentQueriesDuringRelayout is the generation-swap stress
+// property (run under -race in CI): scattered queries keep answering
+// exactly while shards force re-layouts underneath them.
+func TestConcurrentQueriesDuringRelayout(t *testing.T) {
+	fd, servers, _ := startRangeCluster(t, FrontDoorOptions{})
+
+	// Seed each shard's workload log so forced replans have a window.
+	for i := 0; i < 4; i++ {
+		if _, err := fd.Query(fmt.Sprintf("t >= %d", i*200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := fd.Query("t < 500")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Filter.RowsMatched != 500 || res.Partial {
+					errs <- fmt.Errorf("worker %d iter %d: matched %d partial %v", w, i, res.Filter.RowsMatched, res.Partial)
+					return
+				}
+				if _, err := fd.Query("SELECT COUNT(*), AVG(t) FROM t WHERE t < 500"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 3; round++ {
+		for _, s := range servers {
+			if _, err := s.Relayout(true); err != nil {
+				t.Errorf("forced relayout: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,655 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/serve"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// ErrAllShardsFailed reports a scatter in which every owning
+// (non-pruned) shard failed after retries — the one condition a front
+// door maps to 503. Partial failures return a Result with Partial set.
+var ErrAllShardsFailed = errors.New("cluster: all owning shards failed")
+
+// ClientError marks a fault in the request itself (unparsable SQL, bad
+// ingest rows) as opposed to a shard-side failure; the HTTP layer maps
+// it to 400.
+type ClientError struct{ Err error }
+
+func (e ClientError) Error() string { return e.Err.Error() }
+func (e ClientError) Unwrap() error { return e.Err }
+
+// FrontDoorOptions tunes the scatter client.
+type FrontDoorOptions struct {
+	// ACs is the advanced-cut table queries may reference; it must match
+	// the table the shards were initialized with. Queries that would
+	// introduce new cuts are rejected.
+	ACs []expr.AdvCut
+	// Timeout bounds one HTTP attempt against one shard (default 10s).
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed shard call gets
+	// (default 1; transport errors and 5xx responses are retried, 4xx —
+	// the request's own fault — is not).
+	Retries int
+	// Client overrides the HTTP client (its Timeout is ignored; the
+	// per-attempt Timeout above governs).
+	Client *http.Client
+}
+
+// shardState is the front door's view of one store node: its address and
+// the last summary fetched from it, under its own lock so a slow refresh
+// of one shard never blocks queries touching the others.
+type shardState struct {
+	id   int
+	addr string
+
+	mu  sync.RWMutex
+	sum serve.Summary
+}
+
+func (st *shardState) summary() serve.Summary {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.sum
+}
+
+// FrontDoor is the stateless scatter/gather tier: it owns no data, only
+// the peer list, the schema (learned from the shards), and cached shard
+// summaries used for shard-level pruning and ingest routing. Safe for
+// concurrent use.
+type FrontDoor struct {
+	shards  []*shardState
+	schema  *table.Schema
+	acs     []expr.AdvCut
+	client  *http.Client
+	timeout time.Duration
+	retries int
+
+	queries   atomic.Int64
+	contacted atomic.Int64
+	pruned    atomic.Int64
+	failures  atomic.Int64
+	partials  atomic.Int64
+	ingested  atomic.Int64
+}
+
+// NewFrontDoor connects to the given shard addresses (host:port or full
+// http:// URLs), fetches every shard's summary, and verifies the shards
+// agree on the schema. All peers must be reachable at startup; losing one
+// later degrades gracefully per query instead.
+func NewFrontDoor(addrs []string, opt FrontDoorOptions) (*FrontDoor, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: front door needs at least one shard address")
+	}
+	fd := &FrontDoor{
+		acs:     opt.ACs,
+		client:  opt.Client,
+		timeout: opt.Timeout,
+		retries: opt.Retries,
+	}
+	if fd.client == nil {
+		fd.client = &http.Client{}
+	}
+	if fd.timeout <= 0 {
+		fd.timeout = 10 * time.Second
+	}
+	if fd.retries < 0 {
+		fd.retries = 0
+	} else if opt.Retries == 0 {
+		fd.retries = 1
+	}
+	for i, addr := range addrs {
+		fd.shards = append(fd.shards, &shardState{id: i, addr: normalizeAddr(addr)})
+	}
+	for _, st := range fd.shards {
+		sum, err := fd.fetchSummary(st)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d (%s): %w", st.id, st.addr, err)
+		}
+		st.sum = sum
+	}
+	first := fd.shards[0].sum.Columns
+	for _, st := range fd.shards[1:] {
+		if !sameColumns(first, st.sum.Columns) {
+			return nil, fmt.Errorf("cluster: shard %d (%s) schema differs from shard 0", st.id, st.addr)
+		}
+	}
+	schema, err := table.NewSchema(first)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard schema: %w", err)
+	}
+	fd.schema = schema
+	return fd, nil
+}
+
+func normalizeAddr(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + strings.TrimRight(addr, "/")
+}
+
+func sameColumns(a, b []table.Column) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Kind != b[i].Kind || a[i].Dom != b[i].Dom {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema is the cluster schema learned from the shards.
+func (fd *FrontDoor) Schema() *table.Schema { return fd.schema }
+
+// NumShards is the size of the peer list.
+func (fd *FrontDoor) NumShards() int { return len(fd.shards) }
+
+// Summaries snapshots the cached shard summaries in shard-id order.
+func (fd *FrontDoor) Summaries() []serve.Summary {
+	out := make([]serve.Summary, len(fd.shards))
+	for i, st := range fd.shards {
+		out[i] = st.summary()
+	}
+	return out
+}
+
+// Refresh re-fetches every shard's summary. A shard that cannot be
+// reached keeps its previous (conservative) summary; the error reports
+// which shards failed.
+func (fd *FrontDoor) Refresh() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(fd.shards))
+	for i, st := range fd.shards {
+		wg.Add(1)
+		go func(i int, st *shardState) {
+			defer wg.Done()
+			sum, err := fd.fetchSummary(st)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d (%s): %w", st.id, st.addr, err)
+				return
+			}
+			st.mu.Lock()
+			st.sum = sum
+			st.mu.Unlock()
+		}(i, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ShardError reports one failed shard call.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Err   string `json:"error"`
+}
+
+// Result is one gathered cluster query: the merged filter or aggregation
+// answer plus the scatter's shape — how many shards were pruned by the
+// summary envelopes, contacted, and lost. Partial marks an answer that is
+// missing failed shards' rows; bit-identity to a single-node run holds
+// exactly when Partial is false.
+type Result struct {
+	SQL     string
+	Filter  *exec.Result    // set for bare filter queries
+	Agg     *exec.AggResult // set for aggregation statements
+	GroupBy []int           // schema ordinals, aggregation only
+
+	ShardsTotal     int
+	ShardsPruned    int
+	ShardsContacted int
+	ShardsFailed    int
+	Retries         int
+	Partial         bool
+	Failed          []ShardError
+}
+
+// parse runs the same statement routing as a standalone server: SELECT →
+// aggregation, with the legacy plain-select fallback to the filter path;
+// anything else → bare filter. The front door's AC table seeds the
+// parser, and a statement that would intern a new cut is rejected — the
+// shards were not planned with it.
+func (fd *FrontDoor) parse(sql string) (aq expr.AggQuery, isAgg bool, q expr.Query, err error) {
+	p := sqlparse.NewParser(fd.schema)
+	p.ACs = append([]expr.AdvCut(nil), fd.acs...)
+	guard := func() error {
+		if len(p.ACs) > len(fd.acs) {
+			return fmt.Errorf("cluster: statement introduces advanced cut %v not in the cluster's table", p.ACs[len(p.ACs)-1])
+		}
+		return nil
+	}
+	if serve.IsSelect(sql) {
+		aq, err = p.ParseSelect(sql)
+		if err == nil {
+			return aq, true, expr.Query{}, guard()
+		}
+		if !serve.LegacySelectShape(sql) {
+			return aq, false, q, err
+		}
+		p.ACs = append([]expr.AdvCut(nil), fd.acs...)
+		var ferr error
+		if q, ferr = p.Parse(sql); ferr != nil {
+			return aq, false, q, err // surface the aggregation parse error
+		}
+		return aq, false, q, guard()
+	}
+	q, err = p.Parse(sql)
+	if err != nil {
+		return aq, false, q, err
+	}
+	return aq, false, q, guard()
+}
+
+// Query parses the statement once, prunes shards whose summary envelope
+// cannot match, scatters the canonical SQL to the owners, and gathers
+// the partials into one cluster-wide answer.
+func (fd *FrontDoor) Query(sql string) (*Result, error) {
+	aq, isAgg, q, err := fd.parse(sql)
+	if err != nil {
+		return nil, ClientError{err}
+	}
+	fd.queries.Add(1)
+	if isAgg {
+		return fd.scatterAgg(aq)
+	}
+	return fd.scatterFilter(q)
+}
+
+// owners splits the peer list by the pruning filter: shards whose cached
+// summary may match, and the pruned remainder's cached base totals
+// (rows/blocks the cluster-wide skip rate counts as skipped).
+func (fd *FrontDoor) owners(filter expr.Query) (owning []*shardState, prunedRows int64, prunedBlocks int) {
+	for _, st := range fd.shards {
+		sum := st.summary()
+		if sum.MayMatch(filter) {
+			owning = append(owning, st)
+		} else {
+			prunedRows += int64(sum.Rows)
+			prunedBlocks += sum.Blocks
+		}
+	}
+	return owning, prunedRows, prunedBlocks
+}
+
+type shardCall struct {
+	st      *shardState
+	retries int
+	err     error
+	filter  serve.QueryResponse
+	agg     SelectPartialResponse
+}
+
+// scatter fans one request out to the owning shards, bounded by the
+// per-shard timeout and retry budget, and waits for all of them.
+func (fd *FrontDoor) scatter(owning []*shardState, path string, body serve.QueryRequest, decodeAgg bool) []*shardCall {
+	calls := make([]*shardCall, len(owning))
+	var wg sync.WaitGroup
+	for i, st := range owning {
+		calls[i] = &shardCall{st: st}
+		wg.Add(1)
+		go func(c *shardCall) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				var dst any
+				if decodeAgg {
+					dst = &c.agg
+				} else {
+					dst = &c.filter
+				}
+				err := fd.post(c.st.addr+path, body, dst)
+				if err == nil {
+					c.err = nil
+					return
+				}
+				c.err = err
+				var ce ClientError
+				if errors.As(err, &ce) || attempt >= fd.retries {
+					return
+				}
+				c.retries++
+				time.Sleep(50 * time.Millisecond)
+			}
+		}(calls[i])
+	}
+	wg.Wait()
+	return calls
+}
+
+// gatherShape fills the scatter-shape half of a Result and returns the
+// successful calls.
+func (fd *FrontDoor) gatherShape(res *Result, calls []*shardCall) []*shardCall {
+	var ok []*shardCall
+	for _, c := range calls {
+		res.Retries += c.retries
+		fd.contacted.Add(1)
+		if c.err != nil {
+			res.ShardsFailed++
+			res.Failed = append(res.Failed, ShardError{Shard: c.st.id, Addr: c.st.addr, Err: c.err.Error()})
+			fd.failures.Add(1)
+			continue
+		}
+		ok = append(ok, c)
+	}
+	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].Shard < res.Failed[j].Shard })
+	res.Partial = res.ShardsFailed > 0
+	if res.Partial {
+		fd.partials.Add(1)
+	}
+	return ok
+}
+
+func (fd *FrontDoor) scatterFilter(q expr.Query) (*Result, error) {
+	canonical := q.StringWith(fd.schema.Names(), fd.acs)
+	owning, prunedRows, prunedBlocks := fd.owners(q)
+	res := &Result{
+		SQL:          canonical,
+		ShardsTotal:  len(fd.shards),
+		ShardsPruned: len(fd.shards) - len(owning),
+	}
+	fd.pruned.Add(int64(res.ShardsPruned))
+	calls := fd.scatter(owning, "/query", serve.QueryRequest{SQL: canonical}, false)
+	ok := fd.gatherShape(res, calls)
+	res.ShardsContacted = len(owning)
+	if len(owning) > 0 && len(ok) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrAllShardsFailed, canonical)
+	}
+	parts := make([]exec.Result, len(ok))
+	for i, c := range ok {
+		parts[i] = exec.Result{
+			Query: canonical,
+			ScanStats: exec.ScanStats{
+				BlocksScanned: c.filter.BlocksScanned,
+				RowsScanned:   c.filter.RowsScanned,
+				RowsMatched:   c.filter.RowsMatched,
+				BytesRead:     c.filter.BytesRead,
+			},
+			BlocksTotal: c.filter.BlocksTotal,
+			RowsTotal:   c.filter.RowsTotal,
+			SimTime:     time.Duration(c.filter.SimTimeNS),
+			WallTime:    time.Duration(c.filter.WallTimeNS),
+		}
+	}
+	merged := exec.MergeResults(canonical, parts...)
+	// Pruned shards' rows are part of the universe the cluster skipped —
+	// count them in the totals so the cluster-wide skip rate reflects
+	// shard-level pruning.
+	merged.RowsTotal += prunedRows
+	merged.BlocksTotal += prunedBlocks
+	res.Filter = &merged
+	return res, nil
+}
+
+func (fd *FrontDoor) scatterAgg(aq expr.AggQuery) (*Result, error) {
+	canonical := aq.StringWith(fd.schema.Names(), fd.acs)
+	owning, prunedRows, prunedBlocks := fd.owners(aq.Filter)
+	res := &Result{
+		SQL:          canonical,
+		GroupBy:      append([]int(nil), aq.GroupBy...),
+		ShardsTotal:  len(fd.shards),
+		ShardsPruned: len(fd.shards) - len(owning),
+	}
+	fd.pruned.Add(int64(res.ShardsPruned))
+	calls := fd.scatter(owning, "/cluster/select", serve.QueryRequest{SQL: canonical}, true)
+	ok := fd.gatherShape(res, calls)
+	res.ShardsContacted = len(owning)
+	if len(owning) > 0 && len(ok) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrAllShardsFailed, canonical)
+	}
+	// Seed with the empty partial so an all-pruned scatter still yields
+	// the result a single-node run over zero matching rows produces.
+	parts := []*exec.AggPartialResult{exec.EmptyAggPartial(canonical, len(aq.Aggs), aq.GroupBy)}
+	for _, c := range ok {
+		if c.agg.Partial == nil {
+			return nil, fmt.Errorf("cluster: shard %d returned no partial", c.st.id)
+		}
+		parts = append(parts, c.agg.Partial)
+	}
+	merged, err := exec.MergeAggPartials(aq.Aggs, parts...)
+	if err != nil {
+		return nil, err
+	}
+	merged.Query = canonical
+	merged.RowsTotal += prunedRows
+	merged.BlocksTotal += prunedBlocks
+	res.Agg = merged.Finalize(aq.Aggs)
+	return res, nil
+}
+
+// IngestResult reports one routed ingest batch.
+type IngestResult struct {
+	Inserted int          `json:"inserted"`
+	PerShard map[int]int  `json:"per_shard"`
+	Failed   []ShardError `json:"failed,omitempty"`
+}
+
+// Ingest validates the batch once against the cluster schema, routes each
+// row to the shard whose summary envelope contains it (first match in
+// shard-id order; rows outside every envelope go to the least-loaded
+// shard), and forwards the per-shard slices. Routed rows land in the
+// owning shard's delta store, making that shard unprunable until its own
+// compactor folds them in — the cached summary is widened locally so
+// pruning stays sound without waiting for a refresh.
+func (fd *FrontDoor) Ingest(req serve.IngestRequest) (*IngestResult, error) {
+	rows, err := serve.DecodeIngestRows(fd.schema, req)
+	if err != nil {
+		return nil, ClientError{err}
+	}
+	sums := fd.Summaries()
+	batches := make(map[int][][]int64)
+	for _, row := range rows {
+		id := fd.routeRow(sums, row)
+		batches[id] = append(batches[id], row)
+	}
+	out := &IngestResult{PerShard: make(map[int]int)}
+	ids := make([]int, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var errs []error
+	for _, id := range ids {
+		st := fd.shards[id]
+		batch := batches[id]
+		var resp serve.IngestResponse
+		err := fd.postRetry(st.addr+"/ingest", ingestBody(batch), &resp)
+		if err != nil {
+			out.Failed = append(out.Failed, ShardError{Shard: id, Addr: st.addr, Err: err.Error()})
+			errs = append(errs, fmt.Errorf("shard %d (%s): %w", id, st.addr, err))
+			continue
+		}
+		out.Inserted += resp.Inserted
+		out.PerShard[id] = resp.Inserted
+		fd.ingested.Add(int64(resp.Inserted))
+		// Widen the cached summary: the shard now has uncompacted delta
+		// rows, so MayMatch must return true until the next refresh.
+		st.mu.Lock()
+		st.sum.DeltaRows += resp.Inserted
+		st.mu.Unlock()
+	}
+	if len(errs) > 0 {
+		return out, fmt.Errorf("cluster: ingest forwarded %d rows but lost %d shard batches: %w",
+			out.Inserted, len(errs), errors.Join(errs...))
+	}
+	return out, nil
+}
+
+// routeRow picks the owning shard for one row: the first shard whose base
+// envelope contains the row on every column, else the least-loaded shard
+// (fewest base+delta rows, lowest id on ties). Correctness never depends
+// on the choice — any shard's own layout adapts to what it stores — so
+// routing only aims to keep envelopes tight and loads level.
+func (fd *FrontDoor) routeRow(sums []serve.Summary, row []int64) int {
+	for i, sum := range sums {
+		if sum.Rows == 0 || len(sum.Min) != len(row) {
+			continue
+		}
+		inside := true
+		for c, v := range row {
+			if v < sum.Min[c] || v > sum.Max[c] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return i
+		}
+	}
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i, sum := range sums {
+		if load := sum.Rows + sum.DeltaRows; load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+func ingestBody(rows [][]int64) serve.IngestRequest {
+	req := serve.IngestRequest{Rows: make([][]json.RawMessage, len(rows))}
+	for i, row := range rows {
+		vals := make([]json.RawMessage, len(row))
+		for c, v := range row {
+			vals[c] = json.RawMessage(fmt.Sprintf("%d", v))
+		}
+		req.Rows[i] = vals
+	}
+	return req
+}
+
+// Stats is the front door's observability snapshot.
+type Stats struct {
+	Shards          int             `json:"shards"`
+	Queries         int64           `json:"queries"`
+	ShardsContacted int64           `json:"shards_contacted"`
+	ShardsPruned    int64           `json:"shards_pruned"`
+	ShardFailures   int64           `json:"shard_failures"`
+	PartialResults  int64           `json:"partial_results"`
+	RowsIngested    int64           `json:"rows_ingested"`
+	Summaries       []serve.Summary `json:"summaries"`
+}
+
+// Stats snapshots the front door's counters and cached shard summaries.
+func (fd *FrontDoor) Stats() Stats {
+	return Stats{
+		Shards:          len(fd.shards),
+		Queries:         fd.queries.Load(),
+		ShardsContacted: fd.contacted.Load(),
+		ShardsPruned:    fd.pruned.Load(),
+		ShardFailures:   fd.failures.Load(),
+		PartialResults:  fd.partials.Load(),
+		RowsIngested:    fd.ingested.Load(),
+		Summaries:       fd.Summaries(),
+	}
+}
+
+// fetchSummary pulls one shard's current summary (with the retry budget).
+func (fd *FrontDoor) fetchSummary(st *shardState) (serve.Summary, error) {
+	var sum serve.Summary
+	err := fd.getRetry(st.addr+"/cluster/summary", &sum)
+	return sum, err
+}
+
+// post issues one HTTP attempt. A 4xx response comes back as ClientError
+// (not retried: the request itself is at fault); 5xx and transport
+// errors are retriable shard failures.
+func (fd *FrontDoor) post(url string, body any, dst any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return fd.do(req, dst)
+}
+
+func (fd *FrontDoor) postRetry(url string, body any, dst any) error {
+	var err error
+	for attempt := 0; attempt <= fd.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		err = fd.post(url, body, dst)
+		if err == nil {
+			return nil
+		}
+		var ce ClientError
+		if errors.As(err, &ce) {
+			return err
+		}
+	}
+	return err
+}
+
+func (fd *FrontDoor) getRetry(url string, dst any) error {
+	var err error
+	for attempt := 0; attempt <= fd.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		req, rerr := http.NewRequest(http.MethodGet, url, nil)
+		if rerr != nil {
+			return rerr
+		}
+		err = fd.do(req, dst)
+		if err == nil {
+			return nil
+		}
+		var ce ClientError
+		if errors.As(err, &ce) {
+			return err
+		}
+	}
+	return err
+}
+
+func (fd *FrontDoor) do(req *http.Request, dst any) error {
+	ctx, cancel := context.WithTimeout(req.Context(), fd.timeout)
+	defer cancel()
+	resp, err := fd.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg := readErrBody(resp.Body)
+		err := fmt.Errorf("shard returned %d: %s", resp.StatusCode, msg)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return ClientError{err}
+		}
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// readErrBody extracts the {"error": ...} message a shard's JSON error
+// responses carry, falling back to the raw body.
+func readErrBody(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// QueryResponse is the front door's POST /query reply: the merged
+// cluster-wide answer in the same shape a standalone server returns,
+// plus the scatter's shape. Clients must check Partial — a true value
+// means failed shards' rows are missing from the answer.
+type QueryResponse struct {
+	serve.QueryResponse
+	ShardsTotal     int          `json:"shards_total"`
+	ShardsPruned    int          `json:"shards_pruned"`
+	ShardsContacted int          `json:"shards_contacted"`
+	ShardsFailed    int          `json:"shards_failed"`
+	Retries         int          `json:"retries,omitempty"`
+	Partial         bool         `json:"partial"`
+	Failed          []ShardError `json:"failed,omitempty"`
+}
+
+// IngestResponse is the front door's POST /ingest reply.
+type IngestResponse struct {
+	Inserted int          `json:"inserted"`
+	PerShard map[int]int  `json:"per_shard"`
+	Failed   []ShardError `json:"failed,omitempty"`
+}
+
+// FrontDoorHandler mounts the scatter/gather tier's HTTP surface:
+//
+//	POST /query    {"sql": "..."}  → merged cluster answer (QueryResponse)
+//	POST /ingest   {"rows": ...}   → routed ingest (IngestResponse)
+//	GET  /stats                    → front-door Stats
+//	POST /refresh                  → re-fetch shard summaries
+//	GET  /healthz                  → 200 ok
+//
+// Error mapping: request faults are 400, a scatter that loses every
+// owning shard is 503, an ingest that loses any shard batch is 502; a
+// scatter that loses some (not all) owning shards still answers 200 with
+// "partial": true.
+func FrontDoorHandler(fd *FrontDoor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req serve.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.SQL == "" {
+			httpErr(w, http.StatusBadRequest, `body needs {"sql": "..."}`)
+			return
+		}
+		start := time.Now()
+		res, err := fd.Query(req.SQL)
+		if err != nil {
+			var ce ClientError
+			switch {
+			case errors.As(err, &ce):
+				httpErr(w, http.StatusBadRequest, "%v", err)
+			case errors.Is(err, ErrAllShardsFailed):
+				httpErr(w, http.StatusServiceUnavailable, "%v", err)
+			default:
+				httpErr(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		writeJSON(w, toQueryResponse(fd, res, time.Since(start)))
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req serve.IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if len(req.Rows) == 0 {
+			httpErr(w, http.StatusBadRequest, `body needs {"rows": [[...], ...]}`)
+			return
+		}
+		res, err := fd.Ingest(req)
+		if err != nil {
+			var ce ClientError
+			if errors.As(err, &ce) {
+				httpErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			httpErr(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeJSON(w, IngestResponse{Inserted: res.Inserted, PerShard: res.PerShard, Failed: res.Failed})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, fd.Stats())
+	})
+	mux.HandleFunc("/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := fd.Refresh(); err != nil {
+			httpErr(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeJSON(w, fd.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// toQueryResponse renders a gathered Result in the standalone response
+// shape (typed rows, dictionary key spellings) plus the scatter shape.
+func toQueryResponse(fd *FrontDoor, res *Result, wall time.Duration) QueryResponse {
+	out := QueryResponse{
+		ShardsTotal:     res.ShardsTotal,
+		ShardsPruned:    res.ShardsPruned,
+		ShardsContacted: res.ShardsContacted,
+		ShardsFailed:    res.ShardsFailed,
+		Retries:         res.Retries,
+		Partial:         res.Partial,
+		Failed:          res.Failed,
+	}
+	out.Query = res.SQL
+	out.WallTimeNS = int64(wall)
+	schema := fd.Schema()
+	if res.Filter != nil {
+		f := res.Filter
+		out.BlocksScanned = f.BlocksScanned
+		out.BlocksTotal = f.BlocksTotal
+		out.RowsScanned = f.RowsScanned
+		out.RowsTotal = f.RowsTotal
+		out.RowsMatched = f.RowsMatched
+		out.BytesRead = f.BytesRead
+		out.SkipRate = f.SkipRate()
+		out.SimTimeNS = int64(f.SimTime)
+		return out
+	}
+	a := res.Agg
+	out.BlocksScanned = a.BlocksScanned
+	out.BlocksTotal = a.BlocksTotal
+	out.RowsScanned = a.RowsScanned
+	out.RowsTotal = a.RowsTotal
+	out.RowsMatched = a.RowsMatched
+	out.BytesRead = a.BytesRead
+	out.SkipRate = a.SkipRate()
+	out.SimTimeNS = int64(a.SimTime)
+	for _, g := range res.GroupBy {
+		out.GroupBy = append(out.GroupBy, schema.Cols[g].Name)
+	}
+	hasDict := false
+	for _, g := range res.GroupBy {
+		if len(schema.Cols[g].Dict) > 0 {
+			hasDict = true
+		}
+	}
+	out.Rows = make([]serve.QueryRow, len(a.Rows))
+	for i, row := range a.Rows {
+		qr := serve.QueryRow{Key: row.Key, Aggs: row.Vals}
+		if hasDict {
+			for ki, k := range row.Key {
+				dict := schema.Cols[res.GroupBy[ki]].Dict
+				if k >= 0 && k < int64(len(dict)) {
+					qr.KeyStrings = append(qr.KeyStrings, dict[k])
+				} else {
+					qr.KeyStrings = append(qr.KeyStrings, "")
+				}
+			}
+		}
+		out.Rows[i] = qr
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/exec"
+	"repro/internal/serve"
+)
+
+// SelectPartialResponse is the POST /cluster/select body a store node
+// returns: the unfinalized partial-aggregation state of its slice of the
+// data plus the generation that served it.
+type SelectPartialResponse struct {
+	Shard      string                 `json:"shard,omitempty"`
+	Generation int                    `json:"generation"`
+	Partial    *exec.AggPartialResult `json:"partial"`
+}
+
+// ShardHandler mounts the store-node ("shardd") HTTP surface: the full
+// standalone API of serve.Handler — a shard ingests, compacts, detects
+// drift, and re-layouts on its own — plus the two endpoints a front door
+// needs:
+//
+//	GET  /cluster/summary  → serve.Summary (pruning envelope + schema)
+//	POST /cluster/select   {"sql": "SELECT ..."} → SelectPartialResponse
+func ShardHandler(s *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.Handler(s))
+	mux.HandleFunc("/cluster/summary", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, s.Summary())
+	})
+	mux.HandleFunc("/cluster/select", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req serve.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if !serve.IsSelect(req.SQL) {
+			httpErr(w, http.StatusBadRequest, "/cluster/select takes an aggregation statement; send filters to /query")
+			return
+		}
+		aq, err := s.ParseSelectSQL(req.SQL)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pr, err := s.SelectPartial(aq)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, SelectPartialResponse{
+			Shard:      s.Stats().Shard,
+			Generation: pr.Generation,
+			Partial:    pr.AggPartialResult,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

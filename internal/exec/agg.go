@@ -251,31 +251,6 @@ func (p *aggPartial) merge(o *aggPartial, aggs []expr.Agg) {
 	}
 }
 
-// rows materializes the grouped result sorted by key.
-func (p *aggPartial) groupRows(aggs []expr.Agg) []AggRow {
-	var groups []*aggGroup
-	for idx := range p.dense {
-		if p.dense[idx].cells != nil && p.dense[idx].rows > 0 {
-			groups = append(groups, &p.dense[idx])
-		}
-	}
-	for _, g := range p.m {
-		if g.rows > 0 {
-			groups = append(groups, g)
-		}
-	}
-	sort.Slice(groups, func(i, j int) bool { return keyLess(groups[i].key, groups[j].key) })
-	out := make([]AggRow, len(groups))
-	for i, g := range groups {
-		vals := make([]AggVal, len(aggs))
-		for ai := range aggs {
-			vals[ai] = finalizeCell(aggs[ai].Func, g.cells[ai])
-		}
-		out[i] = AggRow{Key: g.key, Vals: vals}
-	}
-	return out
-}
-
 // keyLess is the lexicographic group-key order of AggResult.Rows.
 func keyLess(a, b []int64) bool {
 	for i := range a {
@@ -409,7 +384,23 @@ func RunAggOpts(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, 
 // bit-identical to the reference evaluator over the concatenated table.
 // A nil view is a plain RunAggOpts.
 func RunAggDelta(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (*AggResult, error) {
-	res := &AggResult{Query: aq.Name, GroupBy: append([]int(nil), aq.GroupBy...)}
+	p, err := RunAggPartialDelta(store, layout, aq, acs, prof, mode, opt, dv)
+	if err != nil {
+		return nil, err
+	}
+	return p.Finalize(aq.Aggs), nil
+}
+
+// RunAggPartial executes one aggregate query but stops short of
+// finalization, returning the mergeable per-group accumulator state — the
+// shard-side entry point of distributed scatter/gather (see merge.go).
+func RunAggPartial(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (*AggPartialResult, error) {
+	return RunAggPartialDelta(store, layout, aq, acs, prof, mode, opt, nil)
+}
+
+// RunAggPartialDelta is RunAggPartial over the merged view `delta ∪ base`.
+func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (*AggPartialResult, error) {
+	res := &AggPartialResult{Query: aq.Name, GroupBy: append([]int(nil), aq.GroupBy...), Grouped: len(aq.GroupBy) > 0}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
 	res.RowsTotal += dv.Rows()
 	candidates, err := candidateBlocks(store, layout, aq.Filter, mode)
@@ -525,15 +516,7 @@ func RunAggDelta(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery,
 			part.merge(accs[i].part, aq.Aggs)
 		}
 	}
-	if pl.grouped {
-		res.Rows = part.groupRows(aq.Aggs)
-	} else {
-		vals := make([]AggVal, len(aq.Aggs))
-		for i, a := range aq.Aggs {
-			vals[i] = finalizeCell(a.Func, part.global.cells[i])
-		}
-		res.Rows = []AggRow{{Vals: vals}}
-	}
+	res.Global, res.Groups = exportPartial(part, pl.grouped)
 	res.WallTime = time.Since(start)
 	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
 	return res, nil

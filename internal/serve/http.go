@@ -15,11 +15,12 @@ import (
 	"repro/internal/table"
 )
 
-// isSelect reports whether the SQL text starts with the SELECT keyword
+// IsSelect reports whether the SQL text starts with the SELECT keyword
 // (as opposed to a bare filter expression). The keyword must end at a
 // word boundary so a filter on a column named e.g. "selector" is not
-// misrouted to the aggregation parser.
-func isSelect(sql string) bool {
+// misrouted to the aggregation parser. Exported so the cluster front
+// door routes statements exactly like a standalone server.
+func IsSelect(sql string) bool {
 	trimmed := strings.TrimSpace(sql)
 	if len(trimmed) < 6 || !strings.EqualFold(trimmed[:6], "SELECT") {
 		return false
@@ -32,11 +33,11 @@ func isSelect(sql string) bool {
 		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z')
 }
 
-// legacySelectShape reports whether the statement's select list (the text
+// LegacySelectShape reports whether the statement's select list (the text
 // between SELECT and the first FROM) is the pre-aggregation shape — plain
 // identifiers or * with no function calls — and therefore eligible for
-// the skip-to-WHERE filter fallback.
-func legacySelectShape(sql string) bool {
+// the skip-to-WHERE filter fallback. Exported for the cluster front door.
+func LegacySelectShape(sql string) bool {
 	rest := strings.TrimSpace(sql)[6:]
 	upper := strings.ToUpper(rest)
 	from := strings.Index(upper, " FROM ")
@@ -87,6 +88,7 @@ type QueryResponse struct {
 	BlocksScanned int        `json:"blocks_scanned"`
 	BlocksTotal   int        `json:"blocks_total"`
 	RowsScanned   int64      `json:"rows_scanned"`
+	RowsTotal     int64      `json:"rows_total"`
 	RowsMatched   int64      `json:"rows_matched"`
 	BytesRead     int64      `json:"bytes_read"`
 	SkipRate      float64    `json:"skip_rate"`
@@ -117,9 +119,11 @@ type IngestResponse struct {
 	DeltaRows int `json:"delta_rows"`
 }
 
-// decodeIngestRows validates and decodes an ingest batch against the
-// served schema. All errors here are client faults (400).
-func decodeIngestRows(schema *table.Schema, req IngestRequest) ([][]int64, error) {
+// DecodeIngestRows validates and decodes an ingest batch against the
+// served schema. All errors here are client faults (400). Exported so the
+// cluster front door validates batches once before routing rows to
+// shards.
+func DecodeIngestRows(schema *table.Schema, req IngestRequest) ([][]int64, error) {
 	ncols := schema.NumCols()
 	order := make([]int, ncols) // position in request row → schema ordinal
 	for i := range order {
@@ -187,7 +191,7 @@ func Handler(s *Server) http.Handler {
 			httpErr(w, http.StatusBadRequest, `body needs {"sql": "..."}`)
 			return
 		}
-		if isSelect(req.SQL) {
+		if IsSelect(req.SQL) {
 			aq, err := s.ParseSelectSQL(req.SQL)
 			if err != nil {
 				// Not a parsable aggregation statement. Legacy clients send
@@ -197,7 +201,7 @@ func Handler(s *Server) http.Handler {
 				// contains a function call expressed aggregation intent, so
 				// its parse error must surface, not be silently answered as
 				// a bare match count.
-				if legacySelectShape(req.SQL) {
+				if LegacySelectShape(req.SQL) {
 					if q, ferr := s.ParseSQL(req.SQL); ferr == nil {
 						serveFilterQuery(w, s, q)
 						return
@@ -218,6 +222,7 @@ func Handler(s *Server) http.Handler {
 				BlocksScanned: res.BlocksScanned,
 				BlocksTotal:   res.BlocksTotal,
 				RowsScanned:   res.RowsScanned,
+				RowsTotal:     res.RowsTotal,
 				RowsMatched:   res.RowsMatched,
 				BytesRead:     res.BytesRead,
 				SkipRate:      res.SkipRate(),
@@ -273,7 +278,7 @@ func Handler(s *Server) http.Handler {
 			httpErr(w, http.StatusBadRequest, `body needs {"rows": [[...], ...]}`)
 			return
 		}
-		rows, err := decodeIngestRows(s.Schema(), req)
+		rows, err := DecodeIngestRows(s.Schema(), req)
 		if err != nil {
 			httpErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -364,6 +369,7 @@ func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query) {
 		BlocksScanned: res.BlocksScanned,
 		BlocksTotal:   res.BlocksTotal,
 		RowsScanned:   res.RowsScanned,
+		RowsTotal:     res.RowsTotal,
 		RowsMatched:   res.RowsMatched,
 		BytesRead:     res.BytesRead,
 		SkipRate:      res.SkipRate(),

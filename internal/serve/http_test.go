@@ -234,14 +234,14 @@ func TestHTTPIngestErrors(t *testing.T) {
 	}
 }
 
-// decodeIngestRows maps named column order and dictionary strings onto
+// DecodeIngestRows maps named column order and dictionary strings onto
 // schema-ordered coded rows.
 func TestDecodeIngestRows(t *testing.T) {
 	schema := table.MustSchema([]table.Column{
 		{Name: "x", Kind: table.Numeric, Min: 0, Max: 99},
 		{Name: "svc", Kind: table.Categorical, Dom: 2, Dict: []string{"auth", "web"}},
 	})
-	rows, err := decodeIngestRows(schema, IngestRequest{
+	rows, err := DecodeIngestRows(schema, IngestRequest{
 		Columns: []string{"svc", "x"}, // reversed on the wire
 		Rows: [][]json.RawMessage{
 			{json.RawMessage(`"web"`), json.RawMessage("7")},
@@ -259,8 +259,72 @@ func TestDecodeIngestRows(t *testing.T) {
 		"dup column":      {Columns: []string{"x", "x"}, Rows: [][]json.RawMessage{{json.RawMessage("1"), json.RawMessage("2")}}},
 		"bad dict string": {Rows: [][]json.RawMessage{{json.RawMessage("1"), json.RawMessage(`"db"`)}}},
 	} {
-		if _, err := decodeIngestRows(schema, req); err == nil {
+		if _, err := DecodeIngestRows(schema, req); err == nil {
 			t.Errorf("%s: want error", name)
 		}
+	}
+}
+
+// Error responses are structured JSON: every 4xx/5xx from the serving
+// API must carry Content-Type application/json and a non-empty "error"
+// message, so cluster front doors and scripted clients never have to
+// scrape free-text bodies.
+func TestHTTPErrorBodiesAreJSON(t *testing.T) {
+	_, ts := newHTTPFixture(t)
+	cases := []struct {
+		name string
+		url  string
+		body any
+		code int
+	}{
+		{"query empty sql", ts.URL + "/query", QueryRequest{}, http.StatusBadRequest},
+		{"query parse error", ts.URL + "/query", QueryRequest{SQL: "bogus !!"}, http.StatusBadRequest},
+		{"query unknown column", ts.URL + "/query", QueryRequest{SQL: "nope > 3"}, http.StatusBadRequest},
+		{"ingest no rows", ts.URL + "/ingest", IngestRequest{}, http.StatusBadRequest},
+		{"ingest bad value", ts.URL + "/ingest",
+			IngestRequest{Rows: [][]json.RawMessage{{json.RawMessage("1.5")}}}, http.StatusBadRequest},
+		{"ingest unknown column", ts.URL + "/ingest",
+			IngestRequest{Columns: []string{"nope"}, Rows: [][]json.RawMessage{{json.RawMessage("1")}}},
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, tc.url, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.code)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body.Error == "" {
+				t.Fatal("error body has no \"error\" message")
+			}
+		})
+	}
+
+	// Method misuse answers with the same structured shape.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET /query: Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("GET /query: structured error body missing (err %v, body %+v)", err, body)
 	}
 }

@@ -76,6 +76,10 @@ type Config struct {
 	// disables it (compactions then happen only via Compact /
 	// RunCompaction).
 	CompactInterval time.Duration
+	// ShardLabel names this server's role in a cluster (e.g. "shard-2").
+	// Empty for standalone servers; when set it is reported in Stats and
+	// Summary so cluster-level observability can attribute per-shard work.
+	ShardLabel string
 	// Replan plans the candidate layout for a window. Required; see
 	// GreedyReplan for the default strategy.
 	Replan ReplanFunc
@@ -168,7 +172,13 @@ type Server struct {
 // generation 1 and CURRENT is pointed at it. The root is then servable by
 // New.
 func Init(root string, tbl *table.Table, l *cost.Layout) error {
-	if _, err := blockstore.WriteGeneration(root, 1, tbl, l.BIDs, l.NumBlocks()); err != nil {
+	return InitOpts(root, tbl, l, blockstore.WriteOptions{})
+}
+
+// InitOpts is Init with explicit store-write options (block format,
+// encodings) for the bootstrap generation.
+func InitOpts(root string, tbl *table.Table, l *cost.Layout, opt blockstore.WriteOptions) error {
+	if _, err := blockstore.WriteGenerationOpts(root, 1, tbl, l.BIDs, l.NumBlocks(), opt); err != nil {
 		return err
 	}
 	return blockstore.SetCurrent(root, 1)
@@ -632,6 +642,7 @@ func (s *Server) monitor(interval time.Duration) {
 
 // Stats is a point-in-time snapshot of the serving subsystem.
 type Stats struct {
+	Shard          string  `json:"shard,omitempty"`
 	Generation     int     `json:"generation"`
 	Rows           int     `json:"rows"`
 	Blocks         int     `json:"blocks"`
@@ -668,6 +679,7 @@ func (s *Server) Stats() Stats {
 	s.mu.RUnlock()
 	deltaRows := s.delta.Rows()
 	st := Stats{
+		Shard:              s.cfg.ShardLabel,
 		Generation:         gen.id,
 		Rows:               tbl.N + deltaRows,
 		Blocks:             gen.layout.NumBlocks(),

@@ -1,0 +1,93 @@
+package qd
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// Cluster re-exports. The cluster subsystem scales the learned layout
+// across store nodes: the coordinator partitions a plan's leaves into
+// shard assignments, every shard serves its slice as a full Server
+// (own delta store, own drift monitor, independent re-layouts), and a
+// stateless front door prunes shards by their summary envelopes,
+// scatters the canonical SQL, and gathers partials into answers
+// bit-identical to a single-node run.
+type (
+	// FrontDoor is the scatter/gather tier: shard-level SMA pruning,
+	// parallel fan-out with per-shard timeout and bounded retry, and
+	// order-independent partial merging.
+	FrontDoor = cluster.FrontDoor
+	// FrontDoorOptions tune the scatter client (timeout, retries, ACs).
+	FrontDoorOptions = cluster.FrontDoorOptions
+	// ClusterResult is one gathered cluster query: the merged answer plus
+	// the scatter's shape (pruned/contacted/failed shards, partial flag).
+	ClusterResult = cluster.Result
+	// ClusterStats is the front door's observability snapshot.
+	ClusterStats = cluster.Stats
+	// ClusterManifest records a partitioned layout: schema plus every
+	// shard's leaf assignment.
+	ClusterManifest = cluster.Manifest
+	// ShardAssignment is one shard's slice of a partitioned layout.
+	ShardAssignment = cluster.ShardAssignment
+	// ShardSummary is one shard's pruning envelope: per-column min/max
+	// over its base blocks plus the uncompacted delta row count.
+	ShardSummary = serve.Summary
+	// IngestRequest is the POST /ingest body shape, shared by standalone
+	// servers and the front door's routed ingest.
+	IngestRequest = serve.IngestRequest
+	// IngestRouteResult reports one front-door-routed ingest batch.
+	IngestRouteResult = cluster.IngestResult
+)
+
+// InitCluster partitions the plan's leaves into nshards balanced
+// assignments (LPT greedy on leaf row counts) and materializes each
+// shard as its own generation root under dir/shard_000..NNN, writing
+// manifest.json beside them. Each root is then servable by NewServer
+// exactly like a standalone root.
+func InitCluster(dir string, tbl *Table, plan *Plan, nshards int, opts ...StoreOptions) (*ClusterManifest, error) {
+	if plan == nil || plan.Layout == nil {
+		return nil, fmt.Errorf("qd: InitCluster needs a plan with a layout")
+	}
+	return cluster.InitShards(dir, tbl, plan.Layout, plan.ACs, nshards, opts...)
+}
+
+// InitClusterShard materializes only shard id of the plan's partition
+// under dir (dir/shard_<id>). The partition is deterministic, so N
+// processes calling this with the same table and plan bootstrap
+// consistent slices without a coordinator process.
+func InitClusterShard(dir string, tbl *Table, plan *Plan, nshards, id int, opts ...StoreOptions) error {
+	if plan == nil || plan.Layout == nil {
+		return fmt.Errorf("qd: InitClusterShard needs a plan with a layout")
+	}
+	m := cluster.BuildManifest(plan.Layout, nshards)
+	if id < 0 || id >= len(m.Shards) {
+		return fmt.Errorf("qd: shard id %d out of range (%d shards)", id, len(m.Shards))
+	}
+	return cluster.InitShard(dir, tbl, plan.Layout, plan.ACs, m.Shards[id], opts...)
+}
+
+// LoadClusterManifest reads the manifest InitCluster wrote.
+func LoadClusterManifest(dir string) (*ClusterManifest, error) {
+	return cluster.LoadManifest(dir)
+}
+
+// ClusterShardRoot is the generation-root directory of shard id under a
+// cluster directory (dir/shard_000 ...).
+func ClusterShardRoot(dir string, id int) string { return cluster.ShardRoot(dir, id) }
+
+// NewFrontDoor connects to the shard addresses, learns the schema from
+// their summaries, and returns the scatter/gather handle.
+func NewFrontDoor(addrs []string, opt FrontDoorOptions) (*FrontDoor, error) {
+	return cluster.NewFrontDoor(addrs, opt)
+}
+
+// FrontDoorHandler mounts the front door's HTTP/JSON API (POST /query,
+// POST /ingest, GET /stats, POST /refresh, GET /healthz).
+func FrontDoorHandler(fd *FrontDoor) http.Handler { return cluster.FrontDoorHandler(fd) }
+
+// ShardServerHandler mounts a Server's store-node HTTP surface: the full
+// standalone API plus GET /cluster/summary and POST /cluster/select.
+func ShardServerHandler(s *Server) http.Handler { return cluster.ShardHandler(s) }

@@ -1,0 +1,200 @@
+package qd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/qd"
+)
+
+// encodeIngest renders integer rows as the JSON wire shape of POST
+// /ingest bodies.
+func encodeIngest(rows [][]int64) qd.IngestRequest {
+	req := qd.IngestRequest{Rows: make([][]json.RawMessage, len(rows))}
+	for i, row := range rows {
+		vals := make([]json.RawMessage, len(row))
+		for c, v := range row {
+			vals[c] = json.RawMessage(fmt.Sprintf("%d", v))
+		}
+		req.Rows[i] = vals
+	}
+	return req
+}
+
+// startShardServers serves every shard root of an initialized cluster
+// through httptest and returns the peer addresses.
+func startShardServers(t *testing.T, dir string, m *qd.ClusterManifest, acs []qd.AdvCut) []string {
+	t.Helper()
+	var addrs []string
+	for _, asn := range m.Shards {
+		s, err := qd.NewServer(qd.ClusterShardRoot(dir, asn.ID), qd.ServeOptions{
+			ACs:        acs,
+			ShardLabel: fmt.Sprintf("shard_%03d", asn.ID),
+			MinWindow:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(qd.ShardServerHandler(s))
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		addrs = append(addrs, hs.URL)
+	}
+	return addrs
+}
+
+// TestClusterDifferential is the distributed acceptance property: random
+// tables and random filter/aggregate workloads through the front door
+// return answers bit-identical to a single-node engine over the same
+// rows — across 1, 2, and 4 shards and both block formats. Integer
+// aggregates and match counts must be exact; AVG within 1e-9 relative
+// (the same tolerance the single-node differential suite allows).
+func TestClusterDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tbl, queries, acs := randomSpec(seed)
+			rng := rand.New(rand.NewSource(seed * 31))
+			aggWorkload := randomAggWorkload(rng, tbl.Schema.Cols[1].Dom)
+
+			// Ground truth: exact per-query match counts and the
+			// row-at-a-time reference aggregates.
+			matchTruth := qd.PerQueryMatches(tbl, queries, acs)
+			aggTruth := make([]qd.Rows, len(aggWorkload))
+			for i, aq := range aggWorkload {
+				aggTruth[i] = qd.ReferenceAggregate(tbl, aq, acs)
+			}
+
+			ds := qd.NewDataset(tbl.Schema, tbl).WithQueries(queries, acs)
+			plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := tbl.Schema.Names()
+
+			formats := []struct {
+				label string
+				opt   qd.StoreOptions
+			}{
+				{"v1", qd.StoreOptions{FormatVersion: qd.StoreFormatV1}},
+				{"v2", qd.StoreOptions{}},
+			}
+			for _, format := range formats {
+				for _, nshards := range []int{1, 2, 4} {
+					label := fmt.Sprintf("%s/shards%d", format.label, nshards)
+					dir := t.TempDir()
+					m, err := qd.InitCluster(dir, tbl, plan, nshards, format.opt)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					addrs := startShardServers(t, dir, m, acs)
+					fd, err := qd.NewFrontDoor(addrs, qd.FrontDoorOptions{ACs: acs})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+
+					for i, q := range queries {
+						sql := q.StringWith(names, acs)
+						res, err := fd.Query(sql)
+						if err != nil {
+							t.Fatalf("%s/%s: %v", label, sql, err)
+						}
+						if res.Partial {
+							t.Fatalf("%s/%s: unexpected partial result", label, sql)
+						}
+						if res.Filter.RowsMatched != matchTruth[i] {
+							t.Fatalf("%s/%s: matched %d, want %d", label, sql, res.Filter.RowsMatched, matchTruth[i])
+						}
+						if res.Filter.RowsTotal != int64(tbl.N) {
+							t.Fatalf("%s/%s: RowsTotal %d, want %d", label, sql, res.Filter.RowsTotal, tbl.N)
+						}
+					}
+					for i, aq := range aggWorkload {
+						sql := aq.StringWith(names, acs)
+						res, err := fd.Query(sql)
+						if err != nil {
+							t.Fatalf("%s/%s: %v", label, sql, err)
+						}
+						sameAggRows(t, fmt.Sprintf("%s/%s", label, sql), res.Agg.Rows, aggTruth[i])
+						if res.Agg.RowsTotal != int64(tbl.N) {
+							t.Fatalf("%s/%s: RowsTotal %d, want %d", label, sql, res.Agg.RowsTotal, tbl.N)
+						}
+					}
+					// The workload includes a fully-out-of-domain filter;
+					// with shard summaries loaded it must contact nothing.
+					res, err := fd.Query("t > 1099511627776")
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if res.ShardsContacted != 0 || res.ShardsPruned != nshards {
+						t.Fatalf("%s: out-of-domain query contacted %d, pruned %d of %d",
+							label, res.ShardsContacted, res.ShardsPruned, nshards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterIngestDifferential routes ingest through the front door and
+// checks the cluster answer tracks a single-node server fed the same
+// rows.
+func TestClusterIngestDifferential(t *testing.T) {
+	tbl, queries, acs := randomSpec(5)
+	ds := qd.NewDataset(tbl.Schema, tbl).WithQueries(queries, acs)
+	plan, err := qd.GreedyPlanner{}.Plan(ds, qd.PlanOptions{MinBlockSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m, err := qd.InitCluster(dir, tbl, plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startShardServers(t, dir, m, acs)
+	fd, err := qd.NewFrontDoor(addrs, qd.FrontDoorOptions{ACs: acs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline, err := fd.Query("SELECT COUNT(*), SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCount := baseline.Agg.Rows[0].Vals[0].Int
+	baseSum := baseline.Agg.Rows[0].Vals[1].Int
+	if baseCount != int64(tbl.N) {
+		t.Fatalf("baseline count %d, want %d", baseCount, tbl.N)
+	}
+
+	// Route 60 rows through the front door (values inside the schema
+	// domains; v contributes a known sum delta).
+	rng := rand.New(rand.NewSource(17))
+	var rows [][]int64
+	var sumDelta int64
+	for i := 0; i < 60; i++ {
+		v := int64(rng.Intn(1001)) - 500
+		sumDelta += v
+		rows = append(rows, []int64{rng.Int63n(10000), rng.Int63n(tbl.Schema.Cols[1].Dom), v, rng.Int63n(2), rng.Int63n(10000)})
+	}
+	ing, err := fd.Ingest(encodeIngest(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Inserted != 60 {
+		t.Fatalf("inserted %d, want 60", ing.Inserted)
+	}
+
+	after, err := fd.Query("SELECT COUNT(*), SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Agg.Rows[0].Vals[0].Int; got != baseCount+60 {
+		t.Fatalf("post-ingest count %d, want %d", got, baseCount+60)
+	}
+	if got := after.Agg.Rows[0].Vals[1].Int; got != baseSum+sumDelta {
+		t.Fatalf("post-ingest sum %d, want %d", got, baseSum+sumDelta)
+	}
+}

@@ -72,6 +72,10 @@ type ServeOptions struct {
 	MemtableRows    int
 	CompactRows     int
 	CompactInterval time.Duration
+	// ShardLabel names this server's shard when it runs as one store node
+	// of a cluster (reported in Stats and the cluster summary); empty for
+	// a standalone server.
+	ShardLabel string
 }
 
 // InitServing bootstraps a generation root from a planned layout: the
@@ -120,6 +124,7 @@ func NewServer(root string, opt ServeOptions) (*Server, error) {
 		MemtableRows:    opt.MemtableRows,
 		CompactRows:     opt.CompactRows,
 		CompactInterval: opt.CompactInterval,
+		ShardLabel:      opt.ShardLabel,
 		Replan:          replan,
 	})
 }
