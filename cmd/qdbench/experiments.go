@@ -866,12 +866,46 @@ func expCompress(cfg config) error {
 	fmt.Printf("on-disk payload: v1 %.2f MB (plain)  v2 %.2f MB (encoded)  ratio %.2fx\n",
 		float64(s1.EncodedBytes)/1e6, float64(s2.EncodedBytes)/1e6, s2.Ratio())
 
+	type compressColumn struct {
+		Name         string  `json:"name"`
+		Kind         string  `json:"kind"`
+		Encodings    string  `json:"encodings"`
+		LogicalBytes int64   `json:"logical_bytes"`
+		EncodedBytes int64   `json:"encoded_bytes"`
+		Ratio        float64 `json:"ratio"`
+	}
+	type compressProfile struct {
+		Profile   string  `json:"profile"`
+		Format    string  `json:"format"`
+		SimNS     int64   `json:"sim_ns"`
+		WallNS    int64   `json:"wall_ns"`
+		BytesRead int64   `json:"bytes_read"`
+		Speedup   float64 `json:"speedup"`
+		Identical bool    `json:"identical"`
+	}
+	bench := struct {
+		Experiment string            `json:"experiment"`
+		Rows       int               `json:"rows"`
+		Cols       int               `json:"cols"`
+		Blocks     int               `json:"blocks"`
+		V1Bytes    int64             `json:"v1_bytes"`
+		V2Bytes    int64             `json:"v2_bytes"`
+		Ratio      float64           `json:"ratio"`
+		Columns    []compressColumn  `json:"columns"`
+		Profiles   []compressProfile `json:"profiles"`
+	}{
+		Experiment: "compress",
+		Rows:       spec.Table.N,
+		Cols:       spec.Table.Schema.NumCols(),
+		Blocks:     plan.Layout.NumBlocks(),
+		V1Bytes:    s1.EncodedBytes,
+		V2Bytes:    s2.EncodedBytes,
+		Ratio:      s2.Ratio(),
+	}
+
 	fmt.Printf("\nper-column encodings (first 12 of %d columns):\n", spec.Table.Schema.NumCols())
 	fmt.Printf("%-14s %-12s %-26s %10s %10s %7s\n", "column", "kind", "encodings(blocks)", "logical", "encoded", "ratio")
 	for i, cs := range v2.ColumnStats() {
-		if i >= 12 {
-			break
-		}
 		encs := ""
 		for _, e := range []qd.ColumnEncoding{qd.EncPlain, qd.EncFOR, qd.EncDict, qd.EncRLE} {
 			if n := cs.Encs[e]; n > 0 {
@@ -880,6 +914,14 @@ func expCompress(cfg config) error {
 				}
 				encs += fmt.Sprintf("%s:%d", e, n)
 			}
+		}
+		bench.Columns = append(bench.Columns, compressColumn{
+			Name: cs.Name, Kind: fmt.Sprintf("%v", cs.Kind), Encodings: encs,
+			LogicalBytes: cs.Sizes.LogicalBytes, EncodedBytes: cs.Sizes.EncodedBytes,
+			Ratio: cs.Sizes.Ratio(),
+		})
+		if i >= 12 {
+			continue
 		}
 		fmt.Printf("%-14s %-12s %-26s %9dK %9dK %6.1fx\n",
 			cs.Name, cs.Kind, encs, cs.Sizes.LogicalBytes/1000, cs.Sizes.EncodedBytes/1000, cs.Sizes.Ratio())
@@ -931,11 +973,16 @@ func expCompress(cfg config) error {
 				prof.Name, name, wr.TotalSimTime.Round(time.Microsecond), bytes/1000,
 				float64(logical)/float64(wr.TotalSimTime+1)*1e3,
 				wr.WallTime.Round(time.Microsecond), speedup, status)
+			bench.Profiles = append(bench.Profiles, compressProfile{
+				Profile: prof.Name, Format: name,
+				SimNS: int64(wr.TotalSimTime), WallNS: int64(wr.WallTime),
+				BytesRead: bytes, Speedup: speedup, Identical: status != "DIFFER",
+			})
 			eng.Close()
 		}
 	}
 	fmt.Printf("\nacceptance: on-disk reduction %.2fx (target >= 2x); scan SimTime charges encoded bytes\n", s2.Ratio())
-	return nil
+	return writeBenchJSON(cfg, "compress", bench)
 }
 
 // expIngest measures the streaming-ingest lifecycle: rows inserted into
@@ -1009,15 +1056,47 @@ func expIngest(cfg config) error {
 		base.N, plan.Layout.NumBlocks(), len(stream), len(spec.Queries))
 	fmt.Printf("%-12s %10s %7s %9s %12s\n", "phase", "delta-rows", "fill%", "skip", "mean-sim")
 
+	type ingestPhase struct {
+		Phase     string  `json:"phase"`
+		DeltaRows int     `json:"delta_rows"`
+		FillPct   float64 `json:"fill_pct"`
+		SkipRate  float64 `json:"skip_rate"`
+		MeanSimNS int64   `json:"mean_sim_ns"`
+	}
+	bench := struct {
+		Experiment         string        `json:"experiment"`
+		BaseRows           int           `json:"base_rows"`
+		StreamRows         int           `json:"stream_rows"`
+		Blocks             int           `json:"blocks"`
+		Queries            int           `json:"queries"`
+		Phases             []ingestPhase `json:"phases"`
+		Compactions        int64         `json:"compactions"`
+		CompactedRows      int64         `json:"compacted_rows"`
+		WriteAmplification float64       `json:"write_amplification"`
+		PostSkipRate       float64       `json:"post_skip_rate"`
+		ColdSkipRate       float64       `json:"cold_skip_rate"`
+		SkipDiffPts        float64       `json:"skip_diff_pts"`
+	}{
+		Experiment: "ingest",
+		BaseRows:   base.N,
+		StreamRows: len(stream),
+		Blocks:     plan.Layout.NumBlocks(),
+		Queries:    len(spec.Queries),
+	}
+
 	report := func(phase string) error {
 		skip, sim, err := eval()
 		if err != nil {
 			return err
 		}
 		st := srv.Stats()
+		fill := 100 * float64(st.DeltaRows) / float64(base.N+len(stream))
 		fmt.Printf("%-12s %10d %6.1f%% %8.1f%% %12s\n",
-			phase, st.DeltaRows, 100*float64(st.DeltaRows)/float64(base.N+len(stream)),
-			100*skip, sim.Round(time.Microsecond))
+			phase, st.DeltaRows, fill, 100*skip, sim.Round(time.Microsecond))
+		bench.Phases = append(bench.Phases, ingestPhase{
+			Phase: phase, DeltaRows: st.DeltaRows, FillPct: fill,
+			SkipRate: skip, MeanSimNS: int64(sim),
+		})
 		return nil
 	}
 	if err := report("base"); err != nil {
@@ -1049,6 +1128,13 @@ func expIngest(cfg config) error {
 	fmt.Printf("write amplification %.1fx over %d compacted rows (%d compactions)\n",
 		st.WriteAmplification, st.CompactedRows, st.Compactions)
 	fmt.Printf("%-12s %10d %6.1f%% %8.1f%% %12s\n", "compacted", st.DeltaRows, 0.0, 100*postSkip, postSim.Round(time.Microsecond))
+	bench.Phases = append(bench.Phases, ingestPhase{
+		Phase: "compacted", DeltaRows: st.DeltaRows,
+		SkipRate: postSkip, MeanSimNS: int64(postSim),
+	})
+	bench.Compactions = int64(st.Compactions)
+	bench.CompactedRows = int64(st.CompactedRows)
+	bench.WriteAmplification = st.WriteAmplification
 
 	// Cold baseline: bulk-load base+stream in one shot and replan.
 	coldPlan, err := planWith("greedy", dataset(spec), popt)
@@ -1083,5 +1169,8 @@ func expIngest(cfg config) error {
 	diff := 100 * math.Abs(postSkip-coldSkip)
 	fmt.Printf("\nacceptance: post-compaction skip %.1f%% vs cold bulk-load %.1f%% (|diff| %.1f pts, target <= 5)\n",
 		100*postSkip, 100*coldSkip, diff)
-	return nil
+	bench.PostSkipRate = postSkip
+	bench.ColdSkipRate = coldSkip
+	bench.SkipDiffPts = diff
+	return writeBenchJSON(cfg, "ingest", bench)
 }

@@ -128,6 +128,103 @@ func queryCount(t *testing.T, addr, sql string) (int64, map[string]any) {
 	return int64(matched), out
 }
 
+// scrapeMetric fetches GET /metrics and returns the first sample value
+// whose line starts with prefix (-1 when absent).
+func scrapeMetric(t *testing.T, addr, prefix string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET /metrics Content-Type %q", ct)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	for _, line := range strings.Split(body.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestStandaloneObsSmoke boots one standalone demo process with -pprof
+// and checks the observability surface end to end: /metrics moves with
+// traffic, "trace": true returns spans, /debug/traces records them, and
+// /debug/pprof answers.
+func TestStandaloneObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke")
+	}
+	bin := buildQdserve(t)
+	dir := t.TempDir()
+	p := startProc(t, bin, dir, "standalone",
+		"-demo", "-store", filepath.Join(dir, "store"),
+		"-rows", "5000", "-interval", "0", "-compact-interval", "0",
+		"-pprof", "-slow-ms", "1",
+	)
+
+	// Labelled series materialize on first use: absent before traffic.
+	if got := scrapeMetric(t, p.addr, `qd_queries_total{type="filter"}`); got > 0 {
+		t.Fatalf("fresh server qd_queries_total = %v, want absent/0", got)
+	}
+	code, out := postJSON(t, "http://"+p.addr+"/query",
+		map[string]any{"sql": "severity >= 8", "trace": true})
+	if code != http.StatusOK {
+		t.Fatalf("traced query: status %d (%v)", code, out)
+	}
+	tr, ok := out["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no trace in response: %v", out)
+	}
+	spans, _ := tr["spans"].([]any)
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.(map[string]any)["name"].(string)] = true
+	}
+	for _, want := range []string{"parse", "block_prune", "scan"} {
+		if !names[want] {
+			t.Fatalf("trace missing span %q: %v", want, names)
+		}
+	}
+	if got := scrapeMetric(t, p.addr, `qd_queries_total{type="filter"}`); got != 1 {
+		t.Fatalf("qd_queries_total = %v, want 1 after one query", got)
+	}
+	// The slow-query counter is registered (its value depends on actual
+	// latency vs -slow-ms; exact accounting is covered in internal/serve).
+	if got := scrapeMetric(t, p.addr, "qd_slow_queries_total"); got < 0 {
+		t.Fatalf("qd_slow_queries_total missing from /metrics")
+	}
+
+	resp, err := http.Get("http://" + p.addr + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ring map[string]any
+	json.NewDecoder(resp.Body).Decode(&ring)
+	resp.Body.Close()
+	if total, _ := ring["traces_total"].(float64); total < 1 {
+		t.Fatalf("/debug/traces total = %v", ring)
+	}
+
+	resp, err = http.Get("http://" + p.addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d with -pprof", resp.StatusCode)
+	}
+}
+
 func TestClusterSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process smoke")
@@ -166,6 +263,21 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if st, _ := out["shards_total"].(float64); int(st) != nshards {
 		t.Fatalf("shards_total %v, want %d", out["shards_total"], nshards)
+	}
+
+	// Every role serves /metrics, and the query above moved the counters:
+	// the front door's gather counter and some shard's serve counter.
+	if got := scrapeMetric(t, front.addr, `qd_fd_queries_total{type="filter"}`); got < 1 {
+		t.Fatalf("front door qd_fd_queries_total = %v, want >= 1", got)
+	}
+	var shardQueries float64
+	for _, p := range shards {
+		if v := scrapeMetric(t, p.addr, `qd_queries_total{type="filter"}`); v > 0 {
+			shardQueries += v
+		}
+	}
+	if shardQueries < float64(nshards) {
+		t.Fatalf("shard qd_queries_total sum = %v, want >= %d (unpruned scatter hits all shards)", shardQueries, nshards)
 	}
 
 	// Aggregation through the front door matches the filter count.

@@ -25,16 +25,23 @@
 //	                                          stream rows into the delta; visible immediately
 //	POST /compact                             force a delta-compaction cycle
 //	GET  /stats                               serving counters + last drift check
+//	GET  /metrics                             Prometheus text exposition
+//	GET  /debug/traces                        recent + slow query traces
 //	POST /relayout                            force a replan + swap cycle
 //	GET  /healthz                             liveness
 //
 // A shard additionally serves GET /cluster/summary (its pruning envelope)
 // and POST /cluster/select (partial aggregation for the front door's
 // gather). A front door serves POST /query, POST /ingest, GET /stats,
-// POST /refresh, and GET /healthz — queries are parsed once, shards whose
-// envelope cannot match are pruned, and the rest are scattered in
-// parallel; answers are bit-identical to a single-node run unless the
-// response carries "partial": true.
+// GET /metrics, GET /debug/traces, POST /refresh, and GET /healthz —
+// queries are parsed once, shards whose envelope cannot match are pruned,
+// and the rest are scattered in parallel; answers are bit-identical to a
+// single-node run unless the response carries "partial": true.
+//
+// Every role's POST /query honors {"trace": true} (inline per-stage
+// spans; the front door also gathers each shard's spans), -slow-ms sets
+// the slow-query threshold, and -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // A generation root is created from any planned layout with
 // qd.InitServing, a sharded cluster with qd.InitCluster (or the -demo
@@ -49,6 +56,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -84,6 +92,8 @@ type config struct {
 	fdTimeout  time.Duration
 	fdRetries  int
 	fdWait     time.Duration
+	slowMS     int
+	pprof      bool
 }
 
 func main() {
@@ -112,6 +122,8 @@ func main() {
 	flag.DurationVar(&cfg.fdTimeout, "shard-timeout", 10*time.Second, "front door: per-shard request timeout")
 	flag.IntVar(&cfg.fdRetries, "shard-retries", 1, "front door: extra attempts per failed shard call")
 	flag.DurationVar(&cfg.fdWait, "peer-wait", 15*time.Second, "front door: how long to wait for peers at startup")
+	flag.IntVar(&cfg.slowMS, "slow-ms", 250, "slow-query threshold in milliseconds for Stats.SlowQueries, the slow-trace ring, and qd_slow_queries_total (0 disables)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "qdserve: %v\n", err)
@@ -212,6 +224,7 @@ func runServer(cfg config) error {
 		CompactRows:     cfg.compRows,
 		CompactInterval: cfg.compEvery,
 		ShardLabel:      label,
+		SlowQuery:       slowThreshold(cfg.slowMS),
 	})
 	if err != nil {
 		return err
@@ -245,7 +258,7 @@ func runFrontDoor(cfg config) error {
 	if retries <= 0 {
 		retries = -1 // flag 0 means no retries; the option's 0 means default
 	}
-	opt := qd.FrontDoorOptions{Timeout: cfg.fdTimeout, Retries: retries}
+	opt := qd.FrontDoorOptions{Timeout: cfg.fdTimeout, Retries: retries, SlowQuery: slowThreshold(cfg.slowMS)}
 	var fd *qd.FrontDoor
 	var err error
 	deadline := time.Now().Add(cfg.fdWait)
@@ -267,9 +280,37 @@ func runFrontDoor(cfg config) error {
 	return serveHTTP(cfg, qd.FrontDoorHandler(fd), what)
 }
 
+// slowThreshold maps the -slow-ms flag to the option semantics: 0 on
+// the flag disables slow-query accounting (internally negative), any
+// positive value is the threshold.
+func slowThreshold(ms int) time.Duration {
+	if ms <= 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// withPprof mounts net/http/pprof in front of the role handler. The
+// pprof mux entries are registered on http.DefaultServeMux by the
+// package's init; routing /debug/pprof/ there keeps the role handler's
+// own /debug/traces path intact.
+func withPprof(handler http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", handler)
+	return mux
+}
+
 // serveHTTP binds the listener, optionally publishes the bound address to
 // -addr-file, and serves until SIGINT/SIGTERM drains it.
 func serveHTTP(cfg config, handler http.Handler, what string) error {
+	if cfg.pprof {
+		handler = withPprof(handler)
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -49,6 +50,14 @@ type FrontDoorOptions struct {
 	// Client overrides the HTTP client (its Timeout is ignored; the
 	// per-attempt Timeout above governs).
 	Client *http.Client
+	// SlowQuery is the latency threshold for slow-query accounting
+	// (default 250ms; negative disables it).
+	SlowQuery time.Duration
+	// Metrics is the registry behind GET /metrics (nil = own registry).
+	Metrics *obs.Registry
+	// TraceRingSize bounds the recent/slow trace rings behind
+	// GET /debug/traces (default obs.DefaultTraceRingSize).
+	TraceRingSize int
 }
 
 // shardState is the front door's view of one store node: its address and
@@ -80,12 +89,18 @@ type FrontDoor struct {
 	timeout time.Duration
 	retries int
 
-	queries   atomic.Int64
-	contacted atomic.Int64
-	pruned    atomic.Int64
-	failures  atomic.Int64
-	partials  atomic.Int64
-	ingested  atomic.Int64
+	reg        *obs.Registry
+	metrics    *fdMetrics
+	traces     *obs.TraceRing
+	slowThresh time.Duration
+
+	queries     atomic.Int64
+	slowQueries atomic.Int64
+	contacted   atomic.Int64
+	pruned      atomic.Int64
+	failures    atomic.Int64
+	partials    atomic.Int64
+	ingested    atomic.Int64
 }
 
 // NewFrontDoor connects to the given shard addresses (host:port or full
@@ -97,10 +112,13 @@ func NewFrontDoor(addrs []string, opt FrontDoorOptions) (*FrontDoor, error) {
 		return nil, fmt.Errorf("cluster: front door needs at least one shard address")
 	}
 	fd := &FrontDoor{
-		acs:     opt.ACs,
-		client:  opt.Client,
-		timeout: opt.Timeout,
-		retries: opt.Retries,
+		acs:        opt.ACs,
+		client:     opt.Client,
+		timeout:    opt.Timeout,
+		retries:    opt.Retries,
+		reg:        opt.Metrics,
+		traces:     obs.NewTraceRing(opt.TraceRingSize),
+		slowThresh: opt.SlowQuery,
 	}
 	if fd.client == nil {
 		fd.client = &http.Client{}
@@ -108,6 +126,15 @@ func NewFrontDoor(addrs []string, opt FrontDoorOptions) (*FrontDoor, error) {
 	if fd.timeout <= 0 {
 		fd.timeout = 10 * time.Second
 	}
+	if fd.slowThresh == 0 {
+		fd.slowThresh = 250 * time.Millisecond
+	} else if fd.slowThresh < 0 {
+		fd.slowThresh = 0
+	}
+	if fd.reg == nil {
+		fd.reg = obs.NewRegistry()
+	}
+	fd.metrics = newFDMetrics(fd.reg, fd)
 	if fd.retries < 0 {
 		fd.retries = 0
 	} else if opt.Retries == 0 {
@@ -262,21 +289,47 @@ func (fd *FrontDoor) parse(sql string) (aq expr.AggQuery, isAgg bool, q expr.Que
 // cannot match, scatters the canonical SQL to the owners, and gathers
 // the partials into one cluster-wide answer.
 func (fd *FrontDoor) Query(sql string) (*Result, error) {
+	return fd.QueryTraced(sql, nil, false)
+}
+
+// QueryTraced is Query recording the scatter's stage spans into tr (nil
+// starts a fresh internal trace — the front door traces every gathered
+// query for its metrics and trace ring). With deep set, the scatter
+// also asks each shard for its own spans and imports them under the
+// shard-call offsets, yielding the full parse → shard_prune →
+// per-shard block_prune/scan → merge picture a "trace": true client
+// sees.
+func (fd *FrontDoor) QueryTraced(sql string, tr *obs.Trace, deep bool) (*Result, error) {
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	psp := tr.Start("parse")
 	aq, isAgg, q, err := fd.parse(sql)
 	if err != nil {
 		return nil, ClientError{err}
 	}
+	psp.End()
 	fd.queries.Add(1)
+	var res *Result
+	typ := "filter"
 	if isAgg {
-		return fd.scatterAgg(aq)
+		typ = "select"
+		res, err = fd.scatterAgg(aq, tr, deep)
+	} else {
+		res, err = fd.scatterFilter(q, tr, deep)
 	}
-	return fd.scatterFilter(q)
+	fd.observe(tr, typ, err)
+	return res, err
 }
 
 // owners splits the peer list by the pruning filter: shards whose cached
 // summary may match, and the pruned remainder's cached base totals
-// (rows/blocks the cluster-wide skip rate counts as skipped).
-func (fd *FrontDoor) owners(filter expr.Query) (owning []*shardState, prunedRows int64, prunedBlocks int) {
+// (rows/blocks the cluster-wide skip rate counts as skipped). The
+// shard_prune span names every pruned shard and the envelope bound that
+// pruned it.
+func (fd *FrontDoor) owners(filter expr.Query, tr *obs.Trace) (owning []*shardState, prunedRows int64, prunedBlocks int) {
+	sp := tr.Start("shard_prune")
+	var pruned []ShardPrune
 	for _, st := range fd.shards {
 		sum := st.summary()
 		if sum.MayMatch(filter) {
@@ -284,8 +337,19 @@ func (fd *FrontDoor) owners(filter expr.Query) (owning []*shardState, prunedRows
 		} else {
 			prunedRows += int64(sum.Rows)
 			prunedBlocks += sum.Blocks
+			fd.metrics.shardRequests.With("pruned").Inc()
+			if tr != nil {
+				pruned = append(pruned, fd.shardPruneCause(st, sum, filter))
+			}
 		}
 	}
+	sp.SetAttr("shards_total", len(fd.shards)).
+		SetAttr("shards_owning", len(owning)).
+		SetAttr("shards_pruned", len(fd.shards)-len(owning))
+	if len(pruned) > 0 {
+		sp.SetAttr("pruned", pruned)
+	}
+	sp.End()
 	return owning, prunedRows, prunedBlocks
 }
 
@@ -297,9 +361,22 @@ type shardCall struct {
 	agg     SelectPartialResponse
 }
 
+// shardLabel names a shard in traces: its self-reported summary label,
+// falling back to the peer index.
+func shardLabel(st *shardState) string {
+	if lbl := st.summary().Shard; lbl != "" {
+		return lbl
+	}
+	return fmt.Sprintf("shard_%d", st.id)
+}
+
 // scatter fans one request out to the owning shards, bounded by the
-// per-shard timeout and retry budget, and waits for all of them.
-func (fd *FrontDoor) scatter(owning []*shardState, path string, body serve.QueryRequest, decodeAgg bool) []*shardCall {
+// per-shard timeout and retry budget, and waits for all of them. Each
+// call gets a "shard" span; with deep set the shards are asked for
+// their own spans, which are imported under the call's start offset so
+// the gathered trace shows the remote block_prune/scan work inline.
+func (fd *FrontDoor) scatter(owning []*shardState, path string, body serve.QueryRequest, decodeAgg bool, tr *obs.Trace, deep bool) []*shardCall {
+	body.Trace = deep
 	calls := make([]*shardCall, len(owning))
 	var wg sync.WaitGroup
 	for i, st := range owning {
@@ -307,6 +384,9 @@ func (fd *FrontDoor) scatter(owning []*shardState, path string, body serve.Query
 		wg.Add(1)
 		go func(c *shardCall) {
 			defer wg.Done()
+			label := shardLabel(c.st)
+			ssp := tr.Start("shard")
+			ssp.SetAttr("shard", label).SetAttr("addr", c.st.addr)
 			for attempt := 0; ; attempt++ {
 				var dst any
 				if decodeAgg {
@@ -314,19 +394,39 @@ func (fd *FrontDoor) scatter(owning []*shardState, path string, body serve.Query
 				} else {
 					dst = &c.filter
 				}
-				err := fd.post(c.st.addr+path, body, dst)
+				err := fd.postTraced(c.st.addr+path, body, dst, tr.ID())
 				if err == nil {
 					c.err = nil
-					return
+					break
 				}
 				c.err = err
 				var ce ClientError
 				if errors.As(err, &ce) || attempt >= fd.retries {
-					return
+					break
 				}
 				c.retries++
 				time.Sleep(50 * time.Millisecond)
 			}
+			outcome := "ok"
+			if c.err != nil {
+				outcome = "failed"
+			}
+			ssp.SetAttr("outcome", outcome)
+			if c.retries > 0 {
+				ssp.SetAttr("retries", c.retries)
+			}
+			if deep && c.err == nil {
+				var remote *obs.TraceData
+				if decodeAgg {
+					remote = c.agg.Trace
+				} else {
+					remote = c.filter.Trace
+				}
+				if remote != nil {
+					tr.AddRemote(label, ssp.StartNS(), remote.Spans)
+				}
+			}
+			ssp.End()
 		}(calls[i])
 	}
 	wg.Wait()
@@ -340,34 +440,43 @@ func (fd *FrontDoor) gatherShape(res *Result, calls []*shardCall) []*shardCall {
 	for _, c := range calls {
 		res.Retries += c.retries
 		fd.contacted.Add(1)
+		if c.retries > 0 {
+			fd.metrics.shardRequests.With("retry").Add(uint64(c.retries))
+		}
 		if c.err != nil {
 			res.ShardsFailed++
 			res.Failed = append(res.Failed, ShardError{Shard: c.st.id, Addr: c.st.addr, Err: c.err.Error()})
 			fd.failures.Add(1)
+			fd.metrics.shardRequests.With("failed").Inc()
 			continue
 		}
+		fd.metrics.shardRequests.With("ok").Inc()
 		ok = append(ok, c)
 	}
 	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].Shard < res.Failed[j].Shard })
 	res.Partial = res.ShardsFailed > 0
 	if res.Partial {
 		fd.partials.Add(1)
+		fd.metrics.partials.Inc()
 	}
 	return ok
 }
 
-func (fd *FrontDoor) scatterFilter(q expr.Query) (*Result, error) {
+func (fd *FrontDoor) scatterFilter(q expr.Query, tr *obs.Trace, deep bool) (*Result, error) {
 	canonical := q.StringWith(fd.schema.Names(), fd.acs)
-	owning, prunedRows, prunedBlocks := fd.owners(q)
+	owning, prunedRows, prunedBlocks := fd.owners(q, tr)
 	res := &Result{
 		SQL:          canonical,
 		ShardsTotal:  len(fd.shards),
 		ShardsPruned: len(fd.shards) - len(owning),
 	}
 	fd.pruned.Add(int64(res.ShardsPruned))
-	calls := fd.scatter(owning, "/query", serve.QueryRequest{SQL: canonical}, false)
+	calls := fd.scatter(owning, "/query", serve.QueryRequest{SQL: canonical}, false, tr, deep)
+	msp := tr.Start("merge")
+	defer msp.End()
 	ok := fd.gatherShape(res, calls)
 	res.ShardsContacted = len(owning)
+	msp.SetAttr("shards_merged", len(ok))
 	if len(owning) > 0 && len(ok) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrAllShardsFailed, canonical)
 	}
@@ -397,9 +506,9 @@ func (fd *FrontDoor) scatterFilter(q expr.Query) (*Result, error) {
 	return res, nil
 }
 
-func (fd *FrontDoor) scatterAgg(aq expr.AggQuery) (*Result, error) {
+func (fd *FrontDoor) scatterAgg(aq expr.AggQuery, tr *obs.Trace, deep bool) (*Result, error) {
 	canonical := aq.StringWith(fd.schema.Names(), fd.acs)
-	owning, prunedRows, prunedBlocks := fd.owners(aq.Filter)
+	owning, prunedRows, prunedBlocks := fd.owners(aq.Filter, tr)
 	res := &Result{
 		SQL:          canonical,
 		GroupBy:      append([]int(nil), aq.GroupBy...),
@@ -407,9 +516,12 @@ func (fd *FrontDoor) scatterAgg(aq expr.AggQuery) (*Result, error) {
 		ShardsPruned: len(fd.shards) - len(owning),
 	}
 	fd.pruned.Add(int64(res.ShardsPruned))
-	calls := fd.scatter(owning, "/cluster/select", serve.QueryRequest{SQL: canonical}, true)
+	calls := fd.scatter(owning, "/cluster/select", serve.QueryRequest{SQL: canonical}, true, tr, deep)
+	msp := tr.Start("merge")
+	defer msp.End()
 	ok := fd.gatherShape(res, calls)
 	res.ShardsContacted = len(owning)
+	msp.SetAttr("shards_merged", len(ok))
 	if len(owning) > 0 && len(ok) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrAllShardsFailed, canonical)
 	}
@@ -478,6 +590,7 @@ func (fd *FrontDoor) Ingest(req serve.IngestRequest) (*IngestResult, error) {
 		out.Inserted += resp.Inserted
 		out.PerShard[id] = resp.Inserted
 		fd.ingested.Add(int64(resp.Inserted))
+		fd.metrics.ingestRows.Add(uint64(resp.Inserted))
 		// Widen the cached summary: the shard now has uncompacted delta
 		// rows, so MayMatch must return true until the next refresh.
 		st.mu.Lock()
@@ -537,6 +650,7 @@ func ingestBody(rows [][]int64) serve.IngestRequest {
 type Stats struct {
 	Shards          int             `json:"shards"`
 	Queries         int64           `json:"queries"`
+	SlowQueries     int64           `json:"slow_queries"`
 	ShardsContacted int64           `json:"shards_contacted"`
 	ShardsPruned    int64           `json:"shards_pruned"`
 	ShardFailures   int64           `json:"shard_failures"`
@@ -550,6 +664,7 @@ func (fd *FrontDoor) Stats() Stats {
 	return Stats{
 		Shards:          len(fd.shards),
 		Queries:         fd.queries.Load(),
+		SlowQueries:     fd.slowQueries.Load(),
 		ShardsContacted: fd.contacted.Load(),
 		ShardsPruned:    fd.pruned.Load(),
 		ShardFailures:   fd.failures.Load(),
@@ -570,6 +685,13 @@ func (fd *FrontDoor) fetchSummary(st *shardState) (serve.Summary, error) {
 // (not retried: the request itself is at fault); 5xx and transport
 // errors are retriable shard failures.
 func (fd *FrontDoor) post(url string, body any, dst any) error {
+	return fd.postTraced(url, body, dst, "")
+}
+
+// postTraced is post propagating the gathered query's TraceID to the
+// shard via the X-Qd-Trace-Id header, so shard-side trace rings and
+// logs correlate with the front door's.
+func (fd *FrontDoor) postTraced(url string, body any, dst any, traceID string) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -579,6 +701,9 @@ func (fd *FrontDoor) post(url string, body any, dst any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	return fd.do(req, dst)
 }
 

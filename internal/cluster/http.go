@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -24,6 +25,12 @@ type QueryResponse struct {
 	Failed          []ShardError `json:"failed,omitempty"`
 }
 
+// Note: the embedded serve.QueryResponse carries the Trace field; for a
+// front-door query it holds the gathered trace — parse, shard_prune
+// (naming each pruned shard and the envelope bound), one shard span per
+// contacted peer with the peer's own block_prune/scan spans imported
+// under it, and merge.
+
 // IngestResponse is the front door's POST /ingest reply.
 type IngestResponse struct {
 	Inserted int          `json:"inserted"`
@@ -33,11 +40,17 @@ type IngestResponse struct {
 
 // FrontDoorHandler mounts the scatter/gather tier's HTTP surface:
 //
-//	POST /query    {"sql": "..."}  → merged cluster answer (QueryResponse)
-//	POST /ingest   {"rows": ...}   → routed ingest (IngestResponse)
-//	GET  /stats                    → front-door Stats
-//	POST /refresh                  → re-fetch shard summaries
-//	GET  /healthz                  → 200 ok
+//	POST /query         {"sql": "..."}  → merged cluster answer (QueryResponse)
+//	POST /ingest        {"rows": ...}   → routed ingest (IngestResponse)
+//	GET  /stats                         → front-door Stats
+//	GET  /metrics                       → Prometheus text exposition
+//	GET  /debug/traces                  → recent + slow gathered traces
+//	POST /refresh                       → re-fetch shard summaries
+//	GET  /healthz                       → 200 ok
+//
+// POST /query honors {"trace": true} — the reply then inlines the
+// gathered trace, with each contacted shard's own spans imported — and
+// the X-Qd-Trace-Id header for caller-supplied trace IDs.
 //
 // Error mapping: request faults are 400, a scatter that loses every
 // owning shard is 503, an ingest that loses any shard batch is 502; a
@@ -60,7 +73,8 @@ func FrontDoorHandler(fd *FrontDoor) http.Handler {
 			return
 		}
 		start := time.Now()
-		res, err := fd.Query(req.SQL)
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		res, err := fd.QueryTraced(req.SQL, tr, req.Trace)
 		if err != nil {
 			var ce ClientError
 			switch {
@@ -73,8 +87,14 @@ func FrontDoorHandler(fd *FrontDoor) http.Handler {
 			}
 			return
 		}
-		writeJSON(w, toQueryResponse(fd, res, time.Since(start)))
+		resp := toQueryResponse(fd, res, time.Since(start))
+		if req.Trace {
+			resp.Trace = tr.Snapshot()
+		}
+		writeJSON(w, resp)
 	})
+	mux.Handle("/metrics", fd.Metrics().Handler())
+	mux.Handle("/debug/traces", fd.Traces().Handler())
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpErr(w, http.StatusMethodNotAllowed, "POST only")

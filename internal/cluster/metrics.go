@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// fdMetrics is the front door's instrument set behind GET /metrics.
+// Names carry the qd_fd_ prefix so a front door and a shard can co-host
+// one registry without collisions.
+type fdMetrics struct {
+	queries       *obs.CounterVec   // qd_fd_queries_total{type}
+	queryErrors   *obs.Counter      // qd_fd_query_errors_total
+	shardRequests *obs.CounterVec   // qd_fd_shard_requests_total{outcome}
+	stageDur      *obs.HistogramVec // qd_fd_stage_duration_seconds{stage}
+	queryDur      *obs.Histogram    // qd_fd_query_duration_seconds
+	slowQueries   *obs.Counter      // qd_fd_slow_queries_total
+	ingestRows    *obs.Counter      // qd_fd_ingest_rows_total
+	partials      *obs.Counter      // qd_fd_partial_results_total
+}
+
+func newFDMetrics(reg *obs.Registry, fd *FrontDoor) *fdMetrics {
+	reg.GaugeFunc("qd_fd_shards", "Shards in the peer list.", func() float64 {
+		return float64(len(fd.shards))
+	})
+	return &fdMetrics{
+		queries:       reg.CounterVec("qd_fd_queries_total", "Cluster queries gathered, by statement type.", "type"),
+		queryErrors:   reg.Counter("qd_fd_query_errors_total", "Cluster queries that failed (all owning shards lost, merge faults)."),
+		shardRequests: reg.CounterVec("qd_fd_shard_requests_total", "Per-shard scatter outcomes (ok, retry, failed, pruned).", "outcome"),
+		stageDur:      reg.HistogramVec("qd_fd_stage_duration_seconds", "Per-stage front-door latency (parse, shard_prune, shard, merge).", nil, "stage"),
+		queryDur:      reg.Histogram("qd_fd_query_duration_seconds", "End-to-end gathered query latency.", nil),
+		slowQueries:   reg.Counter("qd_fd_slow_queries_total", "Gathered queries over the slow-query threshold."),
+		ingestRows:    reg.Counter("qd_fd_ingest_rows_total", "Rows routed to shard delta stores."),
+		partials:      reg.Counter("qd_fd_partial_results_total", "Gathered answers missing failed shards' rows."),
+	}
+}
+
+// ShardPrune is the per-shard explain record on a shard_prune span:
+// which shard was skipped and the summary-envelope bound that proved it
+// cannot match ("empty" = shard holds no rows).
+type ShardPrune struct {
+	Shard  int    `json:"shard"`
+	Label  string `json:"label,omitempty"`
+	Reason string `json:"reason"`
+	Column string `json:"column,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Bound  int64  `json:"bound,omitempty"`
+	Min    int64  `json:"min,omitempty"`
+	Max    int64  `json:"max,omitempty"`
+}
+
+// shardPruneCause mirrors Summary.MayMatch: a shard is pruned either
+// because it is empty or because its envelope excludes a predicate.
+func (fd *FrontDoor) shardPruneCause(st *shardState, sum serve.Summary, filter expr.Query) ShardPrune {
+	p := ShardPrune{Shard: st.id, Label: sum.Shard}
+	if sum.Rows == 0 {
+		p.Reason = "empty"
+		return p
+	}
+	p.Reason = "sma"
+	if c := cost.SMAPruneCause(sum.Min, sum.Max, filter); c != nil {
+		if c.Col >= 0 && c.Col < len(fd.schema.Cols) {
+			p.Column = fd.schema.Cols[c.Col].Name
+		}
+		p.Op = c.Op
+		p.Bound = c.Literal
+		p.Min = c.Lo
+		p.Max = c.Hi
+	}
+	return p
+}
+
+// observe finishes a gathered query's trace and feeds the instruments
+// from its spans, exactly like a shard-side server does.
+func (fd *FrontDoor) observe(tr *obs.Trace, typ string, err error) {
+	tr.Finish()
+	if err != nil {
+		fd.metrics.queryErrors.Inc()
+		fd.traces.Record(tr.Snapshot())
+		return
+	}
+	fd.metrics.queries.With(typ).Inc()
+	fd.metrics.queryDur.Observe(float64(tr.DurNS()) / 1e9)
+	if thr := fd.slowThresh; thr > 0 && tr.DurNS() >= thr.Nanoseconds() {
+		tr.MarkSlow()
+		fd.slowQueries.Add(1)
+		fd.metrics.slowQueries.Inc()
+	}
+	for _, sd := range tr.SpanDurations() {
+		fd.metrics.stageDur.With(sd.Name).Observe(float64(sd.DurNS) / 1e9)
+	}
+	fd.traces.Record(tr.Snapshot())
+}
+
+// Metrics returns the front door's metric registry (never nil).
+func (fd *FrontDoor) Metrics() *obs.Registry { return fd.reg }
+
+// Traces returns the front door's recent/slow trace ring (never nil).
+func (fd *FrontDoor) Traces() *obs.TraceRing { return fd.traces }

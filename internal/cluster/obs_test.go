@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestFrontDoorDeepTrace is the end-to-end tracing acceptance: a
+// "trace": true query through the front door returns spans covering
+// parse → shard_prune → per-shard block_prune/scan → merge, naming the
+// pruned shard and the envelope bound that pruned it, with each
+// contacted shard's own spans imported under its label.
+func TestFrontDoorDeepTrace(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{})
+	ts := httptest.NewServer(FrontDoorHandler(fd))
+	defer ts.Close()
+
+	body, _ := json.Marshal(serve.QueryRequest{SQL: "t < 100", Trace: true})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Trace == nil {
+		t.Fatalf("no trace in response: %s", raw)
+	}
+
+	local := map[string]*obs.Span{}
+	remoteNames := map[string]map[string]bool{} // shard label → span names
+	for i := range qr.Trace.Spans {
+		sp := &qr.Trace.Spans[i]
+		if sp.Shard == "" {
+			local[sp.Name] = sp
+		} else {
+			if remoteNames[sp.Shard] == nil {
+				remoteNames[sp.Shard] = map[string]bool{}
+			}
+			remoteNames[sp.Shard][sp.Name] = true
+		}
+	}
+	for _, want := range []string{"parse", "shard_prune", "shard", "merge"} {
+		if local[want] == nil {
+			t.Fatalf("missing front-door span %q in %s", want, raw)
+		}
+	}
+
+	// shard_prune must name the pruned shard and its envelope bound:
+	// shard 1 owns t in [500, 1000), so t < 100 excludes it via min.
+	pa := local["shard_prune"].Attrs
+	if int(pa["shards_pruned"].(float64)) != 1 {
+		t.Fatalf("shards_pruned = %v", pa["shards_pruned"])
+	}
+	prunedList, ok := pa["pruned"].([]any)
+	if !ok || len(prunedList) != 1 {
+		t.Fatalf("pruned list = %v", pa["pruned"])
+	}
+	p := prunedList[0].(map[string]any)
+	if p["label"] != "shard_001" || p["reason"] != "sma" {
+		t.Fatalf("pruned shard = %v", p)
+	}
+	if p["column"] != "t" || p["op"] != "<" || p["bound"].(float64) != 100 {
+		t.Fatalf("prune cause = %v, want t < 100 witness", p)
+	}
+	if p["min"].(float64) >= 100 == false {
+		t.Fatalf("pruned shard min = %v, should be >= the bound", p["min"])
+	}
+
+	// The contacted shard's own spans ride along under its label.
+	if len(remoteNames) != 1 || !remoteNames["shard_000"]["block_prune"] || !remoteNames["shard_000"]["scan"] {
+		t.Fatalf("remote spans = %v, want shard_000 block_prune+scan", remoteNames)
+	}
+
+	// Without "trace": true the response carries no trace.
+	body2, _ := json.Marshal(serve.QueryRequest{SQL: "t < 100"})
+	resp2, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if strings.Contains(string(raw2), `"trace_id"`) {
+		t.Errorf("untraced query leaked a trace: %s", raw2)
+	}
+}
+
+// TestFrontDoorMetrics pins the front door's /metrics families and the
+// reconciliation between its stage histograms and its traces.
+func TestFrontDoorMetrics(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{})
+	ts := httptest.NewServer(FrontDoorHandler(fd))
+	defer ts.Close()
+
+	if _, err := fd.Query("t < 100"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Query("SELECT COUNT(*) FROM t WHERE t < 100"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		`qd_fd_queries_total{type="filter"} 1`,
+		`qd_fd_queries_total{type="select"} 1`,
+		`qd_fd_shard_requests_total{outcome="ok"} 2`,
+		`qd_fd_shard_requests_total{outcome="pruned"} 2`,
+		"qd_fd_shards 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Per-stage histogram sums reconcile with the recorded traces.
+	snap := fd.Traces().Snapshot()
+	if snap.Total != 2 {
+		t.Fatalf("trace ring total = %d, want 2", snap.Total)
+	}
+	wantSum := map[string]float64{}
+	for _, td := range snap.Recent {
+		for _, sp := range td.Spans {
+			if sp.Shard == "" {
+				wantSum[sp.Name] += float64(sp.DurNS) / 1e9
+			}
+		}
+	}
+	for stage, want := range wantSum {
+		h := fd.metrics.stageDur.With(stage)
+		if diff := math.Abs(h.Sum() - want); diff > 1e-12*math.Max(1, want) {
+			t.Errorf("fd stage %q sum = %v, want %v", stage, h.Sum(), want)
+		}
+	}
+
+	// /debug/traces serves the same ring as JSON.
+	resp2, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var rs obs.RingSnapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Total != 2 {
+		t.Errorf("/debug/traces total = %d", rs.Total)
+	}
+}
+
+// TestFrontDoorStatsSlowQueries: the -slow-ms path — with an
+// always-slow threshold both Stats and the slow metric move.
+func TestFrontDoorStatsSlowQueries(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{SlowQuery: 1})
+	if _, err := fd.Query("t < 100"); err != nil {
+		t.Fatal(err)
+	}
+	if st := fd.Stats(); st.SlowQueries != 1 {
+		t.Errorf("Stats.SlowQueries = %d, want 1", st.SlowQueries)
+	}
+	if got := fd.metrics.slowQueries.Value(); got != 1 {
+		t.Errorf("qd_fd_slow_queries_total = %d, want 1", got)
+	}
+	if snap := fd.Traces().Snapshot(); snap.SlowTotal != 1 {
+		t.Errorf("slow ring total = %d, want 1", snap.SlowTotal)
+	}
+}
+
+// TestClusterErrorPlumbing covers the error surfaces between the front
+// door and its shards: error classification, the JSON error envelope,
+// and its client-side extraction.
+func TestClusterErrorPlumbing(t *testing.T) {
+	fd, _, https := startRangeCluster(t, FrontDoorOptions{})
+	if fd.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", fd.NumShards())
+	}
+
+	base := errors.New("boom")
+	ce := ClientError{base}
+	if ce.Error() != "boom" || !errors.Is(ce, base) {
+		t.Errorf("ClientError wrap/unwrap broken: %v", ce)
+	}
+
+	// A malformed shard request draws a JSON {"error": ...} reply,
+	// which readErrBody turns back into the message.
+	resp, err := http.Post(https[0].URL+"/cluster/select", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d, want 400", resp.StatusCode)
+	}
+	if msg := readErrBody(resp.Body); !strings.Contains(msg, "bad JSON") {
+		t.Errorf("readErrBody = %q, want the shard's message", msg)
+	}
+	// Non-JSON bodies fall back to the trimmed raw text.
+	if got := readErrBody(strings.NewReader(" plain text \n")); got != "plain text" {
+		t.Errorf("readErrBody fallback = %q", got)
+	}
+}

@@ -6,16 +6,20 @@ import (
 	"net/http"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 // SelectPartialResponse is the POST /cluster/select body a store node
 // returns: the unfinalized partial-aggregation state of its slice of the
-// data plus the generation that served it.
+// data plus the generation that served it. Trace carries the shard's own
+// stage spans when the request set "trace": true (the front door imports
+// them into the gathered trace).
 type SelectPartialResponse struct {
 	Shard      string                 `json:"shard,omitempty"`
 	Generation int                    `json:"generation"`
 	Partial    *exec.AggPartialResult `json:"partial"`
+	Trace      *obs.TraceData         `json:"trace,omitempty"`
 }
 
 // ShardHandler mounts the store-node ("shardd") HTTP surface: the full
@@ -49,21 +53,28 @@ func ShardHandler(s *serve.Server) http.Handler {
 			httpErr(w, http.StatusBadRequest, "/cluster/select takes an aggregation statement; send filters to /query")
 			return
 		}
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		psp := tr.Start("parse")
 		aq, err := s.ParseSelectSQL(req.SQL)
 		if err != nil {
 			httpErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		pr, err := s.SelectPartial(aq)
+		psp.End()
+		pr, err := s.SelectPartialTraced(aq, tr)
 		if err != nil {
 			httpErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		writeJSON(w, SelectPartialResponse{
+		resp := SelectPartialResponse{
 			Shard:      s.Stats().Shard,
 			Generation: pr.Generation,
 			Partial:    pr.AggPartialResult,
-		})
+		}
+		if req.Trace {
+			resp.Trace = tr.Snapshot()
+		}
+		writeJSON(w, resp)
 	})
 	return mux
 }

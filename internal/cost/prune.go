@@ -1,0 +1,130 @@
+package cost
+
+import "repro/internal/expr"
+
+// PruneCause is the witness for one SMA pruning decision: the predicate
+// that cannot match the block/shard interval. Op mirrors the query
+// operator ("<", "<=", ">", ">=", "=", "IN"), or "empty" when the
+// interval itself is empty (lo > hi) on a referenced column. Lo/Hi are
+// the inclusive interval bounds the predicate was tested against.
+//
+// The explain logic mirrors mayMatch exactly: a non-nil cause is
+// returned if and only if mayMatch would return false, so pruning and
+// its explanation can never disagree.
+type PruneCause struct {
+	Col     int
+	Op      string
+	Literal int64
+	Lo, Hi  int64
+}
+
+func opString(op expr.Op) string {
+	switch op {
+	case expr.Lt:
+		return "<"
+	case expr.Le:
+		return "<="
+	case expr.Gt:
+		return ">"
+	case expr.Ge:
+		return ">="
+	case expr.Eq:
+		return "="
+	case expr.In:
+		return "IN"
+	}
+	return "?"
+}
+
+// pruneCause walks q like mayMatch and returns the first witness that
+// forces a prune, or nil when the query may match.
+func pruneCause(q expr.Query, interval func(c int) (lo, hi int64)) *PruneCause {
+	if q.Root == nil {
+		return nil
+	}
+	var rec func(n *expr.Node) *PruneCause
+	rec = func(n *expr.Node) *PruneCause {
+		switch n.Kind {
+		case expr.KindPred:
+			p := n.Pred
+			l, h := interval(p.Col)
+			if l > h {
+				return &PruneCause{Col: p.Col, Op: "empty", Lo: l, Hi: h}
+			}
+			fail := &PruneCause{Col: p.Col, Op: opString(p.Op), Literal: p.Literal, Lo: l, Hi: h}
+			switch p.Op {
+			case expr.Lt:
+				if l < p.Literal {
+					return nil
+				}
+				return fail
+			case expr.Le:
+				if l <= p.Literal {
+					return nil
+				}
+				return fail
+			case expr.Gt:
+				if h > p.Literal {
+					return nil
+				}
+				return fail
+			case expr.Ge:
+				if h >= p.Literal {
+					return nil
+				}
+				return fail
+			case expr.Eq:
+				if p.Literal >= l && p.Literal <= h {
+					return nil
+				}
+				return fail
+			case expr.In:
+				for _, v := range p.Set {
+					if v >= l && v <= h {
+						return nil
+					}
+				}
+				if len(p.Set) > 0 {
+					fail.Literal = p.Set[0]
+				}
+				return fail
+			}
+			return nil
+		case expr.KindAdv:
+			return nil // conservatively matches, like mayMatch
+		case expr.KindAnd:
+			for _, c := range n.Children {
+				if cause := rec(c); cause != nil {
+					return cause
+				}
+			}
+			return nil
+		case expr.KindOr:
+			var first *PruneCause
+			for _, c := range n.Children {
+				cause := rec(c)
+				if cause == nil {
+					return nil // one disjunct may match
+				}
+				if first == nil {
+					first = cause
+				}
+			}
+			return first
+		}
+		return nil
+	}
+	return rec(q.Root)
+}
+
+// SMAPruneCause explains why SMAMayMatch(min, max, q) is false; nil when
+// the query may match the inclusive [min, max] zone map.
+func SMAPruneCause(min, max []int64, q expr.Query) *PruneCause {
+	return pruneCause(q, func(c int) (int64, int64) { return min[c], max[c] })
+}
+
+// MinMaxPruneCause explains why MinMaxMayMatch(lo, hi, q) is false over
+// the half-open Desc interval representation; nil when it may match.
+func MinMaxPruneCause(lo, hi []int64, q expr.Query) *PruneCause {
+	return pruneCause(q, func(c int) (int64, int64) { return lo[c], hi[c] - 1 })
+}

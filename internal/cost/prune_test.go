@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestSMAPruneCauseWitnesses pins the explain contract: SMAPruneCause
+// returns a witness exactly when SMAMayMatch would prune, and the
+// witness names the failing column, operator, and bound.
+func TestSMAPruneCauseWitnesses(t *testing.T) {
+	// Two-column zone map: col 0 ∈ [100, 200], col 1 ∈ [0, 9].
+	min := []int64{100, 0}
+	max := []int64{200, 9}
+
+	pred := func(col int, op expr.Op, lit int64) expr.Query {
+		return expr.Query{Root: expr.NewPred(expr.Pred{Col: col, Op: op, Literal: lit}), Name: "t"}
+	}
+
+	cases := []struct {
+		name  string
+		q     expr.Query
+		prune bool
+		op    string
+		lit   int64
+	}{
+		{"lt-hit", pred(0, expr.Lt, 150), false, "", 0},
+		{"lt-prune", pred(0, expr.Lt, 100), true, "<", 100},
+		{"le-hit", pred(0, expr.Le, 100), false, "", 0},
+		{"le-prune", pred(0, expr.Le, 99), true, "<=", 99},
+		{"gt-hit", pred(0, expr.Gt, 150), false, "", 0},
+		{"gt-prune", pred(0, expr.Gt, 200), true, ">", 200},
+		{"ge-hit", pred(0, expr.Ge, 200), false, "", 0},
+		{"ge-prune", pred(0, expr.Ge, 201), true, ">=", 201},
+		{"eq-hit", pred(0, expr.Eq, 100), false, "", 0},
+		{"eq-prune", pred(0, expr.Eq, 99), true, "=", 99},
+		{"in-hit", expr.Query{Root: expr.NewPred(expr.Pred{Col: 1, Op: expr.In, Set: []int64{3, 50}})}, false, "", 0},
+		{"in-prune", expr.Query{Root: expr.NewPred(expr.Pred{Col: 1, Op: expr.In, Set: []int64{50, 60}})}, true, "IN", 50},
+		{"and-one-fails", expr.AndQ("t",
+			expr.Pred{Col: 0, Op: expr.Ge, Literal: 150},
+			expr.Pred{Col: 1, Op: expr.Gt, Literal: 9}), true, ">", 9},
+		{"or-one-matches", expr.Query{Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 100}),
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Gt, Literal: 150}))}, false, "", 0},
+		{"or-all-fail", expr.Query{Root: expr.Or(
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Lt, Literal: 100}),
+			expr.NewPred(expr.Pred{Col: 0, Op: expr.Gt, Literal: 200}))}, true, "<", 100},
+		{"adv-conservative", expr.Query{Root: expr.NewAdv(0)}, false, "", 0},
+		{"empty-query", expr.Query{}, false, "", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cause := SMAPruneCause(min, max, tc.q)
+			may := SMAMayMatch(min, max, tc.q)
+			if (cause != nil) != tc.prune {
+				t.Fatalf("cause = %+v, want prune=%v", cause, tc.prune)
+			}
+			if may == tc.prune {
+				t.Fatalf("SMAPruneCause and SMAMayMatch disagree: cause=%+v may=%v", cause, may)
+			}
+			if cause != nil && (cause.Op != tc.op || cause.Literal != tc.lit) {
+				t.Errorf("witness = %+v, want op=%q literal=%d", cause, tc.op, tc.lit)
+			}
+		})
+	}
+}
+
+// TestPruneCauseEmptyInterval: an inverted interval (lo > hi) on a
+// referenced column is its own witness kind.
+func TestPruneCauseEmptyInterval(t *testing.T) {
+	q := expr.AndQ("t", expr.Pred{Col: 0, Op: expr.Ge, Literal: 0})
+	cause := SMAPruneCause([]int64{5}, []int64{1}, q)
+	if cause == nil || cause.Op != "empty" || cause.Lo != 5 || cause.Hi != 1 {
+		t.Fatalf("empty-interval witness = %+v", cause)
+	}
+}
+
+// TestMinMaxPruneCause mirrors MinMaxMayMatch over the half-open Desc
+// interval representation.
+func TestMinMaxPruneCause(t *testing.T) {
+	lo, hi := []int64{100}, []int64{200} // rows hold values in [100, 199]
+	q := expr.AndQ("t", expr.Pred{Col: 0, Op: expr.Ge, Literal: 200})
+	cause := MinMaxPruneCause(lo, hi, q)
+	if cause == nil || cause.Hi != 199 {
+		t.Fatalf("witness = %+v, want inclusive hi 199", cause)
+	}
+	if MinMaxMayMatch(lo, hi, q) {
+		t.Fatal("MinMaxMayMatch disagrees with its witness")
+	}
+	if c := MinMaxPruneCause(lo, hi, expr.AndQ("t", expr.Pred{Col: 0, Op: expr.Ge, Literal: 199})); c != nil {
+		t.Fatalf("boundary value should match: %+v", c)
+	}
+}

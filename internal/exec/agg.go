@@ -403,7 +403,14 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 	res := &AggPartialResult{Query: aq.Name, GroupBy: append([]int(nil), aq.GroupBy...), Grouped: len(aq.GroupBy) > 0}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
 	res.RowsTotal += dv.Rows()
-	candidates, err := candidateBlocks(store, layout, aq.Filter, mode)
+	var rec *pruneRecorder
+	if opt.Trace != nil {
+		rec = &pruneRecorder{}
+	}
+	psp := opt.Trace.Start("block_prune")
+	candidates, err := candidateBlocks(store, layout, aq.Filter, mode, rec)
+	rec.annotate(psp, res.BlocksTotal, len(candidates))
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -430,6 +437,7 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		accs[i].part = newAggPartial(len(aq.Aggs), pl.denseDom)
 		accs[i].bufs = make([][]int64, ncols)
 	}
+	ssp := opt.Trace.Start("scan")
 	err = runPool(len(candidates), workers, func(slot, i int) error {
 		b := candidates[i]
 		a := &accs[slot]
@@ -488,23 +496,30 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		}
 		return nil
 	})
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range dv.tables() {
-		a := &accs[0]
-		vecs, nbytes := deltaColVecs(t, pl.readCols)
-		a.stats.BlocksScanned++
-		a.stats.DeltaRows += int64(t.N)
-		a.stats.RowsScanned += int64(t.N)
-		a.stats.BytesRead += nbytes
-		a.stats.BytesLogical += readWidth * int64(t.N)
-		a.stats.RowsMatched += aggregateBlock(pl, vecs, t.N, &a.sel, &a.scratch, a.bufs, a.part)
-		if c := blockCost(prof, nbytes, t.N, 1); c > a.crit {
-			a.crit = c
+	if tabs := dv.tables(); len(tabs) > 0 {
+		dsp := opt.Trace.Start("delta_scan")
+		for _, t := range tabs {
+			a := &accs[0]
+			vecs, nbytes := deltaColVecs(t, pl.readCols)
+			a.stats.BlocksScanned++
+			a.stats.DeltaRows += int64(t.N)
+			a.stats.RowsScanned += int64(t.N)
+			a.stats.BytesRead += nbytes
+			a.stats.BytesLogical += readWidth * int64(t.N)
+			a.stats.RowsMatched += aggregateBlock(pl, vecs, t.N, &a.sel, &a.scratch, a.bufs, a.part)
+			if c := blockCost(prof, nbytes, t.N, 1); c > a.crit {
+				a.crit = c
+			}
 		}
+		dsp.SetAttr("delta_tables", len(tabs))
+		dsp.End()
 	}
 
+	msp := opt.Trace.Start("merge")
 	var crit time.Duration
 	part := accs[0].part
 	for i := range accs {
@@ -517,6 +532,8 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		}
 	}
 	res.Global, res.Groups = exportPartial(part, pl.grouped)
+	msp.SetAttr("rows_matched", res.RowsMatched).SetAttr("groups", len(res.Groups))
+	msp.End()
 	res.WallTime = time.Since(start)
 	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
 	return res, nil

@@ -67,6 +67,7 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/cost"
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // Profile models one execution engine.
@@ -203,6 +204,11 @@ type Options struct {
 	// exactly the bytes it alone would have read — but the workload-level
 	// physical counters and SimTime reflect the shared reads.
 	ShareReads bool
+	// Trace, when non-nil, receives per-stage spans (block_prune, scan,
+	// delta_scan, merge) with pruning-cause attributes for this
+	// execution. Tracing never changes ScanStats; a nil Trace costs
+	// nothing on the hot path.
+	Trace *obs.Trace
 }
 
 func (o Options) workers() int {
@@ -237,11 +243,30 @@ func parallelSimTime(total, crit time.Duration, workers int) time.Duration {
 // drops any candidate the blockstore catalog's SMA (min/max) metadata
 // proves non-matching. The sequential and parallel paths share this
 // dispatch-time pruning, so both scan the exact same block set.
-func candidateBlocks(store *blockstore.Store, layout *cost.Layout, q expr.Query, mode Mode) ([]int, error) {
+func candidateBlocks(store *blockstore.Store, layout *cost.Layout, q expr.Query, mode Mode, rec *pruneRecorder) ([]int, error) {
 	var candidates []int
 	switch mode {
 	case RouteQdTree:
 		candidates = layout.BlocksFor(q)
+		if rec != nil {
+			// Explain routing misses: any non-empty block absent from the
+			// routed set. The leaf's Desc interval usually yields a single
+			// predicate witness; advanced-cut routing may not.
+			routed := make(map[int]bool, len(candidates))
+			for _, b := range candidates {
+				routed[b] = true
+			}
+			for b := range layout.Descs {
+				if layout.Counts[b] == 0 || routed[b] {
+					continue
+				}
+				p := BlockPrune{Block: b, By: "route"}
+				if b < len(layout.Descs) {
+					p = withCause(p, store.Schema, cost.MinMaxPruneCause(layout.Descs[b].Lo, layout.Descs[b].Hi, q))
+				}
+				rec.add(p)
+			}
+		}
 	case NoRoute:
 		for b := range layout.Descs {
 			if layout.Counts[b] == 0 {
@@ -249,6 +274,9 @@ func candidateBlocks(store *blockstore.Store, layout *cost.Layout, q expr.Query,
 			}
 			if cost.MinMaxMayMatch(layout.Descs[b].Lo, layout.Descs[b].Hi, q) {
 				candidates = append(candidates, b)
+			} else if rec != nil {
+				rec.add(withCause(BlockPrune{Block: b, By: "sma"}, store.Schema,
+					cost.MinMaxPruneCause(layout.Descs[b].Lo, layout.Descs[b].Hi, q)))
 			}
 		}
 	default:
@@ -264,6 +292,10 @@ func candidateBlocks(store *blockstore.Store, layout *cost.Layout, q expr.Query,
 			continue
 		}
 		if len(m.Min) > 0 && !cost.SMAMayMatch(m.Min, m.Max, q) {
+			if rec != nil {
+				rec.add(withCause(BlockPrune{Block: b, By: "sma"}, store.Schema,
+					cost.SMAPruneCause(m.Min, m.Max, q)))
+			}
 			continue
 		}
 		out = append(out, b)
@@ -340,7 +372,14 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 	res := Result{Query: q.Name}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
 	res.RowsTotal += dv.Rows()
-	candidates, err := candidateBlocks(store, layout, q, mode)
+	var rec *pruneRecorder
+	if opt.Trace != nil {
+		rec = &pruneRecorder{}
+	}
+	psp := opt.Trace.Start("block_prune")
+	candidates, err := candidateBlocks(store, layout, q, mode, rec)
+	rec.annotate(psp, res.BlocksTotal, len(candidates))
+	psp.End()
 	if err != nil {
 		return res, err
 	}
@@ -360,6 +399,7 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 	}
 	accs := make([]acc, max(workers, 1))
 	start := time.Now()
+	ssp := opt.Trace.Start("scan")
 	err = runPool(len(candidates), workers, func(slot, i int) error {
 		vecs, nrows, nbytes, err := store.ReadColVecs(candidates[i], needCols)
 		if err != nil {
@@ -380,6 +420,7 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 		return nil
 	})
 	if err != nil {
+		ssp.End()
 		return res, err
 	}
 	var crit time.Duration
@@ -389,17 +430,27 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 			crit = accs[i].crit
 		}
 	}
-	for _, t := range dv.tables() {
-		vecs, nbytes := deltaColVecs(t, needCols)
-		res.BlocksScanned++
-		res.DeltaRows += int64(t.N)
-		res.RowsScanned += int64(t.N)
-		res.BytesRead += nbytes
-		res.BytesLogical += logicalWidth * int64(t.N)
-		res.RowsMatched += int64(countMatchesVec(q, acs, vecs, t.N, &accs[0].scratch))
-		if c := blockCost(prof, nbytes, t.N, 1); c > crit {
-			crit = c
+	ssp.SetAttr("blocks_scanned", res.BlocksScanned).
+		SetAttr("rows_scanned", res.RowsScanned).
+		SetAttr("rows_matched", res.RowsMatched).
+		SetAttr("bytes_read", res.BytesRead)
+	ssp.End()
+	if tabs := dv.tables(); len(tabs) > 0 {
+		dsp := opt.Trace.Start("delta_scan")
+		for _, t := range tabs {
+			vecs, nbytes := deltaColVecs(t, needCols)
+			res.BlocksScanned++
+			res.DeltaRows += int64(t.N)
+			res.RowsScanned += int64(t.N)
+			res.BytesRead += nbytes
+			res.BytesLogical += logicalWidth * int64(t.N)
+			res.RowsMatched += int64(countMatchesVec(q, acs, vecs, t.N, &accs[0].scratch))
+			if c := blockCost(prof, nbytes, t.N, 1); c > crit {
+				crit = c
+			}
 		}
+		dsp.SetAttr("delta_tables", len(tabs)).SetAttr("delta_rows", res.DeltaRows)
+		dsp.End()
 	}
 	res.WallTime = time.Since(start)
 	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
@@ -462,7 +513,7 @@ func RunWorkloadDelta(store *blockstore.Store, layout *cost.Layout, w []expr.Que
 	cands := make([][]int, len(w))
 	colsets := make([][]int, len(w))
 	for i, q := range w {
-		c, err := candidateBlocks(store, layout, q, mode)
+		c, err := candidateBlocks(store, layout, q, mode, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -141,7 +141,7 @@ func TestSharedReadsReadOnceFilterMany(t *testing.T) {
 	distinct := map[int]bool{}
 	var logicalReads int
 	for _, q := range spec.Queries {
-		cands, err := candidateBlocks(st, layout, q, RouteQdTree)
+		cands, err := candidateBlocks(st, layout, q, RouteQdTree, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

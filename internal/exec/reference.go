@@ -186,7 +186,7 @@ func ReferenceAggregate(tbl *table.Table, aq expr.AggQuery, acs []expr.AdvCut) [
 func RunAggNaive(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery, acs []expr.AdvCut, prof Profile, mode Mode) (*AggResult, error) {
 	res := &AggResult{Query: aq.Name, GroupBy: append([]int(nil), aq.GroupBy...)}
 	res.BlocksTotal, res.RowsTotal = storeTotals(store)
-	candidates, err := candidateBlocks(store, layout, aq.Filter, mode)
+	candidates, err := candidateBlocks(store, layout, aq.Filter, mode, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/table"
+)
+
+// BlockPrune is the per-block explain record attached to a query
+// trace's block_prune span: which block was skipped, at which stage
+// ("route" = qd-tree routing, "sma" = zone-map metadata), and — when a
+// single predicate witnesses the prune — the column, operator, bound,
+// and the block's [Min, Max] interval for that column.
+type BlockPrune struct {
+	Block  int    `json:"block"`
+	By     string `json:"by"`
+	Column string `json:"column,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Bound  int64  `json:"bound,omitempty"`
+	Min    int64  `json:"min,omitempty"`
+	Max    int64  `json:"max,omitempty"`
+}
+
+// maxPruneDetail bounds the per-block detail list on a span; counts are
+// always exact, only the witness list is truncated.
+const maxPruneDetail = 32
+
+// pruneRecorder accumulates pruning decisions during candidateBlocks.
+// A nil recorder disables recording at zero cost.
+type pruneRecorder struct {
+	routePruned int
+	smaPruned   int
+	truncated   bool
+	detail      []BlockPrune
+}
+
+func (r *pruneRecorder) add(p BlockPrune) {
+	if r == nil {
+		return
+	}
+	switch p.By {
+	case "route":
+		r.routePruned++
+	case "sma":
+		r.smaPruned++
+	}
+	if len(r.detail) < maxPruneDetail {
+		r.detail = append(r.detail, p)
+	} else {
+		r.truncated = true
+	}
+}
+
+// withCause fills the witness fields of p from a prune cause (nil cause
+// leaves only block/by).
+func withCause(p BlockPrune, schema *table.Schema, c *cost.PruneCause) BlockPrune {
+	if c == nil {
+		return p
+	}
+	if schema != nil && c.Col >= 0 && c.Col < len(schema.Cols) {
+		p.Column = schema.Cols[c.Col].Name
+	}
+	p.Op = c.Op
+	p.Bound = c.Literal
+	p.Min = c.Lo
+	p.Max = c.Hi
+	return p
+}
+
+// annotate writes the recorder's summary onto the block_prune span.
+func (r *pruneRecorder) annotate(sp *obs.ActiveSpan, blocksTotal, candidates int) {
+	if r == nil || sp == nil {
+		return
+	}
+	sp.SetAttr("blocks_total", blocksTotal)
+	sp.SetAttr("candidates", candidates)
+	sp.SetAttr("pruned_route", r.routePruned)
+	sp.SetAttr("pruned_sma", r.smaPruned)
+	if len(r.detail) > 0 {
+		sp.SetAttr("pruned", r.detail)
+	}
+	if r.truncated {
+		sp.SetAttr("pruned_truncated", true)
+	}
+}

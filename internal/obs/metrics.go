@@ -1,0 +1,334 @@
+// Package obs is the zero-dependency observability layer for the
+// serving stack: a Prometheus-text metrics registry (counters, gauges,
+// fixed-bucket histograms, all with label support), per-query trace
+// spans, and a bounded ring of recent/slow traces.
+//
+// Everything here is stdlib-only and safe for concurrent use. The
+// exposition output is deterministic — families sorted by name, series
+// sorted by label values — so golden tests can pin the format.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the histogram bounds (seconds) used for
+// every stage/query latency histogram: 1µs up to ~10s, roughly
+// quadrupling. Fixed at registration so golden tests can pin them.
+var DefaultLatencyBuckets = []float64{
+	0.000001, 0.000004, 0.000016, 0.000064, 0.000256,
+	0.001, 0.004, 0.016, 0.064, 0.256, 1, 4, 10,
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4. Registration is idempotent: asking for a
+// family that already exists returns the existing one (the type and
+// label names must match or the call panics — that is a programming
+// error, not a runtime condition).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu      sync.Mutex
+	series  map[string]*series
+	gaugeFn func() float64 // gauge callback families have no series
+}
+
+// series is one labelled child of a family. Counters and gauges use
+// val (counters as integer counts, gauges as float64 bits); histograms
+// use bucketN/sumBits/count.
+type series struct {
+	labelVals []string
+	val       atomic.Uint64
+
+	bucketN []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (r *Registry) family(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		buckets: buckets, series: make(map[string]*series)}
+	r.fams[name] = f
+	return f
+}
+
+func (f *family) child(lvs []string) *series {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), lvs...)}
+	if f.typ == "histogram" {
+		s.bucketN = make([]atomic.Uint64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.val.Add(n) }
+
+// Value returns the current count (for tests and stats snapshots).
+func (c *Counter) Value() uint64 { return c.s.val.Load() }
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(lvs ...string) *Counter { return &Counter{v.f.child(lvs)} }
+
+// Gauge is a settable float64.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.val.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.val.Load()) }
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge { return &Gauge{v.f.child(lvs)} }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets store
+// per-interval counts; the cumulative view is computed at render time.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.s.bucketN[i].Add(1)
+			return
+		}
+	}
+	// v > every bound: lands only in the implicit +Inf bucket (count).
+}
+
+// Sum returns the running sum of observed values (for tests).
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
+
+// Count returns the number of observations (for tests).
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	return &Histogram{v.f.child(lvs), v.f.buckets}
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil, nil)
+	return &Counter{f.child(nil)}
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil, nil)
+	return &Gauge{f.child(nil)}
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", labels, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge", nil, nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the
+// given bucket upper bounds (nil = DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", nil, buckets)
+	return &Histogram{f.child(nil), f.buckets}
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family with
+// the given bucket upper bounds (nil = DefaultLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	return &HistogramVec{r.family(name, help, "histogram", labels, buckets)}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the given names/values, with an
+// optional extra le pair appended (histogram buckets).
+func labelString(names, vals []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(vals[i]))
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `le="%s"`, le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in text exposition format with
+// deterministic ordering.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make([]*family, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+		f.mu.Lock()
+		if f.gaugeFn != nil {
+			fn := f.gaugeFn
+			f.mu.Unlock()
+			fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(fn()))
+			continue
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			children = append(children, f.series[k])
+		}
+		f.mu.Unlock()
+
+		for _, s := range children {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.labelVals, ""), s.val.Load())
+			case "gauge":
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, ""),
+					formatFloat(math.Float64frombits(s.val.Load())))
+			case "histogram":
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += s.bucketN[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, s.labelVals, formatFloat(ub)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelVals, "+Inf"), s.count.Load())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelVals, ""),
+					formatFloat(math.Float64frombits(s.sumBits.Load())))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelVals, ""), s.count.Load())
+			}
+		}
+	}
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

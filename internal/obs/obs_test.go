@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheus pins the exposition format: HELP/TYPE headers,
+// sorted families, sorted label values, histogram buckets cumulative
+// with +Inf, _sum and _count.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "A counter.")
+	c.Add(3)
+	cv := reg.CounterVec("test_by_kind_total", "A labelled counter.", "kind")
+	cv.With("b").Inc()
+	cv.With("a").Add(2)
+	g := reg.Gauge("test_gauge", "A gauge.")
+	g.Set(1.5)
+	reg.GaugeFunc("test_fn", "A callback gauge.", func() float64 { return 7 })
+	h := reg.Histogram("test_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	got := sb.String()
+	want := `# HELP test_by_kind_total A labelled counter.
+# TYPE test_by_kind_total counter
+test_by_kind_total{kind="a"} 2
+test_by_kind_total{kind="b"} 1
+# HELP test_fn A callback gauge.
+# TYPE test_fn gauge
+test_fn 7
+# HELP test_gauge A gauge.
+# TYPE test_gauge gauge
+test_gauge 1.5
+# HELP test_seconds A histogram.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="0.1"} 1
+test_seconds_bucket{le="1"} 2
+test_seconds_bucket{le="+Inf"} 3
+test_seconds_sum 5.55
+test_seconds_count 3
+# HELP test_total A counter.
+# TYPE test_total counter
+test_total 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x")
+	b := reg.Counter("x_total", "x")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registering the same counter should share the underlying series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	reg.Gauge("x_total", "x")
+}
+
+func TestVecAndHistogramAccessors(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.GaugeVec("v_gauge", "labelled gauge", "role")
+	gv.With("shard").Set(2.5)
+	if got := gv.With("shard").Value(); got != 2.5 {
+		t.Errorf("GaugeVec value = %v, want 2.5", got)
+	}
+	hv := reg.HistogramVec("v_seconds", "labelled histogram", []float64{1}, "stage")
+	h := hv.With("scan")
+	h.Observe(0.5)
+	h.Observe(3) // beyond the last bound: only the implicit +Inf bucket
+	if h.Count() != 2 || h.Sum() != 3.5 {
+		t.Errorf("histogram count/sum = %d/%v, want 2/3.5", h.Count(), h.Sum())
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, want := range []string{
+		`v_gauge{role="shard"} 2.5`,
+		`v_seconds_bucket{stage="scan",le="1"} 1`,
+		`v_seconds_bucket{stage="scan",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "h").Inc()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "h_total 1") {
+		t.Errorf("body missing counter: %s", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/metrics", nil))
+	if rr.Code != 405 {
+		t.Errorf("POST /metrics = %d, want 405", rr.Code)
+	}
+}
+
+// TestTraceNilSafety: every method on a nil trace and nil span is a
+// no-op — the zero-cost-when-disabled contract hot paths rely on.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("scan")
+	sp.SetAttr("k", 1)
+	if sp.StartNS() != 0 {
+		t.Error("nil span StartNS != 0")
+	}
+	sp.End()
+	tr.Finish()
+	tr.MarkSlow()
+	tr.AddRemote("s", 0, nil)
+	if tr.ID() != "" || tr.DurNS() != 0 || tr.Snapshot() != nil || tr.SpanDurations() != nil {
+		t.Error("nil trace accessors should return zero values")
+	}
+}
+
+func TestTraceSpansAndRemote(t *testing.T) {
+	tr := NewTrace("cafe")
+	if tr.ID() != "cafe" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	sp := tr.Start("scan").SetAttr("blocks", 4)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.AddRemote("shard_001", sp.StartNS(), []Span{{Name: "block_prune", StartNS: 10, DurNS: 5}})
+	tr.Finish()
+	d1 := tr.DurNS()
+	tr.Finish() // idempotent: first call wins
+	if tr.DurNS() != d1 {
+		t.Error("Finish not idempotent")
+	}
+
+	td := tr.Snapshot()
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(td.Spans))
+	}
+	if td.Spans[0].Name != "scan" || td.Spans[0].DurNS <= 0 {
+		t.Errorf("scan span = %+v", td.Spans[0])
+	}
+	remote := td.Spans[1]
+	if remote.Shard != "shard_001" || remote.StartNS != sp.StartNS()+10 {
+		t.Errorf("remote span not rebased/labelled: %+v", remote)
+	}
+
+	// Local stage durations exclude the imported remote span.
+	durs := tr.SpanDurations()
+	if len(durs) != 1 || durs[0].Name != "scan" {
+		t.Fatalf("SpanDurations = %+v, want just scan", durs)
+	}
+	if durs[0].IntAttr("blocks") != 4 || durs[0].IntAttr("missing") != 0 {
+		t.Errorf("IntAttr wrong: %+v", durs[0])
+	}
+
+	// Snapshot attr maps are deep copies.
+	sp.SetAttr("blocks", 99)
+	if td.Spans[0].Attrs["blocks"] != 4 {
+		t.Error("snapshot attrs aliased to live span")
+	}
+}
+
+func TestTraceIDGeneration(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Errorf("NewTraceID: %q vs %q", a, b)
+	}
+	if id := NewTrace("").ID(); len(id) != 16 {
+		t.Errorf("empty-ID trace got %q", id)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(2)
+	ring.Record(nil) // no-op
+	for i := 0; i < 3; i++ {
+		tr := NewTrace("")
+		tr.Finish()
+		if i == 1 {
+			tr.MarkSlow()
+		}
+		ring.Record(tr.Snapshot())
+	}
+	snap := ring.Snapshot()
+	if snap.Total != 3 || snap.SlowTotal != 1 {
+		t.Fatalf("totals = %d/%d, want 3/1", snap.Total, snap.SlowTotal)
+	}
+	if len(snap.Recent) != 2 {
+		t.Fatalf("recent = %d, want 2 (bounded)", len(snap.Recent))
+	}
+	if len(snap.Slow) != 1 || !snap.Slow[0].Slow {
+		t.Fatalf("slow ring = %+v", snap.Slow)
+	}
+
+	rr := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /debug/traces = %d", rr.Code)
+	}
+	var decoded RingSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("ring JSON: %v", err)
+	}
+	if decoded.Total != 3 {
+		t.Errorf("handler total = %d", decoded.Total)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// TraceRing keeps bounded rings of recent and slow query traces for
+// GET /debug/traces. Slow traces get their own ring so a burst of fast
+// queries cannot evict the interesting ones.
+type TraceRing struct {
+	mu        sync.Mutex
+	recent    []*TraceData
+	slow      []*TraceData
+	next      int
+	slowNext  int
+	total     uint64
+	slowTotal uint64
+}
+
+// DefaultTraceRingSize is the per-ring capacity when none is given.
+const DefaultTraceRingSize = 64
+
+// NewTraceRing returns a ring holding up to capacity recent traces and
+// up to capacity slow traces (capacity <= 0 uses the default).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceRingSize
+	}
+	return &TraceRing{
+		recent: make([]*TraceData, capacity),
+		slow:   make([]*TraceData, capacity),
+	}
+}
+
+// Record stores a finished trace; slow traces land in both rings.
+func (r *TraceRing) Record(td *TraceData) {
+	if r == nil || td == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recent[r.next] = td
+	r.next = (r.next + 1) % len(r.recent)
+	r.total++
+	if td.Slow {
+		r.slow[r.slowNext] = td
+		r.slowNext = (r.slowNext + 1) % len(r.slow)
+		r.slowTotal++
+	}
+	r.mu.Unlock()
+}
+
+// RingSnapshot is the JSON payload of GET /debug/traces: newest-first
+// recent and slow traces plus lifetime totals.
+type RingSnapshot struct {
+	Total     uint64       `json:"traces_total"`
+	SlowTotal uint64       `json:"slow_total"`
+	Recent    []*TraceData `json:"recent"`
+	Slow      []*TraceData `json:"slow"`
+}
+
+func drain(ring []*TraceData, next int) []*TraceData {
+	out := make([]*TraceData, 0, len(ring))
+	for i := 0; i < len(ring); i++ {
+		td := ring[(next-1-i+2*len(ring))%len(ring)]
+		if td == nil {
+			break
+		}
+		out = append(out, td)
+	}
+	return out
+}
+
+// Snapshot returns the current ring contents, newest first.
+func (r *TraceRing) Snapshot() RingSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingSnapshot{
+		Total:     r.total,
+		SlowTotal: r.slowTotal,
+		Recent:    drain(r.recent, r.next),
+		Slow:      drain(r.slow, r.slowNext),
+	}
+}
+
+// Handler serves the ring as JSON at GET /debug/traces.
+func (r *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}

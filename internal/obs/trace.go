@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a query's TraceID from the
+// front door to the shards (and from clients that want to supply their
+// own ID).
+const TraceHeader = "X-Qd-Trace-Id"
+
+// Span is one completed stage of a query: parse, shard_prune,
+// block_prune, scan, delta_scan, shard, merge. StartNS is the offset
+// from the start of the owning trace; attributes carry the stage's
+// explain payload (blocks pruned and why, retry counts, row counts).
+type Span struct {
+	Name    string         `json:"name"`
+	Shard   string         `json:"shard,omitempty"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is the immutable snapshot of a finished trace — the shape
+// returned inline for "trace": true and stored in the trace ring.
+type TraceData struct {
+	ID    string `json:"trace_id"`
+	DurNS int64  `json:"dur_ns"`
+	Slow  bool   `json:"slow,omitempty"`
+	Spans []Span `json:"spans"`
+}
+
+// Trace collects spans for one query. A nil *Trace is valid: every
+// method is a no-op, so tracing can be threaded through hot paths and
+// cost nothing when disabled.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	durNS int64
+	slow  bool
+}
+
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a 16-hex-char random identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", traceSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with the given ID (empty = fresh random ID).
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace identifier ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a span named after a pipeline stage. The returned
+// ActiveSpan is nil-safe like the trace itself.
+func (t *Trace) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, StartNS: time.Since(t.start).Nanoseconds()}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, sp: sp, started: time.Now()}
+}
+
+// ActiveSpan is a span being recorded. Attrs and End may be chained;
+// nil receivers are no-ops.
+type ActiveSpan struct {
+	t       *Trace
+	sp      *Span
+	started time.Time
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (a *ActiveSpan) SetAttr(key string, val any) *ActiveSpan {
+	if a == nil {
+		return nil
+	}
+	a.t.mu.Lock()
+	if a.sp.Attrs == nil {
+		a.sp.Attrs = make(map[string]any)
+	}
+	a.sp.Attrs[key] = val
+	a.t.mu.Unlock()
+	return a
+}
+
+// StartNS returns the span's offset from the trace start — the rebase
+// offset for importing a shard's spans under this call (0 for nil).
+func (a *ActiveSpan) StartNS() int64 {
+	if a == nil {
+		return 0
+	}
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
+	return a.sp.StartNS
+}
+
+// End closes the span, fixing its duration.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	d := time.Since(a.started).Nanoseconds()
+	a.t.mu.Lock()
+	a.sp.DurNS = d
+	a.t.mu.Unlock()
+}
+
+// AddRemote imports spans returned by a shard, labelling them with the
+// shard name and re-basing their start offsets by offsetNS (the local
+// offset at which the shard call began).
+func (t *Trace) AddRemote(shard string, offsetNS int64, spans []Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, sp := range spans {
+		cp := sp
+		if cp.Shard == "" {
+			cp.Shard = shard
+		}
+		cp.StartNS += offsetNS
+		t.spans = append(t.spans, &cp)
+	}
+	t.mu.Unlock()
+}
+
+// Finish fixes the total trace duration. Idempotent: the first call
+// wins.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	d := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	if t.durNS == 0 {
+		t.durNS = d
+	}
+	t.mu.Unlock()
+}
+
+// DurNS returns the total duration fixed by Finish (0 before Finish).
+func (t *Trace) DurNS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.durNS
+}
+
+// MarkSlow flags the trace as over the slow-query threshold; the flag
+// is carried into every later Snapshot.
+func (t *Trace) MarkSlow() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slow = true
+	t.mu.Unlock()
+}
+
+// Snapshot returns an immutable copy of the trace (nil for a nil
+// trace). Attribute maps are copied so later mutation cannot race.
+func (t *Trace) Snapshot() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	td := &TraceData{ID: t.id, DurNS: t.durNS, Slow: t.slow,
+		Spans: make([]Span, len(t.spans))}
+	for i, sp := range t.spans {
+		cp := *sp
+		if sp.Attrs != nil {
+			cp.Attrs = make(map[string]any, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				cp.Attrs[k] = v
+			}
+		}
+		td.Spans[i] = cp
+	}
+	return td
+}
+
+// SpanDurations returns stage-name → duration for local (non-remote)
+// spans, in the order recorded. Used to feed per-stage histograms so
+// the exposed sums reconcile exactly with the trace.
+func (t *Trace) SpanDurations() []SpanDur {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanDur, 0, len(t.spans))
+	for _, sp := range t.spans {
+		if sp.Shard != "" {
+			continue // remote spans are observed by their own shard
+		}
+		out = append(out, SpanDur{Name: sp.Name, DurNS: sp.DurNS, Attrs: sp.Attrs})
+	}
+	return out
+}
+
+// SpanDur pairs a stage name with its duration and attributes.
+type SpanDur struct {
+	Name  string
+	DurNS int64
+	Attrs map[string]any
+}
+
+// IntAttr reads an integer attribute, tolerating the int widths spans
+// are recorded with (0 when absent).
+func (s SpanDur) IntAttr(key string) int64 {
+	switch v := s.Attrs[key].(type) {
+	case int:
+		return int64(v)
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	}
+	return 0
+}

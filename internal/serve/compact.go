@@ -158,6 +158,8 @@ func (s *Server) RunCompaction(force bool) (CompactReport, error) {
 	s.compactions.Add(1)
 	s.compactedRows.Add(int64(cp.Rows))
 	s.compactBytes.Add(written)
+	s.metrics.compactedRows.Add(uint64(cp.Rows))
+	s.metrics.compactBytes.Add(uint64(written))
 	rep.Swapped = true
 	rep.Generation = newID
 	rep.BytesWritten = written
@@ -212,6 +214,14 @@ func (s *Server) writeAmp() float64 {
 // finishCompact publishes the report for Stats; errors share the
 // LastError slot with drift checks.
 func (s *Server) finishCompact(rep CompactReport, err error) {
+	switch {
+	case err != nil:
+		s.metrics.compactions.With("failed").Inc()
+	case rep.Swapped:
+		s.metrics.compactions.With("swapped").Inc()
+	default:
+		s.metrics.compactions.With("skipped").Inc()
+	}
 	s.lastCompact.Store(&rep)
 	if err != nil {
 		msg := err.Error()

@@ -12,6 +12,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -55,7 +56,15 @@ func LegacySelectShape(sql string) bool {
 //	GET  /stats                              → Stats snapshot
 //	POST /relayout {"force": true|false}     → run one drift-check cycle
 //	POST /compact  {"force": true|false}     → run one compaction cycle
+//	GET  /metrics                            → Prometheus text exposition
+//	GET  /debug/traces                       → recent + slow trace rings
 //	GET  /healthz                            → 200 ok
+//
+// A /query body with "trace": true returns the query's span-level trace
+// inline (an EXPLAIN ANALYZE for the learned layout). The TraceID is
+// taken from the X-Qd-Trace-Id request header when present — the
+// cluster front door propagates its own ID to shards this way — and
+// generated otherwise.
 //
 // A /query body whose SQL starts with SELECT runs as an aggregation
 // statement (COUNT/SUM/MIN/MAX/AVG, optional GROUP BY) and its response
@@ -66,9 +75,11 @@ func LegacySelectShape(sql string) bool {
 // it); pass {"force": false} for a gated check identical to a monitor
 // tick.
 
-// QueryRequest is the POST /query body.
+// QueryRequest is the POST /query body. Trace asks for the query's
+// span-level trace inline in the response.
 type QueryRequest struct {
-	SQL string `json:"sql"`
+	SQL   string `json:"sql"`
+	Trace bool   `json:"trace,omitempty"`
 }
 
 // QueryRow is one typed result row of an aggregation query. Key holds the
@@ -96,6 +107,8 @@ type QueryResponse struct {
 	WallTimeNS    int64      `json:"wall_time_ns"`
 	GroupBy       []string   `json:"group_by,omitempty"`
 	Rows          []QueryRow `json:"rows,omitempty"`
+	// Trace is present when the request carried "trace": true.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // RelayoutRequest is the POST /relayout body. An empty body means force.
@@ -191,7 +204,12 @@ func Handler(s *Server) http.Handler {
 			httpErr(w, http.StatusBadRequest, `body needs {"sql": "..."}`)
 			return
 		}
+		// Every query is traced (the trace also feeds the metrics and the
+		// ring); "trace": true only controls inline return. The parse span
+		// joins the same trace so histogram sums reconcile with it.
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
 		if IsSelect(req.SQL) {
+			psp := tr.Start("parse")
 			aq, err := s.ParseSelectSQL(req.SQL)
 			if err != nil {
 				// Not a parsable aggregation statement. Legacy clients send
@@ -203,15 +221,17 @@ func Handler(s *Server) http.Handler {
 				// a bare match count.
 				if LegacySelectShape(req.SQL) {
 					if q, ferr := s.ParseSQL(req.SQL); ferr == nil {
-						serveFilterQuery(w, s, q)
+						psp.End()
+						serveFilterQuery(w, s, q, tr, req.Trace)
 						return
 					}
 				}
 				httpErr(w, http.StatusBadRequest, "%v", err)
 				return
 			}
+			psp.End()
 			start := time.Now()
-			res, err := s.Select(aq)
+			res, err := s.SelectTraced(aq, tr)
 			if err != nil {
 				httpErr(w, http.StatusInternalServerError, "%v", err)
 				return
@@ -254,15 +274,20 @@ func Handler(s *Server) http.Handler {
 				}
 				resp.Rows[i] = qr
 			}
+			if req.Trace {
+				resp.Trace = tr.Snapshot()
+			}
 			writeJSON(w, resp)
 			return
 		}
+		psp := tr.Start("parse")
 		q, err := s.ParseSQL(req.SQL)
 		if err != nil {
 			httpErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		serveFilterQuery(w, s, q)
+		psp.End()
+		serveFilterQuery(w, s, q, tr, req.Trace)
 	})
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -346,6 +371,8 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, rep)
 	})
+	mux.Handle("/metrics", s.Metrics().Handler())
+	mux.Handle("/debug/traces", s.Traces().Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -356,14 +383,14 @@ func Handler(s *Server) http.Handler {
 // serveFilterQuery executes a parsed filter query and writes its scan
 // stats. A failure after a successful parse is an execution/storage
 // fault on our side, not the client's — it maps to 500.
-func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query) {
+func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query, tr *obs.Trace, wantTrace bool) {
 	start := time.Now()
-	res, err := s.Query(q)
+	res, err := s.QueryTraced(q, tr)
 	if err != nil {
 		httpErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, QueryResponse{
+	resp := QueryResponse{
 		Query:         res.Query,
 		Generation:    res.Generation,
 		BlocksScanned: res.BlocksScanned,
@@ -375,7 +402,11 @@ func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query) {
 		SkipRate:      res.SkipRate(),
 		SimTimeNS:     int64(res.SimTime),
 		WallTimeNS:    int64(time.Since(start)),
-	})
+	}
+	if wantTrace {
+		resp.Trace = tr.Snapshot()
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

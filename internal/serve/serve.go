@@ -15,6 +15,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/greedy"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
 )
@@ -80,6 +81,16 @@ type Config struct {
 	// Empty for standalone servers; when set it is reported in Stats and
 	// Summary so cluster-level observability can attribute per-shard work.
 	ShardLabel string
+	// SlowQuery is the latency threshold past which a query is counted in
+	// Stats.SlowQueries and copied into the slow half of the trace ring
+	// (default 250ms; negative disables slow-query accounting).
+	SlowQuery time.Duration
+	// Metrics is the registry /metrics scrapes. Nil gets the server its
+	// own registry; pass one in to co-host several servers' metrics.
+	Metrics *obs.Registry
+	// TraceRingSize bounds the recent and slow trace rings behind
+	// GET /debug/traces (default obs.DefaultTraceRingSize).
+	TraceRingSize int
 	// Replan plans the candidate layout for a window. Required; see
 	// GreedyReplan for the default strategy.
 	Replan ReplanFunc
@@ -109,6 +120,14 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CompactRows <= 0 {
 		c.CompactRows = 1 << 16
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	} else if c.SlowQuery < 0 {
+		c.SlowQuery = 0
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 }
 
@@ -150,7 +169,15 @@ type Server struct {
 	delta      *delta.Store
 	deltaWarns []string
 
+	// reg/metrics/traces are the observability surface: the Prometheus
+	// registry behind GET /metrics, its instrument set, and the
+	// recent/slow trace ring behind GET /debug/traces.
+	reg     *obs.Registry
+	metrics *serverMetrics
+	traces  *obs.TraceRing
+
 	queries       atomic.Uint64
+	slowQueries   atomic.Uint64
 	swaps         atomic.Uint64
 	compactions   atomic.Uint64
 	compactedRows atomic.Int64
@@ -238,8 +265,12 @@ func New(root string, cfg Config) (*Server, error) {
 		gen:        &generation{id: id, store: store, layout: layout},
 		delta:      dst,
 		deltaWarns: warns,
+		reg:        cfg.Metrics,
+		traces:     obs.NewTraceRing(cfg.TraceRingSize),
 		stop:       make(chan struct{}),
 	}
+	s.metrics = newServerMetrics(s.reg)
+	s.registerGauges(s.reg)
 	if cfg.CheckInterval > 0 {
 		s.monitorDone = make(chan struct{})
 		go s.monitor(cfg.CheckInterval)
@@ -304,7 +335,11 @@ func (s *Server) Insert(rows [][]int64) error {
 	if closed {
 		return ErrClosed
 	}
-	return s.delta.Insert(rows)
+	if err := s.delta.Insert(rows); err != nil {
+		return err
+	}
+	s.metrics.ingestRows.Add(uint64(len(rows)))
+	return nil
 }
 
 // Flush seals the delta memtable into an on-disk segment, making
@@ -349,19 +384,32 @@ type QueryResult struct {
 // the workload log. Safe for concurrent use, including across generation
 // swaps: a query runs entirely on the generation it acquired.
 func (s *Server) Query(q expr.Query) (QueryResult, error) {
+	return s.QueryTraced(q, nil)
+}
+
+// QueryTraced is Query recording stage spans into tr (nil starts a
+// fresh internal trace — every query is traced so the metrics, the
+// trace ring, and inline "trace": true responses all agree).
+func (s *Server) QueryTraced(q expr.Query, tr *obs.Trace) (QueryResult, error) {
 	for _, a := range q.AdvRefs() {
 		if a >= len(s.cfg.ACs) {
 			return QueryResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
 		}
 	}
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	opt := s.cfg.ExecOptions
+	opt.Trace = tr
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return QueryResult{}, ErrClosed
 	}
 	g := s.gen
-	res, err := exec.RunDelta(g.store, g.layout, q, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions, s.deltaView())
+	res, err := exec.RunDelta(g.store, g.layout, q, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, opt, s.deltaView())
 	s.mu.RUnlock()
+	s.observeQuery(tr, "filter", res.ScanStats, err)
 	if err != nil {
 		return QueryResult{Result: res, Generation: g.id}, err
 	}
@@ -393,19 +441,35 @@ type SelectResult struct {
 // exactly like plain filter queries. Safe for concurrent use across
 // generation swaps.
 func (s *Server) Select(aq expr.AggQuery) (SelectResult, error) {
+	return s.SelectTraced(aq, nil)
+}
+
+// SelectTraced is Select recording stage spans into tr (nil starts a
+// fresh internal trace).
+func (s *Server) SelectTraced(aq expr.AggQuery, tr *obs.Trace) (SelectResult, error) {
 	for _, a := range aq.Filter.AdvRefs() {
 		if a >= len(s.cfg.ACs) {
 			return SelectResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
 		}
 	}
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	opt := s.cfg.ExecOptions
+	opt.Trace = tr
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return SelectResult{}, ErrClosed
 	}
 	g := s.gen
-	res, err := exec.RunAggDelta(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions, s.deltaView())
+	res, err := exec.RunAggDelta(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, opt, s.deltaView())
 	s.mu.RUnlock()
+	var st exec.ScanStats
+	if res != nil {
+		st = res.ScanStats
+	}
+	s.observeQuery(tr, "select", st, err)
 	if err != nil {
 		return SelectResult{}, err
 	}
@@ -616,6 +680,14 @@ func (s *Server) gcGenerations(liveID int) {
 // finishCheck publishes the report for Stats; a successful check clears
 // any error a previous cycle left behind.
 func (s *Server) finishCheck(rep Report, err error) {
+	switch {
+	case err != nil:
+		s.metrics.relayouts.With("failed").Inc()
+	case rep.Swapped:
+		s.metrics.relayouts.With("swapped").Inc()
+	default:
+		s.metrics.relayouts.With("skipped").Inc()
+	}
 	s.lastReport.Store(&rep)
 	if err != nil {
 		msg := err.Error()
@@ -642,17 +714,22 @@ func (s *Server) monitor(interval time.Duration) {
 
 // Stats is a point-in-time snapshot of the serving subsystem.
 type Stats struct {
-	Shard          string  `json:"shard,omitempty"`
-	Generation     int     `json:"generation"`
-	Rows           int     `json:"rows"`
-	Blocks         int     `json:"blocks"`
-	Queries        uint64  `json:"queries"`
-	Swaps          uint64  `json:"swaps"`
-	Logged         int     `json:"logged"`
-	LogTotal       uint64  `json:"log_total"`
-	WindowSkipRate float64 `json:"window_skip_rate"`
-	LastCheck      *Report `json:"last_check,omitempty"`
-	LastError      string  `json:"last_error,omitempty"`
+	Shard      string `json:"shard,omitempty"`
+	Generation int    `json:"generation"`
+	Rows       int    `json:"rows"`
+	Blocks     int    `json:"blocks"`
+	Queries    uint64 `json:"queries"`
+	// SlowQueries counts queries whose end-to-end latency reached
+	// SlowThresholdMS (the -slow-ms flag); the trace ring's slow half
+	// uses the same threshold, so both always agree on what "slow" means.
+	SlowQueries     uint64  `json:"slow_queries"`
+	SlowThresholdMS float64 `json:"slow_threshold_ms"`
+	Swaps           uint64  `json:"swaps"`
+	Logged          int     `json:"logged"`
+	LogTotal        uint64  `json:"log_total"`
+	WindowSkipRate  float64 `json:"window_skip_rate"`
+	LastCheck       *Report `json:"last_check,omitempty"`
+	LastError       string  `json:"last_error,omitempty"`
 
 	// Streaming ingest. DeltaRows/DeltaSegments/DeltaBytes describe the
 	// uncompacted delta (Rows above includes DeltaRows);
@@ -684,6 +761,8 @@ func (s *Server) Stats() Stats {
 		Rows:               tbl.N + deltaRows,
 		Blocks:             gen.layout.NumBlocks(),
 		Queries:            s.queries.Load(),
+		SlowQueries:        s.slowQueries.Load(),
+		SlowThresholdMS:    float64(s.cfg.SlowQuery) / float64(time.Millisecond),
 		Swaps:              s.swaps.Load(),
 		Logged:             s.log.Len(),
 		LogTotal:           s.log.Total(),

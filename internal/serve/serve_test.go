@@ -546,3 +546,63 @@ func TestNewRequiresReplanAndCurrent(t *testing.T) {
 		t.Skip("fs sanity")
 	}
 }
+
+// TestSummaryEnvelopeAndPartials covers the shard-facing surface a
+// cluster front door consumes: the envelope summary, its MayMatch
+// pruning contract, and the unfinalized partial-aggregation path.
+func TestSummaryEnvelopeAndPartials(t *testing.T) {
+	tbl := fixtureTable(2000)
+	root := newTestRoot(t, tbl, workloadA())
+	cfg := testConfig()
+	cfg.ShardLabel = "shard_007"
+	s, err := New(root, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sum := s.Summary()
+	if sum.Shard != "shard_007" || sum.Rows != 2000 || sum.Blocks == 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Min[0] != 0 || sum.Max[0] != 999 {
+		t.Fatalf("envelope = [%d, %d], want [0, 999]", sum.Min[0], sum.Max[0])
+	}
+	if !sum.MayMatch(bandQuery("hit", 100, 150)) {
+		t.Error("in-envelope query must not be pruned")
+	}
+	if sum.MayMatch(bandQuery("miss", 5000, 6000)) {
+		t.Error("out-of-envelope query should be pruned")
+	}
+
+	// Uncompacted delta rows make the shard unprunable: the envelope
+	// only describes base blocks.
+	if err := s.Insert([][]int64{{42}}); err != nil {
+		t.Fatal(err)
+	}
+	sum2 := s.Summary()
+	if sum2.DeltaRows != 1 || !sum2.MayMatch(bandQuery("miss", 5000, 6000)) {
+		t.Errorf("delta rows must defeat pruning: %+v", sum2)
+	}
+
+	// SelectPartial returns mergeable accumulator state, not finals.
+	aq := expr.AggQuery{
+		Name:   "cnt",
+		Aggs:   []expr.Agg{{Func: expr.AggCountStar}},
+		Filter: bandQuery("band", 0, 200),
+	}
+	pr, err := s.SelectPartial(aq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AggPartialResult == nil || pr.Generation != sum.Generation {
+		t.Fatalf("partial = %+v", pr)
+	}
+	if pr.Grouped {
+		t.Error("global aggregate must not be grouped")
+	}
+
+	if got := s.log.String(); !strings.Contains(got, "serve.Log{") {
+		t.Errorf("Log.String = %q", got)
+	}
+}

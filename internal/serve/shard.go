@@ -13,6 +13,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -103,19 +104,35 @@ type PartialResult struct {
 // the workload log, so scattered aggregate traffic drives each shard's
 // own drift detection and re-layouts.
 func (s *Server) SelectPartial(aq expr.AggQuery) (PartialResult, error) {
+	return s.SelectPartialTraced(aq, nil)
+}
+
+// SelectPartialTraced is SelectPartial recording stage spans into tr
+// (nil starts a fresh internal trace).
+func (s *Server) SelectPartialTraced(aq expr.AggQuery, tr *obs.Trace) (PartialResult, error) {
 	for _, a := range aq.Filter.AdvRefs() {
 		if a >= len(s.cfg.ACs) {
 			return PartialResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
 		}
 	}
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	opt := s.cfg.ExecOptions
+	opt.Trace = tr
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return PartialResult{}, ErrClosed
 	}
 	g := s.gen
-	res, err := exec.RunAggPartialDelta(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, s.cfg.ExecOptions, s.deltaView())
+	res, err := exec.RunAggPartialDelta(g.store, g.layout, aq, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, opt, s.deltaView())
 	s.mu.RUnlock()
+	var st exec.ScanStats
+	if res != nil {
+		st = res.ScanStats
+	}
+	s.observeQuery(tr, "select_partial", st, err)
 	if err != nil {
 		return PartialResult{}, err
 	}

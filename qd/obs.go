@@ -1,0 +1,34 @@
+package qd
+
+import "repro/internal/obs"
+
+// Observability re-exports. Every server role (standalone, shard, front
+// door) exposes a Prometheus-text GET /metrics backed by a
+// MetricsRegistry, records per-query trace spans into a bounded
+// TraceRing behind GET /debug/traces, and returns a TraceData inline
+// when a query asks for "trace": true.
+type (
+	// MetricsRegistry holds counters, gauges, and histograms and renders
+	// them in Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// QueryTrace collects per-stage spans for one query.
+	QueryTrace = obs.Trace
+	// TraceData is the immutable snapshot of a finished trace.
+	TraceData = obs.TraceData
+	// TraceSpan is one completed pipeline stage inside a trace.
+	TraceSpan = obs.Span
+	// TraceRing is the bounded recent/slow trace buffer behind
+	// GET /debug/traces.
+	TraceRing = obs.TraceRing
+)
+
+// TraceHeader is the HTTP header propagating a trace ID from the front
+// door to shards (and from clients supplying their own IDs).
+const TraceHeader = obs.TraceHeader
+
+// NewMetricsRegistry returns an empty metrics registry, for co-hosting
+// several server roles behind one /metrics endpoint.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewQueryTrace starts a trace with the given ID ("" = fresh random ID).
+func NewQueryTrace(id string) *QueryTrace { return obs.NewTrace(id) }

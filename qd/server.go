@@ -76,6 +76,15 @@ type ServeOptions struct {
 	// of a cluster (reported in Stats and the cluster summary); empty for
 	// a standalone server.
 	ShardLabel string
+	// SlowQuery is the slow-query latency threshold (default 250ms;
+	// negative disables slow-query accounting).
+	SlowQuery time.Duration
+	// Metrics is the registry behind GET /metrics (nil = the server makes
+	// its own; pass a shared registry to co-host several servers).
+	Metrics *MetricsRegistry
+	// TraceRingSize bounds the recent/slow trace rings behind
+	// GET /debug/traces.
+	TraceRingSize int
 }
 
 // InitServing bootstraps a generation root from a planned layout: the
@@ -125,6 +134,9 @@ func NewServer(root string, opt ServeOptions) (*Server, error) {
 		CompactRows:     opt.CompactRows,
 		CompactInterval: opt.CompactInterval,
 		ShardLabel:      opt.ShardLabel,
+		SlowQuery:       opt.SlowQuery,
+		Metrics:         opt.Metrics,
+		TraceRingSize:   opt.TraceRingSize,
 		Replan:          replan,
 	})
 }
