@@ -28,6 +28,7 @@ func TestExperimentSmoke(t *testing.T) {
 		{"compress", expCompress},
 		{"ingest", expIngest},
 		{"scatter", expScatter},
+		{"rows", expRows},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := tc.run(cfg); err != nil {

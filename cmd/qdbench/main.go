@@ -20,6 +20,7 @@
 //	qdbench -exp agg        vectorized aggregation: pushdown vs decode-then-aggregate
 //	qdbench -exp ingest     streaming ingest: delta fill vs skip rate, compaction recovery
 //	qdbench -exp scatter    distributed serving: scatter/gather front door over 1/2/4 shards
+//	qdbench -exp rows       row executor: TopK vs full sort, code-space join, plan cache
 //	qdbench -exp layout     plan one strategy (-strategy) via the registry
 //	qdbench -exp all        everything above (except layout)
 //
@@ -83,10 +84,11 @@ func main() {
 		"agg":       expAgg,
 		"ingest":    expIngest,
 		"scatter":   expScatter,
+		"rows":      expRows,
 		"layout":    expLayout,
 	}
 	order := []string{"table2", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg", "ingest", "scatter"}
+		"fig7", "fig7c", "fig8", "fig9", "robust", "buildtime", "twotree", "parscan", "compress", "agg", "ingest", "scatter", "rows"}
 
 	if *exp == "all" {
 		for _, name := range order {

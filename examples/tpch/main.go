@@ -162,4 +162,63 @@ func main() {
 		}
 	}
 	fmt.Println("\naggregates verified against the reference evaluator: OK")
+
+	// Row-returning statements through the same layout: a TopK scan and a
+	// code-space self-join (both sides share the l_shipmode dictionary).
+	rowSQL := "SELECT l_orderkey, l_extendedprice, l_shipdate FROM lineitem " +
+		"WHERE l_shipdate >= '1995-06-01' AND l_discount BETWEEN 0.05 AND 0.07 " +
+		"ORDER BY l_extendedprice DESC, l_orderkey LIMIT 5"
+	stmt, _, err := qd.ParseRowSelect(schema, rowSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rres, err := eng.Select(stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop discounted line items by price (TopK over the heap, not a full sort):")
+	for _, row := range rres.Rows {
+		fmt.Printf("  order %-8d price %-7d shipdate %d\n", row[0], row[1], row[2])
+	}
+	if truth := qd.ReferenceSelect(ds.Table, *stmt.Row, best.ACs); len(truth) != len(rres.Rows) {
+		log.Fatalf("row query: %d rows vs reference %d", len(rres.Rows), len(truth))
+	} else {
+		for r := range truth {
+			for c := range truth[r] {
+				if rres.Rows[r][c] != truth[r][c] {
+					log.Fatalf("row query diverges from reference at row %d", r)
+				}
+			}
+		}
+	}
+
+	joinSQL := "SELECT a.l_orderkey, b.l_orderkey, a.l_shipmode FROM a JOIN b ON a.l_shipmode = b.l_shipmode " +
+		"WHERE a.l_extendedprice >= 104500 AND b.l_extendedprice >= 104800 " +
+		"ORDER BY a.l_orderkey, b.l_orderkey LIMIT 8"
+	jstmt, _, err := qd.ParseRowSelect(schema, joinSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jres, err := eng.Select(jstmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	modeDict := schema.Cols[schema.MustCol("l_shipmode")].Dict
+	fmt.Printf("\nself-join on l_shipmode (code-space build: %v, build %d probe %d):\n",
+		jres.Join.CodeSpace, jres.Join.RowsBuild, jres.Join.RowsProbe)
+	for _, row := range jres.Rows {
+		fmt.Printf("  orders %-8d x %-8d via %s\n", row[0], row[1], modeDict[row[2]])
+	}
+	jtruth := qd.ReferenceJoin(ds.Table, *jstmt.Join, best.ACs)
+	if len(jtruth) != len(jres.Rows) {
+		log.Fatalf("join: %d rows vs reference %d", len(jres.Rows), len(jtruth))
+	}
+	for r := range jtruth {
+		for c := range jtruth[r] {
+			if jres.Rows[r][c] != jtruth[r][c] {
+				log.Fatalf("join diverges from reference at row %d", r)
+			}
+		}
+	}
+	fmt.Println("\nrow statements verified against the reference evaluator: OK")
 }

@@ -27,6 +27,12 @@ import (
 // door maps to 503. Partial failures return a Result with Partial set.
 var ErrAllShardsFailed = errors.New("cluster: all owning shards failed")
 
+// ErrJoinUnsupported reports a two-table join sent to the front door.
+// Joins need one node to see both sides' rows; a sharded scatter would
+// miss every cross-shard pair. The HTTP layer maps this to 501 — run the
+// join against a standalone server (or one shard holding both tables).
+var ErrJoinUnsupported = errors.New("cluster: joins are not supported across shards; run them on a single node")
+
 // ClientError marks a fault in the request itself (unparsable SQL, bad
 // ingest rows) as opposed to a shard-side failure; the HTTP layer maps
 // it to 400.
@@ -236,9 +242,10 @@ type ShardError struct {
 // exactly when Partial is false.
 type Result struct {
 	SQL     string
-	Filter  *exec.Result    // set for bare filter queries
-	Agg     *exec.AggResult // set for aggregation statements
-	GroupBy []int           // schema ordinals, aggregation only
+	Filter  *exec.Result     // set for bare filter queries
+	Agg     *exec.AggResult  // set for aggregation statements
+	Rows    *exec.RowsResult // set for row-returning statements
+	GroupBy []int            // schema ordinals, aggregation only
 
 	ShardsTotal     int
 	ShardsPruned    int
@@ -249,12 +256,24 @@ type Result struct {
 	Failed          []ShardError
 }
 
+// parsedStmt is one routed front-door statement: exactly one of agg,
+// row, or filter is set.
+type parsedStmt struct {
+	agg    expr.AggQuery
+	isAgg  bool
+	row    expr.RowStmt
+	isRow  bool
+	filter expr.Query
+}
+
 // parse runs the same statement routing as a standalone server: SELECT →
-// aggregation, with the legacy plain-select fallback to the filter path;
-// anything else → bare filter. The front door's AC table seeds the
-// parser, and a statement that would intern a new cut is rejected — the
-// shards were not planned with it.
-func (fd *FrontDoor) parse(sql string) (aq expr.AggQuery, isAgg bool, q expr.Query, err error) {
+// aggregation, then the row grammar, with the legacy plain-select
+// fallback to the filter path; anything else → bare filter. Joins are
+// rejected with ErrJoinUnsupported — a sharded scatter would miss every
+// cross-shard pair. The front door's AC table seeds the parser, and a
+// statement that would intern a new cut is rejected — the shards were
+// not planned with it.
+func (fd *FrontDoor) parse(sql string) (parsedStmt, error) {
 	p := sqlparse.NewParser(fd.schema)
 	p.ACs = append([]expr.AdvCut(nil), fd.acs...)
 	guard := func() error {
@@ -264,25 +283,35 @@ func (fd *FrontDoor) parse(sql string) (aq expr.AggQuery, isAgg bool, q expr.Que
 		return nil
 	}
 	if serve.IsSelect(sql) {
-		aq, err = p.ParseSelect(sql)
-		if err == nil {
-			return aq, true, expr.Query{}, guard()
-		}
-		if !serve.LegacySelectShape(sql) {
-			return aq, false, q, err
+		aq, aggErr := p.ParseSelect(sql)
+		if aggErr == nil {
+			return parsedStmt{agg: aq, isAgg: true}, guard()
 		}
 		p.ACs = append([]expr.AdvCut(nil), fd.acs...)
-		var ferr error
-		if q, ferr = p.Parse(sql); ferr != nil {
-			return aq, false, q, err // surface the aggregation parse error
+		stmt, rowErr := p.ParseRowSelect(sql)
+		if rowErr == nil {
+			if stmt.Join != nil {
+				return parsedStmt{}, ErrJoinUnsupported
+			}
+			return parsedStmt{row: stmt, isRow: true}, guard()
 		}
-		return aq, false, q, guard()
+		if !serve.LegacySelectShape(sql) {
+			return parsedStmt{}, aggErr
+		}
+		p.ACs = append([]expr.AdvCut(nil), fd.acs...)
+		q, ferr := p.Parse(sql)
+		if ferr != nil {
+			// A parenthesis-free select list is the row shape; its error
+			// names the actual problem better than the aggregate one.
+			return parsedStmt{}, rowErr
+		}
+		return parsedStmt{filter: q}, guard()
 	}
-	q, err = p.Parse(sql)
+	q, err := p.Parse(sql)
 	if err != nil {
-		return aq, false, q, err
+		return parsedStmt{}, err
 	}
-	return aq, false, q, guard()
+	return parsedStmt{filter: q}, guard()
 }
 
 // Query parses the statement once, prunes shards whose summary envelope
@@ -304,19 +333,26 @@ func (fd *FrontDoor) QueryTraced(sql string, tr *obs.Trace, deep bool) (*Result,
 		tr = obs.NewTrace("")
 	}
 	psp := tr.Start("parse")
-	aq, isAgg, q, err := fd.parse(sql)
+	ps, err := fd.parse(sql)
 	if err != nil {
+		if errors.Is(err, ErrJoinUnsupported) {
+			return nil, err
+		}
 		return nil, ClientError{err}
 	}
 	psp.End()
 	fd.queries.Add(1)
 	var res *Result
 	typ := "filter"
-	if isAgg {
+	switch {
+	case ps.isAgg:
 		typ = "select"
-		res, err = fd.scatterAgg(aq, tr, deep)
-	} else {
-		res, err = fd.scatterFilter(q, tr, deep)
+		res, err = fd.scatterAgg(ps.agg, tr, deep)
+	case ps.isRow:
+		typ = "rows"
+		res, err = fd.scatterRows(ps.row, tr, deep)
+	default:
+		res, err = fd.scatterFilter(ps.filter, tr, deep)
 	}
 	fd.observe(tr, typ, err)
 	return res, err
@@ -503,6 +539,58 @@ func (fd *FrontDoor) scatterFilter(q expr.Query, tr *obs.Trace, deep bool) (*Res
 	merged.RowsTotal += prunedRows
 	merged.BlocksTotal += prunedBlocks
 	res.Filter = &merged
+	return res, nil
+}
+
+// scatterRows fans a single-table row statement out to the owning
+// shards and gathers the tuples. The canonical SQL carries the ORDER
+// BY/LIMIT, so each shard answers with its own local top-k (at most k
+// rows cross the wire per shard); the gather re-sorts the union with
+// the same deterministic comparator and re-applies the limit. Shards
+// partition the rows disjointly, so the re-merged union is bit-identical
+// to a single-node run whenever no shard failed.
+func (fd *FrontDoor) scatterRows(stmt expr.RowStmt, tr *obs.Trace, deep bool) (*Result, error) {
+	rq := stmt.Row
+	canonical := stmt.StringWith(fd.schema.Names(), fd.acs)
+	owning, prunedRows, prunedBlocks := fd.owners(rq.Filter, tr)
+	res := &Result{
+		SQL:          canonical,
+		ShardsTotal:  len(fd.shards),
+		ShardsPruned: len(fd.shards) - len(owning),
+	}
+	fd.pruned.Add(int64(res.ShardsPruned))
+	calls := fd.scatter(owning, "/query", serve.QueryRequest{SQL: canonical}, false, tr, deep)
+	msp := tr.Start("merge")
+	defer msp.End()
+	ok := fd.gatherShape(res, calls)
+	res.ShardsContacted = len(owning)
+	if len(owning) > 0 && len(ok) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrAllShardsFailed, canonical)
+	}
+	merged := &exec.RowsResult{Query: canonical, Rows: [][]int64{}}
+	for _, c := range rq.Cols {
+		merged.Cols = append(merged.Cols, expr.ColRef{Col: c})
+	}
+	for _, c := range ok {
+		merged.BlocksScanned += c.filter.BlocksScanned
+		merged.BlocksTotal += c.filter.BlocksTotal
+		merged.RowsScanned += c.filter.RowsScanned
+		merged.RowsTotal += c.filter.RowsTotal
+		merged.RowsMatched += c.filter.RowsMatched
+		merged.BytesRead += c.filter.BytesRead
+		if st := time.Duration(c.filter.SimTimeNS); st > merged.SimTime {
+			merged.SimTime = st // shards scan in parallel, like workers
+		}
+		merged.Rows = append(merged.Rows, c.filter.Data...)
+	}
+	exec.SortRows(merged.Rows, rq.OrderBy)
+	if rq.Limit > 0 && len(merged.Rows) > rq.Limit {
+		merged.Rows = merged.Rows[:rq.Limit]
+	}
+	merged.RowsTotal += prunedRows
+	merged.BlocksTotal += prunedBlocks
+	msp.SetAttr("shards_merged", len(ok)).SetAttr("rows_returned", len(merged.Rows))
+	res.Rows = merged
 	return res, nil
 }
 

@@ -52,10 +52,17 @@ type IngestResponse struct {
 // gathered trace, with each contacted shard's own spans imported — and
 // the X-Qd-Trace-Id header for caller-supplied trace IDs.
 //
-// Error mapping: request faults are 400, a scatter that loses every
-// owning shard is 503, an ingest that loses any shard batch is 502; a
-// scatter that loses some (not all) owning shards still answers 200 with
-// "partial": true.
+// Error mapping: request faults are 400, two-table joins are 501 (a
+// sharded scatter would miss cross-shard pairs — run joins on a single
+// node), a scatter that loses every owning shard is 503, an ingest that
+// loses any shard batch is 502; a scatter that loses some (not all)
+// owning shards still answers 200 with "partial": true.
+//
+// Single-table row statements (projection, ORDER BY/LIMIT) scatter with
+// top-k pushdown: each shard answers its local top-k and the front door
+// re-merges with the same deterministic comparator, so the gathered
+// Columns/Data are bit-identical to a single-node run when no shard
+// failed.
 func FrontDoorHandler(fd *FrontDoor) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -78,6 +85,8 @@ func FrontDoorHandler(fd *FrontDoor) http.Handler {
 		if err != nil {
 			var ce ClientError
 			switch {
+			case errors.Is(err, ErrJoinUnsupported):
+				httpErr(w, http.StatusNotImplemented, "%v", err)
 			case errors.As(err, &ce):
 				httpErr(w, http.StatusBadRequest, "%v", err)
 			case errors.Is(err, ErrAllShardsFailed):
@@ -171,6 +180,39 @@ func toQueryResponse(fd *FrontDoor, res *Result, wall time.Duration) QueryRespon
 		out.BytesRead = f.BytesRead
 		out.SkipRate = f.SkipRate()
 		out.SimTimeNS = int64(f.SimTime)
+		return out
+	}
+	if res.Rows != nil {
+		rr := res.Rows
+		out.BlocksScanned = rr.BlocksScanned
+		out.BlocksTotal = rr.BlocksTotal
+		out.RowsScanned = rr.RowsScanned
+		out.RowsTotal = rr.RowsTotal
+		out.RowsMatched = rr.RowsMatched
+		out.BytesRead = rr.BytesRead
+		out.SkipRate = rr.SkipRate()
+		out.SimTimeNS = int64(rr.SimTime)
+		out.Data = rr.Rows
+		hasDict := false
+		for _, cr := range rr.Cols {
+			col := schema.Cols[cr.Col]
+			out.Columns = append(out.Columns, col.Name)
+			if len(col.Dict) > 0 {
+				hasDict = true
+			}
+		}
+		if hasDict {
+			out.DataStrings = make([][]string, len(rr.Rows))
+			for ri, row := range rr.Rows {
+				strs := make([]string, len(row))
+				for j, v := range row {
+					if d := schema.Cols[rr.Cols[j].Col].Dict; v >= 0 && v < int64(len(d)) {
+						strs[j] = d[v]
+					}
+				}
+				out.DataStrings[ri] = strs
+			}
+		}
 		return out
 	}
 	a := res.Agg

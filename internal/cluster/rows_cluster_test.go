@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/sqlparse"
+)
+
+func postQuery(t *testing.T, url, sql string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(serve.QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRowScatterTopK: a row statement spanning both shards gathers the
+// union of per-shard top-k answers, re-merged and re-limited to the
+// bit-identical single-node result.
+func TestRowScatterTopK(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{})
+
+	sql := "SELECT t, cat FROM t WHERE t >= 400 AND t < 600 ORDER BY t DESC LIMIT 10"
+	res, err := fd.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsContacted != 2 {
+		t.Fatalf("band [400,600) spans both shards, contacted %d", res.ShardsContacted)
+	}
+	if res.Rows == nil || len(res.Rows.Rows) != 10 {
+		t.Fatalf("rows result: %+v", res.Rows)
+	}
+
+	// Ground truth: the reference executor over the same fixture rows.
+	tbl := fixtureTable(1000)
+	p := sqlparse.NewParser(tbl.Schema)
+	stmt, err := p.ParseRowSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exec.ReferenceSelect(tbl, *stmt.Row, nil)
+	for i, row := range res.Rows.Rows {
+		if len(row) != 2 || row[0] != truth[i][0] || row[1] != truth[i][1] {
+			t.Fatalf("row %d = %v, reference %v", i, row, truth[i])
+		}
+	}
+
+	// A selective row statement is pruned at the shard level like a
+	// filter: only the owning shard is contacted.
+	low, err := fd.Query("SELECT t FROM t WHERE t < 100 ORDER BY t LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ShardsContacted != 1 || low.ShardsPruned != 1 {
+		t.Fatalf("selective row scatter contacted %d pruned %d", low.ShardsContacted, low.ShardsPruned)
+	}
+	for i, row := range low.Rows.Rows {
+		if row[0] != int64(i) {
+			t.Fatalf("low rows = %v", low.Rows.Rows)
+		}
+	}
+}
+
+// TestFrontDoorRowHTTP pins the HTTP row surface of the front door:
+// Columns/Data with dictionary spellings, and 501 for joins.
+func TestFrontDoorRowHTTP(t *testing.T) {
+	fd, _, _ := startRangeCluster(t, FrontDoorOptions{})
+	ts := httptest.NewServer(FrontDoorHandler(fd))
+	defer ts.Close()
+
+	resp := postQuery(t, ts.URL, "SELECT t, cat FROM t WHERE t < 3 ORDER BY t")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 2 || qr.Columns[0] != "t" || qr.Columns[1] != "cat" {
+		t.Fatalf("columns = %v", qr.Columns)
+	}
+	if len(qr.Data) != 3 || qr.Data[0][0] != 0 || qr.Data[2][0] != 2 {
+		t.Fatalf("data = %v", qr.Data)
+	}
+	// cat carries a dictionary, so spellings come back beside the codes.
+	if len(qr.DataStrings) != 3 || qr.DataStrings[0][1] == "" {
+		t.Fatalf("data_strings = %v", qr.DataStrings)
+	}
+
+	jresp := postQuery(t, ts.URL, "SELECT a.t, b.t FROM a JOIN b ON a.t = b.t WHERE a.t < 2 AND b.t < 2")
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("join status = %d, want 501", jresp.StatusCode)
+	}
+}

@@ -221,3 +221,152 @@ func RunAggNaive(store *blockstore.Store, layout *cost.Layout, aq expr.AggQuery,
 	res.SimTime = res.simTime(prof)
 	return res, nil
 }
+
+// refRowLess is the reference implementation's own copy of the
+// deterministic output order (ORDER BY keys, then the full tuple
+// ascending) — deliberately not shared with the fast path's rowLess so
+// an ordering bug cannot cancel out.
+func refRowLess(order []expr.OrderKey, a, b []int64) bool {
+	for _, k := range order {
+		if a[k.Pos] == b[k.Pos] {
+			continue
+		}
+		if k.Desc {
+			return a[k.Pos] > b[k.Pos]
+		}
+		return a[k.Pos] < b[k.Pos]
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// refSortLimit orders and truncates a reference result.
+func refSortLimit(rows [][]int64, order []expr.OrderKey, limit int) [][]int64 {
+	sort.Slice(rows, func(i, j int) bool { return refRowLess(order, rows[i], rows[j]) })
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	if rows == nil {
+		rows = [][]int64{}
+	}
+	return rows
+}
+
+// ReferenceSelect evaluates a row query over an in-memory table, row
+// at a time: filter, project, sort everything, then cut to the LIMIT.
+// It is the ground truth the streaming executor in rows.go is held to.
+func ReferenceSelect(tbl *table.Table, rq expr.RowQuery, acs []expr.AdvCut) [][]int64 {
+	var out [][]int64
+	row := make([]int64, tbl.Schema.NumCols())
+	for r := 0; r < tbl.N; r++ {
+		row = tbl.Row(r, row)
+		if !rq.Filter.Eval(row, acs) {
+			continue
+		}
+		t := make([]int64, len(rq.Cols))
+		for i, c := range rq.Cols {
+			t[i] = row[c]
+		}
+		out = append(out, t)
+	}
+	return refSortLimit(out, rq.OrderBy, rq.Limit)
+}
+
+// ReferenceJoin evaluates an equi-join of the table with itself (the
+// single-table serving shape) as a nested loop: every filtered left
+// row against every filtered right row, key equality checked by value.
+// Quadratic on purpose — it shares nothing with the hash-join path.
+func ReferenceJoin(tbl *table.Table, jq expr.JoinQuery, acs []expr.AdvCut) [][]int64 {
+	ncols := tbl.Schema.NumCols()
+	var lrows, rrows [][]int64
+	row := make([]int64, ncols)
+	for r := 0; r < tbl.N; r++ {
+		row = tbl.Row(r, row)
+		if jq.LeftFilter.Eval(row, acs) {
+			lrows = append(lrows, append([]int64(nil), row...))
+		}
+		if jq.RightFilter.Eval(row, acs) {
+			rrows = append(rrows, append([]int64(nil), row...))
+		}
+	}
+	var out [][]int64
+	for _, l := range lrows {
+		for _, r := range rrows {
+			if l[jq.LeftKey] != r[jq.RightKey] {
+				continue
+			}
+			t := make([]int64, len(jq.Cols))
+			for i, cr := range jq.Cols {
+				if cr.Side == 0 {
+					t[i] = l[cr.Col]
+				} else {
+					t[i] = r[cr.Col]
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return refSortLimit(out, jq.OrderBy, jq.Limit)
+}
+
+// RunRowsNaive executes a row query over a store with no TopK and no
+// late materialization: every candidate block is fully decoded, every
+// matching row fully materialized, the whole result sorted, and only
+// then cut to the LIMIT — the full-sort-then-limit baseline
+// qdbench -exp rows holds the bounded-heap path against. BytesRead
+// charges the decoded logical footprint, as in RunAggNaive.
+func RunRowsNaive(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery, acs []expr.AdvCut, prof Profile, mode Mode) (*RowsResult, error) {
+	res := &RowsResult{Query: rq.Name}
+	res.BlocksTotal, res.RowsTotal = storeTotals(store)
+	res.Cols = make([]expr.ColRef, len(rq.Cols))
+	for i, c := range rq.Cols {
+		res.Cols[i] = expr.ColRef{Side: 0, Col: c}
+	}
+	if err := validateRowQuery(store, rq, acs); err != nil {
+		return nil, err
+	}
+	candidates, err := candidateBlocks(store, layout, rq.Filter, mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	ncols := store.Schema.NumCols()
+	row := make([]int64, ncols)
+	var out [][]int64
+	start := time.Now()
+	for _, b := range candidates {
+		data, nrows, _, err := store.ReadColumns(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		if data == nil {
+			continue
+		}
+		res.BlocksScanned++
+		res.RowsScanned += int64(nrows)
+		logical := int64(8*nrows) * int64(ncols)
+		res.BytesRead += logical
+		res.BytesLogical += logical
+		for r := 0; r < nrows; r++ {
+			for c := 0; c < ncols; c++ {
+				row[c] = data[c][r]
+			}
+			if !rq.Filter.Eval(row, acs) {
+				continue
+			}
+			res.RowsMatched++
+			t := make([]int64, len(rq.Cols))
+			for i, c := range rq.Cols {
+				t[i] = row[c]
+			}
+			out = append(out, t)
+		}
+	}
+	res.Rows = refSortLimit(out, rq.OrderBy, rq.Limit)
+	res.WallTime = time.Since(start)
+	res.SimTime = res.simTime(prof)
+	return res, nil
+}

@@ -1,0 +1,371 @@
+package exec
+
+// Row-returning execution: SELECT a, b FROM t [WHERE ...]
+// [ORDER BY ...] [LIMIT k] over the pruned block scan pipeline.
+//
+// Projection is late-materializing: the filter runs over encoded
+// columns in batch-of-1024 SelVec bitmaps exactly like counting, and
+// only the projected columns of batches with surviving rows are
+// decoded. Each worker feeds its own rowSink (bounded TopK heap when
+// the query has a LIMIT), merged once after the pool drains.
+//
+// # Zone-map-ordered TopK short-circuit
+//
+// When a query has both ORDER BY and LIMIT, candidate blocks are
+// visited sequentially in zone-map order of the primary sort key
+// (ascending block Min for ASC, descending block Max for DESC). Once
+// the heap holds k rows, a block whose best possible primary-key value
+// is strictly worse than the heap's worst kept row cannot contribute —
+// and neither can any later block in the visitation order, so the scan
+// stops. The comparison is strict because a primary-key tie can still
+// beat the heap on the full-tuple tie-break. Delta tables and blocks
+// without zone maps carry no bound, so they scan first. This path is
+// sequential by construction (the bound must be current when each
+// block is considered), so its SimTime is the single-stream cost
+// regardless of Options.Parallelism; emitted rows are bit-identical to
+// the pooled path either way.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"sort"
+)
+
+// JoinStats are the join-path physical counters (see join.go),
+// surfaced through /stats and /metrics so the drift log sees join
+// traffic.
+type JoinStats struct {
+	// RowsBuild is the number of build-side (left) rows retained after
+	// the left filter; RowsProbe the number of probe-side (right) rows
+	// that survived the right filter and probed the table.
+	RowsBuild int64 `json:"rows_build"`
+	RowsProbe int64 `json:"rows_probe"`
+	// PartitionCount is the number of hash partitions the build was
+	// split into; 1 on the dense code-space path.
+	PartitionCount int `json:"partition_count"`
+	// CodeSpace reports whether the build side stayed in dictionary
+	// code space (dense array indexed by code, no hashing, no decode).
+	CodeSpace bool `json:"code_space"`
+}
+
+// RowsResult reports one row-returning execution (single-table or
+// join). Rows is the complete ordered output; RowsMatched counts
+// filter survivors before any LIMIT — in the blocks actually visited,
+// so under the TopK short-circuit it is a lower bound (stopping early
+// is the whole point).
+type RowsResult struct {
+	Query string
+	ScanStats
+	BlocksTotal int
+	RowsTotal   int64
+	// Cols names the output columns; Side is 0 for single-table
+	// queries and selects the join side otherwise.
+	Cols []expr.ColRef
+	Rows [][]int64
+	// Left/Right split ScanStats per join side (nil for single-table
+	// queries) so the drift log can record each side's filter traffic.
+	Left  *ScanStats
+	Right *ScanStats
+	// Join carries the join-path counters (nil for single-table).
+	Join     *JoinStats
+	SimTime  time.Duration
+	WallTime time.Duration
+}
+
+// SkipRate is the fraction of the store's rows the query skipped —
+// identical semantics to Result.SkipRate.
+func (r *RowsResult) SkipRate() float64 {
+	if r.RowsTotal == 0 {
+		return 1
+	}
+	return 1 - float64(r.RowsScanned)/float64(r.RowsTotal)
+}
+
+// rowAcc is one scan worker's private state.
+type rowAcc struct {
+	stats   ScanStats
+	crit    time.Duration
+	scratch vecScratch
+	sel     blockstore.SelVec
+	bufs    [][]int64
+	sink    *rowSink
+}
+
+// validateRowQuery bounds-checks the query against the store schema.
+func validateRowQuery(store *blockstore.Store, rq expr.RowQuery, acs []expr.AdvCut) error {
+	ncols := store.Schema.NumCols()
+	if len(rq.Cols) == 0 {
+		return fmt.Errorf("exec: row query has an empty projection")
+	}
+	for _, c := range rq.Cols {
+		if c < 0 || c >= ncols {
+			return fmt.Errorf("exec: projected column %d outside %d-column schema", c, ncols)
+		}
+	}
+	for _, k := range rq.OrderBy {
+		if k.Pos < 0 || k.Pos >= len(rq.Cols) {
+			return fmt.Errorf("exec: ORDER BY position %d outside %d-column projection", k.Pos, len(rq.Cols))
+		}
+	}
+	for _, a := range rq.Filter.AdvRefs() {
+		if a < 0 || a >= len(acs) {
+			return fmt.Errorf("exec: filter references advanced cut %d but the cut table holds %d", a, len(acs))
+		}
+	}
+	if rq.Limit < 0 {
+		return fmt.Errorf("exec: negative LIMIT %d", rq.Limit)
+	}
+	return nil
+}
+
+// rowQueryColumns is the sorted distinct read set: filter columns plus
+// the projection.
+func rowQueryColumns(rq expr.RowQuery, acs []expr.AdvCut) []int {
+	seen := make(map[int]bool)
+	for _, p := range rq.Filter.Preds() {
+		seen[p.Col] = true
+	}
+	for _, a := range rq.Filter.AdvRefs() {
+		seen[acs[a].Left] = true
+		seen[acs[a].Right] = true
+	}
+	for _, c := range rq.Cols {
+		seen[c] = true
+	}
+	return sortedCols(seen)
+}
+
+// RunRows executes a row query sequentially (RunRowsOpts at
+// Parallelism 1).
+func RunRows(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery, acs []expr.AdvCut, prof Profile, mode Mode) (*RowsResult, error) {
+	return RunRowsOpts(store, layout, rq, acs, prof, mode, Options{Parallelism: 1})
+}
+
+// RunRowsOpts executes a row query with a pool of scan workers (or the
+// sequential TopK path — see package comment). Emitted rows are
+// bit-identical for every Options value.
+func RunRowsOpts(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options) (*RowsResult, error) {
+	return RunRowsDelta(store, layout, rq, acs, prof, mode, opt, nil)
+}
+
+// RunRowsDelta is RunRowsOpts over the merged view `delta ∪ base`.
+func RunRowsDelta(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery, acs []expr.AdvCut, prof Profile, mode Mode, opt Options, dv *DeltaView) (*RowsResult, error) {
+	res := &RowsResult{Query: rq.Name}
+	res.BlocksTotal, res.RowsTotal = storeTotals(store)
+	res.RowsTotal += dv.Rows()
+	res.Cols = make([]expr.ColRef, len(rq.Cols))
+	for i, c := range rq.Cols {
+		res.Cols[i] = expr.ColRef{Side: 0, Col: c}
+	}
+	if err := validateRowQuery(store, rq, acs); err != nil {
+		return nil, err
+	}
+	var rec *pruneRecorder
+	if opt.Trace != nil {
+		rec = &pruneRecorder{}
+	}
+	psp := opt.Trace.Start("block_prune")
+	candidates, err := candidateBlocks(store, layout, rq.Filter, mode, rec)
+	rec.annotate(psp, res.BlocksTotal, len(candidates))
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	var readCols []int
+	if prof.Columnar {
+		readCols = rowQueryColumns(rq, acs)
+	}
+	logicalWidth := int64(8) * int64(len(readCols))
+	if readCols == nil {
+		logicalWidth = int64(8) * int64(store.Schema.NumCols())
+	}
+	less := rowLess(rq.OrderBy)
+	workers := opt.workers()
+	topk := rq.Limit > 0 && len(rq.OrderBy) > 0
+	if topk {
+		workers = 1 // the bound must be current when each block is considered
+	}
+	accs := make([]rowAcc, max(workers, 1))
+	ncols := store.Schema.NumCols()
+	for i := range accs {
+		accs[i].bufs = make([][]int64, ncols)
+		accs[i].sink = newRowSink(rq.Limit, less)
+	}
+	scanBlock := func(a *rowAcc, b int) error {
+		vecs, nrows, nbytes, err := store.ReadColVecs(b, readCols)
+		if err != nil {
+			return err
+		}
+		if vecs == nil {
+			return nil
+		}
+		a.stats.BlocksScanned++
+		a.stats.RowsScanned += int64(nrows)
+		a.stats.BytesRead += nbytes
+		a.stats.BytesLogical += logicalWidth * int64(nrows)
+		a.stats.RowsMatched += projectBlock(rq.Filter.Root, acs, vecs, nrows, rq.Cols, a, a.sink.add)
+		if c := blockCost(prof, nbytes, nrows, 1); c > a.crit {
+			a.crit = c
+		}
+		return nil
+	}
+	scanDelta := func(a *rowAcc) {
+		tabs := dv.tables()
+		if len(tabs) == 0 {
+			return
+		}
+		dsp := opt.Trace.Start("delta_scan")
+		for _, t := range tabs {
+			vecs, nbytes := deltaColVecs(t, readCols)
+			a.stats.BlocksScanned++
+			a.stats.DeltaRows += int64(t.N)
+			a.stats.RowsScanned += int64(t.N)
+			a.stats.BytesRead += nbytes
+			a.stats.BytesLogical += logicalWidth * int64(t.N)
+			a.stats.RowsMatched += projectBlock(rq.Filter.Root, acs, vecs, t.N, rq.Cols, a, a.sink.add)
+			if c := blockCost(prof, nbytes, t.N, 1); c > a.crit {
+				a.crit = c
+			}
+		}
+		dsp.SetAttr("delta_tables", len(tabs)).SetAttr("delta_rows", a.stats.DeltaRows)
+		dsp.End()
+	}
+
+	start := time.Now()
+	ssp := opt.Trace.Start("scan")
+	if topk {
+		// Sequential zone-map-ordered visitation: delta and unmapped
+		// blocks first (no bound available), then SMA-sorted blocks
+		// until the heap bound beats the next block's best value.
+		pc := rq.Cols[rq.OrderBy[0].Pos]
+		desc := rq.OrderBy[0].Desc
+		a := &accs[0]
+		scanDelta(a)
+		var unmapped, mapped []int
+		for _, b := range candidates {
+			if m := store.Blocks[b]; pc < len(m.Min) {
+				mapped = append(mapped, b)
+			} else {
+				unmapped = append(unmapped, b)
+			}
+		}
+		sort.Slice(mapped, func(i, j int) bool {
+			bi, bj := mapped[i], mapped[j]
+			vi, vj := store.Blocks[bi].Min[pc], store.Blocks[bj].Min[pc]
+			if desc {
+				vi, vj = store.Blocks[bi].Max[pc], store.Blocks[bj].Max[pc]
+				if vi != vj {
+					return vi > vj
+				}
+				return bi < bj
+			}
+			if vi != vj {
+				return vi < vj
+			}
+			return bi < bj
+		})
+		for _, b := range unmapped {
+			if err := scanBlock(a, b); err != nil {
+				ssp.End()
+				return nil, err
+			}
+		}
+		pruned := 0
+		for i, b := range mapped {
+			if a.sink.full() {
+				bound := a.sink.worst()[rq.OrderBy[0].Pos]
+				m := store.Blocks[b]
+				if (!desc && m.Min[pc] > bound) || (desc && m.Max[pc] < bound) {
+					pruned = len(mapped) - i
+					break
+				}
+			}
+			if err := scanBlock(a, b); err != nil {
+				ssp.End()
+				return nil, err
+			}
+		}
+		ssp.SetAttr("topk_shortcircuit", 1).SetAttr("topk_pruned_blocks", pruned)
+	} else {
+		err = runPool(len(candidates), workers, func(slot, i int) error {
+			return scanBlock(&accs[slot], candidates[i])
+		})
+		if err != nil {
+			ssp.End()
+			return nil, err
+		}
+		scanDelta(&accs[0])
+	}
+	var crit time.Duration
+	for i := range accs {
+		res.ScanStats.merge(accs[i].stats)
+		if accs[i].crit > crit {
+			crit = accs[i].crit
+		}
+	}
+	ssp.SetAttr("blocks_scanned", res.BlocksScanned).
+		SetAttr("rows_scanned", res.RowsScanned).
+		SetAttr("rows_matched", res.RowsMatched).
+		SetAttr("bytes_read", res.BytesRead)
+	ssp.End()
+	msp := opt.Trace.Start("merge")
+	sinks := make([]*rowSink, len(accs))
+	for i := range accs {
+		sinks[i] = accs[i].sink
+	}
+	res.Rows = finishSinks(sinks, rq.OrderBy, rq.Limit)
+	msp.SetAttr("rows_returned", len(res.Rows))
+	msp.End()
+	res.WallTime = time.Since(start)
+	res.SimTime = parallelSimTime(res.simTime(prof), crit, workers)
+	return res, nil
+}
+
+// projectBlock evaluates the filter over one block batch-by-batch and
+// emits the projected tuple of every selected row (ownership of the
+// tuple transfers to emit). Only projected columns of batches with
+// survivors are decoded (late materialization). Returns the number of
+// selected rows.
+func projectBlock(root *expr.Node, acs []expr.AdvCut, vecs []*blockstore.ColVec, nrows int, proj []int, a *rowAcc, emit func([]int64)) int64 {
+	var matched int64
+	decodedAt := make([]int, len(vecs))
+	for c := range decodedAt {
+		decodedAt[c] = -1
+	}
+	for start := 0; start < nrows; start += blockstore.BatchSize {
+		n := nrows - start
+		if n > blockstore.BatchSize {
+			n = blockstore.BatchSize
+		}
+		if root == nil {
+			a.sel.SetFirst(n)
+		} else {
+			evalNodeVec(root, acs, vecs, start, n, &a.sel, &a.scratch)
+			if a.sel.None() {
+				continue
+			}
+		}
+		matched += int64(a.sel.Count())
+		for _, c := range proj {
+			if decodedAt[c] != start {
+				if a.bufs[c] == nil {
+					a.bufs[c] = make([]int64, blockstore.BatchSize)
+				}
+				vecs[c].DecodeRange(a.bufs[c], start, n)
+				decodedAt[c] = start
+			}
+		}
+		a.sel.ForEach(n, func(i int) {
+			out := make([]int64, len(proj))
+			for j, c := range proj {
+				out[j] = a.bufs[c][i]
+			}
+			emit(out)
+		})
+	}
+	return matched
+}

@@ -1,0 +1,196 @@
+// Row-returning statements: projection lists, ORDER BY/LIMIT, and
+// two-table equi-joins. These extend the aggregate-only surface in
+// agg.go with the shapes ROADMAP item 3 calls for; rendering is
+// canonical so a statement can be used as a plan-cache key and so
+// parse→format→parse is a fixpoint (fuzz-pinned in sqlparse).
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColRef names one column of a join's output: Side selects the
+// FROM-clause table (0 = left, 1 = right), Col the column ordinal
+// within that side's schema.
+type ColRef struct {
+	Side int
+	Col  int
+}
+
+// OrderKey is one ORDER BY key. Pos indexes the statement's SELECT
+// list (ORDER BY columns must be projected — a documented v1
+// restriction that keeps the executor's comparator a pure function of
+// the output tuple). Desc flips the direction; ascending is canonical
+// and renders without a suffix.
+type OrderKey struct {
+	Pos  int
+	Desc bool
+}
+
+// RowQuery is a single-table row-returning SELECT:
+//
+//	SELECT a, b FROM t [WHERE ...] [ORDER BY a [DESC], ...] [LIMIT k]
+//
+// Cols holds the projected schema ordinals in SELECT-list order.
+// Limit 0 means "no LIMIT". Result order is always deterministic:
+// rows sort by the ORDER BY keys and ties (or the whole result when
+// OrderBy is empty) break on the full projected tuple ascending.
+type RowQuery struct {
+	// Name labels the statement for reporting; defaults to the
+	// canonical SQL when parsed.
+	Name    string
+	Cols    []int
+	Filter  Query
+	OrderBy []OrderKey
+	Limit   int
+}
+
+// JoinQuery is a two-table equi-join:
+//
+//	SELECT t1.a, t2.b FROM t1 JOIN t2 ON t1.k = t2.k
+//	  [WHERE <single-side conjuncts>] [ORDER BY t1.a, ...] [LIMIT k]
+//
+// The WHERE clause must split into conjuncts that each touch only one
+// side; LeftFilter/RightFilter hold the per-side pushdowns (nil Root =
+// no filter). LeftTable/RightTable are the FROM-clause names, kept for
+// qualified rendering; on a single-table server they are positional
+// aliases of the same schema (a self-join).
+type JoinQuery struct {
+	Name        string
+	LeftTable   string
+	RightTable  string
+	LeftKey     int
+	RightKey    int
+	Cols        []ColRef
+	LeftFilter  Query
+	RightFilter Query
+	OrderBy     []OrderKey
+	Limit       int
+}
+
+// RowStmt is the result of parsing a row-returning SELECT: exactly one
+// of Row or Join is non-nil.
+type RowStmt struct {
+	Row  *RowQuery
+	Join *JoinQuery
+}
+
+// StringWith renders the statement canonically against a single schema
+// (joins qualify both sides with their FROM-clause aliases).
+func (s RowStmt) StringWith(names []string, acs []AdvCut) string {
+	if s.Join != nil {
+		return s.Join.StringWith(names, names, acs)
+	}
+	return s.Row.StringWith(names, acs)
+}
+
+// Name returns the statement's label (the canonical SQL when parsed).
+func (s RowStmt) Name() string {
+	if s.Join != nil {
+		return s.Join.Name
+	}
+	return s.Row.Name
+}
+
+// StringWith renders the canonical SQL form of the row query.
+func (rq RowQuery) StringWith(names []string, acs []AdvCut) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range rq.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(colName(c, names))
+	}
+	b.WriteString(" FROM t")
+	if rq.Filter.Root != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(rq.Filter.StringWith(names, acs))
+	}
+	writeOrderLimit(&b, rq.OrderBy, rq.Limit, func(pos int) string {
+		return colName(rq.Cols[pos], names)
+	})
+	return b.String()
+}
+
+// StringWith renders the canonical SQL form of the join, qualifying
+// every column with its side's FROM-clause name.
+func (jq JoinQuery) StringWith(leftNames, rightNames []string, acs []AdvCut) string {
+	qual := func(cr ColRef) string {
+		if cr.Side == 0 {
+			return jq.LeftTable + "." + colName(cr.Col, leftNames)
+		}
+		return jq.RightTable + "." + colName(cr.Col, rightNames)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, cr := range jq.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(qual(cr))
+	}
+	fmt.Fprintf(&b, " FROM %s JOIN %s ON %s = %s",
+		jq.LeftTable, jq.RightTable,
+		qual(ColRef{Side: 0, Col: jq.LeftKey}), qual(ColRef{Side: 1, Col: jq.RightKey}))
+	lq := qualifyNames(jq.LeftTable, leftNames)
+	rq := qualifyNames(jq.RightTable, rightNames)
+	var sides []string
+	if jq.LeftFilter.Root != nil {
+		sides = append(sides, sideFilterString(jq.LeftFilter, lq, acs))
+	}
+	if jq.RightFilter.Root != nil {
+		sides = append(sides, sideFilterString(jq.RightFilter, rq, acs))
+	}
+	if len(sides) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(sides, " AND "))
+	}
+	writeOrderLimit(&b, jq.OrderBy, jq.Limit, func(pos int) string {
+		return qual(jq.Cols[pos])
+	})
+	return b.String()
+}
+
+// sideFilterString renders one side's filter for a combined WHERE
+// clause: OR-rooted trees are parenthesized so "L AND R" reparses with
+// the right precedence; AND-rooted trees concatenate naturally.
+func sideFilterString(f Query, names []string, acs []AdvCut) string {
+	s := f.StringWith(names, acs)
+	if f.Root != nil && f.Root.Kind == KindOr && len(f.Root.Children) > 1 {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// qualifyNames prefixes every column name with "alias.".
+func qualifyNames(alias string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if n == "" {
+			n = fmt.Sprintf("col%d", i)
+		}
+		out[i] = alias + "." + n
+	}
+	return out
+}
+
+// writeOrderLimit appends the canonical ORDER BY / LIMIT suffix.
+func writeOrderLimit(b *strings.Builder, order []OrderKey, limit int, name func(pos int) string) {
+	if len(order) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range order {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(name(k.Pos))
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if limit > 0 {
+		fmt.Fprintf(b, " LIMIT %d", limit)
+	}
+}

@@ -1,0 +1,88 @@
+package expr
+
+import "testing"
+
+// TestRowStmtStringWith pins the canonical renderings plan caches and
+// the cluster scatter key on: projection order, ORDER BY/LIMIT suffix,
+// join qualification, per-side WHERE merging, and OR parenthesization.
+func TestRowStmtStringWith(t *testing.T) {
+	names := []string{"t", "cat", "v"}
+	rq := &RowQuery{
+		Cols:    []int{0, 2},
+		Filter:  Query{Root: NewPred(Pred{Col: 0, Op: Ge, Literal: 10})},
+		OrderBy: []OrderKey{{Pos: 1, Desc: true}, {Pos: 0}},
+		Limit:   5,
+	}
+	got := RowStmt{Row: rq}.StringWith(names, nil)
+	want := "SELECT t, v FROM t WHERE t >= 10 ORDER BY v DESC, t LIMIT 5"
+	if got != want {
+		t.Errorf("row: %q, want %q", got, want)
+	}
+	// No filter, no order, no limit: the bare projection.
+	if got := (RowStmt{Row: &RowQuery{Cols: []int{1}}}).StringWith(names, nil); got != "SELECT cat FROM t" {
+		t.Errorf("bare row: %q", got)
+	}
+	// Unnamed columns fall back to positional spellings.
+	if got := (RowQuery{Cols: []int{7}}).StringWith(nil, nil); got != "SELECT col7 FROM t" {
+		t.Errorf("positional row: %q", got)
+	}
+
+	jq := &JoinQuery{
+		LeftTable: "a", RightTable: "b", LeftKey: 1, RightKey: 1,
+		Cols: []ColRef{{Side: 0, Col: 0}, {Side: 1, Col: 2}},
+		LeftFilter: Query{Root: Or(
+			NewPred(Pred{Col: 2, Op: Gt, Literal: 4}),
+			NewPred(Pred{Col: 2, Op: Lt, Literal: -4}),
+		)},
+		RightFilter: Query{Root: NewPred(Pred{Col: 0, Op: Lt, Literal: 9})},
+		OrderBy:     []OrderKey{{Pos: 0}},
+		Limit:       3,
+	}
+	got = RowStmt{Join: jq}.StringWith(names, nil)
+	want = "SELECT a.t, b.v FROM a JOIN b ON a.cat = b.cat " +
+		"WHERE ((a.v > 4) OR (a.v < -4)) AND b.t < 9 ORDER BY a.t LIMIT 3"
+	if got != want {
+		t.Errorf("join: %q, want %q", got, want)
+	}
+	// A filterless join renders with no WHERE clause at all.
+	bare := &JoinQuery{LeftTable: "x", RightTable: "y", Cols: []ColRef{{Side: 1, Col: 1}}}
+	if got := (RowStmt{Join: bare}).StringWith(names, nil); got != "SELECT y.cat FROM x JOIN y ON x.t = y.t" {
+		t.Errorf("bare join: %q", got)
+	}
+}
+
+func TestRowStmtName(t *testing.T) {
+	if got := (RowStmt{Row: &RowQuery{Name: "q1"}}).Name(); got != "q1" {
+		t.Errorf("row name: %q", got)
+	}
+	if got := (RowStmt{Join: &JoinQuery{Name: "j1"}}).Name(); got != "j1" {
+		t.Errorf("join name: %q", got)
+	}
+}
+
+// TestAggStringWith covers the aggregate renderings the same caches use.
+func TestAggStringWith(t *testing.T) {
+	names := []string{"t", "cat", "v"}
+	aq := AggQuery{
+		Aggs:    []Agg{{Func: AggCountStar}, {Func: AggSum, Col: 2}, {Func: AggAvg, Col: 0}},
+		GroupBy: []int{1},
+		Filter:  Query{Root: NewPred(Pred{Col: 0, Op: Lt, Literal: 100})},
+	}
+	want := "SELECT cat, COUNT(*), SUM(v), AVG(t) FROM t WHERE t < 100 GROUP BY cat"
+	if got := aq.StringWith(names, nil); got != want {
+		t.Errorf("agg: %q, want %q", got, want)
+	}
+	if got := (AggQuery{Aggs: []Agg{{Func: AggMin, Col: 1}, {Func: AggMax, Col: 1}}}).String(); got != "SELECT MIN(col1), MAX(col1) FROM t" {
+		t.Errorf("ungrouped agg: %q", got)
+	}
+	for f, want := range map[AggFunc]string{
+		AggCount: "COUNT", AggSum: "SUM", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG", AggFunc(99): "AggFunc(99)",
+	} {
+		if f.String() != want {
+			t.Errorf("AggFunc(%d).String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if (Agg{Func: AggCountStar}).NeedsColumn() || !(Agg{Func: AggSum, Col: 1}).NeedsColumn() {
+		t.Error("NeedsColumn: COUNT(*) needs none, SUM needs its column")
+	}
+}

@@ -66,10 +66,12 @@ func LegacySelectShape(sql string) bool {
 // cluster front door propagates its own ID to shards this way — and
 // generated otherwise.
 //
-// A /query body whose SQL starts with SELECT runs as an aggregation
-// statement (COUNT/SUM/MIN/MAX/AVG, optional GROUP BY) and its response
-// carries the typed result rows; any other SQL is a bare filter answered
-// as a match count. Both are logged into the drift window.
+// A /query body whose SQL starts with SELECT first tries the
+// aggregation grammar (COUNT/SUM/MIN/MAX/AVG, optional GROUP BY), then
+// the row grammar (projection lists, ORDER BY ... LIMIT, two-table
+// equi-joins) — row statements answer with the ordered tuples in
+// Columns/Data. Any other SQL is a bare filter answered as a match
+// count. All three are logged into the drift window.
 //
 // /relayout with an empty body forces the cycle (the operator asked for
 // it); pass {"force": false} for a gated check identical to a monitor
@@ -107,6 +109,15 @@ type QueryResponse struct {
 	WallTimeNS    int64      `json:"wall_time_ns"`
 	GroupBy       []string   `json:"group_by,omitempty"`
 	Rows          []QueryRow `json:"rows,omitempty"`
+	// Columns/Data are present only for row-returning statements:
+	// Columns names each output column (alias-qualified for joins) and
+	// Data holds the ordered tuples. DataStrings carries the dictionary
+	// spellings when any projected column has one ("" for the rest).
+	// Join reports build/probe stats when the statement was a join.
+	Columns     []string        `json:"columns,omitempty"`
+	Data        [][]int64       `json:"data,omitempty"`
+	DataStrings [][]string      `json:"data_strings,omitempty"`
+	Join        *exec.JoinStats `json:"join,omitempty"`
 	// Trace is present when the request carried "trace": true.
 	Trace *obs.TraceData `json:"trace,omitempty"`
 }
@@ -212,19 +223,31 @@ func Handler(s *Server) http.Handler {
 			psp := tr.Start("parse")
 			aq, err := s.ParseSelectSQL(req.SQL)
 			if err != nil {
-				// Not a parsable aggregation statement. Legacy clients send
-				// "SELECT x FROM t WHERE <filter>" or "SELECT * FROM ..."
-				// expecting the filter path (Parse skips everything up to
-				// WHERE) — keep honoring that shape. A select list that
-				// contains a function call expressed aggregation intent, so
-				// its parse error must surface, not be silently answered as
-				// a bare match count.
+				// Not a parsable aggregation statement — try the row grammar
+				// (projections, ORDER BY/LIMIT, joins) next.
+				stmt, rerr := s.ParseRowSelectSQL(req.SQL)
+				if rerr == nil {
+					psp.End()
+					serveRowStmt(w, s, stmt, tr, req.Trace)
+					return
+				}
+				// Legacy clients send "SELECT x FROM t WHERE <filter>" or
+				// "SELECT * FROM ..." expecting the filter path (Parse skips
+				// everything up to WHERE) — keep honoring that shape. A
+				// select list that contains a function call expressed
+				// aggregation intent, so its parse error must surface, not
+				// be silently answered as a bare match count.
 				if LegacySelectShape(req.SQL) {
 					if q, ferr := s.ParseSQL(req.SQL); ferr == nil {
 						psp.End()
 						serveFilterQuery(w, s, q, tr, req.Trace)
 						return
 					}
+					// A parenthesis-free select list is the row shape; its
+					// parse error names the actual problem (unknown column,
+					// bad ORDER BY, ...) better than the aggregate error.
+					httpErr(w, http.StatusBadRequest, "%v", rerr)
+					return
 				}
 				httpErr(w, http.StatusBadRequest, "%v", err)
 				return
@@ -402,6 +425,70 @@ func serveFilterQuery(w http.ResponseWriter, s *Server, q expr.Query, tr *obs.Tr
 		SkipRate:      res.SkipRate(),
 		SimTimeNS:     int64(res.SimTime),
 		WallTimeNS:    int64(time.Since(start)),
+	}
+	if wantTrace {
+		resp.Trace = tr.Snapshot()
+	}
+	writeJSON(w, resp)
+}
+
+// serveRowStmt executes a parsed row-returning statement and writes the
+// ordered tuples beside the scan stats. Column names are alias-qualified
+// for joins so `SELECT c.x, s.x FROM c JOIN s ...` stays unambiguous.
+func serveRowStmt(w http.ResponseWriter, s *Server, stmt expr.RowStmt, tr *obs.Trace, wantTrace bool) {
+	start := time.Now()
+	res, err := s.SelectRowsTraced(stmt, tr)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := QueryResponse{
+		Query:         res.Query,
+		Generation:    res.Generation,
+		BlocksScanned: res.BlocksScanned,
+		BlocksTotal:   res.BlocksTotal,
+		RowsScanned:   res.RowsScanned,
+		RowsTotal:     res.RowsTotal,
+		RowsMatched:   res.RowsMatched,
+		BytesRead:     res.BytesRead,
+		SkipRate:      res.SkipRate(),
+		SimTimeNS:     int64(res.SimTime),
+		WallTimeNS:    int64(time.Since(start)),
+		Data:          res.Rows,
+		Join:          res.Join,
+	}
+	schema := s.Schema()
+	names := make([]string, len(res.Cols))
+	dicts := make([][]string, len(res.Cols))
+	hasDict := false
+	for i, cr := range res.Cols {
+		col := schema.Cols[cr.Col]
+		if jq := stmt.Join; jq != nil {
+			alias := jq.LeftTable
+			if cr.Side == 1 {
+				alias = jq.RightTable
+			}
+			names[i] = alias + "." + col.Name
+		} else {
+			names[i] = col.Name
+		}
+		dicts[i] = col.Dict
+		if len(col.Dict) > 0 {
+			hasDict = true
+		}
+	}
+	resp.Columns = names
+	if hasDict {
+		resp.DataStrings = make([][]string, len(res.Rows))
+		for ri, row := range res.Rows {
+			out := make([]string, len(row))
+			for j, v := range row {
+				if d := dicts[j]; v >= 0 && v < int64(len(d)) {
+					out[j] = d[v]
+				}
+			}
+			resp.DataStrings[ri] = out
+		}
 	}
 	if wantTrace {
 		resp.Trace = tr.Snapshot()

@@ -21,6 +21,9 @@ type serverMetrics struct {
 	rowsScanned   *obs.CounterVec   // qd_rows_scanned_total{source}
 	rowsMatched   *obs.Counter      // qd_rows_matched_total
 	bytesRead     *obs.Counter      // qd_bytes_read_total
+	joinBuildRows *obs.Counter      // qd_join_build_rows_total
+	joinProbeRows *obs.Counter      // qd_join_probe_rows_total
+	planCache     *obs.CounterVec   // qd_plan_cache_total{outcome}
 	ingestRows    *obs.Counter      // qd_ingest_rows_total
 	relayouts     *obs.CounterVec   // qd_relayouts_total{outcome}
 	compactions   *obs.CounterVec   // qd_compactions_total{outcome}
@@ -40,6 +43,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		rowsScanned:   reg.CounterVec("qd_rows_scanned_total", "Rows scanned, by source (base = learned layout, delta = uncompacted ingest).", "source"),
 		rowsMatched:   reg.Counter("qd_rows_matched_total", "Rows matching query filters."),
 		bytesRead:     reg.Counter("qd_bytes_read_total", "Encoded bytes read from block stores."),
+		joinBuildRows: reg.Counter("qd_join_build_rows_total", "Rows inserted into join build tables."),
+		joinProbeRows: reg.Counter("qd_join_probe_rows_total", "Rows probed against join build tables."),
+		planCache:     reg.CounterVec("qd_plan_cache_total", "Row-statement plan cache lookups, by outcome (hit, miss).", "outcome"),
 		ingestRows:    reg.Counter("qd_ingest_rows_total", "Rows accepted into the delta store."),
 		relayouts:     reg.CounterVec("qd_relayouts_total", "Drift-check cycles, by outcome (swapped, skipped, failed).", "outcome"),
 		compactions:   reg.CounterVec("qd_compactions_total", "Compaction cycles, by outcome (swapped, skipped, failed).", "outcome"),

@@ -32,6 +32,9 @@ var metricsGolden = []string{
 	"qd_freshness_seconds|gauge|",
 	"qd_generation|gauge|",
 	"qd_ingest_rows_total|counter|",
+	"qd_join_build_rows_total|counter|",
+	"qd_join_probe_rows_total|counter|",
+	"qd_plan_cache_total|counter|outcome",
 	"qd_queries_total|counter|type",
 	"qd_query_duration_seconds|histogram|type",
 	// qd_query_errors_total is labelled {type}, but label keys only
@@ -123,6 +126,16 @@ func TestMetricsGolden(t *testing.T) {
 	if _, err := s.Query(bandQuery("g", 100, 150)); err != nil {
 		t.Fatal(err)
 	}
+	// The same row statement twice: a plan-cache miss then a hit, and a
+	// join to move the build/probe counters.
+	for i := 0; i < 2; i++ {
+		if _, err := s.SelectRowsSQL("SELECT x FROM t WHERE x < 50 ORDER BY x DESC LIMIT 5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.SelectRowsSQL("SELECT a.x FROM a JOIN b ON a.x = b.x WHERE a.x < 2 AND b.x < 2 LIMIT 4"); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Insert([][]int64{{77}, {78}}); err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +160,16 @@ func TestMetricsGolden(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "qd_ingest_rows_total 2") {
 		t.Errorf("qd_ingest_rows_total did not move")
+	}
+	if !strings.Contains(sb.String(), `qd_queries_total{type="rows"} 2`) {
+		t.Errorf("qd_queries_total{type=rows} did not move:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `qd_plan_cache_total{outcome="hit"} 1`) ||
+		!strings.Contains(sb.String(), `qd_plan_cache_total{outcome="miss"} 2`) {
+		t.Errorf("plan-cache counters wrong:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `qd_queries_total{type="join"} 1`) {
+		t.Errorf("qd_queries_total{type=join} did not move")
 	}
 }
 

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+)
+
+// planCacheCapacity bounds the row-statement plan cache. Row dashboards
+// repeat a small set of statements verbatim; a few hundred entries holds
+// every hot plan while an adversarial stream of distinct statements
+// cannot grow the map without bound.
+const planCacheCapacity = 256
+
+// planCache memoizes parsed row statements keyed on the raw SQL text. A
+// parsed RowStmt is immutable once built (the executor only reads it),
+// so a cached value can be handed to concurrent queries as-is. Safe for
+// concurrent use.
+//
+// The cache key deliberately excludes schema and AC state: both are
+// fixed for a server's lifetime (generation swaps change the layout, not
+// the schema), so a cached plan can never go stale.
+type planCache struct {
+	mu    sync.Mutex
+	m     map[string]expr.RowStmt
+	order []string // insertion order; index 0 evicts first
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]expr.RowStmt, planCacheCapacity)}
+}
+
+// get returns the cached statement for sql, counting the hit or miss.
+func (c *planCache) get(sql string) (expr.RowStmt, bool) {
+	c.mu.Lock()
+	stmt, ok := c.m[sql]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return stmt, ok
+}
+
+// put stores a successfully parsed statement, evicting the oldest entry
+// once the cache is full (FIFO — repeat dashboards re-insert their
+// statements on the next miss, so recency tracking buys little here).
+func (c *planCache) put(sql string, stmt expr.RowStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[sql]; ok {
+		return
+	}
+	if len(c.order) >= planCacheCapacity {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[sql] = stmt
+	c.order = append(c.order, sql)
+}

@@ -150,6 +150,11 @@ type Server struct {
 
 	log *Log
 
+	// plans memoizes parsed row statements by their SQL text, so repeat
+	// dashboards skip the parser entirely. Schema and ACs are fixed for
+	// the server's lifetime, so entries never go stale.
+	plans *planCache
+
 	// mu guards the generation handle: queries hold the read lock for the
 	// scan's duration; a swap takes the write lock only for the pointer
 	// flip, after the new generation is fully materialized — so in-flight
@@ -262,6 +267,7 @@ func New(root string, cfg Config) (*Server, error) {
 		root:       root,
 		tbl:        tbl,
 		log:        NewLog(cfg.LogCapacity),
+		plans:      newPlanCache(),
 		gen:        &generation{id: id, store: store, layout: layout},
 		delta:      dst,
 		deltaWarns: warns,
@@ -521,6 +527,163 @@ func (s *Server) ParseSelectSQL(sql string) (expr.AggQuery, error) {
 	return aq, nil
 }
 
+// SelectRowsResult is one served row-returning statement: ordered output
+// tuples plus scan (and, for joins, build/probe) stats and the generation
+// that served them.
+type SelectRowsResult struct {
+	*exec.RowsResult
+	Generation int
+}
+
+// SelectRows executes one row-returning statement (single-table
+// projection with optional ORDER BY/LIMIT, or a two-table equi-join)
+// against the live generation, merging uncompacted delta rows exactly
+// like the filter and aggregate paths. Each side of a join is logged
+// into the drift window separately — join traffic therefore pulls
+// re-layouts toward both build and probe filters, not a blended average.
+func (s *Server) SelectRows(stmt expr.RowStmt) (SelectRowsResult, error) {
+	return s.SelectRowsTraced(stmt, nil)
+}
+
+// SelectRowsTraced is SelectRows recording stage spans into tr (nil
+// starts a fresh internal trace).
+func (s *Server) SelectRowsTraced(stmt expr.RowStmt, tr *obs.Trace) (SelectRowsResult, error) {
+	var refs []int
+	typ := "rows"
+	switch {
+	case stmt.Join != nil:
+		typ = "join"
+		refs = append(stmt.Join.LeftFilter.AdvRefs(), stmt.Join.RightFilter.AdvRefs()...)
+	case stmt.Row != nil:
+		refs = stmt.Row.Filter.AdvRefs()
+	default:
+		return SelectRowsResult{}, fmt.Errorf("serve: empty row statement")
+	}
+	for _, a := range refs {
+		if a >= len(s.cfg.ACs) {
+			return SelectRowsResult{}, fmt.Errorf("serve: query references advanced cut %d but the server holds %d", a, len(s.cfg.ACs))
+		}
+	}
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	opt := s.cfg.ExecOptions
+	opt.Trace = tr
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return SelectRowsResult{}, ErrClosed
+	}
+	g := s.gen
+	var res *exec.RowsResult
+	var err error
+	if stmt.Join != nil {
+		res, err = exec.RunJoinDelta(g.store, g.layout, *stmt.Join, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, opt, s.deltaView())
+	} else {
+		res, err = exec.RunRowsDelta(g.store, g.layout, *stmt.Row, s.cfg.ACs, s.cfg.Profile, s.cfg.Mode, opt, s.deltaView())
+	}
+	s.mu.RUnlock()
+	var st exec.ScanStats
+	if res != nil {
+		st = res.ScanStats
+	}
+	s.observeQuery(tr, typ, st, err)
+	if err != nil {
+		return SelectRowsResult{}, err
+	}
+	s.queries.Add(1)
+	name := stmt.Name()
+	if name == "" {
+		name = stmt.StringWith(s.Schema().Names(), s.cfg.ACs)
+	}
+	if jq := stmt.Join; jq != nil {
+		s.metrics.joinBuildRows.Add(uint64(res.Join.RowsBuild))
+		s.metrics.joinProbeRows.Add(uint64(res.Join.RowsProbe))
+		// One drift-log entry per side, so the replanner sees the filter
+		// that actually pruned each scan. The shared sim time is split
+		// evenly; per-side scan stats are exact.
+		sides := []struct {
+			tag string
+			q   expr.Query
+			st  *exec.ScanStats
+		}{
+			{"#left", jq.LeftFilter, res.Left},
+			{"#right", jq.RightFilter, res.Right},
+		}
+		for _, side := range sides {
+			half := res.RowsTotal / 2
+			skip := 1.0
+			if half > 0 {
+				skip = 1 - float64(side.st.RowsScanned)/float64(half)
+			}
+			s.log.Record(Entry{
+				Name:       name + side.tag,
+				Query:      side.q,
+				Generation: g.id,
+				Blocks:     side.st.BlocksScanned,
+				Rows:       side.st.RowsScanned,
+				Matched:    side.st.RowsMatched,
+				Bytes:      side.st.BytesRead,
+				SkipRate:   skip,
+				SimTime:    res.SimTime / 2,
+			})
+		}
+	} else {
+		s.log.Record(Entry{
+			Name:       name,
+			Query:      stmt.Row.Filter,
+			Generation: g.id,
+			Blocks:     res.BlocksScanned,
+			Rows:       res.RowsScanned,
+			Matched:    res.RowsMatched,
+			Bytes:      res.BytesRead,
+			SkipRate:   res.SkipRate(),
+			SimTime:    res.SimTime,
+		})
+	}
+	return SelectRowsResult{RowsResult: res, Generation: g.id}, nil
+}
+
+// SelectRowsSQL parses one row-returning statement against the served
+// schema (through the plan cache) and executes it.
+func (s *Server) SelectRowsSQL(sql string) (SelectRowsResult, error) {
+	stmt, err := s.ParseRowSelectSQL(sql)
+	if err != nil {
+		return SelectRowsResult{}, err
+	}
+	return s.SelectRows(stmt)
+}
+
+// ParseRowSelectSQL parses one row-returning statement without executing
+// it, memoizing successful parses in the plan cache keyed on the SQL
+// text — a repeated dashboard statement costs one map lookup, not a
+// parse. Statements that introduce advanced cuts the server was not
+// configured with are rejected (and never cached).
+func (s *Server) ParseRowSelectSQL(sql string) (expr.RowStmt, error) {
+	if stmt, ok := s.plans.get(sql); ok {
+		s.metrics.planCache.With("hit").Inc()
+		return stmt, nil
+	}
+	s.metrics.planCache.With("miss").Inc()
+	p := sqlparse.NewParser(s.Schema())
+	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
+	stmt, err := p.ParseRowSelect(sql)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	if len(p.ACs) > len(s.cfg.ACs) {
+		return expr.RowStmt{}, fmt.Errorf("serve: query %q introduces an advanced cut the server was not configured with", sql)
+	}
+	if stmt.Row != nil && stmt.Row.Name == "" {
+		stmt.Row.Name = sql
+	}
+	if stmt.Join != nil && stmt.Join.Name == "" {
+		stmt.Join.Name = sql
+	}
+	s.plans.put(sql, stmt)
+	return stmt, nil
+}
+
 // QuerySQL parses one SQL WHERE clause (or full SELECT) against the served
 // schema and executes it. Queries that introduce advanced cuts absent from
 // the server's table are rejected — the live layout has no skipping
@@ -728,6 +891,10 @@ type Stats struct {
 	Logged          int     `json:"logged"`
 	LogTotal        uint64  `json:"log_total"`
 	WindowSkipRate  float64 `json:"window_skip_rate"`
+	// PlanCacheHits/Misses count row-statement plan-cache lookups; a
+	// hot dashboard should converge to hits ≈ queries.
+	PlanCacheHits   uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses uint64  `json:"plan_cache_misses"`
 	LastCheck       *Report `json:"last_check,omitempty"`
 	LastError       string  `json:"last_error,omitempty"`
 
@@ -767,6 +934,8 @@ func (s *Server) Stats() Stats {
 		Logged:             s.log.Len(),
 		LogTotal:           s.log.Total(),
 		WindowSkipRate:     s.log.MeanSkipRate(s.cfg.WindowSize),
+		PlanCacheHits:      s.plans.hits.Load(),
+		PlanCacheMisses:    s.plans.misses.Load(),
 		LastCheck:          s.lastReport.Load(),
 		DeltaRows:          deltaRows,
 		DeltaSegments:      s.delta.Segments(),

@@ -1,0 +1,554 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// ParseRowSelect parses a row-returning SELECT statement:
+//
+//	SELECT <col> [, <col>]... FROM <t1> [JOIN <t2> ON <t1>.<k> = <t2>.<k>]
+//	    [WHERE <filter>] [ORDER BY <col> [ASC|DESC] [, ...]] [LIMIT <k>]
+//
+// The projection is a list of bare columns (aggregates belong to
+// ParseSelect; SELECT * stays on the legacy filter surface). ORDER BY
+// columns must appear in the SELECT list — the executor's sort
+// comparator is a pure function of the output tuple. LIMIT takes a
+// positive integer.
+//
+// Joins bind two tables. When the parser's Tables map is nil, every
+// FROM-clause name binds the single Schema and the join is a self-join
+// with the FROM names acting as positional aliases (they must differ).
+// A join's WHERE clause must split into conjuncts that each touch one
+// side only; OR across sides and column-vs-column predicates are
+// rejected (the ON clause is the only cross-table comparison).
+func (p *Parser) ParseRowSelect(sql string) (expr.RowStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	ps := &parseState{p: p, toks: toks}
+	if !isKeyword(ps.cur(), "SELECT") {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: row statement must start with SELECT, got %q at %d", ps.cur().text, ps.cur().pos)
+	}
+	ps.next()
+
+	// Collect projection tokens first; they resolve after FROM, once we
+	// know whether this is a join (qualifiers need both schemas).
+	var proj []token
+	for {
+		t := ps.next()
+		if t.kind == tokStar {
+			return expr.RowStmt{}, fmt.Errorf("sqlparse: SELECT * is not a row query (use the filter surface) at %d", t.pos)
+		}
+		if t.kind != tokIdent {
+			return expr.RowStmt{}, fmt.Errorf("sqlparse: expected column name at %d, got %q", t.pos, t.text)
+		}
+		if isKeyword(t, "FROM") {
+			return expr.RowStmt{}, fmt.Errorf("sqlparse: empty SELECT list at %d", t.pos)
+		}
+		if ps.cur().kind == tokLParen {
+			return expr.RowStmt{}, fmt.Errorf("sqlparse: aggregate %q in row SELECT (use an aggregation statement) at %d", t.text, t.pos)
+		}
+		proj = append(proj, t)
+		if ps.cur().kind == tokComma {
+			ps.next()
+			continue
+		}
+		break
+	}
+	if !isKeyword(ps.cur(), "FROM") {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: expected FROM at %d, got %q", ps.cur().pos, ps.cur().text)
+	}
+	ps.next()
+	leftTok, err := ps.expect(tokIdent, "table name")
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	if !isKeyword(ps.cur(), "JOIN") {
+		return p.finishRowQuery(ps, proj)
+	}
+	ps.next()
+	rightTok, err := ps.expect(tokIdent, "join table name")
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	return p.finishJoinQuery(ps, proj, leftTok, rightTok)
+}
+
+// finishRowQuery parses the single-table tail (WHERE/ORDER BY/LIMIT)
+// and resolves the projection against the base schema.
+func (p *Parser) finishRowQuery(ps *parseState, proj []token) (expr.RowStmt, error) {
+	rq := &expr.RowQuery{}
+	for _, t := range proj {
+		col := p.resolveCol(t.text)
+		if col < 0 {
+			return expr.RowStmt{}, fmt.Errorf("sqlparse: unknown column %q at %d", t.text, t.pos)
+		}
+		rq.Cols = append(rq.Cols, col)
+	}
+	if isKeyword(ps.cur(), "WHERE") {
+		ps.next()
+		root, err := ps.parseOr()
+		if err != nil {
+			return expr.RowStmt{}, err
+		}
+		rq.Filter = expr.Query{Root: root}
+	}
+	order, limit, err := ps.parseOrderLimit(func(t token) (int, error) {
+		col := p.resolveCol(t.text)
+		if col < 0 {
+			return -1, fmt.Errorf("sqlparse: unknown column %q at %d", t.text, t.pos)
+		}
+		for i, c := range rq.Cols {
+			if c == col {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("sqlparse: ORDER BY column %q is not in the SELECT list at %d", t.text, t.pos)
+	})
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	rq.OrderBy, rq.Limit = order, limit
+	if ps.cur().kind != tokEOF {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: trailing input at %d: %q", ps.cur().pos, ps.cur().text)
+	}
+	return expr.RowStmt{Row: rq}, nil
+}
+
+// schemaFor binds a FROM-clause table name to a schema: through the
+// Tables map when set, else the parser's single Schema.
+func (p *Parser) schemaFor(t token) (*table.Schema, error) {
+	if p.Tables == nil {
+		return p.Schema, nil
+	}
+	if s, ok := p.Tables[t.text]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("sqlparse: unknown table %q at %d", t.text, t.pos)
+}
+
+// finishJoinQuery parses "ON a = b [WHERE ...] [ORDER BY ...] [LIMIT k]".
+func (p *Parser) finishJoinQuery(ps *parseState, proj []token, leftTok, rightTok token) (expr.RowStmt, error) {
+	if leftTok.text == rightTok.text {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: join sides need distinct names (got %q twice) at %d", rightTok.text, rightTok.pos)
+	}
+	ls, err := p.schemaFor(leftTok)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	rs, err := p.schemaFor(rightTok)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	jc := &joinCtx{ps: ps, left: leftTok.text, right: rightTok.text, ls: ls, rs: rs}
+	jq := &expr.JoinQuery{LeftTable: leftTok.text, RightTable: rightTok.text}
+	for _, t := range proj {
+		cr, err := jc.resolve(t)
+		if err != nil {
+			return expr.RowStmt{}, err
+		}
+		jq.Cols = append(jq.Cols, cr)
+	}
+	if !isKeyword(ps.cur(), "ON") {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: expected ON at %d, got %q", ps.cur().pos, ps.cur().text)
+	}
+	ps.next()
+	kaTok, err := ps.expect(tokIdent, "join key")
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	ka, err := jc.resolve(kaTok)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	eq := ps.next()
+	if eq.kind != tokOp || eq.text != "=" {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: join ON supports equality only, got %q at %d", eq.text, eq.pos)
+	}
+	kbTok, err := ps.expect(tokIdent, "join key")
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	kb, err := jc.resolve(kbTok)
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	switch {
+	case ka.Side == 0 && kb.Side == 1:
+		jq.LeftKey, jq.RightKey = ka.Col, kb.Col
+	case ka.Side == 1 && kb.Side == 0:
+		jq.LeftKey, jq.RightKey = kb.Col, ka.Col
+	default:
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: join ON must compare one column from each side at %d", kaTok.pos)
+	}
+	if isKeyword(ps.cur(), "WHERE") {
+		ps.next()
+		lf, rf, err := jc.parseWhere()
+		if err != nil {
+			return expr.RowStmt{}, err
+		}
+		jq.LeftFilter, jq.RightFilter = lf, rf
+	}
+	order, limit, err := ps.parseOrderLimit(func(t token) (int, error) {
+		cr, err := jc.resolve(t)
+		if err != nil {
+			return -1, err
+		}
+		for i, c := range jq.Cols {
+			if c == cr {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("sqlparse: ORDER BY column %q is not in the SELECT list at %d", t.text, t.pos)
+	})
+	if err != nil {
+		return expr.RowStmt{}, err
+	}
+	jq.OrderBy, jq.Limit = order, limit
+	if ps.cur().kind != tokEOF {
+		return expr.RowStmt{}, fmt.Errorf("sqlparse: trailing input at %d: %q", ps.cur().pos, ps.cur().text)
+	}
+	return expr.RowStmt{Join: jq}, nil
+}
+
+// parseOrderLimit parses the optional ORDER BY and LIMIT tail. resolve
+// maps an ORDER BY column token to its SELECT-list position. Repeated
+// keys de-duplicate (keeping the first) so rendering is a fixpoint.
+func (ps *parseState) parseOrderLimit(resolve func(token) (int, error)) ([]expr.OrderKey, int, error) {
+	var order []expr.OrderKey
+	if isKeyword(ps.cur(), "ORDER") {
+		ps.next()
+		if !isKeyword(ps.cur(), "BY") {
+			return nil, 0, fmt.Errorf("sqlparse: ORDER must be followed by BY at %d", ps.cur().pos)
+		}
+		ps.next()
+		seen := make(map[int]bool)
+		for {
+			t, err := ps.expect(tokIdent, "ORDER BY column")
+			if err != nil {
+				return nil, 0, err
+			}
+			pos, err := resolve(t)
+			if err != nil {
+				return nil, 0, err
+			}
+			desc := false
+			if isKeyword(ps.cur(), "ASC") {
+				ps.next()
+			} else if isKeyword(ps.cur(), "DESC") {
+				ps.next()
+				desc = true
+			}
+			if !seen[pos] {
+				seen[pos] = true
+				order = append(order, expr.OrderKey{Pos: pos, Desc: desc})
+			}
+			if ps.cur().kind != tokComma {
+				break
+			}
+			ps.next()
+		}
+	}
+	limit := 0
+	if isKeyword(ps.cur(), "LIMIT") {
+		ps.next()
+		t, err := ps.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil || v <= 0 {
+			return nil, 0, fmt.Errorf("sqlparse: LIMIT needs a positive integer, got %q at %d", t.text, t.pos)
+		}
+		limit = int(v)
+	}
+	return order, limit, nil
+}
+
+// joinCtx resolves columns and parses per-side filters for a join.
+type joinCtx struct {
+	ps          *parseState
+	left, right string
+	ls, rs      *table.Schema
+}
+
+// resolve binds a (possibly qualified) column token to a side.
+// Unqualified names must be unambiguous across the two sides; on a
+// self-join every shared name is ambiguous, so qualifiers are required.
+func (jc *joinCtx) resolve(t token) (expr.ColRef, error) {
+	name := t.text
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		qual, base := name[:i], name[i+1:]
+		switch qual {
+		case jc.left:
+			if c := jc.ls.Col(base); c >= 0 {
+				return expr.ColRef{Side: 0, Col: c}, nil
+			}
+			return expr.ColRef{}, fmt.Errorf("sqlparse: unknown column %q in table %q at %d", base, jc.left, t.pos)
+		case jc.right:
+			if c := jc.rs.Col(base); c >= 0 {
+				return expr.ColRef{Side: 1, Col: c}, nil
+			}
+			return expr.ColRef{}, fmt.Errorf("sqlparse: unknown column %q in table %q at %d", base, jc.right, t.pos)
+		default:
+			return expr.ColRef{}, fmt.Errorf("sqlparse: unknown table qualifier %q at %d", qual, t.pos)
+		}
+	}
+	lc, rc := jc.ls.Col(name), jc.rs.Col(name)
+	switch {
+	case lc >= 0 && rc >= 0:
+		return expr.ColRef{}, fmt.Errorf("sqlparse: ambiguous column %q (qualify with %s. or %s.) at %d", name, jc.left, jc.right, t.pos)
+	case lc >= 0:
+		return expr.ColRef{Side: 0, Col: lc}, nil
+	case rc >= 0:
+		return expr.ColRef{Side: 1, Col: rc}, nil
+	}
+	return expr.ColRef{}, fmt.Errorf("sqlparse: unknown column %q at %d", name, t.pos)
+}
+
+func (jc *joinCtx) schema(side int) *table.Schema {
+	if side == 0 {
+		return jc.ls
+	}
+	return jc.rs
+}
+
+// sided is a parsed subtree plus the join side its columns touch.
+type sided struct {
+	node *expr.Node
+	side int
+}
+
+// parseWhere parses a join WHERE clause and splits the top-level
+// conjunction into per-side filters. The top level is an OR of ANDs;
+// only the outermost AND may mix sides (each conjunct routes to its
+// side), and any top-level OR forces the whole clause onto one side.
+func (jc *joinCtx) parseWhere() (left, right expr.Query, err error) {
+	conj, err := jc.parseAndList()
+	if err != nil {
+		return expr.Query{}, expr.Query{}, err
+	}
+	if isKeyword(jc.ps.cur(), "OR") {
+		// OR at the top: fold the AND list to one side, then fold in
+		// each OR operand, which must match that side.
+		first, err := combineSided(conj, jc.ps.cur().pos)
+		if err != nil {
+			return expr.Query{}, expr.Query{}, err
+		}
+		children := []*expr.Node{first.node}
+		for isKeyword(jc.ps.cur(), "OR") {
+			pos := jc.ps.cur().pos
+			jc.ps.next()
+			more, err := jc.parseAndList()
+			if err != nil {
+				return expr.Query{}, expr.Query{}, err
+			}
+			operand, err := combineSided(more, pos)
+			if err != nil {
+				return expr.Query{}, expr.Query{}, err
+			}
+			if operand.side != first.side {
+				return expr.Query{}, expr.Query{}, fmt.Errorf("sqlparse: OR across join sides at %d (filters push down one side at a time)", pos)
+			}
+			children = append(children, operand.node)
+		}
+		conj = []sided{{node: expr.Or(children...), side: first.side}}
+	}
+	var lc, rc []*expr.Node
+	for _, c := range conj {
+		if c.side == 0 {
+			lc = append(lc, c.node)
+		} else {
+			rc = append(rc, c.node)
+		}
+	}
+	if len(lc) > 0 {
+		left = expr.Query{Root: expr.And(lc...)}
+	}
+	if len(rc) > 0 {
+		right = expr.Query{Root: expr.And(rc...)}
+	}
+	return left, right, nil
+}
+
+// parseAndList parses PRIMARY [AND PRIMARY]... keeping each conjunct's
+// side separate so the caller can split them.
+func (jc *joinCtx) parseAndList() ([]sided, error) {
+	first, err := jc.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	out := []sided{first}
+	for isKeyword(jc.ps.cur(), "AND") {
+		jc.ps.next()
+		next, err := jc.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+	}
+	return out, nil
+}
+
+// parsePrimary parses a parenthesized group (single-side inside) or a
+// predicate. The nesting guard is shared with the base grammar.
+func (jc *joinCtx) parsePrimary() (sided, error) {
+	ps := jc.ps
+	if ps.cur().kind == tokLParen {
+		ps.depth++
+		if ps.depth > maxNestingDepth {
+			return sided{}, fmt.Errorf("sqlparse: expression nested deeper than %d at %d", maxNestingDepth, ps.cur().pos)
+		}
+		pos := ps.cur().pos
+		ps.next()
+		inner, err := jc.parseGroup(pos)
+		if err != nil {
+			return sided{}, err
+		}
+		ps.depth--
+		if _, err := ps.expect(tokRParen, ")"); err != nil {
+			return sided{}, err
+		}
+		return inner, nil
+	}
+	return jc.parsePredicate()
+}
+
+// parseGroup parses the inside of parens: an OR of ANDs that must all
+// land on one side (a nested group is a single conjunct, so it cannot
+// split).
+func (jc *joinCtx) parseGroup(pos int) (sided, error) {
+	conj, err := jc.parseAndList()
+	if err != nil {
+		return sided{}, err
+	}
+	first, err := combineSided(conj, pos)
+	if err != nil {
+		return sided{}, err
+	}
+	children := []*expr.Node{first.node}
+	for isKeyword(jc.ps.cur(), "OR") {
+		opos := jc.ps.cur().pos
+		jc.ps.next()
+		more, err := jc.parseAndList()
+		if err != nil {
+			return sided{}, err
+		}
+		operand, err := combineSided(more, opos)
+		if err != nil {
+			return sided{}, err
+		}
+		if operand.side != first.side {
+			return sided{}, fmt.Errorf("sqlparse: OR across join sides at %d (filters push down one side at a time)", opos)
+		}
+		children = append(children, operand.node)
+	}
+	return sided{node: expr.Or(children...), side: first.side}, nil
+}
+
+// combineSided ANDs conjuncts that must share one side.
+func combineSided(conj []sided, pos int) (sided, error) {
+	side := conj[0].side
+	nodes := make([]*expr.Node, len(conj))
+	for i, c := range conj {
+		if c.side != side {
+			return sided{}, fmt.Errorf("sqlparse: conjunction mixes join sides inside a group at %d (split into top-level AND terms)", pos)
+		}
+		nodes[i] = c.node
+	}
+	return sided{node: expr.And(nodes...), side: side}, nil
+}
+
+// parsePredicate parses one predicate of a join filter: the same
+// grammar as the base parser minus column-vs-column comparisons (the
+// ON clause is the only cross-column predicate in a join).
+func (jc *joinCtx) parsePredicate() (sided, error) {
+	ps := jc.ps
+	colTok, err := ps.expect(tokIdent, "column name")
+	if err != nil {
+		return sided{}, err
+	}
+	cr, err := jc.resolve(colTok)
+	if err != nil {
+		return sided{}, err
+	}
+	sc := jc.schema(cr.Side)
+	col := cr.Col
+	t := ps.next()
+	switch {
+	case t.kind == tokOp:
+		rhs := ps.next()
+		if rhs.kind == tokIdent && !looksLikeValueKeyword(rhs.text) {
+			return sided{}, fmt.Errorf("sqlparse: column-to-column predicates are not supported in join filters at %d", rhs.pos)
+		}
+		lit, err := ps.p.literalIn(sc, col, rhs)
+		if err != nil {
+			return sided{}, err
+		}
+		if t.text == "<>" {
+			return sided{}, fmt.Errorf("sqlparse: <> is not supported (no negated cuts) at %d", t.pos)
+		}
+		op, err := opFromText(t.text)
+		if err != nil {
+			return sided{}, err
+		}
+		return sided{node: expr.NewPred(expr.Pred{Col: col, Op: op, Literal: lit}), side: cr.Side}, nil
+	case isKeyword(t, "IN"):
+		if _, err := ps.expect(tokLParen, "("); err != nil {
+			return sided{}, err
+		}
+		var vals []int64
+		for {
+			v := ps.next()
+			lit, err := ps.p.literalIn(sc, col, v)
+			if err != nil {
+				return sided{}, err
+			}
+			vals = append(vals, lit)
+			sep := ps.next()
+			if sep.kind == tokRParen {
+				break
+			}
+			if sep.kind != tokComma {
+				return sided{}, fmt.Errorf("sqlparse: expected ',' or ')' at %d", sep.pos)
+			}
+		}
+		return sided{node: expr.NewPred(expr.NewIn(col, vals)), side: cr.Side}, nil
+	case isKeyword(t, "BETWEEN"):
+		loTok := ps.next()
+		lo, err := ps.p.literalIn(sc, col, loTok)
+		if err != nil {
+			return sided{}, err
+		}
+		andTok := ps.next()
+		if !isKeyword(andTok, "AND") {
+			return sided{}, fmt.Errorf("sqlparse: BETWEEN requires AND at %d", andTok.pos)
+		}
+		hiTok := ps.next()
+		hi, err := ps.p.literalIn(sc, col, hiTok)
+		if err != nil {
+			return sided{}, err
+		}
+		return sided{node: expr.And(
+			expr.NewPred(expr.Pred{Col: col, Op: expr.Ge, Literal: lo}),
+			expr.NewPred(expr.Pred{Col: col, Op: expr.Le, Literal: hi}),
+		), side: cr.Side}, nil
+	case isKeyword(t, "LIKE"):
+		pat, err := ps.expect(tokString, "pattern string")
+		if err != nil {
+			return sided{}, err
+		}
+		n, err := ps.p.likePredIn(sc, col, pat.text, pat.pos)
+		if err != nil {
+			return sided{}, err
+		}
+		return sided{node: n, side: cr.Side}, nil
+	}
+	return sided{}, fmt.Errorf("sqlparse: expected operator after column at %d, got %q", t.pos, t.text)
+}

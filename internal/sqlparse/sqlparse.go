@@ -32,6 +32,10 @@ import (
 type Parser struct {
 	Schema *table.Schema
 	ACs    []expr.AdvCut
+	// Tables optionally maps FROM-clause table names to schemas for
+	// two-table joins (ParseRowSelect). When nil, every table name
+	// binds Schema and a join is a self-join with positional aliases.
+	Tables map[string]*table.Schema
 	// DateEpoch converts 'YYYY-MM-DD' literals to day numbers. The
 	// default counts days since 1992-01-01 (the TPC-H origin).
 	DateEpoch func(y, m, d int) int64
@@ -598,6 +602,12 @@ func (p *Parser) internAC(ac expr.AdvCut) int {
 // directly; 'YYYY-MM-DD' strings become day numbers; other strings resolve
 // through the column dictionary.
 func (p *Parser) literal(col int, t token) (int64, error) {
+	return p.literalIn(p.Schema, col, t)
+}
+
+// literalIn is literal against an explicit schema (join sides may bind
+// different tables).
+func (p *Parser) literalIn(sc *table.Schema, col int, t token) (int64, error) {
 	switch t.kind {
 	case tokNumber:
 		// Fixed-point decimals (e.g. 0.05) scale by the fractional width.
@@ -621,9 +631,9 @@ func (p *Parser) literal(col int, t token) (int64, error) {
 		if y, m, d, ok := parseDate(t.text); ok {
 			return p.DateEpoch(y, m, d), nil
 		}
-		code := p.Schema.Code(col, t.text)
+		code := sc.Code(col, t.text)
 		if code < 0 {
-			return 0, fmt.Errorf("sqlparse: value %q not in dictionary of column %q", t.text, p.Schema.Cols[col].Name)
+			return 0, fmt.Errorf("sqlparse: value %q not in dictionary of column %q", t.text, sc.Cols[col].Name)
 		}
 		return code, nil
 	}
@@ -651,9 +661,14 @@ func parseDate(s string) (y, m, d int, ok bool) {
 // predicate over the dictionary codes whose strings match — the same
 // dictionary-filtering treatment the paper applies to string predicates.
 func (p *Parser) likePred(col int, pattern string, pos int) (*expr.Node, error) {
-	dict := p.Schema.Cols[col].Dict
+	return p.likePredIn(p.Schema, col, pattern, pos)
+}
+
+// likePredIn is likePred against an explicit schema.
+func (p *Parser) likePredIn(sc *table.Schema, col int, pattern string, pos int) (*expr.Node, error) {
+	dict := sc.Cols[col].Dict
 	if dict == nil {
-		return nil, fmt.Errorf("sqlparse: LIKE on column %q without dictionary at %d", p.Schema.Cols[col].Name, pos)
+		return nil, fmt.Errorf("sqlparse: LIKE on column %q without dictionary at %d", sc.Cols[col].Name, pos)
 	}
 	var vals []int64
 	match := func(s string) bool {

@@ -261,6 +261,26 @@ func (e *Engine) Aggregate(aq AggQuery) (*AggResult, error) {
 	return exec.RunAggDelta(e.store, e.layout, aq, e.acs, e.prof, e.mode, e.opt, e.deltaView())
 }
 
+// Select executes one row-returning statement (single-table row query
+// or two-table equi-join) over base ∪ delta, returning the ordered
+// output tuples. The deterministic comparator (ORDER BY keys, then the
+// full tuple) makes the emitted rows bit-identical across execution
+// options; see exec.RunRowsOpts and exec.RunJoinOpts.
+func (e *Engine) Select(stmt RowStmt) (*RowsResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("qd: engine is closed")
+	}
+	if stmt.Join != nil {
+		return exec.RunJoinDelta(e.store, e.layout, *stmt.Join, e.acs, e.prof, e.mode, e.opt, e.deltaView())
+	}
+	if stmt.Row == nil {
+		return nil, fmt.Errorf("qd: empty row statement")
+	}
+	return exec.RunRowsDelta(e.store, e.layout, *stmt.Row, e.acs, e.prof, e.mode, e.opt, e.deltaView())
+}
+
 // AggregateWorkload executes each aggregation statement in order,
 // returning per-statement results.
 func (e *Engine) AggregateWorkload(w []AggQuery) ([]*AggResult, error) {

@@ -446,6 +446,62 @@ type (
 // Rows is the typed result set of an aggregate query, sorted by group key.
 type Rows = []exec.AggRow
 
+// Row-returning execution re-exports (SELECT cols ... [ORDER BY]
+// [LIMIT], and two-table equi-joins).
+type (
+	// RowQuery is a single-table row-returning statement: projection,
+	// filter, ORDER BY keys (positions into the projection), LIMIT.
+	RowQuery = expr.RowQuery
+	// JoinQuery is a two-table equi-join statement with per-side filters.
+	JoinQuery = expr.JoinQuery
+	// RowStmt is a parsed row-returning statement: exactly one of Row
+	// (single table) or Join is set.
+	RowStmt = expr.RowStmt
+	// ColRef names an output column of a row statement (join side + col).
+	ColRef = expr.ColRef
+	// OrderKey is one ORDER BY key: SELECT-list position + direction.
+	OrderKey = expr.OrderKey
+	// RowsResult reports one row-returning execution: ordered output
+	// tuples plus scan (and, for joins, per-side and join) stats.
+	RowsResult = exec.RowsResult
+	// JoinStats are the join-path physical counters.
+	JoinStats = exec.JoinStats
+)
+
+// ParseRowSelect parses one row-returning statement — SELECT <cols>
+// FROM t [JOIN t2 ON ...] [WHERE ...] [ORDER BY ...] [LIMIT k] —
+// against the schema. Both sides of a join bind the same schema (the
+// single-table serving shape); use an sqlparse.Parser with a Tables map
+// for heterogeneous joins.
+func ParseRowSelect(s *Schema, sql string) (RowStmt, []AdvCut, error) {
+	p := sqlparse.NewParser(s)
+	stmt, err := p.ParseRowSelect(sql)
+	if err != nil {
+		return RowStmt{}, nil, err
+	}
+	return stmt, p.ACs, nil
+}
+
+// ReferenceSelect evaluates a row query over an in-memory table row at
+// a time — the ground truth the streaming executor is tested against.
+func ReferenceSelect(tbl *Table, rq RowQuery, acs []AdvCut) [][]int64 {
+	return exec.ReferenceSelect(tbl, rq, acs)
+}
+
+// ReferenceJoin evaluates an equi-join of the table with itself as a
+// nested loop — the quadratic ground truth for the hash-join path.
+func ReferenceJoin(tbl *Table, jq JoinQuery, acs []AdvCut) [][]int64 {
+	return exec.ReferenceJoin(tbl, jq, acs)
+}
+
+// SelectNaive executes a row query over a store with no TopK pruning
+// and no late materialization: decode everything, sort everything,
+// then cut to the LIMIT — the full-sort-then-limit baseline qdbench
+// -exp rows compares the bounded-heap path against.
+func SelectNaive(store *BlockStore, plan *Plan, rq RowQuery, prof EngineProfile, mode ExecMode) (*RowsResult, error) {
+	return exec.RunRowsNaive(store, plan.Layout, rq, plan.ACs, prof, mode)
+}
+
 // Aggregate functions for building AggQuery values programmatically.
 const (
 	AggCountStar = expr.AggCountStar
