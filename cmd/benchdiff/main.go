@@ -1,0 +1,131 @@
+// Command benchdiff compares a directory of freshly generated
+// BENCH_<exp>.json files against the checked-in baselines and fails on
+// regression. Only the deterministic envelope fields gate: sim_ns
+// (cost-model time, bit-identical across machines and parallelism) and
+// bytes_read. Wall time and allocs/op are reported in the delta table
+// but never gate — they depend on the host.
+//
+//	benchdiff -baseline . -new /tmp/bench [-tolerance 0.15] [-summary delta.md]
+//
+// Exit status: 0 all experiments within tolerance, 1 regression (or a
+// baseline experiment missing from -new), 2 usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// envelope mirrors the gate-relevant subset of qdbench's benchEnvelope.
+type envelope struct {
+	Experiment  string  `json:"experiment"`
+	Commit      string  `json:"commit"`
+	Label       string  `json:"label"`
+	WallNS      int64   `json:"wall_ns"`
+	SimNS       int64   `json:"sim_ns"`
+	BytesRead   int64   `json:"bytes_read"`
+	SkipRate    float64 `json:"skip_rate"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func readEnvelope(path string) (envelope, error) {
+	var e envelope
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		return e, fmt.Errorf("%s: %w", path, err)
+	}
+	if e.Experiment == "" {
+		return e, fmt.Errorf("%s: missing experiment field (pre-envelope file? regenerate with UPDATE_BENCH=1)", path)
+	}
+	return e, nil
+}
+
+// delta returns the relative change cur vs base; 0 when base is 0.
+func delta(base, cur int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(cur-base) / float64(base)
+}
+
+func fmtDelta(d float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*d)
+}
+
+func main() {
+	baseDir := flag.String("baseline", ".", "directory holding the checked-in BENCH_<exp>.json baselines")
+	newDir := flag.String("new", "", "directory holding the freshly generated BENCH_<exp>.json files")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative regression on sim_ns and bytes_read")
+	summary := flag.String("summary", "", "optional path to also write the markdown delta table to")
+	flag.Parse()
+	if *newDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	baselines, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json baselines in %s\n", *baseDir)
+		os.Exit(2)
+	}
+	sort.Strings(baselines)
+
+	var b strings.Builder
+	b.WriteString("### Bench regression gate (tolerance ")
+	fmt.Fprintf(&b, "%.0f%%, sim_ns + bytes_read)\n\n", 100**tolerance)
+	b.WriteString("| experiment | sim_ns base → new | Δ sim | bytes base → new | Δ bytes | wall Δ | status |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+
+	failed := false
+	for _, basePath := range baselines {
+		name := filepath.Base(basePath)
+		base, err := readEnvelope(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: baseline %v\n", err)
+			os.Exit(2)
+		}
+		newPath := filepath.Join(*newDir, name)
+		cur, err := readEnvelope(newPath)
+		if err != nil {
+			fmt.Fprintf(&b, "| %s | %d → ? | — | %d → ? | — | — | MISSING |\n",
+				base.Experiment, base.SimNS, base.BytesRead)
+			fmt.Fprintf(os.Stderr, "benchdiff: %s present in baseline but not regenerated: %v\n", name, err)
+			failed = true
+			continue
+		}
+		simD, bytesD := delta(base.SimNS, cur.SimNS), delta(base.BytesRead, cur.BytesRead)
+		wallD := delta(base.WallNS, cur.WallNS)
+		status := "ok"
+		if simD > *tolerance || bytesD > *tolerance {
+			status = "REGRESSION"
+			failed = true
+		} else if simD < -*tolerance || bytesD < -*tolerance {
+			status = "improved" // large improvement: consider UPDATE_BENCH=1 to ratchet
+		}
+		fmt.Fprintf(&b, "| %s | %d → %d | %s | %d → %d | %s | %s | %s |\n",
+			base.Experiment, base.SimNS, cur.SimNS, fmtDelta(simD),
+			base.BytesRead, cur.BytesRead, fmtDelta(bytesD), fmtDelta(wallD), status)
+	}
+
+	table := b.String()
+	fmt.Print(table)
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(table), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: write summary: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "\nbenchdiff: regression beyond tolerance (or missing experiment) — investigate, or regenerate baselines with UPDATE_BENCH=1 scripts/bench.sh if the change is intentional")
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: all experiments within tolerance")
+}

@@ -605,7 +605,35 @@ func expParScan(cfg config) error {
 			Identical:     identical,
 		})
 	}
-	return writeBenchJSON(cfg, "parscan", bench)
+
+	// Envelope headline: the widest level, plus a steady-state allocs/op
+	// sample from one extra workload pass.
+	allocEng, err := qd.NewEngine(store, plan, qd.EngineSpark, qd.ExecOptions{Parallelism: maxP, ShareReads: true})
+	if err != nil {
+		return err
+	}
+	defer allocEng.Close()
+	if _, err := allocEng.Workload(spec.Queries); err != nil { // warm pools
+		return err
+	}
+	allocsPerOp, err := measureAllocs(len(spec.Queries), func() error {
+		_, err := allocEng.Workload(spec.Queries)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	last := bench.Levels[len(bench.Levels)-1]
+	return writeBenchJSON(cfg, benchEnvelope{
+		Experiment:  "parscan",
+		Rows:        spec.Table.N,
+		Queries:     len(spec.Queries),
+		WallNS:      last.WallNS,
+		SimNS:       last.SimNS,
+		BytesRead:   bench.BytesRead,
+		SkipRate:    bench.SkipRate,
+		AllocsPerOp: allocsPerOp,
+	}, bench)
 }
 
 // expLayout plans the TPC-H micro workload with the strategy named by
@@ -752,7 +780,29 @@ func expAgg(cfg config) error {
 	}
 	fmt.Printf("\nacceptance: filtered-SUM pushdown speedup %.2fx (target >= 1.5x)\n", filteredSumSpeedup)
 	bench.FilteredSumSpeedup = filteredSumSpeedup
-	return writeBenchJSON(cfg, "agg", bench)
+
+	env := benchEnvelope{Experiment: "agg", Rows: spec.Table.N, Queries: len(bench.Queries)}
+	for _, r := range bench.Queries {
+		env.WallNS += r.WallNS
+		env.SimNS += r.PushSimNS
+		env.BytesRead += r.BytesRead
+		env.SkipRate += r.SkipRate / float64(len(bench.Queries))
+	}
+	if _, err := eng.Aggregate(aqs[2]); err != nil { // warm pools
+		return err
+	}
+	env.AllocsPerOp, err = measureAllocs(len(aqs), func() error {
+		for _, aq := range aqs {
+			if _, err := eng.Aggregate(aq); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeBenchJSON(cfg, env, bench)
 }
 
 // sameRows compares aggregate result sets exactly (AVG within 1e-9).
@@ -982,7 +1032,16 @@ func expCompress(cfg config) error {
 		}
 	}
 	fmt.Printf("\nacceptance: on-disk reduction %.2fx (target >= 2x); scan SimTime charges encoded bytes\n", s2.Ratio())
-	return writeBenchJSON(cfg, "compress", bench)
+
+	// Envelope headline: the Spark-profile v2 scan (profiles[1] — the
+	// encoded format the store actually serves).
+	env := benchEnvelope{Experiment: "compress", Rows: spec.Table.N, Queries: len(spec.Queries)}
+	if len(bench.Profiles) > 1 {
+		env.WallNS = bench.Profiles[1].WallNS
+		env.SimNS = bench.Profiles[1].SimNS
+		env.BytesRead = bench.Profiles[1].BytesRead
+	}
+	return writeBenchJSON(cfg, env, bench)
 }
 
 // expIngest measures the streaming-ingest lifecycle: rows inserted into
@@ -1172,5 +1231,14 @@ func expIngest(cfg config) error {
 	bench.PostSkipRate = postSkip
 	bench.ColdSkipRate = coldSkip
 	bench.SkipDiffPts = diff
-	return writeBenchJSON(cfg, "ingest", bench)
+
+	// Envelope headline: post-compaction steady state (mean sim over the
+	// workload; the ingest experiment tracks no byte counters).
+	return writeBenchJSON(cfg, benchEnvelope{
+		Experiment: "ingest",
+		Rows:       base.N + len(stream),
+		Queries:    len(spec.Queries),
+		SimNS:      int64(postSim),
+		SkipRate:   postSkip,
+	}, bench)
 }

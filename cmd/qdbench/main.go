@@ -44,6 +44,7 @@ type config struct {
 	seed     int64
 	hidden   int
 	outDir   string
+	benchDir string
 	parallel int
 	strategy string
 }
@@ -57,12 +58,13 @@ func main() {
 		hidden   = flag.Int("hidden", 64, "Woodblock hidden width (paper: 512)")
 		seed     = flag.Int64("seed", 42, "master seed")
 		outDir   = flag.String("out", "", "optional directory for block stores (default: temp)")
+		benchDir = flag.String("bench-dir", "", "directory for BENCH_<exp>.json emissions (default: -out, else cwd)")
 		parallel = flag.Int("parallelism", 0, "max scan workers for parscan (0 = GOMAXPROCS)")
 		strategy = flag.String("strategy", "greedy",
 			fmt.Sprintf("layout strategy for -exp layout (%s)", strings.Join(qd.PlannerNames(), " | ")))
 	)
 	flag.Parse()
-	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir, parallel: *parallel, strategy: *strategy}
+	cfg := config{rows: *rows, queries: *queries, episodes: *episodes, seed: *seed, hidden: *hidden, outDir: *outDir, benchDir: *benchDir, parallel: *parallel, strategy: *strategy}
 
 	runs := map[string]func(config) error{
 		"table2":    expTable2,

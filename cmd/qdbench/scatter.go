@@ -167,5 +167,15 @@ func expScatter(cfg config) error {
 		bench.Widths = append(bench.Widths, rec)
 		cleanup()
 	}
-	return writeBenchJSON(cfg, "scatter", bench)
+
+	// Envelope headline: the widest deployment (last width swept).
+	env := benchEnvelope{Experiment: "scatter", Rows: spec.Table.N, Queries: len(spec.Queries) + len(aggSQLs)}
+	if n := len(bench.Widths); n > 0 {
+		last := bench.Widths[n-1]
+		env.WallNS = last.WallNS
+		env.SimNS = last.SimNS
+		env.BytesRead = last.BytesRead
+		env.SkipRate = last.SkipRate
+	}
+	return writeBenchJSON(cfg, env, bench)
 }

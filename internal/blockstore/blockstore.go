@@ -554,6 +554,11 @@ func (s *Store) Close() error {
 	return first
 }
 
+// errColRange reports a column index outside the schema.
+func errColRange(c int) error {
+	return fmt.Errorf("blockstore: column %d out of range", c)
+}
+
 // wantCols expands a column selection (nil = all) into a per-column flag
 // slice, validating indices.
 func wantCols(cols []int, ncols int) ([]bool, error) {
@@ -566,7 +571,7 @@ func wantCols(cols []int, ncols int) ([]bool, error) {
 	}
 	for _, c := range cols {
 		if c < 0 || c >= ncols {
-			return nil, fmt.Errorf("blockstore: column %d out of range", c)
+			return nil, errColRange(c)
 		}
 		want[c] = true
 	}
@@ -577,30 +582,73 @@ func wantCols(cols []int, ncols int) ([]bool, error) {
 // their on-disk encoding, ready for the vectorized filter kernels.
 // Unrequested columns are nil entries. bytesRead is the encoded I/O volume
 // — for a v2 store this is what the column actually occupies on disk, the
-// quantity engine profiles charge ByteCost against.
+// quantity engine profiles charge ByteCost against. The returned vectors
+// are freshly allocated and safe to retain; hot paths should prefer
+// ReadColVecsArena.
 func (s *Store) ReadColVecs(b int, cols []int) (vecs []*ColVec, rows int, bytesRead int64, err error) {
+	// A one-shot arena keeps a single read path; its storage simply dies
+	// with this call instead of being reused.
+	return s.ReadColVecsArena(b, cols, nil)
+}
+
+// ReadColVecsArena is ReadColVecs backed by caller-owned arena scratch:
+// payload bytes, ColVec headers, and RLE run slices all come from ar, so
+// a steady-state scan reads blocks without allocating. Runs of adjacent
+// wanted columns are coalesced into one positioned read each — under
+// ShareReads a full-width scan costs one pread per block instead of one
+// per column. bytesRead still charges only wanted columns (gaps between
+// wanted runs are neither read nor charged, identical to the per-column
+// path). The returned vectors and everything they reference are valid
+// only until the next ReadColVecsArena call on the same arena.
+func (s *Store) ReadColVecsArena(b int, cols []int, ar *Arena) (vecs []*ColVec, rows int, bytesRead int64, err error) {
 	f, ncols, nrows, release, err := s.readerAt(b)
 	if err != nil || f == nil {
 		return nil, 0, 0, err
 	}
 	defer release()
-	want, err := wantCols(cols, ncols)
+	if ar == nil {
+		ar = new(Arena)
+	}
+	want, err := ar.wantCols(cols, ncols)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	vecs = make([]*ColVec, ncols)
+	vecs = ar.ptrs[:ncols]
+	for c := range vecs {
+		vecs[c] = nil
+	}
 	if !s.isV2() {
-		base := int64(12 + 16*ncols) // header + per-column min/max
+		// v1: fixed 8-byte columns laid out contiguously after the
+		// header + per-column min/max.
+		base := int64(12 + 16*ncols)
+		colBytes := int64(8 * nrows)
+		total := int64(0)
 		for c := 0; c < ncols; c++ {
+			if want[c] {
+				total += colBytes
+			}
+		}
+		payload := ar.buffer(total)
+		pos := 0
+		for c := 0; c < ncols; {
 			if !want[c] {
+				c++
 				continue
 			}
-			buf := make([]byte, 8*nrows)
-			if _, err := f.ReadAt(buf, base+int64(c)*int64(8*nrows)); err != nil {
+			r := c
+			for r < ncols && want[r] {
+				r++
+			}
+			span := int(colBytes) * (r - c)
+			if _, err := f.ReadAt(payload[pos:pos+span], base+int64(c)*colBytes); err != nil {
 				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
 			}
-			vecs[c] = &ColVec{Enc: EncPlain, N: nrows, raw: buf}
-			bytesRead += int64(8 * nrows)
+			for ; c < r; c++ {
+				ar.vecs[c] = ColVec{Enc: EncPlain, N: nrows, raw: payload[pos : pos+int(colBytes)]}
+				vecs[c] = &ar.vecs[c]
+				pos += int(colBytes)
+				bytesRead += colBytes
+			}
 		}
 		return vecs, nrows, bytesRead, nil
 	}
@@ -608,23 +656,43 @@ func (s *Store) ReadColVecs(b int, cols []int) (vecs []*ColVec, rows int, bytesR
 	if len(metas) != ncols {
 		return nil, 0, 0, fmt.Errorf("blockstore: block %d catalog describes %d columns, file has %d", b, len(metas), ncols)
 	}
-	off := v2HeaderSize(ncols)
+	total := int64(0)
 	for c := 0; c < ncols; c++ {
-		n := metas[c].Bytes
 		if want[c] {
-			// Slack bytes beyond the payload let packed kernels issue
-			// unaligned 8-byte loads at any in-range bit offset.
-			buf := make([]byte, n+packSlack)
-			if _, err := f.ReadAt(buf[:n], off); err != nil {
+			total += metas[c].Bytes
+		}
+	}
+	// The buffer carries packSlack tail bytes past total; every column's
+	// payload subslice keeps its capacity through that tail, so packed
+	// parsing can extend in place (unaligned 8-byte loads) without a copy.
+	payload := ar.buffer(total)
+	pos := int64(0)
+	off := v2HeaderSize(ncols)
+	for c := 0; c < ncols; {
+		if !want[c] {
+			off += metas[c].Bytes
+			c++
+			continue
+		}
+		r := c
+		span := int64(0)
+		for r < ncols && want[r] {
+			span += metas[r].Bytes
+			r++
+		}
+		if _, err := f.ReadAt(payload[pos:pos+span], off); err != nil {
+			return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
+		}
+		off += span
+		for ; c < r; c++ {
+			n := metas[c].Bytes
+			if err := parseColVecInto(&ar.vecs[c], metas[c].Enc, nrows, payload[pos:pos+n], &ar.cols[c]); err != nil {
 				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
 			}
-			vecs[c], err = parseColVec(metas[c].Enc, nrows, buf[:n])
-			if err != nil {
-				return nil, 0, 0, fmt.Errorf("blockstore: block %d col %d: %w", b, c, err)
-			}
+			vecs[c] = &ar.vecs[c]
+			pos += n
 			bytesRead += n
 		}
-		off += n
 	}
 	return vecs, nrows, bytesRead, nil
 }

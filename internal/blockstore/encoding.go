@@ -260,42 +260,24 @@ func (v *ColVec) Filter(p expr.Pred, start, n int, out *SelVec) {
 	}
 }
 
-// filterPlain compares raw little-endian values, one specialized loop per
-// operator (the same structure as expr.Pred.EvalColumn).
+// filterPlain compares raw little-endian values through the 8-wide
+// branch-free kernels in kernels.go. Le and Ge ride the Gt/Lt kernels
+// with their output bytes inverted; In stays row-wise (set membership
+// has no branch-free form worth the setup cost).
 func (v *ColVec) filterPlain(p expr.Pred, start, n int, out *SelVec) {
 	raw := v.raw[8*start:]
 	lit := p.Literal
 	switch p.Op {
 	case expr.Lt:
-		for i := 0; i < n; i++ {
-			if int64(binary.LittleEndian.Uint64(raw[8*i:])) < lit {
-				out.Set(i)
-			}
-		}
-	case expr.Le:
-		for i := 0; i < n; i++ {
-			if int64(binary.LittleEndian.Uint64(raw[8*i:])) <= lit {
-				out.Set(i)
-			}
-		}
-	case expr.Gt:
-		for i := 0; i < n; i++ {
-			if int64(binary.LittleEndian.Uint64(raw[8*i:])) > lit {
-				out.Set(i)
-			}
-		}
+		filterPlainLt(raw, n, lit, 0, out)
 	case expr.Ge:
-		for i := 0; i < n; i++ {
-			if int64(binary.LittleEndian.Uint64(raw[8*i:])) >= lit {
-				out.Set(i)
-			}
-		}
+		filterPlainLt(raw, n, lit, 0xff, out)
+	case expr.Gt:
+		filterPlainGt(raw, n, lit, 0, out)
+	case expr.Le:
+		filterPlainGt(raw, n, lit, 0xff, out)
 	case expr.Eq:
-		for i := 0; i < n; i++ {
-			if int64(binary.LittleEndian.Uint64(raw[8*i:])) == lit {
-				out.Set(i)
-			}
-		}
+		filterPlainEq(raw, n, lit, out)
 	case expr.In:
 		for i := 0; i < n; i++ {
 			if p.InSet(int64(binary.LittleEndian.Uint64(raw[8*i:]))) {
@@ -320,6 +302,8 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 		if !below {
 			d = uint64(lit) - uint64(base)
 		}
+		// Codes and d fit in maxPackWidth < 63 bits, so the unsigned
+		// branch-free kernels apply; Le/Ge invert the Gt/Lt output bytes.
 		switch p.Op {
 		case expr.Lt:
 			if below || d == 0 {
@@ -329,11 +313,7 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 				out.SetFirst(n)
 				return
 			}
-			for i := 0; i < n; i++ {
-				if v.code(start+i) < d {
-					out.Set(i)
-				}
-			}
+			v.filterPackedLt(start, n, d, 0, out)
 		case expr.Le:
 			if below {
 				return
@@ -342,11 +322,7 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 				out.SetFirst(n)
 				return
 			}
-			for i := 0; i < n; i++ {
-				if v.code(start+i) <= d {
-					out.Set(i)
-				}
-			}
+			v.filterPackedGt(start, n, d, 0xff, out)
 		case expr.Gt:
 			if below {
 				out.SetFirst(n)
@@ -355,11 +331,7 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 			if d >= maxCode {
 				return // nothing is > L
 			}
-			for i := 0; i < n; i++ {
-				if v.code(start+i) > d {
-					out.Set(i)
-				}
-			}
+			v.filterPackedGt(start, n, d, 0, out)
 		case expr.Ge:
 			if below || d == 0 {
 				out.SetFirst(n)
@@ -368,11 +340,7 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 			if d > maxCode {
 				return
 			}
-			for i := 0; i < n; i++ {
-				if v.code(start+i) >= d {
-					out.Set(i)
-				}
-			}
+			v.filterPackedLt(start, n, d, 0xff, out)
 		case expr.Eq:
 			if below || d > maxCode {
 				return
@@ -381,11 +349,7 @@ func (v *ColVec) filterPacked(p expr.Pred, start, n int, out *SelVec) {
 				out.SetFirst(n)
 				return
 			}
-			for i := 0; i < n; i++ {
-				if v.code(start+i) == d {
-					out.Set(i)
-				}
-			}
+			v.filterPackedEq(start, n, d, out)
 		}
 	case expr.In:
 		// Translate the sorted literal set into code space, dropping
@@ -546,11 +510,22 @@ func encodeColumn(vals []int64, kind table.Kind) (Encoding, []byte) {
 // encodings the payload slice must have at least packSlack readable bytes
 // beyond its length (readers allocate the slack; see readPayload).
 func parseColVec(enc Encoding, n int, payload []byte) (*ColVec, error) {
-	v := &ColVec{Enc: enc, N: n}
+	v := new(ColVec)
+	if err := parseColVecInto(v, enc, n, payload, nil); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// parseColVecInto parses into caller-owned storage: v is overwritten and
+// cs (optional) donates reusable RLE run slices, so an arena-backed scan
+// parses every block of a query with zero per-block allocations.
+func parseColVecInto(v *ColVec, enc Encoding, n int, payload []byte, cs *colScratch) error {
+	*v = ColVec{Enc: enc, N: n}
 	switch enc {
 	case EncPlain:
 		if len(payload) != 8*n {
-			return nil, fmt.Errorf("blockstore: plain column holds %d bytes for %d rows", len(payload), n)
+			return fmt.Errorf("blockstore: plain column holds %d bytes for %d rows", len(payload), n)
 		}
 		v.raw = payload
 	case EncFOR, EncDict:
@@ -558,19 +533,19 @@ func parseColVec(enc Encoding, n int, payload []byte) (*ColVec, error) {
 		if enc == EncFOR {
 			header = 9
 			if len(payload) < 9 {
-				return nil, fmt.Errorf("blockstore: truncated FOR column header")
+				return fmt.Errorf("blockstore: truncated FOR column header")
 			}
 			v.base = int64(binary.LittleEndian.Uint64(payload))
 		} else if len(payload) < 1 {
-			return nil, fmt.Errorf("blockstore: truncated DICT column header")
+			return fmt.Errorf("blockstore: truncated DICT column header")
 		}
 		v.width = uint(payload[header-1])
 		if v.width > maxPackWidth {
-			return nil, fmt.Errorf("blockstore: packed width %d exceeds max %d", v.width, maxPackWidth)
+			return fmt.Errorf("blockstore: packed width %d exceeds max %d", v.width, maxPackWidth)
 		}
 		packedLen := (n*int(v.width) + 7) / 8
 		if len(payload) != header+packedLen {
-			return nil, fmt.Errorf("blockstore: packed column holds %d bytes, want %d", len(payload), header+packedLen)
+			return fmt.Errorf("blockstore: packed column holds %d bytes, want %d", len(payload), header+packedLen)
 		}
 		v.mask = (uint64(1) << v.width) - 1
 		// Extend the packed slice by packSlack bytes so code extraction can
@@ -583,30 +558,39 @@ func parseColVec(enc Encoding, n int, payload []byte) (*ColVec, error) {
 		}
 	case EncRLE:
 		if len(payload) < 4 {
-			return nil, fmt.Errorf("blockstore: truncated RLE column header")
+			return fmt.Errorf("blockstore: truncated RLE column header")
 		}
 		runs := int(binary.LittleEndian.Uint32(payload))
 		if len(payload) != 4+12*runs {
-			return nil, fmt.Errorf("blockstore: RLE column holds %d bytes for %d runs", len(payload), runs)
+			return fmt.Errorf("blockstore: RLE column holds %d bytes for %d runs", len(payload), runs)
 		}
-		v.runVals = make([]int64, runs)
-		v.runEnds = make([]int32, runs)
+		if cs != nil && cap(cs.runVals) >= runs && cap(cs.runEnds) >= runs {
+			v.runVals = cs.runVals[:runs]
+			v.runEnds = cs.runEnds[:runs]
+		} else {
+			v.runVals = make([]int64, runs)
+			v.runEnds = make([]int32, runs)
+			if cs != nil {
+				cs.runVals = v.runVals
+				cs.runEnds = v.runEnds
+			}
+		}
 		total := int32(0)
 		for r := 0; r < runs; r++ {
 			off := 4 + 12*r
 			v.runVals[r] = int64(binary.LittleEndian.Uint64(payload[off:]))
 			rl := int32(binary.LittleEndian.Uint32(payload[off+8:]))
 			if rl <= 0 {
-				return nil, fmt.Errorf("blockstore: RLE run %d has length %d", r, rl)
+				return fmt.Errorf("blockstore: RLE run %d has length %d", r, rl)
 			}
 			total += rl
 			v.runEnds[r] = total
 		}
 		if int(total) != n {
-			return nil, fmt.Errorf("blockstore: RLE runs cover %d rows of %d", total, n)
+			return fmt.Errorf("blockstore: RLE runs cover %d rows of %d", total, n)
 		}
 	default:
-		return nil, fmt.Errorf("blockstore: unknown column encoding %d", enc)
+		return fmt.Errorf("blockstore: unknown column encoding %d", enc)
 	}
-	return v, nil
+	return nil
 }

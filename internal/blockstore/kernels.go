@@ -1,0 +1,247 @@
+package blockstore
+
+// 8-wide unrolled, branch-free comparison kernels for the filter hot
+// path. Each loop body computes eight 0/1 match bits with arithmetic
+// only (no per-row branch for the CPU to predict), packs them into one
+// byte, and ORs that byte into the selection bitmap word — i stays a
+// multiple of 8, so the shifted byte never straddles a word boundary.
+// RLE stays outside these kernels (filterRLE evaluates per run), and
+// every caller zeroes `out` first, so |= writes are sufficient.
+//
+// Bit tricks (overflow-safe signed less-than via Hacker's Delight):
+//   lt(a,b)  = msb( (a-b) ^ ((a^b) & ((a-b)^a)) )
+//   ltu(a,b) = msb(a-b)            -- valid while a,b < 2^63; packed
+//                                     codes are <= 2^56 (maxPackWidth)
+//   eq(a,b)  = 1 ^ msb(x | -x)     where x = a^b
+// The remaining operators are operand swaps and/or an XOR with 0xff
+// applied to the packed byte (the scalar tails invert per row).
+
+import (
+	"encoding/binary"
+
+	"repro/internal/expr"
+)
+
+// ltBit returns 1 if a < b (signed, overflow-safe), else 0.
+func ltBit(a, b int64) uint64 {
+	d := a - b
+	return uint64(d^((a^b)&(d^a))) >> 63
+}
+
+// eqBit returns 1 if a == b, else 0.
+func eqBit(a, b int64) uint64 {
+	x := uint64(a ^ b)
+	return ((x | -x) >> 63) ^ 1
+}
+
+// ltuBit returns 1 if a < b for unsigned operands below 2^63.
+func ltuBit(a, b uint64) uint64 {
+	return (a - b) >> 63
+}
+
+// orByte merges an 8-bit match group starting at row i (i % 8 == 0).
+func (s *SelVec) orByte(i int, w uint64) {
+	s[i>>6] |= w << (uint(i) & 63)
+}
+
+// plainVal loads plain value i of a raw little-endian payload.
+func plainVal(raw []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(raw[8*i:]))
+}
+
+// filterPlainLt writes lt(value, lit) bits, XORed with inv (0 keeps
+// Lt, 0xff turns it into Ge). Scalar tail rows invert individually.
+func filterPlainLt(raw []byte, n int, lit int64, inv uint64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := ltBit(plainVal(raw, i), lit) |
+			ltBit(plainVal(raw, i+1), lit)<<1 |
+			ltBit(plainVal(raw, i+2), lit)<<2 |
+			ltBit(plainVal(raw, i+3), lit)<<3 |
+			ltBit(plainVal(raw, i+4), lit)<<4 |
+			ltBit(plainVal(raw, i+5), lit)<<5 |
+			ltBit(plainVal(raw, i+6), lit)<<6 |
+			ltBit(plainVal(raw, i+7), lit)<<7
+		out.orByte(i, w^inv)
+	}
+	for ; i < n; i++ {
+		if (ltBit(plainVal(raw, i), lit)^inv)&1 != 0 {
+			out.Set(i)
+		}
+	}
+}
+
+// filterPlainGt writes lt(lit, value) bits, XORed with inv (0 keeps
+// Gt, 0xff turns it into Le).
+func filterPlainGt(raw []byte, n int, lit int64, inv uint64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := ltBit(lit, plainVal(raw, i)) |
+			ltBit(lit, plainVal(raw, i+1))<<1 |
+			ltBit(lit, plainVal(raw, i+2))<<2 |
+			ltBit(lit, plainVal(raw, i+3))<<3 |
+			ltBit(lit, plainVal(raw, i+4))<<4 |
+			ltBit(lit, plainVal(raw, i+5))<<5 |
+			ltBit(lit, plainVal(raw, i+6))<<6 |
+			ltBit(lit, plainVal(raw, i+7))<<7
+		out.orByte(i, w^inv)
+	}
+	for ; i < n; i++ {
+		if (ltBit(lit, plainVal(raw, i))^inv)&1 != 0 {
+			out.Set(i)
+		}
+	}
+}
+
+// filterPlainEq writes eq(value, lit) bits.
+func filterPlainEq(raw []byte, n int, lit int64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := eqBit(plainVal(raw, i), lit) |
+			eqBit(plainVal(raw, i+1), lit)<<1 |
+			eqBit(plainVal(raw, i+2), lit)<<2 |
+			eqBit(plainVal(raw, i+3), lit)<<3 |
+			eqBit(plainVal(raw, i+4), lit)<<4 |
+			eqBit(plainVal(raw, i+5), lit)<<5 |
+			eqBit(plainVal(raw, i+6), lit)<<6 |
+			eqBit(plainVal(raw, i+7), lit)<<7
+		out.orByte(i, w)
+	}
+	for ; i < n; i++ {
+		if plainVal(raw, i) == lit {
+			out.Set(i)
+		}
+	}
+}
+
+// filterPackedLt writes ltu(code, d) bits over packed codes, XORed
+// with inv (0 keeps Lt-in-code-space, 0xff turns it into Ge).
+func (v *ColVec) filterPackedLt(start, n int, d uint64, inv uint64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := ltuBit(v.code(start+i), d) |
+			ltuBit(v.code(start+i+1), d)<<1 |
+			ltuBit(v.code(start+i+2), d)<<2 |
+			ltuBit(v.code(start+i+3), d)<<3 |
+			ltuBit(v.code(start+i+4), d)<<4 |
+			ltuBit(v.code(start+i+5), d)<<5 |
+			ltuBit(v.code(start+i+6), d)<<6 |
+			ltuBit(v.code(start+i+7), d)<<7
+		out.orByte(i, w^inv)
+	}
+	for ; i < n; i++ {
+		if (ltuBit(v.code(start+i), d)^inv)&1 != 0 {
+			out.Set(i)
+		}
+	}
+}
+
+// filterPackedGt writes ltu(d, code) bits, XORed with inv (0 keeps Gt,
+// 0xff turns it into Le).
+func (v *ColVec) filterPackedGt(start, n int, d uint64, inv uint64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := ltuBit(d, v.code(start+i)) |
+			ltuBit(d, v.code(start+i+1))<<1 |
+			ltuBit(d, v.code(start+i+2))<<2 |
+			ltuBit(d, v.code(start+i+3))<<3 |
+			ltuBit(d, v.code(start+i+4))<<4 |
+			ltuBit(d, v.code(start+i+5))<<5 |
+			ltuBit(d, v.code(start+i+6))<<6 |
+			ltuBit(d, v.code(start+i+7))<<7
+		out.orByte(i, w^inv)
+	}
+	for ; i < n; i++ {
+		if (ltuBit(d, v.code(start+i))^inv)&1 != 0 {
+			out.Set(i)
+		}
+	}
+}
+
+// filterPackedEq writes eq(code, d) bits.
+func (v *ColVec) filterPackedEq(start, n int, d uint64, out *SelVec) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := eqBit(int64(v.code(start+i)), int64(d)) |
+			eqBit(int64(v.code(start+i+1)), int64(d))<<1 |
+			eqBit(int64(v.code(start+i+2)), int64(d))<<2 |
+			eqBit(int64(v.code(start+i+3)), int64(d))<<3 |
+			eqBit(int64(v.code(start+i+4)), int64(d))<<4 |
+			eqBit(int64(v.code(start+i+5)), int64(d))<<5 |
+			eqBit(int64(v.code(start+i+6)), int64(d))<<6 |
+			eqBit(int64(v.code(start+i+7)), int64(d))<<7
+		out.orByte(i, w)
+	}
+	for ; i < n; i++ {
+		if v.code(start+i) == d {
+			out.Set(i)
+		}
+	}
+}
+
+// CmpSelect writes the selection of a[i] op b[i] over rows [0, n) into
+// out (which must be zeroed) with the same 8-wide branch-free bodies —
+// the advanced-cut (column vs column) kernel.
+func CmpSelect(op expr.Op, a, b []int64, n int, out *SelVec) {
+	var inv uint64
+	switch op {
+	case expr.Ge, expr.Le:
+		inv = 0xff
+	}
+	switch op {
+	case expr.Lt, expr.Ge: // Ge = not(Lt)
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			w := ltBit(a[i], b[i]) |
+				ltBit(a[i+1], b[i+1])<<1 |
+				ltBit(a[i+2], b[i+2])<<2 |
+				ltBit(a[i+3], b[i+3])<<3 |
+				ltBit(a[i+4], b[i+4])<<4 |
+				ltBit(a[i+5], b[i+5])<<5 |
+				ltBit(a[i+6], b[i+6])<<6 |
+				ltBit(a[i+7], b[i+7])<<7
+			out.orByte(i, w^inv)
+		}
+		for ; i < n; i++ {
+			if (ltBit(a[i], b[i])^inv)&1 != 0 {
+				out.Set(i)
+			}
+		}
+	case expr.Gt, expr.Le: // Gt = Lt swapped, Le = not(Gt)
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			w := ltBit(b[i], a[i]) |
+				ltBit(b[i+1], a[i+1])<<1 |
+				ltBit(b[i+2], a[i+2])<<2 |
+				ltBit(b[i+3], a[i+3])<<3 |
+				ltBit(b[i+4], a[i+4])<<4 |
+				ltBit(b[i+5], a[i+5])<<5 |
+				ltBit(b[i+6], a[i+6])<<6 |
+				ltBit(b[i+7], a[i+7])<<7
+			out.orByte(i, w^inv)
+		}
+		for ; i < n; i++ {
+			if (ltBit(b[i], a[i])^inv)&1 != 0 {
+				out.Set(i)
+			}
+		}
+	case expr.Eq:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			w := eqBit(a[i], b[i]) |
+				eqBit(a[i+1], b[i+1])<<1 |
+				eqBit(a[i+2], b[i+2])<<2 |
+				eqBit(a[i+3], b[i+3])<<3 |
+				eqBit(a[i+4], b[i+4])<<4 |
+				eqBit(a[i+5], b[i+5])<<5 |
+				eqBit(a[i+6], b[i+6])<<6 |
+				eqBit(a[i+7], b[i+7])<<7
+			out.orByte(i, w)
+		}
+		for ; i < n; i++ {
+			if a[i] == b[i] {
+				out.Set(i)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package blockstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// cmpOps are the operators the branch-free kernels implement.
+var cmpOps = []expr.Op{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Eq}
+
+func opHolds(op expr.Op, a, b int64) bool {
+	switch op {
+	case expr.Lt:
+		return a < b
+	case expr.Le:
+		return a <= b
+	case expr.Gt:
+		return a > b
+	case expr.Ge:
+		return a >= b
+	case expr.Eq:
+		return a == b
+	}
+	return false
+}
+
+// TestBitPrimitives drives the single-bit tricks through the values where
+// the naive (a-b)<0 formulation overflows.
+func TestBitPrimitives(t *testing.T) {
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -3, -1, 0, 1, 2, 1 << 40, math.MaxInt64 - 1, math.MaxInt64}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := ltBit(a, b) == 1, a < b; got != want {
+				t.Errorf("ltBit(%d, %d) = %v, want %v", a, b, got, want)
+			}
+			if got, want := eqBit(a, b) == 1, a == b; got != want {
+				t.Errorf("eqBit(%d, %d) = %v, want %v", a, b, got, want)
+			}
+			if a >= 0 && b >= 0 {
+				if got, want := ltuBit(uint64(a), uint64(b)) == 1, a < b; got != want {
+					t.Errorf("ltuBit(%d, %d) = %v, want %v", a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterKernelsVsScalar compares every encoding's Filter result with a
+// direct scalar evaluation over adversarial data: random values, runs of
+// duplicates, int64 extremes, and batch lengths that exercise both the
+// 8-wide bodies and the scalar tails.
+func TestFilterKernelsVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	datasets := map[string][]int64{
+		"random":   randomInts(rng, 1000, -500, 500),
+		"runs":     runInts(rng, 1000, 6),
+		"extremes": extremeInts(rng, 1000),
+	}
+	for name, vals := range datasets {
+		for _, kind := range []table.Kind{table.Numeric, table.Categorical} {
+			enc, payload := encodeColumn(vals, kind)
+			v, err := parseColVec(enc, len(vals), withSlack(payload))
+			if err != nil {
+				t.Fatalf("%s: parse %v: %v", name, enc, err)
+			}
+			lits := append([]int64{math.MinInt64, math.MaxInt64, vals[0], vals[1] - 1}, randomInts(rng, 8, -600, 600)...)
+			for _, op := range cmpOps {
+				for _, lit := range lits {
+					p := expr.Pred{Op: op, Literal: lit}
+					for _, span := range [][2]int{{0, len(vals)}, {0, 5}, {3, 997}, {128, 131}} {
+						start, n := span[0], span[1]-span[0]
+						var got SelVec
+						v.Filter(p, start, n, &got)
+						for i := 0; i < n; i++ {
+							if got.Get(i) != opHolds(op, vals[start+i], lit) {
+								t.Fatalf("%s/%v: op=%v lit=%d row %d (start %d): sel=%v val=%d",
+									name, enc, op, lit, i, start, got.Get(i), vals[start+i])
+							}
+						}
+						for i := n; i < BatchSize; i++ {
+							if got.Get(i) {
+								t.Fatalf("%s/%v: op=%v lit=%d: stray bit %d past n=%d", name, enc, op, lit, i, n)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCmpSelectVsScalar checks the column-vs-column kernel used by
+// advanced cuts, extremes included.
+func TestCmpSelectVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000, BatchSize} {
+		a := extremeInts(rng, n)
+		b := extremeInts(rng, n)
+		for i := 0; i < n/3; i++ { // force equal pairs so Eq/Le/Ge see both outcomes
+			j := rng.Intn(n)
+			b[j] = a[j]
+		}
+		for _, op := range cmpOps {
+			var got SelVec
+			got.Zero()
+			CmpSelect(op, a, b, n, &got)
+			for i := 0; i < n; i++ {
+				if got.Get(i) != opHolds(op, a[i], b[i]) {
+					t.Fatalf("CmpSelect n=%d op=%v row %d: %d vs %d, sel=%v", n, op, i, a[i], b[i], got.Get(i))
+				}
+			}
+			for i := n; i < BatchSize; i++ {
+				if got.Get(i) {
+					t.Fatalf("CmpSelect n=%d op=%v: stray bit %d", n, op, i)
+				}
+			}
+		}
+	}
+}
+
+func randomInts(rng *rand.Rand, n int, lo, hi int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	return out
+}
+
+func runInts(rng *rand.Rand, n, distinct int) []int64 {
+	out := make([]int64, n)
+	val := rng.Int63n(int64(distinct))
+	for i := range out {
+		if rng.Intn(10) == 0 {
+			val = rng.Int63n(int64(distinct))
+		}
+		out[i] = val
+	}
+	return out
+}
+
+func extremeInts(rng *rand.Rand, n int) []int64 {
+	spikes := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	out := make([]int64, n)
+	for i := range out {
+		if rng.Intn(4) == 0 {
+			out[i] = spikes[rng.Intn(len(spikes))]
+		} else {
+			out[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return out
+}
+
+func withSlack(payload []byte) []byte {
+	buf := make([]byte, len(payload), len(payload)+packSlack)
+	copy(buf, payload)
+	return buf
+}

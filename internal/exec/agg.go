@@ -430,13 +430,19 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		scratch vecScratch
 		sel     blockstore.SelVec
 		part    *aggPartial
-		bufs    [][]int64
+		grp     aggScratch
+		arena   *blockstore.Arena
 	}
 	accs := make([]acc, max(workers, 1))
 	for i := range accs {
 		accs[i].part = newAggPartial(len(aq.Aggs), pl.denseDom)
-		accs[i].bufs = make([][]int64, ncols)
+		accs[i].arena = blockstore.GetArena()
 	}
+	defer func() {
+		for i := range accs {
+			blockstore.PutArena(accs[i].arena)
+		}
+	}()
 	ssp := opt.Trace.Start("scan")
 	err = runPool(len(candidates), workers, func(slot, i int) error {
 		b := candidates[i]
@@ -462,7 +468,7 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 			if len(pl.dataAggs) == 0 {
 				return nil // answered entirely from the catalog
 			}
-			vecs, nrows, nbytes, err := store.ReadColVecs(b, pl.dataCols)
+			vecs, nrows, nbytes, err := store.ReadColVecsArena(b, pl.dataCols, a.arena)
 			if err != nil {
 				return err
 			}
@@ -479,7 +485,7 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 			}
 			return nil
 		}
-		vecs, nrows, nbytes, err := store.ReadColVecs(b, pl.readCols)
+		vecs, nrows, nbytes, err := store.ReadColVecsArena(b, pl.readCols, a.arena)
 		if err != nil {
 			return err
 		}
@@ -490,7 +496,7 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		a.stats.RowsScanned += int64(nrows)
 		a.stats.BytesRead += nbytes
 		a.stats.BytesLogical += readWidth * int64(nrows)
-		a.stats.RowsMatched += aggregateBlock(pl, vecs, nrows, &a.sel, &a.scratch, a.bufs, a.part)
+		a.stats.RowsMatched += aggregateBlock(pl, vecs, nrows, &a.sel, &a.scratch, &a.grp, a.arena, a.part)
 		if c := blockCost(prof, nbytes, nrows, 1); c > a.crit {
 			a.crit = c
 		}
@@ -504,13 +510,14 @@ func RunAggPartialDelta(store *blockstore.Store, layout *cost.Layout, aq expr.Ag
 		dsp := opt.Trace.Start("delta_scan")
 		for _, t := range tabs {
 			a := &accs[0]
-			vecs, nbytes := deltaColVecs(t, pl.readCols)
+			a.arena.ResetPlain()
+			vecs, nbytes := deltaColVecs(t, pl.readCols, a.arena)
 			a.stats.BlocksScanned++
 			a.stats.DeltaRows += int64(t.N)
 			a.stats.RowsScanned += int64(t.N)
 			a.stats.BytesRead += nbytes
 			a.stats.BytesLogical += readWidth * int64(t.N)
-			a.stats.RowsMatched += aggregateBlock(pl, vecs, t.N, &a.sel, &a.scratch, a.bufs, a.part)
+			a.stats.RowsMatched += aggregateBlock(pl, vecs, t.N, &a.sel, &a.scratch, &a.grp, a.arena, a.part)
 			if c := blockCost(prof, nbytes, t.N, 1); c > a.crit {
 				a.crit = c
 			}
@@ -560,26 +567,44 @@ func aggregateFullySelected(pl *aggPlan, vecs []*blockstore.ColVec, nrows int, s
 	}
 }
 
+// aggScratch is the per-worker grouped-aggregation scratch: header
+// slices whose shapes are fixed per query, reused across every block the
+// worker folds.
+type aggScratch struct {
+	groupVals [][]int64
+	aggVals   [][]int64
+	key       []int64
+}
+
+// grow sizes the scratch for ngroups group columns and naggs aggregates.
+func (g *aggScratch) grow(ngroups, naggs int) {
+	if cap(g.groupVals) < ngroups {
+		g.groupVals = make([][]int64, ngroups)
+		g.key = make([]int64, ngroups)
+	}
+	g.groupVals = g.groupVals[:ngroups]
+	g.key = g.key[:ngroups]
+	if cap(g.aggVals) < naggs {
+		g.aggVals = make([][]int64, naggs)
+	}
+	g.aggVals = g.aggVals[:naggs]
+}
+
 // aggregateBlock evaluates the filter over one block batch-by-batch and
 // folds the selected rows into the worker's partial state. It returns the
-// number of selected (matched) rows.
-func aggregateBlock(pl *aggPlan, vecs []*blockstore.ColVec, nrows int, sel *blockstore.SelVec, st *vecScratch, bufs [][]int64, part *aggPartial) int64 {
+// number of selected (matched) rows. Decode buffers and the per-column
+// batch memo come from the worker's arena; gs provides the grouped-path
+// header scratch — nothing here allocates once the worker is warm.
+func aggregateBlock(pl *aggPlan, vecs []*blockstore.ColVec, nrows int, sel *blockstore.SelVec, st *vecScratch, gs *aggScratch, ar *blockstore.Arena, part *aggPartial) int64 {
 	var matched int64
 	root := pl.aq.Filter.Root
-	// Grouped-path scratch: shapes are fixed for the whole query, so the
-	// slices live outside the batch loop (decoded contents refresh per
-	// batch below).
 	var groupVals, aggVals [][]int64
 	var key []int64
-	var decodedAt []int // per column: batch start already decoded into bufs, -1 = none
+	var decodedAt []int // per column: batch start already decoded, -1 = none
 	if pl.grouped {
-		groupVals = make([][]int64, len(pl.aq.GroupBy))
-		aggVals = make([][]int64, len(pl.aq.Aggs))
-		key = make([]int64, len(pl.aq.GroupBy))
-		decodedAt = make([]int, len(vecs))
-		for c := range decodedAt {
-			decodedAt[c] = -1
-		}
+		gs.grow(len(pl.aq.GroupBy), len(pl.aq.Aggs))
+		groupVals, aggVals, key = gs.groupVals, gs.aggVals, gs.key
+		decodedAt = ar.DecodedAt(len(vecs))
 	}
 	for start := 0; start < nrows; start += blockstore.BatchSize {
 		n := nrows - start
@@ -623,15 +648,12 @@ func aggregateBlock(pl *aggPlan, vecs []*blockstore.ColVec, nrows int, sel *bloc
 		// decode materializes a column's batch once even when the column
 		// appears in several aggregates and/or the group key.
 		decode := func(c int) []int64 {
-			if decodedAt[c] == start {
-				return bufs[c]
+			buf := ar.DecodeBuf(c)
+			if decodedAt[c] != start {
+				vecs[c].DecodeRange(buf, start, n)
+				decodedAt[c] = start
 			}
-			if bufs[c] == nil {
-				bufs[c] = make([]int64, blockstore.BatchSize)
-			}
-			vecs[c].DecodeRange(bufs[c], start, n)
-			decodedAt[c] = start
-			return bufs[c]
+			return buf
 		}
 		for gi, g := range pl.aq.GroupBy {
 			groupVals[gi] = decode(g)

@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/workload"
+)
+
+// The steady-state allocation pins. Per-query setup (worker accs, the
+// result, pool bookkeeping) may allocate; per-BLOCK work must not — that
+// is the whole point of the arena pass. Measuring "allocs per block is
+// zero" directly is brittle, so these tests measure the MARGINAL cost:
+// the same query over a small store and over a store with ~8x the
+// blocks must allocate (nearly) the same, because everything per-block
+// now lives in reused arena scratch.
+
+// allocFixture materializes Fig3(n) into contiguous 500-row blocks.
+func allocFixture(t *testing.T, n int) (*blockstore.Store, *cost.Layout) {
+	t.Helper()
+	spec := workload.Fig3(n, 1)
+	bids := make([]int, n)
+	for i := range bids {
+		bids[i] = i / 500
+	}
+	nblocks := (n + 499) / 500
+	layout := cost.NewLayout("flat", spec.Table, bids, nblocks, nil)
+	st, err := blockstore.Write(t.TempDir(), spec.Table, bids, nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, layout
+}
+
+// measureAllocs reports steady-state allocations per call of fn, with GC
+// disabled so the arena pool is not drained mid-measurement.
+func measureAllocs(t *testing.T, fn func()) float64 {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		fn() // warm arenas, file handles, and any lazily-grown scratch
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	const runs = 20
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// matchAll selects every row without letting SMA pruning drop blocks.
+var matchAll = expr.Query{Name: "all", Root: expr.NewPred(expr.Pred{Col: 0, Op: expr.Ge, Literal: math.MinInt64})}
+
+// TestScanAllocsDoNotScaleWithBlocks pins the count-scan path (the
+// parscan experiment's engine) for both profiles: 56 extra blocks may
+// not cost more than a handful of extra allocations.
+func TestScanAllocsDoNotScaleWithBlocks(t *testing.T) {
+	smallSt, smallLay := allocFixture(t, 4000) // 8 blocks
+	bigSt, bigLay := allocFixture(t, 32000)    // 64 blocks
+	for _, prof := range []Profile{EngineSpark, EngineDBMS} {
+		run := func(st *blockstore.Store, lay *cost.Layout) func() {
+			return func() {
+				res, err := RunOpts(st, lay, matchAll, nil, prof, NoRoute, Options{Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.BlocksScanned == 0 {
+					t.Fatal("matchAll scanned no blocks")
+				}
+			}
+		}
+		small := measureAllocs(t, run(smallSt, smallLay))
+		big := measureAllocs(t, run(bigSt, bigLay))
+		if extra := big - small; extra > 8 {
+			t.Errorf("%s: 56 extra blocks cost %.1f extra allocs/query (small=%.1f big=%.1f); scan scratch is allocating per block",
+				prof.Name, extra, small, big)
+		}
+	}
+}
+
+// TestAggAllocsDoNotScaleWithBlocks pins the grouped-aggregation path,
+// whose per-batch decode buffers were the heaviest per-block cost before
+// the arena pass. cpu's domain is fixed at 100, so group-table growth is
+// identical for both stores.
+func TestAggAllocsDoNotScaleWithBlocks(t *testing.T) {
+	smallSt, smallLay := allocFixture(t, 4000)
+	bigSt, bigLay := allocFixture(t, 32000)
+	aq := expr.AggQuery{
+		Name:    "bycpu",
+		GroupBy: []int{0},
+		Aggs:    []expr.Agg{{Func: expr.AggCountStar}, {Func: expr.AggSum, Col: 1}},
+	}
+	run := func(st *blockstore.Store, lay *cost.Layout) func() {
+		return func() {
+			res, err := RunAggOpts(st, lay, aq, nil, EngineDBMS, NoRoute, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("grouped query returned no groups")
+			}
+		}
+	}
+	small := measureAllocs(t, run(smallSt, smallLay))
+	big := measureAllocs(t, run(bigSt, bigLay))
+	// The 8x store has ~8x the rows, so the per-group accumulators see the
+	// same 100 groups; only per-block work could differ.
+	if extra := big - small; extra > 8 {
+		t.Errorf("grouped agg: 56 extra blocks cost %.1f extra allocs/query (small=%.1f big=%.1f)", extra, small, big)
+	}
+}
+
+// TestRowScanMarginalAllocsAreEmitsOnly pins the projection path: the
+// only thing allowed to scale is the emitted tuples themselves (one
+// slice per matched row — those escape into the result), never the
+// per-block decode scratch.
+func TestRowScanMarginalAllocsAreEmitsOnly(t *testing.T) {
+	smallSt, smallLay := allocFixture(t, 4000)
+	bigSt, bigLay := allocFixture(t, 32000)
+	rq := expr.RowQuery{
+		Name:   "narrow",
+		Filter: expr.Query{Root: expr.NewPred(expr.Pred{Col: 1, Op: expr.Lt, Literal: 40})}, // ~0.4% of rows
+		Cols:   []int{0, 1},
+	}
+	var smallRows, bigRows int64
+	run := func(st *blockstore.Store, lay *cost.Layout, matched *int64) func() {
+		return func() {
+			res, err := RunRowsOpts(st, lay, rq, nil, EngineDBMS, NoRoute, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			*matched = res.RowsMatched
+		}
+	}
+	small := measureAllocs(t, run(smallSt, smallLay, &smallRows))
+	big := measureAllocs(t, run(bigSt, bigLay, &bigRows))
+	if bigRows <= smallRows {
+		t.Fatalf("fixture broken: big store matched %d rows, small %d", bigRows, smallRows)
+	}
+	// Allow ~3 allocs per extra emitted row (tuple + amortized sink
+	// growth) plus slack; 56 extra blocks of decode scratch would blow
+	// far past this.
+	budget := 3*float64(bigRows-smallRows) + 16
+	if extra := big - small; extra > budget {
+		t.Errorf("row scan: %.1f extra allocs/query for %d extra matched rows (budget %.0f; small=%.1f big=%.1f)",
+			extra, bigRows-smallRows, budget, small, big)
+	}
+}

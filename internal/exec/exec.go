@@ -396,19 +396,28 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 		stats   ScanStats
 		crit    time.Duration
 		scratch vecScratch
+		arena   *blockstore.Arena
 	}
 	accs := make([]acc, max(workers, 1))
+	for i := range accs {
+		accs[i].arena = blockstore.GetArena()
+	}
+	defer func() {
+		for i := range accs {
+			blockstore.PutArena(accs[i].arena)
+		}
+	}()
 	start := time.Now()
 	ssp := opt.Trace.Start("scan")
 	err = runPool(len(candidates), workers, func(slot, i int) error {
-		vecs, nrows, nbytes, err := store.ReadColVecs(candidates[i], needCols)
+		a := &accs[slot]
+		vecs, nrows, nbytes, err := store.ReadColVecsArena(candidates[i], needCols, a.arena)
 		if err != nil {
 			return err
 		}
 		if vecs == nil {
 			return nil
 		}
-		a := &accs[slot]
 		a.stats.BlocksScanned++
 		a.stats.RowsScanned += int64(nrows)
 		a.stats.BytesRead += nbytes
@@ -438,7 +447,8 @@ func RunDelta(store *blockstore.Store, layout *cost.Layout, q expr.Query, acs []
 	if tabs := dv.tables(); len(tabs) > 0 {
 		dsp := opt.Trace.Start("delta_scan")
 		for _, t := range tabs {
-			vecs, nbytes := deltaColVecs(t, needCols)
+			accs[0].arena.ResetPlain()
+			vecs, nbytes := deltaColVecs(t, needCols, accs[0].arena)
 			res.BlocksScanned++
 			res.DeltaRows += int64(t.N)
 			res.RowsScanned += int64(t.N)
@@ -564,23 +574,30 @@ func RunWorkloadDelta(store *blockstore.Store, layout *cost.Layout, w []expr.Que
 		reads     int
 		bytes     int64
 		scratch   vecScratch
+		arena     *blockstore.Arena
 	}
 	accs := make([]acc, max(workers, 1))
 	for i := range accs {
 		accs[i].perQuery = make([]ScanStats, len(w))
+		accs[i].arena = blockstore.GetArena()
 	}
+	defer func() {
+		for i := range accs {
+			blockstore.PutArena(accs[i].arena)
+		}
+	}()
 	ncols := store.Schema.NumCols()
 	start := time.Now()
 	err := runPool(len(tasks), workers, func(slot, ti int) error {
 		t := tasks[ti]
-		vecs, nrows, nbytes, err := store.ReadColVecs(t.block, t.cols)
+		a := &accs[slot]
+		vecs, nrows, nbytes, err := store.ReadColVecsArena(t.block, t.cols, a.arena)
 		if err != nil {
 			return err
 		}
 		if vecs == nil {
 			return nil
 		}
-		a := &accs[slot]
 		a.reads++
 		a.bytes += nbytes
 		for _, qi := range t.queries {
@@ -624,10 +641,13 @@ func RunWorkloadDelta(store *blockstore.Store, layout *cost.Layout, w []expr.Que
 		res.PhysicalBytes += accs[i].bytes
 	}
 	for _, t := range dv.tables() {
+		// Per-table conversion cache; arena scratch is recycled between
+		// tables, and the block-scan vectors above are no longer live.
+		accs[0].arena.ResetPlain()
 		cache := make([]*blockstore.ColVec, ncols)
 		vecFor := func(c int) *blockstore.ColVec {
 			if cache[c] == nil {
-				cache[c] = blockstore.PlainColVec(t.Cols[c][:t.N])
+				cache[c] = accs[0].arena.Plain(t.Cols[c][:t.N])
 			}
 			return cache[c]
 		}

@@ -252,12 +252,17 @@ func RunJoinDelta(store *blockstore.Store, layout *cost.Layout, jq expr.JoinQuer
 		}
 		accs := make([]rowAcc, max(workers, 1))
 		for i := range accs {
-			accs[i].bufs = make([][]int64, ncols)
+			accs[i].arena = blockstore.GetArena()
 		}
+		defer func() {
+			for i := range accs {
+				blockstore.PutArena(accs[i].arena)
+			}
+		}()
 		ssp := opt.Trace.Start(side + "_scan")
 		err = runPool(len(candidates), workers, func(slot, i int) error {
 			a := &accs[slot]
-			vecs, nrows, nbytes, err := store.ReadColVecs(candidates[i], readCols)
+			vecs, nrows, nbytes, err := store.ReadColVecsArena(candidates[i], readCols, a.arena)
 			if err != nil {
 				return err
 			}
@@ -280,7 +285,8 @@ func RunJoinDelta(store *blockstore.Store, layout *cost.Layout, jq expr.JoinQuer
 		}
 		for _, t := range dv.tables() {
 			a := &accs[0]
-			vecs, nbytes := deltaColVecs(t, readCols)
+			a.arena.ResetPlain()
+			vecs, nbytes := deltaColVecs(t, readCols, a.arena)
 			a.stats.BlocksScanned++
 			a.stats.DeltaRows += int64(t.N)
 			a.stats.RowsScanned += int64(t.N)

@@ -71,9 +71,13 @@ type RowsResult struct {
 	Left  *ScanStats
 	Right *ScanStats
 	// Join carries the join-path counters (nil for single-table).
-	Join     *JoinStats
-	SimTime  time.Duration
-	WallTime time.Duration
+	Join *JoinStats
+	// MatchedLowerBound reports that the TopK short-circuit stopped
+	// before visiting every candidate block, so RowsMatched undercounts
+	// and must not be compared against an exhaustive scan's counter.
+	MatchedLowerBound bool
+	SimTime           time.Duration
+	WallTime          time.Duration
 }
 
 // SkipRate is the fraction of the store's rows the query skipped —
@@ -91,7 +95,7 @@ type rowAcc struct {
 	crit    time.Duration
 	scratch vecScratch
 	sel     blockstore.SelVec
-	bufs    [][]int64
+	arena   *blockstore.Arena
 	sink    *rowSink
 }
 
@@ -190,13 +194,17 @@ func RunRowsDelta(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery
 		workers = 1 // the bound must be current when each block is considered
 	}
 	accs := make([]rowAcc, max(workers, 1))
-	ncols := store.Schema.NumCols()
 	for i := range accs {
-		accs[i].bufs = make([][]int64, ncols)
+		accs[i].arena = blockstore.GetArena()
 		accs[i].sink = newRowSink(rq.Limit, less)
 	}
+	defer func() {
+		for i := range accs {
+			blockstore.PutArena(accs[i].arena)
+		}
+	}()
 	scanBlock := func(a *rowAcc, b int) error {
-		vecs, nrows, nbytes, err := store.ReadColVecs(b, readCols)
+		vecs, nrows, nbytes, err := store.ReadColVecsArena(b, readCols, a.arena)
 		if err != nil {
 			return err
 		}
@@ -220,7 +228,8 @@ func RunRowsDelta(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery
 		}
 		dsp := opt.Trace.Start("delta_scan")
 		for _, t := range tabs {
-			vecs, nbytes := deltaColVecs(t, readCols)
+			a.arena.ResetPlain()
+			vecs, nbytes := deltaColVecs(t, readCols, a.arena)
 			a.stats.BlocksScanned++
 			a.stats.DeltaRows += int64(t.N)
 			a.stats.RowsScanned += int64(t.N)
@@ -289,6 +298,7 @@ func RunRowsDelta(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery
 				return nil, err
 			}
 		}
+		res.MatchedLowerBound = pruned > 0
 		ssp.SetAttr("topk_shortcircuit", 1).SetAttr("topk_pruned_blocks", pruned)
 	} else {
 		err = runPool(len(candidates), workers, func(slot, i int) error {
@@ -332,10 +342,7 @@ func RunRowsDelta(store *blockstore.Store, layout *cost.Layout, rq expr.RowQuery
 // selected rows.
 func projectBlock(root *expr.Node, acs []expr.AdvCut, vecs []*blockstore.ColVec, nrows int, proj []int, a *rowAcc, emit func([]int64)) int64 {
 	var matched int64
-	decodedAt := make([]int, len(vecs))
-	for c := range decodedAt {
-		decodedAt[c] = -1
-	}
+	decodedAt := a.arena.DecodedAt(len(vecs))
 	for start := 0; start < nrows; start += blockstore.BatchSize {
 		n := nrows - start
 		if n > blockstore.BatchSize {
@@ -352,17 +359,16 @@ func projectBlock(root *expr.Node, acs []expr.AdvCut, vecs []*blockstore.ColVec,
 		matched += int64(a.sel.Count())
 		for _, c := range proj {
 			if decodedAt[c] != start {
-				if a.bufs[c] == nil {
-					a.bufs[c] = make([]int64, blockstore.BatchSize)
-				}
-				vecs[c].DecodeRange(a.bufs[c], start, n)
+				vecs[c].DecodeRange(a.arena.DecodeBuf(c), start, n)
 				decodedAt[c] = start
 			}
 		}
 		a.sel.ForEach(n, func(i int) {
+			// The emitted tuple escapes into the sink; this allocation is
+			// inherent (one per matched row), unlike the scan scratch.
 			out := make([]int64, len(proj))
 			for j, c := range proj {
-				out[j] = a.bufs[c][i]
+				out[j] = a.arena.DecodeBuf(c)[i]
 			}
 			emit(out)
 		})

@@ -69,38 +69,7 @@ func evalNodeVec(node *expr.Node, acs []expr.AdvCut, vecs []*blockstore.ColVec, 
 		vecs[ac.Left].DecodeRange(lc, start, n)
 		vecs[ac.Right].DecodeRange(rc, start, n)
 		out.Zero()
-		switch ac.Op {
-		case expr.Lt:
-			for i := 0; i < n; i++ {
-				if lc[i] < rc[i] {
-					out.Set(i)
-				}
-			}
-		case expr.Le:
-			for i := 0; i < n; i++ {
-				if lc[i] <= rc[i] {
-					out.Set(i)
-				}
-			}
-		case expr.Gt:
-			for i := 0; i < n; i++ {
-				if lc[i] > rc[i] {
-					out.Set(i)
-				}
-			}
-		case expr.Ge:
-			for i := 0; i < n; i++ {
-				if lc[i] >= rc[i] {
-					out.Set(i)
-				}
-			}
-		case expr.Eq:
-			for i := 0; i < n; i++ {
-				if lc[i] == rc[i] {
-					out.Set(i)
-				}
-			}
-		}
+		blockstore.CmpSelect(ac.Op, lc, rc, n, out)
 	case expr.KindAnd:
 		if len(node.Children) == 0 {
 			out.SetFirst(n) // empty conjunction is TRUE

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/exec"
 	"repro/internal/obs"
 )
@@ -80,6 +81,16 @@ func (s *Server) registerGauges(reg *obs.Registry) {
 			return time.Since(oldest).Seconds()
 		}
 		return 0
+	})
+	// Scan-arena pool health (process-wide): gets-misses is the number of
+	// reads served from warmed scratch instead of fresh allocations.
+	reg.GaugeFunc("qd_arena_pool_gets", "Cumulative scan-arena pool gets.", func() float64 {
+		gets, _ := blockstore.ArenaPoolStats()
+		return float64(gets)
+	})
+	reg.GaugeFunc("qd_arena_pool_misses", "Cumulative scan-arena pool misses (each allocated a fresh arena).", func() float64 {
+		_, misses := blockstore.ArenaPoolStats()
+		return float64(misses)
 	})
 }
 

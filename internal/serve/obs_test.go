@@ -20,6 +20,8 @@ import (
 // use once the server has served traffic. Renaming a metric or changing
 // its labels must be a conscious change here.
 var metricsGolden = []string{
+	"qd_arena_pool_gets|gauge|",
+	"qd_arena_pool_misses|gauge|",
 	"qd_blocks_scanned_total|counter|",
 	"qd_blocks_skipped_total|counter|reason",
 	"qd_blocks|gauge|",

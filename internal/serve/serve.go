@@ -654,24 +654,32 @@ func (s *Server) SelectRowsSQL(sql string) (SelectRowsResult, error) {
 	return s.SelectRows(stmt)
 }
 
-// ParseRowSelectSQL parses one row-returning statement without executing
-// it, memoizing successful parses in the plan cache keyed on the SQL
-// text — a repeated dashboard statement costs one map lookup, not a
-// parse. Statements that introduce advanced cuts the server was not
-// configured with are rejected (and never cached).
+// ParseRowSelectSQL parses one row-returning statement without
+// executing it, memoizing successful parses in the plan cache. The
+// lookup is by raw SQL text, but entries are keyed on the statement's
+// canonical rendering with the raw spelling aliased to it — so a
+// repeated dashboard statement costs one map lookup, and whitespace or
+// case variants of the same statement resolve to one shared plan (a
+// hit) instead of each burning a cache slot. Statements that introduce
+// advanced cuts the server was not configured with are rejected (and
+// never cached).
 func (s *Server) ParseRowSelectSQL(sql string) (expr.RowStmt, error) {
 	if stmt, ok := s.plans.get(sql); ok {
+		s.plans.hit()
 		s.metrics.planCache.With("hit").Inc()
 		return stmt, nil
 	}
-	s.metrics.planCache.With("miss").Inc()
 	p := sqlparse.NewParser(s.Schema())
 	p.ACs = append([]expr.AdvCut(nil), s.cfg.ACs...)
 	stmt, err := p.ParseRowSelect(sql)
 	if err != nil {
+		s.plans.miss()
+		s.metrics.planCache.With("miss").Inc()
 		return expr.RowStmt{}, err
 	}
 	if len(p.ACs) > len(s.cfg.ACs) {
+		s.plans.miss()
+		s.metrics.planCache.With("miss").Inc()
 		return expr.RowStmt{}, fmt.Errorf("serve: query %q introduces an advanced cut the server was not configured with", sql)
 	}
 	if stmt.Row != nil && stmt.Row.Name == "" {
@@ -680,8 +688,16 @@ func (s *Server) ParseRowSelectSQL(sql string) (expr.RowStmt, error) {
 	if stmt.Join != nil && stmt.Join.Name == "" {
 		stmt.Join.Name = sql
 	}
-	s.plans.put(sql, stmt)
-	return stmt, nil
+	canon := stmt.StringWith(s.Schema().Names(), s.cfg.ACs)
+	cached, aliased := s.plans.intern(sql, canon, stmt)
+	if aliased {
+		s.plans.hit()
+		s.metrics.planCache.With("hit").Inc()
+	} else {
+		s.plans.miss()
+		s.metrics.planCache.With("miss").Inc()
+	}
+	return cached, nil
 }
 
 // QuerySQL parses one SQL WHERE clause (or full SELECT) against the served

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/blockstore"
+)
+
+// TestArenaPoolStressUnderChurn hammers the scan-arena pool from
+// concurrent count, aggregate, and row queries while ingest and forced
+// relayouts swap the generation underneath. Under CI's -race run this is
+// the proof that pooled scan scratch is never shared between live
+// goroutines and that arena reads stay correct across a store swap.
+func TestArenaPoolStressUnderChurn(t *testing.T) {
+	tbl := fixtureTable(6000)
+	root := newTestRoot(t, tbl, workloadA())
+	s, err := New(root, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const (
+		workers = 4
+		iters   = 25
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, 3*workers+1)
+	fail := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := s.QuerySQL("x >= 100 AND x < 300"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := s.SelectSQL("SELECT COUNT(*), MIN(x), AVG(x) FROM t WHERE x < 500"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := s.SelectRowsSQL("SELECT x FROM t WHERE x >= 900 ORDER BY x DESC LIMIT 7"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := s.Insert([][]int64{{int64(i * 100)}}); err != nil {
+				fail(err)
+				return
+			}
+			if _, err := s.Relayout(true); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	gets, misses := blockstore.ArenaPoolStats()
+	if gets == 0 {
+		t.Fatal("queries ran but the arena pool saw no gets")
+	}
+	if misses > gets {
+		t.Fatalf("arena pool misses %d exceed gets %d", misses, gets)
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the six gated qdbench experiments at the pinned small scale and
+# either compare against the checked-in BENCH_<exp>.json baselines
+# (default) or regenerate them in place (UPDATE_BENCH=1, which folds the
+# previous envelope into each file's history — the perf trajectory).
+#
+#   scripts/bench.sh                 # compare, exit 1 on >15% regression
+#   UPDATE_BENCH=1 scripts/bench.sh  # rewrite baselines at repo root
+#
+# Env knobs:
+#   BENCH_DIR      where fresh results land in compare mode (default: mktemp)
+#   BENCH_SUMMARY  also write the markdown delta table here
+#   BENCH_LABEL    free-text label stamped into each envelope
+#   TOLERANCE      gate tolerance (default 0.15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pinned scale — baselines were generated with exactly these flags; the
+# gate is only meaningful when compare runs match them.
+ROWS=20000
+QUERIES=80
+SEED=42
+PARALLELISM=4
+EXPERIMENTS=(parscan compress agg ingest scatter rows)
+
+if [ "${UPDATE_BENCH:-0}" = "1" ]; then
+  dir=.
+else
+  dir="${BENCH_DIR:-$(mktemp -d)}"
+  mkdir -p "$dir"
+fi
+
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "==== qdbench -exp $exp (rows=$ROWS queries=$QUERIES seed=$SEED p=$PARALLELISM) ===="
+  go run ./cmd/qdbench -exp "$exp" -rows "$ROWS" -queries "$QUERIES" \
+    -seed "$SEED" -parallelism "$PARALLELISM" -bench-dir "$dir"
+done
+
+if [ "${UPDATE_BENCH:-0}" = "1" ]; then
+  echo "baselines updated in place (previous envelopes kept in history)"
+  exit 0
+fi
+
+go run ./cmd/benchdiff -baseline . -new "$dir" \
+  -tolerance "${TOLERANCE:-0.15}" ${BENCH_SUMMARY:+-summary "$BENCH_SUMMARY"}
